@@ -1,0 +1,274 @@
+// Package briskstream is a shared-memory data stream processing system
+// for multicore NUMA machines, reproducing "BriskStream: Scaling Data
+// Stream Processing on Shared-Memory Multicore Architectures" (Zhang et
+// al., SIGMOD 2019).
+//
+// The package offers three capabilities behind one topology API:
+//
+//   - Run: execute a streaming topology on the in-process engine
+//     (operators as goroutines, pass-by-reference tuples, jumbo-tuple
+//     batching, back-pressure).
+//   - Optimize: derive a NUMA-aware execution plan — replication level
+//     and socket placement per operator — with the RLAS optimizer
+//     (rate-based performance model + branch-and-bound placement +
+//     iterative bottleneck scaling).
+//   - Simulate: predict the plan's steady-state behaviour on a described
+//     machine (e.g. the paper's eight-socket servers) without running it.
+//
+// A minimal word-count:
+//
+//	t := briskstream.NewTopology("wc")
+//	t.Spout("source", mkSource)
+//	t.Operator("split", mkSplit).Subscribe("source", briskstream.Shuffle)
+//	t.Operator("count", mkCount).Subscribe("split", briskstream.FieldsKey(0))
+//	t.Sink("sink", mkSink).Subscribe("count", briskstream.Shuffle)
+//	res, err := t.Run(briskstream.RunConfig{Duration: time.Second})
+package briskstream
+
+import (
+	"fmt"
+	"time"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// Value is a dynamically typed tuple field.
+type Value = tuple.Value
+
+// Tuple is one data item flowing on a stream.
+type Tuple = tuple.Tuple
+
+// Collector receives emitted tuples during an operator invocation.
+type Collector = engine.Collector
+
+// Operator processes one input tuple per invocation.
+type Operator = engine.Operator
+
+// OperatorFunc adapts a function to Operator.
+type OperatorFunc = engine.OperatorFunc
+
+// Spout produces input tuples; return io.EOF from Next to end the stream.
+type Spout = engine.Spout
+
+// SpoutFunc adapts a function to Spout.
+type SpoutFunc = engine.SpoutFunc
+
+// DefaultStream is the stream name used by single-output operators.
+const DefaultStream = tuple.DefaultStream
+
+// Grouping selects how tuples are routed to a consumer's replicas.
+type Grouping struct {
+	part     graph.Partitioning
+	keyField int
+	stream   string
+}
+
+// Shuffle distributes tuples round-robin across replicas.
+var Shuffle = Grouping{part: graph.Shuffle}
+
+// Broadcast copies every tuple to all replicas.
+var Broadcast = Grouping{part: graph.Broadcast}
+
+// Global routes all tuples to a single replica.
+var Global = Grouping{part: graph.Global}
+
+// FieldsKey routes by hash of the given tuple field, pinning each key to
+// one replica.
+func FieldsKey(field int) Grouping { return Grouping{part: graph.Fields, keyField: field} }
+
+// On narrows a grouping to a named output stream of the producer
+// (default: DefaultStream).
+func (g Grouping) On(stream string) Grouping {
+	g.stream = stream
+	return g
+}
+
+// Topology is a streaming application under construction.
+type Topology struct {
+	name      string
+	g         *graph.Graph
+	spouts    map[string]func() Spout
+	operators map[string]func() Operator
+	repl      map[string]int
+	errs      []error
+}
+
+// NewTopology starts an empty topology.
+func NewTopology(name string) *Topology {
+	return &Topology{
+		name:      name,
+		g:         graph.New(name),
+		spouts:    map[string]func() Spout{},
+		operators: map[string]func() Operator{},
+		repl:      map[string]int{},
+	}
+}
+
+// Decl continues the declaration of one operator (for Subscribe and
+// metadata calls).
+type Decl struct {
+	t    *Topology
+	name string
+}
+
+// Spout declares a source operator. The builder is invoked once per
+// replica so each replica owns its state.
+func (t *Topology) Spout(name string, mk func() Spout) *Decl {
+	if err := t.g.AddNode(&graph.Node{Name: name, IsSpout: true, Selectivity: map[string]float64{}}); err != nil {
+		t.errs = append(t.errs, err)
+	}
+	t.spouts[name] = mk
+	t.repl[name] = 1
+	return &Decl{t: t, name: name}
+}
+
+// Operator declares a processing operator.
+func (t *Topology) Operator(name string, mk func() Operator) *Decl {
+	if err := t.g.AddNode(&graph.Node{Name: name, Selectivity: map[string]float64{}}); err != nil {
+		t.errs = append(t.errs, err)
+	}
+	t.operators[name] = mk
+	t.repl[name] = 1
+	return &Decl{t: t, name: name}
+}
+
+// Sink declares a terminal operator: its received tuples count toward
+// the application throughput.
+func (t *Topology) Sink(name string, mk func() Operator) *Decl {
+	if err := t.g.AddNode(&graph.Node{Name: name, IsSink: true, Selectivity: map[string]float64{}}); err != nil {
+		t.errs = append(t.errs, err)
+	}
+	t.operators[name] = mk
+	t.repl[name] = 1
+	return &Decl{t: t, name: name}
+}
+
+// Subscribe connects this operator to a producer's output stream.
+func (d *Decl) Subscribe(producer string, g Grouping) *Decl {
+	stream := g.stream
+	if stream == "" {
+		stream = DefaultStream
+	}
+	// Selectivity defaults to 1 on any stream an edge uses; Selectivity
+	// or profiling can override it later.
+	if n := d.t.g.Node(producer); n != nil {
+		if _, ok := n.Selectivity[stream]; !ok {
+			n.Selectivity[stream] = 1
+		}
+	}
+	err := d.t.g.AddEdge(graph.Edge{
+		From: producer, To: d.name, Stream: stream,
+		Partitioning: g.part, KeyField: g.keyField,
+	})
+	if err != nil {
+		d.t.errs = append(d.t.errs, err)
+	}
+	return d
+}
+
+// Parallelism sets the replica count used by Run when no optimized plan
+// is supplied (Optimize chooses its own replication).
+func (d *Decl) Parallelism(n int) *Decl {
+	if n < 1 {
+		d.t.errs = append(d.t.errs, fmt.Errorf("briskstream: parallelism %d for %q", n, d.name))
+		return d
+	}
+	d.t.repl[d.name] = n
+	return d
+}
+
+// Selectivity declares the average output tuples emitted on stream per
+// input tuple, used by the optimizer's performance model.
+func (d *Decl) Selectivity(stream string, s float64) *Decl {
+	if n := d.t.g.Node(d.name); n != nil {
+		n.Selectivity[stream] = s
+	}
+	return d
+}
+
+// Validate checks the topology structure.
+func (t *Topology) Validate() error {
+	if len(t.errs) > 0 {
+		return t.errs[0]
+	}
+	return t.g.Validate()
+}
+
+// RunConfig tunes a real-engine execution.
+type RunConfig struct {
+	// Duration bounds the run; 0 runs until every spout returns io.EOF.
+	Duration time.Duration
+	// BatchSize overrides the jumbo-tuple size (default 64).
+	BatchSize int
+	// QueueCapacity overrides the per-task queue length (default 64).
+	QueueCapacity int
+	// Replication overrides the per-operator replica counts (e.g. from
+	// an optimized Plan).
+	Replication map[string]int
+}
+
+// RunResult reports a real-engine execution.
+type RunResult struct {
+	// Duration is the measured wall time.
+	Duration time.Duration
+	// SinkTuples counts tuples received by sinks.
+	SinkTuples uint64
+	// Throughput is SinkTuples/Duration (tuples/sec).
+	Throughput float64
+	// LatencyP50, LatencyP99 are sampled end-to-end latencies (ms).
+	LatencyP50, LatencyP99 float64
+	// Processed counts processed tuples per operator.
+	Processed map[string]uint64
+	// Errors aggregates operator failures.
+	Errors []error
+}
+
+// Run executes the topology on the in-process engine.
+func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	ecfg := engine.DefaultConfig()
+	if cfg.BatchSize > 0 {
+		ecfg.BatchSize = cfg.BatchSize
+	}
+	if cfg.QueueCapacity > 0 {
+		ecfg.QueueCapacity = cfg.QueueCapacity
+	}
+	repl := t.repl
+	if cfg.Replication != nil {
+		repl = cfg.Replication
+	}
+	e, err := engine.New(engine.Topology{
+		App:         t.g,
+		Spouts:      t.spouts,
+		Operators:   t.operators,
+		Replication: repl,
+	}, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Duration:   res.Duration,
+		SinkTuples: res.SinkTuples,
+		Throughput: res.Throughput,
+		LatencyP50: res.Latency.Quantile(0.5) / 1e6,
+		LatencyP99: res.Latency.Quantile(0.99) / 1e6,
+		Processed:  res.Processed,
+		Errors:     res.Errors,
+	}, nil
+}
+
+// Graph exposes the underlying logical DAG (read-only use).
+func (t *Topology) Graph() *graph.Graph { return t.g }
+
+// Builders exposes the operator constructors for engine-level embedding.
+func (t *Topology) Builders() (map[string]func() Spout, map[string]func() Operator) {
+	return t.spouts, t.operators
+}

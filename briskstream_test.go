@@ -1,0 +1,205 @@
+package briskstream
+
+import (
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// buildWC assembles a word-count topology on the public API.
+func buildWC(limit int64) *Topology {
+	var emitted atomic.Int64
+	t := NewTopology("wc")
+	t.Spout("source", func() Spout {
+		return SpoutFunc(func(c Collector) error {
+			if emitted.Add(1) > limit {
+				return io.EOF
+			}
+			c.Emit("the quick brown fox jumps over the lazy dog tonight")
+			return nil
+		})
+	})
+	t.Operator("split", func() Operator {
+		return OperatorFunc(func(c Collector, tp *Tuple) error {
+			for _, w := range strings.Fields(tp.String(0)) {
+				c.Emit(w)
+			}
+			return nil
+		})
+	}).Subscribe("source", Shuffle).Selectivity(DefaultStream, 10)
+	t.Operator("count", func() Operator {
+		counts := map[string]int64{}
+		return OperatorFunc(func(c Collector, tp *Tuple) error {
+			w := tp.String(0)
+			counts[w]++
+			c.Emit(w, counts[w])
+			return nil
+		})
+	}).Subscribe("split", FieldsKey(0)).Parallelism(2)
+	t.Sink("sink", func() Operator {
+		return OperatorFunc(func(c Collector, tp *Tuple) error { return nil })
+	}).Subscribe("count", Shuffle)
+	return t
+}
+
+func TestTopologyRunEndToEnd(t *testing.T) {
+	topo := buildWC(500)
+	res, err := topo.Run(RunConfig{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.SinkTuples != 5000 {
+		t.Fatalf("sink tuples = %d, want 5000 (500 sentences x 10 words)", res.SinkTuples)
+	}
+	if res.Processed["split"] != 500 {
+		t.Errorf("split processed %d", res.Processed["split"])
+	}
+}
+
+func TestTopologyValidateCatchesMistakes(t *testing.T) {
+	bad := NewTopology("bad")
+	bad.Spout("s", func() Spout { return SpoutFunc(func(c Collector) error { return io.EOF }) })
+	// No sink.
+	if err := bad.Validate(); err == nil {
+		t.Error("topology without sink validated")
+	}
+
+	dup := NewTopology("dup")
+	dup.Spout("x", nil)
+	dup.Operator("x", nil)
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate operator name validated")
+	}
+
+	badPar := buildWC(1)
+	badPar.Operator("extra", func() Operator { return nil }).Parallelism(0)
+	if err := badPar.Validate(); err == nil {
+		t.Error("zero parallelism validated")
+	}
+}
+
+func TestSubscribeUnknownProducer(t *testing.T) {
+	topo := NewTopology("t")
+	topo.Sink("k", func() Operator {
+		return OperatorFunc(func(c Collector, tp *Tuple) error { return nil })
+	}).Subscribe("ghost", Shuffle)
+	if err := topo.Validate(); err == nil {
+		t.Error("edge from unknown producer validated")
+	}
+}
+
+func wcStats() map[string]OperatorStats {
+	return map[string]OperatorStats{
+		"source": {ExecNs: 450, MemoryBytes: 140, TupleBytes: 70},
+		"split":  {ExecNs: 1600, MemoryBytes: 300, TupleBytes: 70},
+		"count":  {ExecNs: 612, MemoryBytes: 80, TupleBytes: 16},
+		"sink":   {ExecNs: 100, MemoryBytes: 48, TupleBytes: 24},
+	}
+}
+
+func TestOptimizeOnServerA(t *testing.T) {
+	topo := buildWC(1)
+	p, err := topo.Optimize(OptimizeConfig{
+		Machine:         ServerA(),
+		Stats:           wcStats(),
+		SearchNodeLimit: 400,
+		MaxIterations:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PredictedThroughput <= 0 {
+		t.Fatal("no predicted throughput")
+	}
+	if p.Replication["count"] < 2 {
+		t.Errorf("count replication = %d; the counter should scale", p.Replication["count"])
+	}
+	if !strings.Contains(p.PlacementText, "S0") {
+		t.Errorf("placement text = %q", p.PlacementText)
+	}
+	if d := p.Describe(); !strings.Contains(d, "replication") || !strings.Contains(d, "placement") {
+		t.Errorf("Describe output incomplete:\n%s", d)
+	}
+	if p.ExecGraph() == nil {
+		t.Error("ExecGraph not exposed")
+	}
+}
+
+func TestOptimizeRequiresInputs(t *testing.T) {
+	topo := buildWC(1)
+	if _, err := topo.Optimize(OptimizeConfig{Stats: wcStats()}); err == nil {
+		t.Error("missing machine accepted")
+	}
+	if _, err := topo.Optimize(OptimizeConfig{Machine: ServerA()}); err == nil {
+		t.Error("missing stats accepted")
+	}
+	partial := wcStats()
+	delete(partial, "count")
+	if _, err := topo.Optimize(OptimizeConfig{Machine: ServerA(), Stats: partial}); err == nil {
+		t.Error("partial stats accepted")
+	}
+}
+
+func TestSimulatePlan(t *testing.T) {
+	topo := buildWC(1)
+	m := ServerA()
+	p, err := topo.Optimize(OptimizeConfig{
+		Machine: m, Stats: wcStats(), SearchNodeLimit: 400, MaxIterations: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := topo.Simulate(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Throughput <= 0 {
+		t.Error("simulated throughput zero")
+	}
+	// Simulation should land within 2x of the model's prediction.
+	ratio := sr.Throughput / p.PredictedThroughput
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("sim/model = %v, want within [0.5, 2]", ratio)
+	}
+	if len(sr.Utilization) == 0 {
+		t.Error("no per-vertex utilization")
+	}
+	if _, err := topo.Simulate(nil, m); err == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+func TestOptimizeSmallMachineBacksOffIngress(t *testing.T) {
+	topo := buildWC(1)
+	p, err := topo.Optimize(OptimizeConfig{
+		Machine:         SyntheticMachine("laptop", 1, 2),
+		Stats:           wcStats(),
+		SearchNodeLimit: 300,
+		MaxIterations:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PredictedThroughput <= 0 {
+		t.Error("small machine plan has no throughput")
+	}
+}
+
+func TestRunWithOptimizedReplication(t *testing.T) {
+	topo := buildWC(300)
+	res, err := topo.Run(RunConfig{
+		Replication: map[string]int{"source": 1, "split": 2, "count": 3, "sink": 1},
+		Duration:    5 * time.Second, // safety bound; EOF ends sooner
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkTuples != 3000 {
+		t.Fatalf("sink tuples = %d, want 3000", res.SinkTuples)
+	}
+}

@@ -1,0 +1,59 @@
+// Command briskbench regenerates the paper's evaluation artifacts: every
+// table and figure of Section 6 as a text report.
+//
+//	briskbench -list            # list experiment ids
+//	briskbench -exp table4      # run one experiment
+//	briskbench -all             # run the full suite (slow)
+//	briskbench -all -quick      # reduced fidelity, minutes instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"briskstream/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = flag.String("exp", "", "run a single experiment by id")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ctx := experiments.NewContext()
+	ctx.Quick = *quick
+
+	ids := []string{}
+	switch {
+	case *exp != "":
+		ids = append(ids, *exp)
+	case *all:
+		ids = experiments.IDs()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.Run(id, ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

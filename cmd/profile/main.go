@@ -1,0 +1,149 @@
+// Command profile measures the real Go operator implementations of a
+// benchmark application in isolation — the paper's model-instantiation
+// step (Section 3.1): each operator runs alone on sample input prepared
+// by pre-executing its upstream operators, and its per-tuple execution
+// time, input size and selectivity are reduced to model statistics at a
+// chosen percentile.
+//
+//	profile -app WC -samples 5000 -pct 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"briskstream/internal/apps"
+	"briskstream/internal/engine"
+	"briskstream/internal/metrics"
+	"briskstream/internal/profile"
+	"briskstream/internal/tuple"
+)
+
+// capture buffers emissions during isolated invocations.
+type capture struct{ buf []*tuple.Tuple }
+
+func (c *capture) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, values...) }
+func (c *capture) EmitTo(stream string, values ...tuple.Value) {
+	c.buf = append(c.buf, tuple.OnStream(stream, values...))
+}
+func (c *capture) take() []*tuple.Tuple {
+	out := c.buf
+	c.buf = nil
+	return out
+}
+
+func main() {
+	var (
+		appName = flag.String("app", "WC", "application to profile: WC, FD, SD or LR")
+		samples = flag.Int("samples", 5000, "sample invocations per operator")
+		pct     = flag.Float64("pct", 0.5, "percentile of the execution-time distribution to report")
+	)
+	flag.Parse()
+
+	a := apps.ByName(*appName)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	// Sample inputs per operator, produced by pre-executing upstream
+	// operators in topological order (spouts feed the first stage).
+	order, err := a.Graph.TopoSort()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	inputs := map[string][]*tuple.Tuple{}
+	cap1 := &capture{}
+	for _, op := range order {
+		n := a.Graph.Node(op)
+		var produced []*tuple.Tuple
+		if n.IsSpout {
+			sp := a.Spouts[op]()
+			for len(produced) < *samples {
+				if err := sp.Next(cap1); err != nil {
+					break
+				}
+				produced = append(produced, cap1.take()...)
+			}
+		} else {
+			impl := a.Operators[op]()
+			for _, in := range inputs[op] {
+				if err := impl.Process(cap1, in); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", op, err)
+					os.Exit(1)
+				}
+				produced = append(produced, cap1.take()...)
+				if len(produced) >= *samples {
+					break
+				}
+			}
+		}
+		if len(produced) > *samples {
+			produced = produced[:*samples]
+		}
+		// Feed produced tuples to each consumer's input pool, honoring
+		// the stream subscription.
+		for _, e := range a.Graph.Out(op) {
+			for _, t := range produced {
+				if t.Stream == e.Stream {
+					inputs[e.To] = append(inputs[e.To], t)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("profiling %s: %d samples per operator, p%.0f statistics\n\n", a.Name, *samples, *pct*100)
+	rows := [][]string{}
+	for _, op := range order {
+		n := a.Graph.Node(op)
+		var p profile.Profiler
+		if n.IsSpout {
+			sp := a.Spouts[op]()
+			for i := 0; i < *samples; i++ {
+				t0 := time.Now()
+				if err := sp.Next(cap1); err != nil {
+					break
+				}
+				p.Record(profile.Sample{Duration: time.Since(t0), OutCount: len(cap1.take())})
+			}
+		} else {
+			var impl engine.Operator = a.Operators[op]()
+			ins := inputs[op]
+			if len(ins) == 0 {
+				rows = append(rows, []string{op, "-", "-", "-", "(no sample input reached this operator)"})
+				continue
+			}
+			for _, in := range ins {
+				t0 := time.Now()
+				if err := impl.Process(cap1, in); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", op, err)
+					os.Exit(1)
+				}
+				p.Record(profile.Sample{
+					Duration: time.Since(t0),
+					InBytes:  in.Size(),
+					OutCount: len(cap1.take()),
+				})
+			}
+		}
+		st, err := p.Reduce(*pct)
+		if err != nil {
+			rows = append(rows, []string{op, "-", "-", "-", err.Error()})
+			continue
+		}
+		canned := a.Stats[op]
+		rows = append(rows, []string{
+			op,
+			fmt.Sprintf("%.0f", st.Te),
+			fmt.Sprintf("%.0f", st.N),
+			fmt.Sprintf("%.2f", st.Selectivity["default"]),
+			fmt.Sprintf("canned Te=%.0f (ServerA-calibrated)", canned.Te),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"operator", "Te (ns, this host)", "N (bytes)", "selectivity", "notes"}, rows))
+	fmt.Println("\nmeasured Te is host-specific; the packaged statistics are calibrated to the paper's Server A clock.")
+}

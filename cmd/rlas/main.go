@@ -1,0 +1,107 @@
+// Command rlas optimizes a benchmark application for a target machine
+// and prints the resulting execution plan: replication levels, socket
+// placement, predicted throughput and the bottleneck trace.
+//
+//	rlas -app WC -machine A
+//	rlas -app LR -machine B -sockets 4 -ratio 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"briskstream/internal/apps"
+	"briskstream/internal/bnb"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/rlas"
+	"briskstream/internal/sim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "WC", "application: WC, FD, SD or LR")
+		machine = flag.String("machine", "A", "target machine: A (KunLun) or B (DL980)")
+		sockets = flag.Int("sockets", 8, "number of sockets to enable (1-8)")
+		ratio   = flag.Int("ratio", 5, "execution-graph compress ratio r")
+		nodes   = flag.Int("nodes", 1500, "branch-and-bound node limit per round")
+		iters   = flag.Int("iters", 40, "max scaling iterations")
+		trace   = flag.Bool("trace", false, "print the per-iteration scaling trace")
+	)
+	flag.Parse()
+
+	a := apps.ByName(*appName)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q (use WC, FD, SD or LR)\n", *appName)
+		os.Exit(2)
+	}
+	var m *numa.Machine
+	switch *machine {
+	case "A", "a":
+		m = numa.ServerA()
+	case "B", "b":
+		m = numa.ServerB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q (use A or B)\n", *machine)
+		os.Exit(2)
+	}
+	if *sockets < m.Sockets {
+		var err error
+		if m, err = m.Restrict(*sockets); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("optimizing %s for %s (compress r=%d)\n\n", a.Name, m, *ratio)
+	seed, err := rlas.SeedReplication(a.Graph, a.Stats, m.TotalCores(), 0.7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := rlas.Optimize(a.Graph, rlas.Config{
+		Model:         &model.Config{Machine: m, Stats: a.Stats, Ingress: model.Saturated},
+		Compress:      *ratio,
+		BnB:           bnb.Config{NodeLimit: *nodes},
+		Initial:       seed,
+		MaxIterations: *iters,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("predicted throughput: %.1f K events/s\n", r.Eval.Throughput/1000)
+	fmt.Printf("optimization: %d iterations in %v\n\n", r.Iterations, r.Elapsed.Round(time.Millisecond))
+
+	fmt.Println("replication:")
+	var ops []string
+	for op := range r.Replication {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("  %-18s x%d\n", op, r.Replication[op])
+	}
+	fmt.Println("\nplacement:")
+	fmt.Print(r.Placement.String(r.Graph))
+
+	sr, err := sim.Run(r.Graph, r.Placement, &sim.Config{
+		Machine: m, Stats: a.Stats, Ingress: model.Saturated,
+	})
+	if err == nil {
+		fmt.Printf("\nsimulated steady state: %.1f K events/s (relative error %.2f)\n",
+			sr.Throughput/1000, model.RelativeError(sr.Throughput, r.Eval.Throughput))
+	}
+
+	if *trace {
+		fmt.Println("\nscaling trace:")
+		for i, tr := range r.Trace {
+			fmt.Printf("  iter %2d: %8.1f K/s  grew %-16s %v\n",
+				i, tr.Throughput/1000, tr.Bottleneck, tr.Replication)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command topo prints the benchmark application topologies: operators,
+// streams with partitioning and selectivity, and the canned operator
+// statistics (Te / M / N) that instantiate the performance model.
+//
+//	topo           # all four applications
+//	topo -app LR   # one application
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"briskstream/internal/apps"
+)
+
+func describe(a *apps.App) {
+	fmt.Printf("== %s (%d operators) ==\n", a.Name, a.Graph.Len())
+	order, err := a.Graph.TopoSort()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, op := range order {
+		n := a.Graph.Node(op)
+		role := "operator"
+		if n.IsSpout {
+			role = "spout"
+		} else if n.IsSink {
+			role = "sink"
+		}
+		st := a.Stats[op]
+		fmt.Printf("%-16s %-8s Te=%6.0fns  N=%4.0fB  M=%4.0fB/tuple\n", op, role, st.Te, st.N, st.M)
+		for _, e := range a.Graph.Out(op) {
+			fmt.Printf("    --[%s, %s, sel=%.3f]--> %s\n",
+				e.Stream, e.Partitioning, st.Selectivity[e.Stream], e.To)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	appName := flag.String("app", "", "application to describe (WC, FD, SD, LR); empty = all")
+	flag.Parse()
+
+	if *appName != "" {
+		a := apps.ByName(*appName)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+			os.Exit(2)
+		}
+		describe(a)
+		return
+	}
+	for _, a := range apps.All() {
+		describe(a)
+	}
+}

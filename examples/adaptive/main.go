@@ -1,0 +1,163 @@
+// Adaptive: online plan maintenance (the dynamic scenario of Section
+// 5.3). A word-count variant runs on the real engine while an Advisor
+// polls live rate snapshots; halfway through, the workload changes
+// (sentences shrink from 10 words to 2), the splitter's observed
+// selectivity drifts from its profile, and the advisor recommends a
+// re-optimized plan for the new workload.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"briskstream/internal/adaptive"
+	"briskstream/internal/bnb"
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/profile"
+	"briskstream/internal/rlas"
+	"briskstream/internal/tuple"
+)
+
+// wordsPerSentence is flipped by the workload-change event.
+var wordsPerSentence atomic.Int64
+
+func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func() engine.Operator, profile.Set) {
+	g := graph.New("adaptive-wc")
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "splitter", Selectivity: map[string]float64{"default": 10}}))
+	must(g.AddNode(&graph.Node{Name: "counter", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "splitter", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "splitter", To: "counter", Stream: "default", Partitioning: graph.Fields}))
+	must(g.AddEdge(graph.Edge{From: "counter", To: "sink", Stream: "default"}))
+	must(g.Validate())
+
+	spouts := map[string]func() engine.Spout{
+		"spout": func() engine.Spout {
+			i := 0
+			return engine.SpoutFunc(func(c engine.Collector) error {
+				i++
+				n := int(wordsPerSentence.Load())
+				words := make([]string, n)
+				for j := range words {
+					words[j] = fmt.Sprintf("w%d", (i+j)%64)
+				}
+				c.Emit(strings.Join(words, " "))
+				return nil
+			})
+		},
+	}
+	ops := map[string]func() engine.Operator{
+		"splitter": func() engine.Operator {
+			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
+				for _, w := range strings.Fields(t.String(0)) {
+					c.Emit(w)
+				}
+				return nil
+			})
+		},
+		"counter": func() engine.Operator {
+			counts := map[string]int64{}
+			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
+				w := t.String(0)
+				counts[w]++
+				c.Emit(w, counts[w])
+				return nil
+			})
+		},
+		"sink": func() engine.Operator {
+			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
+		},
+	}
+	stats := profile.Set{
+		"spout":    {Te: 450, M: 140, N: 70, Selectivity: map[string]float64{"default": 1}},
+		"splitter": {Te: 1600, M: 300, N: 70, Selectivity: map[string]float64{"default": 10}},
+		"counter":  {Te: 612, M: 80, N: 16, Selectivity: map[string]float64{"default": 1}},
+		"sink":     {Te: 100, M: 48, N: 24, Selectivity: map[string]float64{}},
+	}
+	return g, spouts, ops, stats
+}
+
+func main() {
+	wordsPerSentence.Store(10)
+	g, spouts, ops, stats := buildApp()
+	m := numa.ServerA()
+
+	fmt.Println("optimizing the initial plan (profiled selectivity 10)...")
+	seed, err := rlas.SeedReplication(g, stats, m.TotalCores(), 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := rlas.Optimize(g, rlas.Config{
+		Model:         &model.Config{Machine: m, Stats: stats, Ingress: model.Saturated},
+		BnB:           bnb.Config{NodeLimit: 800},
+		Initial:       seed,
+		MaxIterations: 15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  predicted %.1f K events/s with replication %v\n\n",
+		current.Eval.Throughput/1000, current.Replication)
+
+	advisor, err := adaptive.New(g, stats, current, adaptive.Config{Machine: m, Gain: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e, err := engine.New(engine.Topology{App: g, Spouts: spouts, Operators: ops}, engine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := e.Run(2 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	poll := func(label string) {
+		advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
+		rec, err := advisor.Evaluate()
+		if err != nil {
+			fmt.Printf("  [%s] %v\n", label, err)
+			return
+		}
+		fmt.Printf("  [%s] drift=%v reoptimize=%v (current %.1f K/s, new %.1f K/s)\n",
+			label, rec.DriftedOperators, rec.Reoptimize,
+			rec.CurrentPredicted/1000, rec.NewPredicted/1000)
+		if rec.Reoptimize {
+			fmt.Printf("        recommended replication: %v\n", rec.Plan.Replication)
+		}
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
+	time.Sleep(500 * time.Millisecond)
+	fmt.Println("steady workload (10 words per sentence):")
+	poll("t=0.8s")
+
+	fmt.Println("\nworkload change: sentences shrink to 2 words")
+	wordsPerSentence.Store(2)
+	time.Sleep(700 * time.Millisecond)
+	advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
+	time.Sleep(400 * time.Millisecond)
+	poll("t=1.9s")
+
+	<-done
+	fmt.Println("\nengine run complete.")
+}

@@ -1,0 +1,93 @@
+// Planexplorer: compares execution-plan strategies for every paper
+// benchmark on both paper servers — RLAS versus the OS / first-fit /
+// round-robin placement heuristics under the same replication
+// configuration (the Figure 13 experiment, interactive form), plus the
+// NUMA-oblivious ablations RLAS_fix(L) and RLAS_fix(U) (Figure 12).
+//
+//	go run ./examples/planexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"briskstream/internal/apps"
+	"briskstream/internal/bnb"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/placement"
+	"briskstream/internal/rlas"
+	"briskstream/internal/sim"
+)
+
+func main() {
+	for _, m := range []*numa.Machine{numa.ServerA(), numa.ServerB()} {
+		fmt.Printf("== %s ==\n", m.Name)
+		fmt.Printf("%-4s %12s %10s %10s %10s %12s %12s\n",
+			"app", "RLAS (K/s)", "OS", "FF", "RR", "fix(L)", "fix(U)")
+		for _, a := range apps.All() {
+			seed, err := rlas.SeedReplication(a.Graph, a.Stats, m.TotalCores(), 0.7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base := rlas.Config{
+				Model:         &model.Config{Machine: m, Stats: a.Stats, Ingress: model.Saturated},
+				BnB:           bnb.Config{NodeLimit: 800},
+				Initial:       seed,
+				MaxIterations: 15,
+			}
+			r, err := rlas.Optimize(a.Graph, base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			simCfg := &sim.Config{Machine: m, Stats: a.Stats, Ingress: model.Saturated, Duration: 1}
+			rl, err := sim.Run(r.Graph, r.Placement, simCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			norm := func(tput float64) string { return fmt.Sprintf("%.2f", tput/rl.Throughput) }
+			mcfg := &model.Config{Machine: m, Stats: a.Stats, Ingress: model.Saturated}
+
+			osSim, err := sim.Run(r.Graph, placement.OS(r.Graph, m), simCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ffP, err := placement.FF(r.Graph, mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ffSim, err := sim.Run(r.Graph, ffP, simCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rrSim, err := sim.Run(r.Graph, placement.RR(r.Graph, m), simCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			fixed := func(policy model.TfPolicy) string {
+				cfg := base
+				mc := *base.Model
+				mc.Policy = policy
+				cfg.Model = &mc
+				fr, err := rlas.Optimize(a.Graph, cfg)
+				if err != nil {
+					return "n/a"
+				}
+				fs, err := sim.Run(fr.Graph, fr.Placement, simCfg)
+				if err != nil {
+					return "n/a"
+				}
+				return norm(fs.Throughput)
+			}
+
+			fmt.Printf("%-4s %12.1f %10s %10s %10s %12s %12s\n",
+				a.Name, rl.Throughput/1000,
+				norm(osSim.Throughput), norm(ffSim.Throughput), norm(rrSim.Throughput),
+				fixed(model.TfWorstCase), fixed(model.TfZero))
+		}
+		fmt.Println()
+	}
+	fmt.Println("values are normalized to RLAS (1.00); lower means the strategy loses throughput.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a three-stage pipeline on the public API, run it on
+// the in-process engine, and print throughput and latency.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"briskstream"
+)
+
+func main() {
+	t := briskstream.NewTopology("quickstart")
+
+	// A spout producing sentences forever; the run is time-bounded.
+	t.Spout("sentences", func() briskstream.Spout {
+		i := 0
+		return briskstream.SpoutFunc(func(c briskstream.Collector) error {
+			i++
+			c.Emit(fmt.Sprintf("event %d from the quickstart stream pipeline", i))
+			return nil
+		})
+	})
+
+	// Split sentences into words (selectivity ~6 words per sentence).
+	t.Operator("split", func() briskstream.Operator {
+		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
+			for _, w := range strings.Fields(tp.String(0)) {
+				c.Emit(w)
+			}
+			return nil
+		})
+	}).Subscribe("sentences", briskstream.Shuffle).Selectivity(briskstream.DefaultStream, 6)
+
+	// Count words; fields grouping pins each word to one replica.
+	t.Operator("count", func() briskstream.Operator {
+		counts := map[string]int64{}
+		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
+			w := tp.String(0)
+			counts[w]++
+			c.Emit(w, counts[w])
+			return nil
+		})
+	}).Subscribe("split", briskstream.FieldsKey(0)).Parallelism(2)
+
+	t.Sink("sink", func() briskstream.Operator {
+		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
+			return nil
+		})
+	}).Subscribe("count", briskstream.Shuffle)
+
+	res, err := t.Run(briskstream.RunConfig{Duration: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Errors) > 0 {
+		log.Fatalf("runtime errors: %v", res.Errors)
+	}
+	fmt.Printf("processed %d tuples in %v\n", res.SinkTuples, res.Duration.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f tuples/s\n", res.Throughput)
+	fmt.Printf("latency: p50 %.3f ms, p99 %.3f ms\n", res.LatencyP50, res.LatencyP99)
+}

@@ -1,0 +1,222 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"briskstream/internal/bnb"
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/profile"
+	"briskstream/internal/rlas"
+)
+
+// chainApp builds spout -> expand -> sink where expand's profiled
+// selectivity is 10 (splitter-like).
+func chainApp(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("adaptive")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "expand", Selectivity: map[string]float64{"default": 10}}))
+	must(g.AddNode(&graph.Node{Name: "consume", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "expand", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "expand", To: "consume", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "consume", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func chainStats() profile.Set {
+	return profile.Set{
+		"spout":   {Te: 400, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"expand":  {Te: 1500, M: 128, N: 64, Selectivity: map[string]float64{"default": 10}},
+		"consume": {Te: 800, M: 64, N: 32, Selectivity: map[string]float64{"default": 1}},
+		"sink":    {Te: 100, M: 32, N: 32, Selectivity: map[string]float64{}},
+	}
+}
+
+func optimize(t *testing.T, g *graph.Graph, st profile.Set, m *numa.Machine) *rlas.Result {
+	t.Helper()
+	seed, err := rlas.SeedReplication(g, st, m.TotalCores(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rlas.Optimize(g, rlas.Config{
+		Model:         &model.Config{Machine: m, Stats: st, Ingress: model.Saturated},
+		BnB:           bnb.Config{NodeLimit: 500},
+		Initial:       seed,
+		MaxIterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// observe feeds two snapshots implying the given per-op rates.
+func observe(t *testing.T, a *Advisor, rates map[string]uint64) {
+	t.Helper()
+	base := time.Unix(1000, 0)
+	first := map[string]uint64{}
+	for op := range rates {
+		first[op] = 0
+	}
+	if err := a.Record(Observation{Processed: first, At: base}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Record(Observation{Processed: rates, At: base.Add(time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMachine() *numa.Machine {
+	return numa.Synthetic("adapt", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+}
+
+func TestRatesFromSnapshots(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	cur := optimize(t, g, chainStats(), m)
+	a, err := New(g, chainStats(), cur, Config{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rates(); err == nil {
+		t.Error("rates with < 2 observations accepted")
+	}
+	observe(t, a, map[string]uint64{"spout": 1000, "expand": 1000, "consume": 10000, "sink": 10000})
+	rates, err := a.Rates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["consume"] != 10000 {
+		t.Errorf("consume rate = %v", rates["consume"])
+	}
+}
+
+func TestObservedSelectivityTracksWorkload(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	cur := optimize(t, g, chainStats(), m)
+	a, err := New(g, chainStats(), cur, Config{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workload changed: expand now emits 2 per input instead of 10.
+	observe(t, a, map[string]uint64{"spout": 1000, "expand": 1000, "consume": 2000, "sink": 2000})
+	obs, err := a.ObservedStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs["expand"].TotalSelectivity(); got != 2 {
+		t.Errorf("observed expand selectivity = %v, want 2", got)
+	}
+	// consume unchanged (1:1).
+	if got := obs["consume"].TotalSelectivity(); got != 1 {
+		t.Errorf("observed consume selectivity = %v, want 1", got)
+	}
+	drifted, err := a.Drifted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifted) != 1 || drifted[0] != "expand" {
+		t.Errorf("drifted = %v, want [expand]", drifted)
+	}
+}
+
+func TestNoDriftNoReoptimization(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	cur := optimize(t, g, chainStats(), m)
+	a, err := New(g, chainStats(), cur, Config{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates consistent with the profile (selectivity 10).
+	observe(t, a, map[string]uint64{"spout": 1000, "expand": 1000, "consume": 10000, "sink": 10000})
+	rec, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Reoptimize {
+		t.Error("re-optimization recommended with no drift")
+	}
+	if len(rec.DriftedOperators) != 0 {
+		t.Errorf("drift reported: %v", rec.DriftedOperators)
+	}
+}
+
+func TestDriftTriggersReoptimization(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	stats := chainStats()
+	cur := optimize(t, g, stats, m)
+
+	a, err := New(g, stats, cur, Config{Machine: m, Gain: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selectivity collapsed 10 -> 1: the plan's many consume replicas
+	// are now wasted and the expand stage starves them; a fresh plan
+	// rebalances and should predict better throughput.
+	observe(t, a, map[string]uint64{"spout": 1000, "expand": 1000, "consume": 1000, "sink": 1000})
+	rec, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.DriftedOperators) == 0 {
+		t.Fatal("no drift detected after 10x selectivity change")
+	}
+	if !rec.Reoptimize {
+		t.Fatalf("re-optimization not recommended (current %v, new %v)",
+			rec.CurrentPredicted, rec.NewPredicted)
+	}
+	if rec.Plan == nil {
+		t.Fatal("no plan attached")
+	}
+	if rec.NewPredicted <= rec.CurrentPredicted {
+		t.Errorf("new plan %v not better than current %v", rec.NewPredicted, rec.CurrentPredicted)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	cur := optimize(t, g, chainStats(), m)
+	a, err := New(g, chainStats(), cur, Config{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(2000, 0)
+	if err := a.Record(Observation{Processed: map[string]uint64{}, At: now}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Record(Observation{Processed: map[string]uint64{}, At: now}); err == nil {
+		t.Error("non-increasing timestamp accepted")
+	}
+	if _, err := New(g, chainStats(), cur, Config{}); err == nil {
+		t.Error("missing machine accepted")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	g := chainApp(t)
+	m := testMachine()
+	cur := optimize(t, g, chainStats(), m)
+	a, _ := New(g, chainStats(), cur, Config{Machine: m})
+	base := time.Unix(3000, 0)
+	for i := 0; i < 100; i++ {
+		a.Record(Observation{Processed: map[string]uint64{"spout": uint64(i)}, At: base.Add(time.Duration(i) * time.Second)})
+	}
+	if len(a.history) > 16 {
+		t.Errorf("history grew to %d entries", len(a.history))
+	}
+}

@@ -1,0 +1,73 @@
+// Package apps provides the four benchmark applications of the paper's
+// evaluation (Section 6.1, Appendix B), taken from the earlier multicore
+// DSPS study [Zhang et al., ICDE'17]: word count (WC), fraud detection
+// (FD), spike detection (SD) and linear road (LR). Each application
+// bundles its logical topology, executable operator implementations for
+// the engine, a deterministic workload generator, and canned operator
+// statistics calibrated so the model reproduces the paper's Server A
+// throughput magnitudes (Table 4).
+package apps
+
+import (
+	"math/rand"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/profile"
+)
+
+// App is one runnable benchmark application.
+type App struct {
+	// Name is the short identifier used throughout the paper: "WC",
+	// "FD", "SD" or "LR".
+	Name string
+	// Graph is the logical topology.
+	Graph *graph.Graph
+	// Spouts and Operators build the executable implementation for the
+	// engine, keyed by operator name.
+	Spouts    map[string]func() engine.Spout
+	Operators map[string]func() engine.Operator
+	// Stats are the canned per-operator statistics (Te in Server A
+	// reference nanoseconds, N/M in bytes, per-stream selectivity) that
+	// instantiate the performance model, standing in for the paper's
+	// overseer/classmexer profiling runs.
+	Stats profile.Set
+}
+
+// All returns the four applications in the paper's order.
+func All() []*App {
+	return []*App{WordCount(), FraudDetection(), SpikeDetection(), LinearRoad()}
+}
+
+// ByName returns the application with the given name, or nil.
+func ByName(name string) *App {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// rng returns a deterministic per-replica random source: replicated
+// spouts must not emit identical streams, and runs must be reproducible.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func mustNode(g *graph.Graph, n *graph.Node) {
+	if err := g.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+func mustEdge(g *graph.Graph, e graph.Edge) {
+	if err := g.AddEdge(e); err != nil {
+		panic(err)
+	}
+}
+
+func mustValid(g *graph.Graph) *graph.Graph {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/profile"
+)
+
+func chain(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+// diamond gives the sink two distinct producers (multi-input operator).
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("diamond")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"l": 0.5, "r": 0.5}})
+	g.AddNode(&graph.Node{Name: "left", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "right", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "merge", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "left", Stream: "l"})
+	g.AddEdge(graph.Edge{From: "spout", To: "right", Stream: "r"})
+	g.AddEdge(graph.Edge{From: "left", To: "merge", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "right", To: "merge", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "merge", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testStats() profile.Set {
+	return profile.Set{
+		"spout":  {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+func TestSystemsOrderedByOverhead(t *testing.T) {
+	m := numa.Synthetic("cmp", 4, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	g := chain(t)
+	repl := map[string]int{"worker": 4}
+
+	brisk, err := Brisk().Measure(g, testStats(), m, model.Saturated, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storm, err := Storm().Measure(g, testStats(), m, model.Saturated, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flink, err := Flink().Measure(g, testStats(), m, model.Saturated, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(brisk.Throughput > flink.Throughput && flink.Throughput > storm.Throughput) {
+		t.Errorf("ordering broken: brisk %v, flink %v, storm %v",
+			brisk.Throughput, flink.Throughput, storm.Throughput)
+	}
+	// The paper reports order-of-magnitude gaps for light-weight
+	// operators; with Te=1000 the gap is smaller but must exceed 2x.
+	if brisk.Throughput < 2*storm.Throughput {
+		t.Errorf("brisk/storm speedup = %v, want > 2", brisk.Throughput/storm.Throughput)
+	}
+}
+
+func TestFlinkMultiInputPenaltyAppliesToMergers(t *testing.T) {
+	g := diamond(t)
+	stats := profile.Set{
+		"spout": {Te: 100, N: 64, Selectivity: map[string]float64{"l": 0.5, "r": 0.5}},
+		"left":  {Te: 200, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"right": {Te: 200, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"merge": {Te: 300, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":  {Te: 50, N: 64, Selectivity: map[string]float64{}},
+	}
+	adjusted := Flink().AdjustStats(g, stats)
+	if adjusted["merge"].Te != 300+2500 {
+		t.Errorf("merge Te = %v, want 2800 (merger penalty)", adjusted["merge"].Te)
+	}
+	if adjusted["left"].Te != 200 {
+		t.Errorf("left Te = %v, single-input operators must be untouched", adjusted["left"].Te)
+	}
+	// Original stats must not be mutated.
+	if stats["merge"].Te != 300 {
+		t.Error("AdjustStats mutated its input")
+	}
+	// Storm applies no penalty.
+	if Storm().AdjustStats(g, stats)["merge"].Te != 300 {
+		t.Error("Storm should not add merger penalty")
+	}
+}
+
+func TestStreamBoxSchedulerContentionGrowsWithCores(t *testing.T) {
+	g := chain(t)
+	small := numa.Synthetic("s", 1, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	big := numa.Synthetic("b", 8, 18, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+
+	sb := StreamBoxOutOfOrder()
+	smallRes, err := sb.Measure(g, testStats(), small, model.Saturated, map[string]int{"worker": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-core efficiency: throughput per worker replica must degrade on
+	// the big machine (central scheduler contention).
+	bigRes, err := sb.Measure(g, testStats(), big, model.Saturated, map[string]int{"worker": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSmall := smallRes.Throughput / 2
+	perBig := bigRes.Throughput / 100
+	if perBig >= perSmall {
+		t.Errorf("per-replica rate should degrade with scale: small %v, big %v", perSmall, perBig)
+	}
+}
+
+func TestOutOfOrderFasterThanOrdered(t *testing.T) {
+	g := chain(t)
+	m := numa.Synthetic("oo", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	repl := map[string]int{"worker": 4}
+	ordered, err := StreamBox().Measure(g, testStats(), m, model.Saturated, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooo, err := StreamBoxOutOfOrder().Measure(g, testStats(), m, model.Saturated, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ooo.Throughput <= ordered.Throughput {
+		t.Errorf("out-of-order %v should beat ordered %v", ooo.Throughput, ordered.Throughput)
+	}
+}
+
+func TestUniformReplication(t *testing.T) {
+	g := chain(t)
+	m := numa.ServerA() // 144 cores
+	repl := UniformReplication(g, m)
+	if repl["worker"] < 1 {
+		t.Errorf("worker replication = %d", repl["worker"])
+	}
+	// Spouts scale too (a practitioner tunes source parallelism in
+	// Storm/Flink like any other operator).
+	if repl["spout"] != repl["worker"] {
+		t.Errorf("uniform policy should give all operators equal counts: %v", repl)
+	}
+	// Half-budget: 144 cores / 3 ops / 2 = 24 per operator.
+	if repl["worker"] != 24 {
+		t.Errorf("worker replication = %d, want 24", repl["worker"])
+	}
+	tiny := numa.Synthetic("tiny", 1, 1, 50, 200, 400, numa.GB, numa.GB, numa.GB)
+	if UniformReplication(g, tiny)["worker"] != 1 {
+		t.Error("floor of one replica expected")
+	}
+}
+
+func TestMeasureDefaultsReplication(t *testing.T) {
+	g := chain(t)
+	m := numa.Synthetic("def", 2, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	res, err := Storm().Measure(g, testStats(), m, model.Saturated, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput with default replication")
+	}
+}

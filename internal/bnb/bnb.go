@@ -1,0 +1,450 @@
+// Package bnb implements BriskStream's branch-and-bound placement
+// optimizer (Section 4, Algorithm 2). Nodes of the search tree are
+// partial placements; the bounding function evaluates the performance
+// model with every unplaced vertex treated as collocated with all of its
+// producers (Tf = 0), which upper-bounds the throughput of every
+// completion, so subtrees whose bound is no better than the incumbent
+// solution are pruned safely.
+//
+// Three heuristics shrink the search space:
+//
+//  1. Collocation branching: the search branches on producer-consumer
+//     pairs (edges), not single vertices, skipping placements that cannot
+//     change any output rate.
+//  2. Best-fit + redundancy elimination: when all predecessors of the
+//     pair are already placed, the consumer's rate is fully determined,
+//     so only the single best placement is explored; interchangeable
+//     sockets (identical remaining resources and identical NUMA distance
+//     to every already-used socket) are collapsed to one representative.
+//  3. Graph compression is handled upstream by plan.Build's ratio, which
+//     fuses replicas into fewer, heavier vertices.
+package bnb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+)
+
+// ErrNoFeasiblePlacement is returned when no complete placement satisfies
+// the resource constraints — the signal Algorithm 1 uses to stop scaling.
+var ErrNoFeasiblePlacement = errors.New("bnb: no feasible placement")
+
+// Config tunes the search.
+type Config struct {
+	// NodeLimit caps explored nodes (0 = default 200000). When the limit
+	// is hit the best solution found so far is returned.
+	NodeLimit int
+	// WarmStart seeds the incumbent with a first-fit placement before
+	// the search begins, enabling pruning from the first node (Appendix
+	// D reports this helps in some cases by earlier pruning).
+	WarmStart bool
+	// NoDedup disables identical-sub-problem elimination (visited-state
+	// detection); used by the ablation benchmarks.
+	NoDedup bool
+}
+
+// Result is the outcome of a placement search.
+type Result struct {
+	// Placement is the best valid placement found.
+	Placement *plan.Placement
+	// Eval is the full model evaluation of Placement.
+	Eval *model.Result
+	// Explored and Pruned count search-tree nodes.
+	Explored, Pruned int
+	// Deduped counts nodes skipped because an identical partial
+	// placement was already expanded via a different decision order
+	// (the redundancy-elimination half of heuristic 2).
+	Deduped int
+	// Elapsed is the optimization wall time (Table 7 reports it).
+	Elapsed time.Duration
+}
+
+type node struct {
+	placement *plan.Placement
+	// next indexes into the pair list: pairs[:next] are resolved.
+	next  int
+	bound float64
+}
+
+// Optimize searches for the throughput-maximizing placement of eg on
+// cfg.Machine. It returns ErrNoFeasiblePlacement if the constraints admit
+// no complete placement.
+func Optimize(eg *plan.ExecGraph, cfg *model.Config, bc Config) (*Result, error) {
+	start := time.Now()
+	limit := bc.NodeLimit
+	if limit <= 0 {
+		limit = 200_000
+	}
+	pairs := eg.Pairs()
+	res := &Result{}
+
+	root := &node{placement: plan.NewPlacement()}
+	rootEval, err := model.Evaluate(eg, root.placement, cfg, model.Options{Bound: true})
+	if err != nil {
+		return nil, err
+	}
+	root.bound = rootEval.Throughput
+
+	var best *plan.Placement
+	var bestEval *model.Result
+	bestValue := -1.0
+
+	// Warm start: seed the incumbent with a first-fit-style greedy
+	// placement so bound-based pruning is active from the first node.
+	if bc.WarmStart {
+		if p := greedyPlacement(eg, cfg); p != nil {
+			if ev, err := model.Evaluate(eg, p, cfg, model.Options{}); err == nil && ev.Feasible() {
+				best, bestEval, bestValue = p, ev, ev.Throughput
+			}
+		}
+	}
+
+	// visited detects identical partial placements reached through
+	// different decision orders (redundancy elimination, heuristic 2).
+	visited := map[string]bool{}
+
+	stack := []*node{root}
+	for len(stack) > 0 && res.Explored < limit {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Explored++
+
+		if bestValue >= 0 && n.bound <= bestValue {
+			res.Pruned++
+			continue
+		}
+		if !bc.NoDedup {
+			sig := placementSignature(eg, n.placement)
+			if visited[sig] {
+				res.Deduped++
+				continue
+			}
+			visited[sig] = true
+		}
+
+		// Advance past decisions whose endpoints are both placed
+		// (collocation heuristic: such decisions are no longer relevant).
+		next := n.next
+		for next < len(pairs) && bothPlaced(n.placement, pairs[next]) {
+			next++
+		}
+
+		if next >= len(pairs) {
+			// All decisions resolved. Any vertex not covered by an edge
+			// pair cannot exist in a validated graph, so the placement
+			// is complete; accept it if valid.
+			full, err := model.Evaluate(eg, n.placement, cfg, model.Options{})
+			if err != nil {
+				continue
+			}
+			if full.Feasible() && full.Throughput > bestValue {
+				bestValue = full.Throughput
+				best = n.placement
+				bestEval = full
+			}
+			continue
+		}
+
+		children, err := branch(eg, cfg, n, pairs, next)
+		if err != nil {
+			return nil, err
+		}
+		// Push worse children first so the most promising is explored
+		// next (DFS best-first hybrid): better incumbents earlier mean
+		// more pruning later.
+		sort.Slice(children, func(i, j int) bool { return children[i].bound < children[j].bound })
+		for _, c := range children {
+			if bestValue >= 0 && c.bound <= bestValue {
+				res.Pruned++
+				continue
+			}
+			stack = append(stack, c)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if best == nil {
+		return res, ErrNoFeasiblePlacement
+	}
+	res.Placement = best
+	res.Eval = bestEval
+	return res, nil
+}
+
+// placementSignature canonically encodes a (partial) placement.
+func placementSignature(eg *plan.ExecGraph, p *plan.Placement) string {
+	buf := make([]byte, len(eg.Vertices))
+	for i := range eg.Vertices {
+		s, ok := p.SocketOf(plan.VertexID(i))
+		if !ok {
+			buf[i] = 0xFF
+		} else {
+			buf[i] = byte(s)
+		}
+	}
+	return string(buf)
+}
+
+// greedyPlacement produces a quick feasible-if-possible placement for
+// the warm start: topological first-fit with the sustained-demand gate.
+func greedyPlacement(eg *plan.ExecGraph, cfg *model.Config) *plan.Placement {
+	p := plan.NewPlacement()
+	for _, id := range eg.TopoOrder() {
+		cur, err := model.Evaluate(eg, p, cfg, model.Options{Bound: true})
+		if err != nil {
+			return nil
+		}
+		placed := false
+		for s := 0; s < cfg.Machine.Sockets; s++ {
+			if fits(eg, cfg, cur, p, s, id) {
+				p.Place(id, numa.SocketID(s))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Fall back to the least-loaded socket; the final full
+			// evaluation decides feasibility.
+			bestS, bestCPU := 0, cur.CPUUsed[0]
+			for s := 1; s < cfg.Machine.Sockets; s++ {
+				if cur.CPUUsed[s] < bestCPU {
+					bestS, bestCPU = s, cur.CPUUsed[s]
+				}
+			}
+			p.Place(id, numa.SocketID(bestS))
+		}
+	}
+	return p
+}
+
+func bothPlaced(p *plan.Placement, pair [2]plan.VertexID) bool {
+	_, a := p.SocketOf(pair[0])
+	_, b := p.SocketOf(pair[1])
+	return a && b
+}
+
+// branch generates the children of n for the collocation decision
+// pairs[next] = (producer, consumer).
+func branch(eg *plan.ExecGraph, cfg *model.Config, n *node, pairs [][2]plan.VertexID, next int) ([]*node, error) {
+	prod, cons := pairs[next][0], pairs[next][1]
+	m := cfg.Machine
+
+	// Evaluate the current partial placement once: child feasibility
+	// gates and best-fit use its rates and socket usage.
+	cur, err := model.Evaluate(eg, n.placement, cfg, model.Options{Bound: true})
+	if err != nil {
+		return nil, err
+	}
+
+	_, prodPlaced := n.placement.SocketOf(prod)
+	_, consPlaced := n.placement.SocketOf(cons)
+
+	// Candidate placements for the pair, expressed as vertex->socket
+	// assignments to add.
+	type assign struct{ pairs [][2]int } // (vertexID, socket)
+	var candidates []assign
+
+	reps := socketRepresentatives(eg, cfg, n.placement, cur)
+	switch {
+	case !prodPlaced && !consPlaced:
+		for _, s := range reps {
+			if fits(eg, cfg, cur, n.placement, s, prod, cons) {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(prod), s}, {int(cons), s}}})
+			}
+		}
+		// Decision not satisfied: place the producer alone; the consumer
+		// stays open for a later decision.
+		for _, s := range reps {
+			if fits(eg, cfg, cur, n.placement, s, prod) {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(prod), s}}})
+			}
+		}
+	case prodPlaced && !consPlaced:
+		for _, s := range reps {
+			if fits(eg, cfg, cur, n.placement, s, cons) {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(cons), s}}})
+			}
+		}
+	case !prodPlaced && consPlaced:
+		for _, s := range reps {
+			if fits(eg, cfg, cur, n.placement, s, prod) {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(prod), s}}})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		// Constraint-gated dead end: relax the fit gate so search can
+		// continue; the full evaluation at the leaf still rejects
+		// genuinely infeasible plans.
+		switch {
+		case !prodPlaced && !consPlaced:
+			for _, s := range reps {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(prod), s}, {int(cons), s}}})
+			}
+		case prodPlaced && !consPlaced:
+			for _, s := range reps {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(cons), s}}})
+			}
+		default:
+			for _, s := range reps {
+				candidates = append(candidates, assign{pairs: [][2]int{{int(prod), s}}})
+			}
+		}
+	}
+
+	children := make([]*node, 0, len(candidates))
+	for _, c := range candidates {
+		p := n.placement.Clone()
+		for _, a := range c.pairs {
+			p.Place(plan.VertexID(a[0]), numa.SocketID(a[1]))
+		}
+		ev, err := model.Evaluate(eg, p, cfg, model.Options{Bound: true})
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, &node{placement: p, next: next, bound: ev.Throughput})
+	}
+
+	// Best-fit heuristic: when every predecessor of the consumer is
+	// already placed AND the consumer has no downstream operators, its
+	// output rate is fully determined by this decision and its placement
+	// cannot affect anything else — keep only the best child (ties
+	// broken toward the socket with least remaining CPU). Applying the
+	// greedy rule to vertices with consumers is unsafe: maximizing their
+	// own output rate can exhaust the socket a downstream operator
+	// needs, which is exactly the local-optimum trap the paper observes
+	// in FF (Section 6.4).
+	if prodPlaced && !consPlaced && len(eg.Out(cons)) == 0 &&
+		allPredecessorsPlaced(eg, n.placement, cons) && len(children) > 1 {
+		bestIdx, bestBound := 0, -1.0
+		var bestRemain float64
+		for i, c := range children {
+			s, _ := c.placement.SocketOf(cons)
+			remain := m.CyclesPerSocket - cur.CPUUsed[s]
+			if c.bound > bestBound+1e-9 || (c.bound > bestBound-1e-9 && remain < bestRemain) {
+				bestIdx, bestBound, bestRemain = i, c.bound, remain
+			}
+		}
+		children = children[bestIdx : bestIdx+1]
+	}
+	return children, nil
+}
+
+// allPredecessorsPlaced reports whether every producer of v is placed.
+func allPredecessorsPlaced(eg *plan.ExecGraph, p *plan.Placement, v plan.VertexID) bool {
+	for _, e := range eg.In(v) {
+		if _, ok := p.SocketOf(e.From); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// fits applies the branching feasibility gate: would adding the given
+// vertices to socket s respect the CPU and local-bandwidth constraints?
+// Demand must be estimated with the fetch cost the vertex would actually
+// pay on socket s for its already-placed producers: the bounded (Tf=0)
+// demand underestimates under-supplied remote consumers, whose real
+// demand is In x (Te + Tf) — packing sockets to the brim with the
+// optimistic estimate makes every completion infeasible.
+func fits(eg *plan.ExecGraph, cfg *model.Config, cur *model.Result, p *plan.Placement, s int, vs ...plan.VertexID) bool {
+	cpu := cur.CPUUsed[s]
+	bw := cur.BWUsed[s]
+	for _, v := range vs {
+		cpuD, bwD := demandAt(eg, cfg, cur, p, v, numa.SocketID(s), vs)
+		cpu += cpuD
+		bw += bwD
+	}
+	return cpu <= cfg.Machine.CyclesPerSocket*(1+1e-9) && bw <= cfg.Machine.LocalBandwidth*(1+1e-9)
+}
+
+// demandAt estimates the CPU (ns/s) and memory-bandwidth (bytes/s)
+// demand of vertex v if placed on socket s, charging Formula 2 for every
+// producer that is already placed elsewhere. Producers being co-assigned
+// in the same branching step (group) count as residing on s.
+func demandAt(eg *plan.ExecGraph, cfg *model.Config, cur *model.Result, p *plan.Placement, v plan.VertexID, s numa.SocketID, group []plan.VertexID) (cpu, bw float64) {
+	vtx := eg.Vertex(v)
+	st := cfg.Stats[vtx.Op]
+	vr := cur.Rates[v]
+	t := st.Te
+	if vr.In > 0 {
+		var weighted float64
+		for from, rate := range vr.InBy {
+			fsock, placed := p.SocketOf(from)
+			if !placed {
+				if inGroup(from, group) {
+					continue // co-assigned to s: local
+				}
+				continue // unplaced: optimistic zero (bound semantics)
+			}
+			if fsock != s {
+				weighted += rate * cfg.Machine.FetchCost(int(st.N), fsock, s)
+			}
+		}
+		t += weighted / vr.In
+	}
+	cap := float64(vtx.Count) * 1e9 / t
+	processed := vr.In
+	if vtx.Spout || processed > cap {
+		processed = cap
+	}
+	// Scale by the back-pressure sustained fraction from the bound
+	// evaluation: upstream of a pipeline bottleneck a vertex never runs
+	// at its capacity.
+	if vr.Processed > 0 {
+		processed *= vr.Sustained / vr.Processed
+	}
+	return processed * t, processed * st.M
+}
+
+func inGroup(v plan.VertexID, group []plan.VertexID) bool {
+	for _, g := range group {
+		if g == v {
+			return true
+		}
+	}
+	return false
+}
+
+// socketRepresentatives returns one socket per equivalence class
+// (redundancy elimination). Two sockets are interchangeable when they
+// carry identical CPU/bandwidth load and sit at identical NUMA distance
+// from every socket currently in use.
+func socketRepresentatives(eg *plan.ExecGraph, cfg *model.Config, p *plan.Placement, cur *model.Result) []int {
+	m := cfg.Machine
+	used := map[numa.SocketID]bool{}
+	for _, v := range eg.Vertices {
+		if s, ok := p.SocketOf(v.ID); ok {
+			used[s] = true
+		}
+	}
+	var usedList []int
+	for s := range used {
+		usedList = append(usedList, int(s))
+	}
+	sort.Ints(usedList)
+
+	seen := map[string]bool{}
+	var reps []int
+	for s := 0; s < m.Sockets; s++ {
+		sig := signature(m, cur, s, usedList)
+		if !seen[sig] {
+			seen[sig] = true
+			reps = append(reps, s)
+		}
+	}
+	return reps
+}
+
+func signature(m *numa.Machine, cur *model.Result, s int, usedList []int) string {
+	sig := fmt.Sprintf("%.6g|%.6g", cur.CPUUsed[s], cur.BWUsed[s])
+	for _, u := range usedList {
+		sig += fmt.Sprintf("|%g", m.L(numa.SocketID(s), numa.SocketID(u)))
+	}
+	return sig
+}

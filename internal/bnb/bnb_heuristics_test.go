@@ -1,0 +1,111 @@
+package bnb
+
+import (
+	"testing"
+
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+)
+
+// TestDedupSkipsIdenticalSubProblems: the same partial placement reached
+// through different decision orders must be expanded once.
+func TestDedupSkipsIdenticalSubProblems(t *testing.T) {
+	m := numa.Synthetic("dedup", 4, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 800, 60), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 4}, 1)
+
+	with, err := Optimize(eg, cfg, Config{NodeLimit: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Optimize(eg, cfg, Config{NodeLimit: 100000, NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Deduped == 0 {
+		t.Error("no duplicate sub-problems detected; the WC-style graph must produce some")
+	}
+	if without.Deduped != 0 {
+		t.Error("NoDedup still deduplicated")
+	}
+	// Dedup must not change the solution quality.
+	if with.Eval.Throughput < without.Eval.Throughput*(1-1e-9) {
+		t.Errorf("dedup degraded solution: %v vs %v", with.Eval.Throughput, without.Eval.Throughput)
+	}
+	// And it should reduce (or at worst match) the work done.
+	if with.Explored > without.Explored {
+		t.Errorf("dedup explored more nodes (%d) than baseline (%d)", with.Explored, without.Explored)
+	}
+}
+
+// TestWarmStartDoesNotDegrade: seeding the incumbent with the greedy
+// plan must never produce a worse final solution.
+func TestWarmStartDoesNotDegrade(t *testing.T) {
+	m := numa.Synthetic("warm", 4, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 800, 60), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 3}, 1)
+
+	cold, err := Optimize(eg, cfg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Optimize(eg, cfg, Config{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Eval.Throughput < cold.Eval.Throughput*(1-1e-9) {
+		t.Errorf("warm start degraded solution: %v vs %v", warm.Eval.Throughput, cold.Eval.Throughput)
+	}
+}
+
+// TestWarmStartPrunesEarlier: with a node budget too small for the cold
+// search to reach any solution on a deep graph, the warm start still
+// returns a valid plan.
+func TestWarmStartRescuesTinyBudget(t *testing.T) {
+	m := numa.Synthetic("tiny-budget", 4, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 500, 60), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 8}, 1)
+
+	warm, err := Optimize(eg, cfg, Config{NodeLimit: 1, WarmStart: true})
+	if err != nil {
+		t.Fatalf("warm start with 1-node budget: %v", err)
+	}
+	if warm.Placement == nil || !warm.Eval.Feasible() {
+		t.Error("warm start did not provide a usable incumbent")
+	}
+}
+
+// TestGreedyPlacementComplete: the warm-start helper always returns a
+// complete placement.
+func TestGreedyPlacementComplete(t *testing.T) {
+	m := numa.Synthetic("greedy", 2, 1, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 100, 100), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 4}, 1)
+	p := greedyPlacement(eg, cfg)
+	if p == nil || !p.Complete(eg) {
+		t.Fatal("greedy placement incomplete")
+	}
+}
+
+// TestPlacementSignature: distinct placements get distinct signatures;
+// equal placements collide.
+func TestPlacementSignature(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	a := plan.NewPlacement()
+	a.Place(eg.Vertices[0].ID, 0)
+	b := plan.NewPlacement()
+	b.Place(eg.Vertices[0].ID, 0)
+	if placementSignature(eg, a) != placementSignature(eg, b) {
+		t.Error("identical placements have different signatures")
+	}
+	b.Place(eg.Vertices[1].ID, 1)
+	if placementSignature(eg, a) == placementSignature(eg, b) {
+		t.Error("different placements share a signature")
+	}
+	c := plan.NewPlacement()
+	c.Place(eg.Vertices[0].ID, 1)
+	if placementSignature(eg, a) == placementSignature(eg, c) {
+		t.Error("different sockets share a signature")
+	}
+}

@@ -1,0 +1,229 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/placement"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+)
+
+func chain(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func stats(spoutTe, workerTe, sinkTe float64) profile.Set {
+	return profile.Set{
+		"spout":  {Te: spoutTe, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: workerTe, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: sinkTe, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+func TestOptimizeCollocatesWhenItFits(t *testing.T) {
+	// Plenty of CPU: the best plan puts everything on one socket (no RMA).
+	m := numa.Synthetic("roomy", 4, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 1000, 100), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	r, err := Optimize(eg, cfg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Eval.Feasible() {
+		t.Fatal("solution infeasible")
+	}
+	// All three on the same socket.
+	s0, _ := r.Placement.SocketOf(eg.Vertices[0].ID)
+	for _, v := range eg.Vertices[1:] {
+		if s, _ := r.Placement.SocketOf(v.ID); s != s0 {
+			t.Errorf("%s not collocated (socket %d vs %d)", v.Label(), s, s0)
+		}
+	}
+	// Throughput equals the worker capacity with zero RMA.
+	if math.Abs(r.Eval.Throughput-1e6) > 1 {
+		t.Errorf("throughput = %v, want 1e6", r.Eval.Throughput)
+	}
+}
+
+func TestOptimizeSplitsWhenSocketTooSmall(t *testing.T) {
+	// One core per socket: spout alone fills a core, so the plan must
+	// spread across sockets and pay RMA somewhere.
+	m := numa.Synthetic("tight", 4, 1, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 100, 100), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	r, err := Optimize(eg, cfg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Eval.Feasible() {
+		t.Fatalf("solution infeasible: %v", r.Eval.Violations)
+	}
+	sockets := map[numa.SocketID]bool{}
+	for _, v := range eg.Vertices {
+		s, ok := r.Placement.SocketOf(v.ID)
+		if !ok {
+			t.Fatalf("%s unplaced", v.Label())
+		}
+		sockets[s] = true
+	}
+	if len(sockets) < 2 {
+		t.Errorf("expected spread over >=2 sockets, got %d", len(sockets))
+	}
+}
+
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	// Random small instances: B&B must find placements at least as good
+	// as exhaustive search (modulo floating-point slack). The fit gate
+	// and best-fit heuristic may in principle trade tiny amounts of
+	// optimality; the paper accepts heuristic search, so we assert
+	// near-optimality (>= 99.9% of the brute-force value).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		cores := 1 + rng.Intn(3)
+		m := numa.Synthetic("bf", 3, cores, 50, 150+rng.Float64()*100, 300+rng.Float64()*200,
+			50*numa.GB, 10*numa.GB, 5*numa.GB)
+		st := stats(50+rng.Float64()*300, 100+rng.Float64()*2000, 30+rng.Float64()*100)
+		cfg := &model.Config{Machine: m, Stats: st, Ingress: model.Saturated}
+		repl := map[string]int{"worker": 1 + rng.Intn(2)}
+		eg, _ := plan.Build(chain(t), repl, 1)
+
+		bfPlace, bfEval, err := placement.BruteForce(eg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Optimize(eg, cfg, Config{})
+		if bfPlace == nil {
+			if err != ErrNoFeasiblePlacement {
+				t.Fatalf("trial %d: brute force found nothing but B&B returned %v", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v (brute force found %v)", trial, err, bfEval.Throughput)
+		}
+		if r.Eval.Throughput < bfEval.Throughput*0.999 {
+			t.Errorf("trial %d: B&B %v < brute force %v", trial, r.Eval.Throughput, bfEval.Throughput)
+		}
+		if !r.Eval.Feasible() {
+			t.Errorf("trial %d: B&B returned infeasible plan", trial)
+		}
+	}
+}
+
+func TestOptimizeReportsInfeasible(t *testing.T) {
+	// Demand cannot fit: 1 socket x 1 core but the spout alone needs a
+	// full core and so does the worker.
+	m := numa.Synthetic("impossible", 1, 1, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 100, 100), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	_, err := Optimize(eg, cfg, Config{})
+	if err != ErrNoFeasiblePlacement {
+		t.Fatalf("err = %v, want ErrNoFeasiblePlacement", err)
+	}
+}
+
+func TestOptimizeUnderSuppliedIsFeasibleAnywhere(t *testing.T) {
+	// Tiny ingress: every placement is feasible; optimizer should still
+	// produce the ingress-limited throughput.
+	m := numa.Synthetic("idle", 2, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 1000, 100), Ingress: 500}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	r, err := Optimize(eg, cfg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Eval.Throughput-500) > 1e-6 {
+		t.Errorf("throughput = %v, want 500", r.Eval.Throughput)
+	}
+}
+
+func TestNodeLimitTerminates(t *testing.T) {
+	m := numa.ServerA()
+	cfg := &model.Config{Machine: m, Stats: stats(100, 1000, 100), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 6}, 1)
+	r, err := Optimize(eg, cfg, Config{NodeLimit: 50})
+	if err != nil && err != ErrNoFeasiblePlacement {
+		t.Fatal(err)
+	}
+	if r.Explored > 50 {
+		t.Errorf("explored %d nodes beyond limit", r.Explored)
+	}
+}
+
+func TestBoundingFunctionDominatesChildren(t *testing.T) {
+	// The bound of a partial placement must be >= the full evaluation of
+	// any random completion (the safety property that justifies pruning).
+	m := numa.Synthetic("bound", 4, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(100, 800, 60), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 3}, 1)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		partial := plan.NewPlacement()
+		for _, v := range eg.Vertices {
+			if rng.Float64() < 0.5 {
+				partial.Place(v.ID, numa.SocketID(rng.Intn(m.Sockets)))
+			}
+		}
+		bound, err := model.Evaluate(eg, partial, cfg, model.Options{Bound: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := partial.Clone()
+		for _, v := range eg.Vertices {
+			if _, ok := full.SocketOf(v.ID); !ok {
+				full.Place(v.ID, numa.SocketID(rng.Intn(m.Sockets)))
+			}
+		}
+		fe, err := model.Evaluate(eg, full, cfg, model.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fe.Throughput > bound.Throughput*(1+1e-9) {
+			t.Fatalf("trial %d: completion %v beats bound %v", trial, fe.Throughput, bound.Throughput)
+		}
+	}
+}
+
+func TestCompressedGraphOptimizes(t *testing.T) {
+	// Ratio 5 fuses 10 workers into 2 vertices; the search space shrinks
+	// and the result must still be feasible.
+	m := numa.Synthetic("compress", 4, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: stats(50, 1000, 50), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 10}, 5)
+	if len(eg.OfOp("worker")) != 2 {
+		t.Fatalf("compression produced %d groups", len(eg.OfOp("worker")))
+	}
+	r, err := Optimize(eg, cfg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Eval.Feasible() {
+		t.Fatal("infeasible")
+	}
+	// Two 5-replica groups cannot share a socket with the spout (5+5+1
+	// cores > 8), so one group pays a hop (cap ~4.2e6) and the sink
+	// pays a weighted fetch for that group's share, capping the
+	// pipeline at ~7.1e6 events/s.
+	if r.Eval.Throughput < 6.5e6 {
+		t.Errorf("compressed plan throughput = %v, want >= 6.5e6", r.Eval.Throughput)
+	}
+}

@@ -1,0 +1,607 @@
+// Package engine is BriskStream's shared-memory streaming runtime
+// (Section 5 and Appendix A). An application runs inside one process;
+// every operator replica is a task executed by its own goroutine (the
+// paper uses Java threads), consisting of an executor and a partition
+// controller. Tuples are passed by reference: a producer stores its
+// output locally and enqueues pointers; accumulated tuples destined for
+// the same consumer are combined into a jumbo tuple that shares one
+// header and costs a single queue insertion (Section 5.2).
+//
+// The engine also exposes the knobs the factor analysis (Figure 16)
+// needs to emulate a distributed-engine execution path on the same
+// topology: per-hop (de)serialization, defensive tuple copies instead of
+// reference passing, disabled jumbo tuples, and an artificial extra
+// instruction footprint.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/metrics"
+	"briskstream/internal/numa"
+	"briskstream/internal/queue"
+	"briskstream/internal/tuple"
+)
+
+// Collector receives the tuples an operator emits during one invocation.
+type Collector interface {
+	// Emit sends values on the default stream.
+	Emit(values ...tuple.Value)
+	// EmitTo sends values on a named stream.
+	EmitTo(stream string, values ...tuple.Value)
+}
+
+// Operator is the processing interface: Process consumes one input tuple
+// and emits any number of outputs through the collector. Each replica
+// gets its own Operator instance, so implementations may keep
+// unsynchronized state.
+type Operator interface {
+	Process(c Collector, t *tuple.Tuple) error
+}
+
+// OperatorFunc adapts a function to Operator.
+type OperatorFunc func(c Collector, t *tuple.Tuple) error
+
+// Process implements Operator.
+func (f OperatorFunc) Process(c Collector, t *tuple.Tuple) error { return f(c, t) }
+
+// Spout produces input tuples. Next is called in a loop; it emits zero or
+// more tuples per call and returns io.EOF when the stream is exhausted.
+type Spout interface {
+	Next(c Collector) error
+}
+
+// SpoutFunc adapts a function to Spout.
+type SpoutFunc func(c Collector) error
+
+// Next implements Spout.
+func (f SpoutFunc) Next(c Collector) error { return f(c) }
+
+// Config tunes the runtime.
+type Config struct {
+	// QueueCapacity bounds each task input queue (in queue slots; a slot
+	// holds a jumbo tuple). Default 64.
+	QueueCapacity int
+	// BatchSize is the jumbo-tuple size: output tuples buffered per
+	// consumer before one queue insertion. Default 64. Ignored (forced
+	// to 1) when JumboTuples is false.
+	BatchSize int
+	// LatencySampleEvery stamps every k-th spout tuple with a timestamp
+	// for end-to-end latency measurement. Default 64; 0 disables.
+	LatencySampleEvery int
+
+	// JumboTuples enables batched single-insertion transfers (Section
+	// 5.2). Disabling it emulates per-tuple queue insertions.
+	JumboTuples bool
+	// PassByReference passes tuple pointers between tasks. Disabling it
+	// clones every tuple at every hop, emulating the defensive copies
+	// and duplicate object creation of distributed DSPSs (Section 5.1).
+	PassByReference bool
+	// Serialize marshals and unmarshals every tuple at every hop,
+	// emulating a (de)serialization-based transport.
+	Serialize bool
+	// ExtraWorkNs busy-spins this many nanoseconds per processed tuple,
+	// emulating a larger instruction footprint (condition checking,
+	// exception paths) on the critical path.
+	ExtraWorkNs int
+
+	// Machine and RMAScale emulate the NUMA fetch penalty: when a task
+	// is placed on a different socket than the producing task, the
+	// consumer busy-waits FetchCost(N)*RMAScale nanoseconds per tuple
+	// before processing. Zero scale or nil machine disables emulation.
+	Machine  *numa.Machine
+	RMAScale float64
+	// Placement maps "op#replica" labels to sockets (only used when
+	// Machine is set).
+	Placement map[string]numa.SocketID
+}
+
+// DefaultConfig returns the BriskStream-mode configuration.
+func DefaultConfig() Config {
+	return Config{
+		QueueCapacity:      64,
+		BatchSize:          64,
+		LatencySampleEvery: 64,
+		JumboTuples:        true,
+		PassByReference:    true,
+	}
+}
+
+// StormLikeConfig returns a configuration that emulates the overhead
+// class of a distributed DSPS runtime collapsed onto one machine:
+// serialization at every hop, per-tuple queue insertions, defensive
+// copies, and a heavier instruction footprint. The queue capacity is
+// raised so the buffering budget in tuples matches the default
+// configuration (64 slots x 64-tuple jumbos): distributed engines
+// buffer at least as much in their transport layers, and a smaller
+// buffer would understate their queueing latency.
+func StormLikeConfig() Config {
+	c := DefaultConfig()
+	c.JumboTuples = false
+	c.PassByReference = false
+	c.Serialize = true
+	c.ExtraWorkNs = 500
+	c.QueueCapacity = 64 * 64
+	return c
+}
+
+// Topology binds a logical graph to operator implementations.
+type Topology struct {
+	App         *graph.Graph
+	Spouts      map[string]func() Spout
+	Operators   map[string]func() Operator
+	Replication map[string]int
+}
+
+// Result reports one run.
+type Result struct {
+	// Duration is the measured wall time.
+	Duration time.Duration
+	// SinkTuples counts tuples received by sink tasks.
+	SinkTuples uint64
+	// Throughput is SinkTuples/Duration in tuples/sec.
+	Throughput float64
+	// Latency is the sampled end-to-end latency distribution (ns).
+	Latency *metrics.Histogram
+	// Processed counts processed tuples per operator.
+	Processed map[string]uint64
+	// Errors aggregates operator failures (panics are recovered and
+	// reported here; the rest of the pipeline is shut down cleanly).
+	Errors []error
+}
+
+type task struct {
+	id       int
+	op       string
+	replica  int
+	label    string
+	spout    Spout
+	operator Operator
+	isSink   bool
+	in       *queue.Queue[*tuple.Jumbo]
+	inFrom   atomic.Int64 // live producers feeding this task
+	socket   numa.SocketID
+
+	// routing: per logical out-edge, the consumer tasks and partitioning
+	routes []route
+
+	// out buffers per consumer task id (jumbo accumulation)
+	buffers map[int][]*tuple.Tuple
+
+	processed uint64
+}
+
+type route struct {
+	stream    string
+	part      graph.Partitioning
+	keyField  int
+	consumers []*task
+	rr        int // round-robin cursor for shuffle
+}
+
+// Engine executes one topology.
+type Engine struct {
+	cfg    Config
+	topo   Topology
+	tasks  []*task
+	byOp   map[string][]*task
+	stop   atomic.Bool
+	sink   metrics.Counter
+	lat    *metrics.Histogram
+	errs   []error
+	errsMu sync.Mutex
+}
+
+// New builds an engine for the topology. Replication defaults to 1 per
+// operator.
+func New(topo Topology, cfg Config) (*Engine, error) {
+	if err := topo.App.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if !cfg.JumboTuples {
+		cfg.BatchSize = 1
+	}
+	e := &Engine{cfg: cfg, topo: topo, byOp: map[string][]*task{}, lat: metrics.NewHistogram(0)}
+
+	for _, n := range topo.App.Nodes() {
+		repl := 1
+		if topo.Replication != nil && topo.Replication[n.Name] > 0 {
+			repl = topo.Replication[n.Name]
+		}
+		for i := 0; i < repl; i++ {
+			t := &task{
+				id:      len(e.tasks),
+				op:      n.Name,
+				replica: i,
+				label:   fmt.Sprintf("%s#%d", n.Name, i),
+				isSink:  n.IsSink,
+				buffers: map[int][]*tuple.Tuple{},
+			}
+			if n.IsSpout {
+				mk, ok := topo.Spouts[n.Name]
+				if !ok {
+					return nil, fmt.Errorf("engine: no spout builder for %q", n.Name)
+				}
+				t.spout = mk()
+			} else {
+				mk, ok := topo.Operators[n.Name]
+				if !ok {
+					return nil, fmt.Errorf("engine: no operator builder for %q", n.Name)
+				}
+				t.operator = mk()
+				t.in = queue.New[*tuple.Jumbo](cfg.QueueCapacity)
+			}
+			if cfg.Placement != nil {
+				t.socket = cfg.Placement[t.label]
+			}
+			e.tasks = append(e.tasks, t)
+			e.byOp[n.Name] = append(e.byOp[n.Name], t)
+		}
+	}
+
+	// Wire routes. Producer counts are per distinct producer-consumer
+	// task pair (an operator pair may be connected by several streams,
+	// but the producing task finishes exactly once).
+	feeds := map[int]map[int]bool{} // consumer task id -> producer task ids
+	for _, n := range topo.App.Nodes() {
+		for _, edge := range topo.App.Out(n.Name) {
+			consumers := e.byOp[edge.To]
+			for _, pt := range e.byOp[n.Name] {
+				pt.routes = append(pt.routes, route{
+					stream:    edge.Stream,
+					part:      edge.Partitioning,
+					keyField:  edge.KeyField,
+					consumers: consumers,
+					rr:        pt.replica, // offset cursors to spread load
+				})
+				for _, ct := range consumers {
+					if feeds[ct.id] == nil {
+						feeds[ct.id] = map[int]bool{}
+					}
+					feeds[ct.id][pt.id] = true
+				}
+			}
+		}
+	}
+	for cid, prods := range feeds {
+		e.tasks[cid].inFrom.Add(int64(len(prods)))
+	}
+	return e, nil
+}
+
+// ErrStopped is returned by collectors after the engine begins shutdown.
+var ErrStopped = errors.New("engine: stopped")
+
+// collector implements Collector for one task.
+type collector struct {
+	e     *Engine
+	t     *task
+	seq   uint64
+	curTs time.Time // event time of the input tuple being processed
+	fail  error
+}
+
+// Emit implements Collector.
+func (c *collector) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, values...) }
+
+// EmitTo implements Collector.
+func (c *collector) EmitTo(stream string, values ...tuple.Value) {
+	if c.fail != nil {
+		return
+	}
+	out := &tuple.Tuple{Values: values, Stream: stream}
+	if c.t.spout != nil {
+		// Latency sampling: spouts stamp every k-th tuple.
+		if c.e.cfg.LatencySampleEvery > 0 {
+			c.seq++
+			if c.seq%uint64(c.e.cfg.LatencySampleEvery) == 0 {
+				out.Ts = time.Now()
+			}
+		}
+	} else {
+		// Event time propagates downstream so sinks can measure
+		// end-to-end latency.
+		out.Ts = c.curTs
+	}
+	if err := c.e.dispatch(c.t, out); err != nil {
+		c.fail = err
+	}
+}
+
+// dispatch routes one output tuple through the task's partition
+// controller into per-consumer buffers, flushing full jumbo tuples.
+func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
+	for ri := range t.routes {
+		r := &t.routes[ri]
+		if r.stream != out.Stream {
+			continue
+		}
+		switch r.part {
+		case graph.Broadcast:
+			for _, c := range r.consumers {
+				if err := e.buffer(t, c, out, len(r.consumers) > 1); err != nil {
+					return err
+				}
+			}
+		case graph.Global:
+			if err := e.buffer(t, r.consumers[0], out, false); err != nil {
+				return err
+			}
+		case graph.Fields:
+			idx := int(hashValue(out.Values[r.keyField]) % uint64(len(r.consumers)))
+			if err := e.buffer(t, r.consumers[idx], out, false); err != nil {
+				return err
+			}
+		default: // Shuffle
+			r.rr++
+			if err := e.buffer(t, r.consumers[r.rr%len(r.consumers)], out, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buffer appends a tuple to the producer's per-consumer output buffer
+// and flushes it as a jumbo tuple when full.
+func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout bool) error {
+	msg := out
+	if copyForFanout || !e.cfg.PassByReference {
+		msg = out.Clone()
+	}
+	if e.cfg.Serialize {
+		// Emulate a serialization transport: marshal + unmarshal per
+		// tuple, preserving the timestamp for latency accounting.
+		buf := tuple.Marshal(msg, nil)
+		decoded, _, err := tuple.Unmarshal(buf)
+		if err != nil {
+			return err
+		}
+		msg = decoded
+	}
+	buf := append(t.buffers[consumer.id], msg)
+	if len(buf) >= e.cfg.BatchSize {
+		t.buffers[consumer.id] = nil
+		return e.send(t, consumer, buf)
+	}
+	t.buffers[consumer.id] = buf
+	return nil
+}
+
+func (e *Engine) send(t *task, consumer *task, batch []*tuple.Tuple) error {
+	j := &tuple.Jumbo{Producer: t.id, Consumer: consumer.id, Tuples: batch}
+	if err := consumer.in.Put(j); err != nil {
+		return ErrStopped
+	}
+	return nil
+}
+
+// flushAll flushes all pending buffers of a task.
+func (e *Engine) flushAll(t *task) {
+	for cid, buf := range t.buffers {
+		if len(buf) == 0 {
+			continue
+		}
+		t.buffers[cid] = nil
+		for _, c := range e.tasks {
+			if c.id == cid {
+				_ = e.send(t, c, buf)
+				break
+			}
+		}
+	}
+}
+
+// Run executes the topology until every spout returns io.EOF, or for at
+// most d if d > 0 (duration-bound measurement runs). It returns the run
+// metrics; operator errors are collected in Result.Errors.
+func (e *Engine) Run(d time.Duration) (*Result, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	e.stop.Store(false)
+
+	for _, t := range e.tasks {
+		wg.Add(1)
+		go func(t *task) {
+			defer wg.Done()
+			e.runTask(t)
+		}(t)
+	}
+
+	if d > 0 {
+		timer := time.AfterFunc(d, func() { e.stop.Store(true) })
+		defer timer.Stop()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Duration:   elapsed,
+		SinkTuples: e.sink.Value(),
+		Latency:    e.lat,
+		Processed:  map[string]uint64{},
+		Errors:     e.errs,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.SinkTuples) / elapsed.Seconds()
+	}
+	for _, t := range e.tasks {
+		res.Processed[t.op] += atomic.LoadUint64(&t.processed)
+	}
+	return res, nil
+}
+
+func (e *Engine) runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.recordErr(fmt.Errorf("engine: operator %s panicked: %v", t.label, r))
+			e.stop.Store(true)
+			e.closeAllQueues()
+		}
+		e.flushAll(t)
+		e.finishProducing(t)
+	}()
+
+	if t.spout != nil {
+		c := &collector{e: e, t: t}
+		for !e.stop.Load() {
+			err := t.spout.Next(c)
+			if err == io.EOF || c.fail != nil {
+				return
+			}
+			if err != nil {
+				e.recordErr(fmt.Errorf("engine: spout %s: %w", t.label, err))
+				return
+			}
+			atomic.AddUint64(&t.processed, 1)
+		}
+		return
+	}
+
+	c := &collector{e: e, t: t}
+	for {
+		j, err := t.in.Get()
+		if err != nil {
+			return // closed and drained
+		}
+		e.chargeRMA(t, j)
+		for _, in := range j.Tuples {
+			c.curTs = in.Ts
+			if e.cfg.ExtraWorkNs > 0 {
+				spin(e.cfg.ExtraWorkNs)
+			}
+			if t.isSink {
+				e.sink.Inc()
+				if !in.Ts.IsZero() {
+					e.lat.Observe(float64(time.Since(in.Ts).Nanoseconds()))
+				}
+			}
+			if t.operator != nil {
+				if err := t.operator.Process(c, in); err != nil {
+					e.recordErr(fmt.Errorf("engine: operator %s: %w", t.label, err))
+					e.stop.Store(true)
+					e.closeAllQueues()
+					return
+				}
+				if c.fail != nil {
+					return
+				}
+			}
+			atomic.AddUint64(&t.processed, 1)
+		}
+	}
+}
+
+// chargeRMA emulates the remote-fetch penalty of Formula 2 for a batch.
+func (e *Engine) chargeRMA(t *task, j *tuple.Jumbo) {
+	if e.cfg.Machine == nil || e.cfg.RMAScale <= 0 {
+		return
+	}
+	prod := e.tasks[j.Producer]
+	if prod.socket == t.socket {
+		return
+	}
+	var total float64
+	for _, in := range j.Tuples {
+		total += e.cfg.Machine.FetchCost(in.Size(), prod.socket, t.socket)
+	}
+	spin(int(total * e.cfg.RMAScale))
+}
+
+// finishProducing decrements the live-producer count of each consumer
+// queue; the last producer closes the queue so consumers drain and exit.
+func (e *Engine) finishProducing(t *task) {
+	seen := map[int]bool{}
+	for _, r := range t.routes {
+		for _, c := range r.consumers {
+			if seen[c.id] {
+				continue
+			}
+			seen[c.id] = true
+			if c.inFrom.Add(-1) == 0 {
+				c.in.Close()
+			}
+		}
+	}
+}
+
+func (e *Engine) closeAllQueues() {
+	for _, t := range e.tasks {
+		if t.in != nil {
+			t.in.Close()
+		}
+	}
+}
+
+// Snapshot returns the cumulative processed-tuple count per operator at
+// this instant. It is safe to call while the engine runs; the adaptive
+// re-optimization advisor polls it to derive live rates.
+func (e *Engine) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(e.byOp))
+	for _, t := range e.tasks {
+		out[t.op] += atomic.LoadUint64(&t.processed)
+	}
+	return out
+}
+
+// SinkCount returns the tuples received by sinks so far.
+func (e *Engine) SinkCount() uint64 { return e.sink.Value() }
+
+func (e *Engine) recordErr(err error) {
+	e.errsMu.Lock()
+	e.errs = append(e.errs, err)
+	e.errsMu.Unlock()
+}
+
+// spin busy-waits approximately ns nanoseconds.
+func spin(ns int) {
+	if ns <= 0 {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(deadline) {
+	}
+}
+
+// hashValue hashes a tuple field for Fields partitioning.
+func hashValue(v tuple.Value) uint64 {
+	h := fnv.New64a()
+	switch x := v.(type) {
+	case string:
+		h.Write([]byte(x))
+	case int64:
+		var b [8]byte
+		u := uint64(x)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	case int:
+		return hashValue(int64(x))
+	case float64:
+		return hashValue(int64(math.Float64bits(x)))
+	case bool:
+		if x {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	default:
+		h.Write([]byte(fmt.Sprint(x)))
+	}
+	return h.Sum64()
+}

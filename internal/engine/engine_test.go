@@ -1,0 +1,455 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// pipelineGraph builds spout -> double -> sink where double emits every
+// input twice.
+func pipelineGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("pipe")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "double", Selectivity: map[string]float64{"default": 2}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "double", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "double", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+var ioEOF = io.EOF
+
+func doubler() Operator {
+	return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+		c.Emit(t.Values...)
+		c.Emit(t.Values...)
+		return nil
+	})
+}
+
+func passthrough() Operator {
+	return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+		c.Emit(t.Values...)
+		return nil
+	})
+}
+
+func sinkOp() Operator {
+	return OperatorFunc(func(c Collector, t *tuple.Tuple) error { return nil })
+}
+
+func TestPipelineCountsExact(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(1000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.SinkTuples != 2000 {
+		t.Fatalf("sink tuples = %d, want 2000 (selectivity 2)", res.SinkTuples)
+	}
+	if res.Processed["spout"] != 1000 {
+		t.Errorf("spout processed = %d", res.Processed["spout"])
+	}
+	if res.Processed["double"] != 1000 {
+		t.Errorf("double processed = %d", res.Processed["double"])
+	}
+}
+
+// boundedSpoutEOF emits n tuples then returns io.EOF.
+func boundedSpoutEOF(n int) func() Spout {
+	return func() Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) error {
+			if i >= n {
+				return ioEOF
+			}
+			c.Emit(int64(i))
+			i++
+			return nil
+		})
+	}
+}
+
+func TestReplicatedOperatorsConserveTuples(t *testing.T) {
+	topo := Topology{
+		App:         pipelineGraph(t),
+		Spouts:      map[string]func() Spout{"spout": boundedSpoutEOF(3000)},
+		Operators:   map[string]func() Operator{"double": doubler, "sink": sinkOp},
+		Replication: map[string]int{"double": 4, "sink": 2},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkTuples != 6000 {
+		t.Fatalf("sink tuples = %d, want 6000", res.SinkTuples)
+	}
+}
+
+func TestFieldsPartitioningRoutesByKey(t *testing.T) {
+	g := graph.New("fields")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "count", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "count", Stream: "default", Partitioning: graph.Fields, KeyField: 0})
+	g.AddEdge(graph.Edge{From: "count", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each replica tracks the set of keys it saw; sets must be disjoint.
+	var mu [8]atomic.Pointer[map[string]bool]
+	var replicaSeq atomic.Int32
+	counter := func() Operator {
+		idx := int(replicaSeq.Add(1)) - 1
+		seen := map[string]bool{}
+		p := &seen
+		mu[idx].Store(p)
+		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+			seen[t.String(0)] = true
+			c.Emit(t.Values...)
+			return nil
+		})
+	}
+
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	mkSpout := func() Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) error {
+			if i >= 600 {
+				return ioEOF
+			}
+			c.Emit(words[i%len(words)])
+			i++
+			return nil
+		})
+	}
+	topo := Topology{
+		App:         g,
+		Spouts:      map[string]func() Spout{"spout": mkSpout},
+		Operators:   map[string]func() Operator{"count": counter, "sink": sinkOp},
+		Replication: map[string]int{"count": 3},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkTuples != 600 {
+		t.Fatalf("sink tuples = %d", res.SinkTuples)
+	}
+	// Key sets of distinct replicas must be disjoint.
+	union := map[string]int{}
+	for i := 0; i < 3; i++ {
+		if p := mu[i].Load(); p != nil {
+			for w := range *p {
+				union[w]++
+			}
+		}
+	}
+	for w, n := range union {
+		if n > 1 {
+			t.Errorf("word %q seen by %d replicas; fields partitioning must pin keys", w, n)
+		}
+	}
+	if len(union) != len(words) {
+		t.Errorf("union covers %d of %d words", len(union), len(words))
+	}
+}
+
+func TestBroadcastDeliversToAllReplicas(t *testing.T) {
+	g := graph.New("bcast")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "mirror", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "mirror", Stream: "default", Partitioning: graph.Broadcast})
+	g.AddEdge(graph.Edge{From: "mirror", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{
+		App:         g,
+		Spouts:      map[string]func() Spout{"spout": boundedSpoutEOF(500)},
+		Operators:   map[string]func() Operator{"mirror": passthrough, "sink": sinkOp},
+		Replication: map[string]int{"mirror": 3},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast to 3 replicas: the sink sees 3x the spout count.
+	if res.SinkTuples != 1500 {
+		t.Fatalf("sink tuples = %d, want 1500", res.SinkTuples)
+	}
+}
+
+func TestDurationBoundedRunStops(t *testing.T) {
+	infinite := func() Spout {
+		return SpoutFunc(func(c Collector) error {
+			c.Emit(int64(1))
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": infinite},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	go func() {
+		res, _ := e.Run(100 * time.Millisecond)
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res.SinkTuples == 0 {
+			t.Error("no tuples processed in bounded run")
+		}
+		if res.Throughput <= 0 {
+			t.Error("throughput not computed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("bounded run did not stop")
+	}
+}
+
+func TestEndToEndLatencyMeasured(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(2000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.LatencySampleEvery = 10
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	if res.Latency.Quantile(0.5) <= 0 {
+		t.Error("median latency must be positive")
+	}
+}
+
+func TestOperatorErrorStopsPipeline(t *testing.T) {
+	failing := func() Operator {
+		n := 0
+		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+			n++
+			if n > 10 {
+				return errors.New("synthetic failure")
+			}
+			c.Emit(t.Values...)
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(100000)},
+		Operators: map[string]func() Operator{"double": failing, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	go func() { res, _ := e.Run(0); done <- res }()
+	select {
+	case res := <-done:
+		if len(res.Errors) == 0 {
+			t.Fatal("operator error not reported")
+		}
+		if !strings.Contains(res.Errors[0].Error(), "synthetic failure") {
+			t.Errorf("unexpected error: %v", res.Errors[0])
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline did not shut down after operator error")
+	}
+}
+
+func TestOperatorPanicIsIsolated(t *testing.T) {
+	panicking := func() Operator {
+		n := 0
+		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+			n++
+			if n > 5 {
+				panic("boom")
+			}
+			c.Emit(t.Values...)
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(100000)},
+		Operators: map[string]func() Operator{"double": panicking, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	go func() { res, _ := e.Run(0); done <- res }()
+	select {
+	case res := <-done:
+		found := false
+		for _, err := range res.Errors {
+			if strings.Contains(err.Error(), "panicked") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("panic not captured: %v", res.Errors)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline did not survive operator panic")
+	}
+}
+
+func TestStormLikeModeProducesSameResults(t *testing.T) {
+	// The baseline execution path (serialize + copy + no jumbo) must be
+	// functionally identical, just slower.
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(500)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, StormLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.SinkTuples != 1000 {
+		t.Fatalf("sink tuples = %d, want 1000", res.SinkTuples)
+	}
+}
+
+func TestNewRejectsMissingBuilders(t *testing.T) {
+	topo := Topology{
+		App:    pipelineGraph(t),
+		Spouts: map[string]func() Spout{},
+		Operators: map[string]func() Operator{
+			"double": doubler, "sink": sinkOp,
+		},
+	}
+	if _, err := New(topo, DefaultConfig()); err == nil {
+		t.Error("missing spout builder accepted")
+	}
+	topo2 := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(1)},
+		Operators: map[string]func() Operator{"sink": sinkOp},
+	}
+	if _, err := New(topo2, DefaultConfig()); err == nil {
+		t.Error("missing operator builder accepted")
+	}
+}
+
+func TestMultiStreamRouting(t *testing.T) {
+	// An operator with two output streams routed to different sinks.
+	g := graph.New("streams")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "split", Selectivity: map[string]float64{"odd": 0.5, "even": 0.5}})
+	g.AddNode(&graph.Node{Name: "oddsink", IsSink: true})
+	g.AddNode(&graph.Node{Name: "evensink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "split", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "split", To: "oddsink", Stream: "odd"})
+	g.AddEdge(graph.Edge{From: "split", To: "evensink", Stream: "even"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	splitter := func() Operator {
+		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+			if t.Int(0)%2 == 0 {
+				c.EmitTo("even", t.Values...)
+			} else {
+				c.EmitTo("odd", t.Values...)
+			}
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       g,
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(1000)},
+		Operators: map[string]func() Operator{"split": splitter, "oddsink": sinkOp, "evensink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkTuples != 1000 {
+		t.Fatalf("sink tuples = %d, want 1000", res.SinkTuples)
+	}
+}
+
+func TestHashValueStability(t *testing.T) {
+	if hashValue("word") != hashValue("word") {
+		t.Error("string hash unstable")
+	}
+	if hashValue(int64(7)) != hashValue(7) {
+		t.Error("int and int64 hash differently")
+	}
+	if hashValue(true) == hashValue(false) {
+		t.Error("bool hash collision")
+	}
+	_ = hashValue(3.14)
+	_ = hashValue(fmt.Stringer(nil)) // default path must not panic
+}

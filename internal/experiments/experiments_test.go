@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedCtx caches optimizer results across all experiment tests.
+var sharedCtx = func() *Context {
+	c := NewContext()
+	c.Quick = true
+	return c
+}()
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	r, err := Run(id, sharedCtx)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("report id = %q", r.ID)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s: empty report", id)
+	}
+	if len(r.Header) == 0 {
+		t.Fatalf("%s: no header", id)
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", id, i, len(row), len(r.Header))
+		}
+	}
+	if s := r.String(); !strings.Contains(s, id) {
+		t.Errorf("%s: String() missing id", id)
+	}
+	return r
+}
+
+// cell parses a numeric report cell.
+func cell(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(r.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s[%d][%d] = %q not numeric: %v", r.ID, row, col, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5", "table7",
+		"fig3", "fig6", "fig7", "fig8", "fig9a", "fig9b",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(IDs()), len(want))
+	}
+	if _, err := Run("nope", sharedCtx); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if Title("table2") == "" || Title("nope") != "" {
+		t.Error("Title lookup broken")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := runExp(t, "table2")
+	if len(r.Rows) != 16 {
+		t.Errorf("rows = %d, want 16 (8 stats x 2 machines)", len(r.Rows))
+	}
+}
+
+func TestTable3ShapeMatchesPaper(t *testing.T) {
+	r := runExp(t, "table3")
+	// 2 operators x 5 distances.
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Splitter local row: measured == estimated == Te.
+	if cell(t, r, 0, 2) != cell(t, r, 0, 3) {
+		t.Error("local measured != estimated")
+	}
+	// Cross-tray (S0-S4) estimated must exceed measured for the
+	// multi-line Splitter tuple (prefetch), row index 3.
+	if !(cell(t, r, 3, 3) > cell(t, r, 3, 2)) {
+		t.Error("splitter estimation should overshoot measurement")
+	}
+	// Both must increase with distance: S0-S4 > S0-S1 measured.
+	if !(cell(t, r, 3, 2) > cell(t, r, 1, 2)) {
+		t.Error("splitter RMA cost should grow across trays")
+	}
+	// Counter: single-line tuple, measured >= estimated at 1 hop.
+	if !(cell(t, r, 6, 2) >= cell(t, r, 6, 3)*0.95) {
+		t.Error("counter measurement should track estimate closely")
+	}
+}
+
+func TestTable4ModelAccuracy(t *testing.T) {
+	r := runExp(t, "table4")
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		relErr := cell(t, r, i, 3)
+		if relErr > 0.4 {
+			t.Errorf("%s relative error %v too large", r.Rows[i][0], relErr)
+		}
+	}
+	// App ordering: WC has by far the highest throughput.
+	wc := cell(t, r, 0, 1)
+	for i := 1; i < 4; i++ {
+		if cell(t, r, i, 1) >= wc {
+			t.Errorf("WC should dominate, but %s >= WC", r.Rows[i][0])
+		}
+	}
+}
+
+func TestTable5LatencyOrdering(t *testing.T) {
+	r := runExp(t, "table5")
+	for i := range r.Rows {
+		brisk, storm := cell(t, r, i, 1), cell(t, r, i, 2)
+		if brisk <= 0 {
+			t.Errorf("%s: no brisk latency", r.Rows[i][0])
+		}
+		if storm < brisk {
+			t.Errorf("%s: storm-like p99 %v below brisk %v", r.Rows[i][0], storm, brisk)
+		}
+	}
+}
+
+func TestFig3ProfilesAllOperators(t *testing.T) {
+	r := runExp(t, "fig3")
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 operators", len(r.Rows))
+	}
+	for i := range r.Rows {
+		p50, p99 := cell(t, r, i, 3), cell(t, r, i, 6)
+		if p50 <= 0 || p99 < p50 {
+			t.Errorf("%s: implausible percentiles p50=%v p99=%v", r.Rows[i][0], p50, p99)
+		}
+	}
+}
+
+func TestFig6BriskWins(t *testing.T) {
+	r := runExp(t, "fig6")
+	for i := range r.Rows {
+		spStorm, spFlink := cell(t, r, i, 4), cell(t, r, i, 5)
+		if spStorm < 1.5 || spFlink < 1 {
+			t.Errorf("%s: speedups %vx/%vx too small", r.Rows[i][0], spStorm, spFlink)
+		}
+	}
+}
+
+func TestFig7CDFMonotone(t *testing.T) {
+	r := runExp(t, "fig7")
+	// Per system, latency must be non-decreasing in percentile.
+	var last float64
+	var lastSys string
+	for i := range r.Rows {
+		sys := r.Rows[i][0]
+		v := cell(t, r, i, 2)
+		if sys == lastSys && v < last {
+			t.Errorf("%s: CDF not monotone at row %d", sys, i)
+		}
+		last, lastSys = v, sys
+	}
+}
+
+func TestFig8BreakdownShape(t *testing.T) {
+	r := runExp(t, "fig8")
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3 configs x 3 operators", len(r.Rows))
+	}
+	for i := 0; i < len(r.Rows); i += 3 {
+		stormTotal := cell(t, r, i, 5)
+		briskLocal := cell(t, r, i+1, 5)
+		briskRemote := cell(t, r, i+2, 5)
+		if briskLocal >= stormTotal {
+			t.Errorf("row %d: brisk local %v should be far below storm %v", i, briskLocal, stormTotal)
+		}
+		if briskRemote <= briskLocal {
+			t.Errorf("row %d: remote %v must exceed local %v", i, briskRemote, briskLocal)
+		}
+		// RMA column zero for local configs, positive for remote.
+		if cell(t, r, i+1, 4) != 0 || cell(t, r, i+2, 4) <= 0 {
+			t.Errorf("row %d: rma columns wrong", i)
+		}
+	}
+}
+
+func TestFig9aBriskScalesBaselinesDont(t *testing.T) {
+	r := runExp(t, "fig9a")
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	brisk1, brisk8 := cell(t, r, 0, 1), cell(t, r, 3, 1)
+	if brisk8 < brisk1*2 {
+		t.Errorf("brisk should scale: 1 socket %v, 8 sockets %v", brisk1, brisk8)
+	}
+	// BriskStream beats baselines at every socket count.
+	for i := range r.Rows {
+		if cell(t, r, i, 1) <= cell(t, r, i, 2) {
+			t.Errorf("sockets=%s: storm >= brisk", r.Rows[i][0])
+		}
+	}
+}
+
+func TestFig9bScalingKnee(t *testing.T) {
+	r := runExp(t, "fig9b")
+	for i := range r.Rows {
+		one, four, eight := cell(t, r, i, 1), cell(t, r, i, 3), cell(t, r, i, 4)
+		if one != 100 {
+			t.Errorf("%s: baseline not 100%%", r.Rows[i][0])
+		}
+		// Quick mode undertrains the optimizer; full-fidelity runs land
+		// near-linear (close to 400%), quick runs must still show clear
+		// scaling.
+		if four < 150 {
+			t.Errorf("%s: 4-socket scaling only %v%%", r.Rows[i][0], four)
+		}
+		if eight < four {
+			t.Errorf("%s: throughput regressed from 4 to 8 sockets", r.Rows[i][0])
+		}
+	}
+}
+
+func TestFig10RMABoundsGap(t *testing.T) {
+	r := runExp(t, "fig10")
+	for i := range r.Rows {
+		meas, noRMA, ideal := cell(t, r, i, 1), cell(t, r, i, 2), cell(t, r, i, 3)
+		if !(meas <= noRMA*1.02 && noRMA <= ideal*1.25) {
+			t.Errorf("%s: ordering broken meas=%v noRMA=%v ideal=%v", r.Rows[i][0], meas, noRMA, ideal)
+		}
+	}
+}
+
+func TestFig11StreamBoxFlattens(t *testing.T) {
+	r := runExp(t, "fig11")
+	n := len(r.Rows)
+	// At the largest core count BriskStream must dominate StreamBox.
+	if cell(t, r, n-1, 1) <= cell(t, r, n-1, 3) {
+		t.Error("brisk should beat streambox-ooo at 144 cores")
+	}
+	// StreamBox scaling 16 -> 144 cores must be clearly sublinear
+	// (less than half of the 9x core growth).
+	sb16, sb144 := cell(t, r, 3, 3), cell(t, r, n-1, 3)
+	if sb144/sb16 > 4.5 {
+		t.Errorf("streambox-ooo scaled %vx from 16 to 144 cores; centralized scheduler should flatten it", sb144/sb16)
+	}
+}
+
+func TestFig12RLASBeatsFixed(t *testing.T) {
+	r := runExp(t, "fig12")
+	for i := range r.Rows {
+		rl, fixL, fixU := cell(t, r, i, 1), cell(t, r, i, 2), cell(t, r, i, 3)
+		if rl < fixL*0.98 || rl < fixU*0.98 {
+			t.Errorf("%s: RLAS %v should be >= fix(L) %v and fix(U) %v", r.Rows[i][0], rl, fixL, fixU)
+		}
+	}
+}
+
+func TestFig13RLASBeatsHeuristics(t *testing.T) {
+	r := runExp(t, "fig13")
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 apps x 2 servers", len(r.Rows))
+	}
+	for i := range r.Rows {
+		for c := 2; c <= 4; c++ {
+			// Quick mode gives the B&B a tiny node budget, so a
+			// heuristic can edge RLAS by simulator noise; full runs
+			// keep all ratios at or below ~1.
+			if v := cell(t, r, i, c); v > 1.2 {
+				t.Errorf("%s/%s: heuristic beats RLAS (%v)", r.Rows[i][0], r.Rows[i][1], v)
+			}
+		}
+	}
+}
+
+func TestFig14NoRandomPlanWins(t *testing.T) {
+	r := runExp(t, "fig14")
+	for i := range r.Rows {
+		if beat := cell(t, r, i, 7); beat != 0 {
+			t.Errorf("%s: %v random plans beat RLAS", r.Rows[i][0], beat)
+		}
+	}
+}
+
+func TestFig15CommPattern(t *testing.T) {
+	r := runExp(t, "fig15")
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows = %d, want 8 sockets x 2 machines", len(r.Rows))
+	}
+	// Diagonal must be zero (no self-traffic recorded).
+	for i := 0; i < 8; i++ {
+		if cell(t, r, i, 2+i) != 0 {
+			t.Errorf("server A S%d diagonal non-zero", i)
+		}
+	}
+}
+
+func TestTable7CompressSweep(t *testing.T) {
+	r := runExp(t, "table7")
+	for i := range r.Rows {
+		if cell(t, r, i, 1) <= 0 {
+			t.Errorf("ratio %s produced no throughput", r.Rows[i][0])
+		}
+		if cell(t, r, i, 2) <= 0 {
+			t.Errorf("ratio %s reported no runtime", r.Rows[i][0])
+		}
+	}
+}
+
+func TestFig16FactorsCumulative(t *testing.T) {
+	r := runExp(t, "fig16")
+	for i := range r.Rows {
+		simple := cell(t, r, i, 1)
+		noInstr := cell(t, r, i, 2)
+		jumbo := cell(t, r, i, 3)
+		rl := cell(t, r, i, 4)
+		if !(simple <= noInstr*1.02 && noInstr <= jumbo*1.02) {
+			t.Errorf("%s: cumulative factors not improving: %v %v %v", r.Rows[i][0], simple, noInstr, jumbo)
+		}
+		if rl < jumbo*0.9 {
+			t.Errorf("%s: +RLAS %v far below +JumboTuple %v", r.Rows[i][0], rl, jumbo)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package fuse implements operator fusion, the execution-plan extension
+// Appendix D discusses: a producer-consumer pair is collapsed into one
+// operator executed by one task, trading pipeline parallelism for zero
+// communication on the fused edge. Fusion pays off when the fused
+// operators share little common resource demand; the fused operator's
+// model statistics compose as
+//
+//	Te' = Te_u + sel_u x Te_v   (v runs once per tuple u emits)
+//	M'  = M_u + sel_u x M_v
+//	N'  = N_u                   (only u's input is fetched remotely)
+//	sel'(s) = sel_u x sel_v(s)
+//
+// Only shuffle- or global-grouped edges are fusable: a fields-grouped
+// edge pins keys to replicas, and fusing it would silently repartition
+// the consumer's keyed state across the producer's replicas.
+package fuse
+
+import (
+	"fmt"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/profile"
+	"briskstream/internal/tuple"
+)
+
+// Pair names a producer-consumer fusion candidate.
+type Pair struct {
+	Producer, Consumer string
+}
+
+// Chains returns all fusable producer-consumer pairs of the graph: the
+// producer has exactly one consumer and is not a spout, the consumer has
+// exactly one producer, and the connecting edge is shuffle- or
+// global-grouped.
+func Chains(app *graph.Graph) []Pair {
+	var out []Pair
+	for _, n := range app.Nodes() {
+		if n.IsSpout {
+			continue
+		}
+		outs := app.Out(n.Name)
+		if len(outs) != 1 {
+			continue
+		}
+		e := outs[0]
+		if e.Partitioning != graph.Shuffle && e.Partitioning != graph.Global {
+			continue
+		}
+		if len(app.In(e.To)) != 1 {
+			continue
+		}
+		out = append(out, Pair{Producer: n.Name, Consumer: e.To})
+	}
+	return out
+}
+
+// Result carries the fused application.
+type Result struct {
+	// Graph is the fused logical DAG.
+	Graph *graph.Graph
+	// Stats are the composed operator statistics.
+	Stats profile.Set
+	// Operators maps every (fused and untouched) operator to a builder.
+	Operators map[string]func() engine.Operator
+	// FusedName maps each fused pair to its new operator name.
+	FusedName map[Pair]string
+}
+
+// Apply fuses the given pairs. Pairs must be disjoint (no operator may
+// appear in two pairs) and fusable per the Chains criteria.
+func Apply(app *graph.Graph, stats profile.Set, ops map[string]func() engine.Operator, pairs []Pair) (*Result, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("fuse: no pairs given")
+	}
+	valid := map[Pair]bool{}
+	for _, c := range Chains(app) {
+		valid[c] = true
+	}
+	used := map[string]bool{}
+	fusedOf := map[string]Pair{} // member op -> its pair
+	for _, p := range pairs {
+		if !valid[p] {
+			return nil, fmt.Errorf("fuse: %s->%s is not fusable", p.Producer, p.Consumer)
+		}
+		if used[p.Producer] || used[p.Consumer] {
+			return nil, fmt.Errorf("fuse: operator reused across pairs")
+		}
+		used[p.Producer] = true
+		used[p.Consumer] = true
+		fusedOf[p.Producer] = p
+		fusedOf[p.Consumer] = p
+	}
+
+	res := &Result{
+		Graph:     graph.New(app.Name() + "+fused"),
+		Stats:     profile.Set{},
+		Operators: map[string]func() engine.Operator{},
+		FusedName: map[Pair]string{},
+	}
+	name := func(p Pair) string { return p.Producer + "+" + p.Consumer }
+	// rename maps original operator names to fused-graph names.
+	rename := func(op string) string {
+		if p, ok := fusedOf[op]; ok {
+			return name(p)
+		}
+		return op
+	}
+
+	// Nodes.
+	added := map[string]bool{}
+	for _, n := range app.Nodes() {
+		if p, ok := fusedOf[n.Name]; ok {
+			fn := name(p)
+			if added[fn] {
+				continue
+			}
+			added[fn] = true
+			res.FusedName[p] = fn
+			cons := app.Node(p.Consumer)
+			prodStats, okP := stats[p.Producer]
+			consStats, okC := stats[p.Consumer]
+			if !okP || !okC {
+				return nil, fmt.Errorf("fuse: missing stats for pair %s->%s", p.Producer, p.Consumer)
+			}
+			selU := prodStats.TotalSelectivity()
+			sel := map[string]float64{}
+			for s, v := range consStats.Selectivity {
+				sel[s] = selU * v
+			}
+			res.Graph.AddNode(&graph.Node{
+				Name:        fn,
+				IsSink:      cons.IsSink,
+				Selectivity: sel,
+			})
+			res.Stats[fn] = profile.Stats{
+				Te:          prodStats.Te + selU*consStats.Te,
+				M:           prodStats.M + selU*consStats.M,
+				N:           prodStats.N,
+				Selectivity: sel,
+			}
+			mkU, mkV := ops[p.Producer], ops[p.Consumer]
+			if mkU == nil || mkV == nil {
+				return nil, fmt.Errorf("fuse: missing operator builder for pair %s->%s", p.Producer, p.Consumer)
+			}
+			res.Operators[fn] = Compose(mkU, mkV)
+			continue
+		}
+		// Untouched node: copy.
+		sel := map[string]float64{}
+		for s, v := range n.Selectivity {
+			sel[s] = v
+		}
+		res.Graph.AddNode(&graph.Node{Name: n.Name, IsSpout: n.IsSpout, IsSink: n.IsSink, Selectivity: sel})
+		if st, ok := stats[n.Name]; ok {
+			res.Stats[n.Name] = st
+		}
+		if mk, ok := ops[n.Name]; ok {
+			res.Operators[n.Name] = mk
+		}
+	}
+
+	// Edges: drop the fused edge; retarget everything else.
+	for _, e := range app.Edges() {
+		if p, ok := fusedOf[e.From]; ok && p.Consumer == e.To {
+			continue // internal edge of a fused pair
+		}
+		ne := e
+		ne.From = rename(e.From)
+		ne.To = rename(e.To)
+		if err := res.Graph.AddEdge(ne); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("fuse: fused graph invalid: %w", err)
+	}
+	return res, nil
+}
+
+// Compose chains two operator builders into one: the producer's
+// emissions are fed synchronously to the consumer within the same task,
+// eliminating the intermediate queue entirely.
+func Compose(mkU, mkV func() engine.Operator) func() engine.Operator {
+	return func() engine.Operator {
+		u, v := mkU(), mkV()
+		return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
+			cc := &chainCollector{downstream: v, out: c}
+			if err := u.Process(cc, t); err != nil {
+				return err
+			}
+			return cc.err
+		})
+	}
+}
+
+// chainCollector routes the producer's emissions straight into the
+// consumer's Process.
+type chainCollector struct {
+	downstream engine.Operator
+	out        engine.Collector
+	err        error
+}
+
+// Emit implements engine.Collector.
+func (c *chainCollector) Emit(values ...tuple.Value) {
+	c.EmitTo(tuple.DefaultStream, values...)
+}
+
+// EmitTo implements engine.Collector.
+func (c *chainCollector) EmitTo(stream string, values ...tuple.Value) {
+	if c.err != nil {
+		return
+	}
+	c.err = c.downstream.Process(c.out, tuple.OnStream(stream, values...))
+}

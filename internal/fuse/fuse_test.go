@@ -1,0 +1,210 @@
+package fuse
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"briskstream/internal/apps"
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+	"briskstream/internal/tuple"
+)
+
+func TestChainsOnWC(t *testing.T) {
+	wc := apps.WordCount()
+	chains := Chains(wc.Graph)
+	want := map[Pair]bool{
+		{Producer: "parser", Consumer: "splitter"}: true,
+		{Producer: "counter", Consumer: "sink"}:    true,
+	}
+	if len(chains) != len(want) {
+		t.Fatalf("chains = %v, want %v", chains, want)
+	}
+	for _, c := range chains {
+		if !want[c] {
+			t.Errorf("unexpected chain %v", c)
+		}
+	}
+	// splitter->counter is fields-grouped and must NOT be fusable.
+	for _, c := range chains {
+		if c.Producer == "splitter" {
+			t.Error("fields-grouped edge offered for fusion")
+		}
+	}
+}
+
+func TestApplyComposesStats(t *testing.T) {
+	wc := apps.WordCount()
+	res, err := Apply(wc.Graph, wc.Stats, wc.Operators, []Pair{{Producer: "parser", Consumer: "splitter"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Len() != wc.Graph.Len()-1 {
+		t.Errorf("fused graph has %d nodes, want %d", res.Graph.Len(), wc.Graph.Len()-1)
+	}
+	fn := res.FusedName[Pair{Producer: "parser", Consumer: "splitter"}]
+	if fn != "parser+splitter" {
+		t.Fatalf("fused name = %q", fn)
+	}
+	st := res.Stats[fn]
+	// Te' = Te_parser + sel_parser x Te_splitter = 350 + 1 x 1612.8.
+	if math.Abs(st.Te-(350+1612.8)) > 1e-9 {
+		t.Errorf("fused Te = %v", st.Te)
+	}
+	// sel' = 1 x 10.
+	if st.Selectivity["default"] != 10 {
+		t.Errorf("fused selectivity = %v", st.Selectivity)
+	}
+	// N' = parser's input size.
+	if st.N != wc.Stats["parser"].N {
+		t.Errorf("fused N = %v", st.N)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejections(t *testing.T) {
+	wc := apps.WordCount()
+	if _, err := Apply(wc.Graph, wc.Stats, wc.Operators, nil); err == nil {
+		t.Error("empty pair list accepted")
+	}
+	// Fields edge.
+	if _, err := Apply(wc.Graph, wc.Stats, wc.Operators, []Pair{{Producer: "splitter", Consumer: "counter"}}); err == nil {
+		t.Error("fields-grouped fusion accepted")
+	}
+	// Spout.
+	if _, err := Apply(wc.Graph, wc.Stats, wc.Operators, []Pair{{Producer: "spout", Consumer: "parser"}}); err == nil {
+		t.Error("spout fusion accepted")
+	}
+	// Overlapping pairs: parser+splitter twice.
+	p := Pair{Producer: "parser", Consumer: "splitter"}
+	if _, err := Apply(wc.Graph, wc.Stats, wc.Operators, []Pair{p, p}); err == nil {
+		t.Error("overlapping pairs accepted")
+	}
+}
+
+// TestFusedEngineRunEquivalent: the fused WC produces the same number of
+// sink tuples per input sentence as the unfused one.
+func TestFusedEngineRunEquivalent(t *testing.T) {
+	wc := apps.WordCount()
+	res, err := Apply(wc.Graph, wc.Stats, wc.Operators,
+		[]Pair{{Producer: "parser", Consumer: "splitter"}, {Producer: "counter", Consumer: "sink"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(app *engine.Topology) uint64 {
+		e, err := engine.New(*app, engine.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(150 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Errors) != 0 {
+			t.Fatalf("errors: %v", r.Errors)
+		}
+		if r.Processed["spout"] == 0 {
+			t.Fatal("no input generated")
+		}
+		// Words per sentence must be exactly 10 in both shapes.
+		return r.SinkTuples / r.Processed["spout"]
+	}
+
+	plainRatio := count(&engine.Topology{App: wc.Graph, Spouts: wc.Spouts, Operators: wc.Operators})
+	fusedRatio := count(&engine.Topology{App: res.Graph, Spouts: wc.Spouts, Operators: res.Operators})
+	// Both runs drain asynchronously, so compare the words-per-sentence
+	// ratio (selectivity), which is deterministic in both shapes.
+	if plainRatio < 9 || plainRatio > 10 {
+		t.Errorf("plain words-per-sentence = %d, want ~10", plainRatio)
+	}
+	if fusedRatio < 9 || fusedRatio > 10 {
+		t.Errorf("fused words-per-sentence = %d, want ~10", fusedRatio)
+	}
+}
+
+// TestFusionTradeOff exercises both sides of the fusion trade-off
+// (communication saved vs pipeline parallelism lost) under a forced
+// round-robin remote placement:
+//
+//   - a communication-dominated chain (cheap consumer, fat tuples) must
+//     get FASTER when fused (the remote fetch disappears);
+//   - WC's parser+splitter (cheap communication, both operators busy)
+//     must get SLOWER when fused (serializing them loses a core).
+func TestFusionTradeOff(t *testing.T) {
+	m := numa.Synthetic("fusion", 4, 8, 50, 300, 600, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+
+	evalRR := func(app *graph.Graph, st profile.Set) float64 {
+		eg, err := plan.Build(app, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := plan.NewPlacement()
+		for i, v := range eg.Vertices {
+			p.Place(v.ID, numa.SocketID(i%m.Sockets))
+		}
+		ev, err := model.Evaluate(eg, p, &model.Config{Machine: m, Stats: st, Ingress: model.Saturated}, model.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Throughput
+	}
+
+	t.Run("communication-dominated chain wins", func(t *testing.T) {
+		g := graph.New("fat")
+		g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&graph.Node{Name: "heavy", Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&graph.Node{Name: "light", Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+		g.AddEdge(graph.Edge{From: "spout", To: "heavy", Stream: "default"})
+		g.AddEdge(graph.Edge{From: "heavy", To: "light", Stream: "default"})
+		g.AddEdge(graph.Edge{From: "light", To: "sink", Stream: "default"})
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// light is trivial compute but fetches 2 KB tuples: remote it
+		// costs 32 cache lines x 300 ns = 9600 ns per tuple.
+		st := profile.Set{
+			"spout": {Te: 400, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+			"heavy": {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+			"light": {Te: 100, M: 64, N: 2048, Selectivity: map[string]float64{"default": 1}},
+			"sink":  {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+		}
+		pass := func() engine.Operator {
+			return engine.OperatorFunc(func(c engine.Collector, tp *tuple.Tuple) error {
+				c.Emit(tp.Values...)
+				return nil
+			})
+		}
+		ops := map[string]func() engine.Operator{"heavy": pass, "light": pass, "sink": pass}
+		res, err := Apply(g, st, ops, []Pair{{Producer: "heavy", Consumer: "light"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := evalRR(g, st)
+		fused := evalRR(res.Graph, res.Stats)
+		if fused <= plain {
+			t.Errorf("communication-dominated fusion should win: fused %v <= plain %v", fused, plain)
+		}
+	})
+
+	t.Run("compute-dominated chain loses", func(t *testing.T) {
+		wc := apps.WordCount()
+		res, err := Apply(wc.Graph, wc.Stats, wc.Operators, []Pair{{Producer: "parser", Consumer: "splitter"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := evalRR(wc.Graph, wc.Stats)
+		fused := evalRR(res.Graph, res.Stats)
+		if fused >= plain {
+			t.Errorf("compute-dominated fusion should lose pipeline parallelism: fused %v >= plain %v", fused, plain)
+		}
+	})
+}

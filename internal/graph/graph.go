@@ -1,0 +1,300 @@
+// Package graph models a streaming application as a logical DAG:
+// vertexes are continuously running operators and edges are named data
+// streams flowing between them (Section 2.2). The DAG carries the
+// declarative facts the optimizer needs — per-output-stream selectivity
+// and partitioning scheme — independent of any replication or placement
+// decision (those live in package plan).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioning selects how a producer's output tuples are distributed
+// over the consumer's replicas.
+type Partitioning int
+
+const (
+	// Shuffle distributes tuples round-robin/randomly across replicas.
+	Shuffle Partitioning = iota
+	// Fields routes by hash of a key field, so the same key always
+	// reaches the same replica (e.g. WC's word -> Counter).
+	Fields
+	// Broadcast copies every tuple to all replicas.
+	Broadcast
+	// Global routes all tuples to a single replica.
+	Global
+)
+
+// String implements fmt.Stringer.
+func (p Partitioning) String() string {
+	switch p {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case Broadcast:
+		return "broadcast"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Partitioning(%d)", int(p))
+	}
+}
+
+// Edge is one producer->consumer stream subscription.
+type Edge struct {
+	// From and To are operator names.
+	From, To string
+	// Stream is the producer output stream the consumer subscribes to.
+	Stream string
+	// Partitioning selects replica routing.
+	Partitioning Partitioning
+	// KeyField is the tuple field index used by Fields partitioning.
+	KeyField int
+}
+
+// Node is one logical operator.
+type Node struct {
+	// Name uniquely identifies the operator within its graph.
+	Name string
+	// IsSpout marks source operators (fed by the external ingress I).
+	IsSpout bool
+	// IsSink marks operators with no consumers whose output rate sums to
+	// the application throughput R.
+	IsSink bool
+	// Selectivity maps each output stream name to the average number of
+	// output tuples emitted on that stream per input tuple (Appendix B).
+	Selectivity map[string]float64
+}
+
+// TotalSelectivity is the summed selectivity over all output streams:
+// expected output tuples per input tuple.
+func (n *Node) TotalSelectivity() float64 {
+	var s float64
+	for _, v := range n.Selectivity {
+		s += v
+	}
+	return s
+}
+
+// Graph is a logical streaming application topology.
+type Graph struct {
+	name  string
+	nodes map[string]*Node
+	order []string // insertion order for deterministic iteration
+	out   map[string][]Edge
+	in    map[string][]Edge
+}
+
+// New creates an empty graph with the given application name.
+func New(name string) *Graph {
+	return &Graph{
+		name:  name,
+		nodes: make(map[string]*Node),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}
+}
+
+// Name returns the application name.
+func (g *Graph) Name() string { return g.name }
+
+// AddNode inserts an operator. Selectivity may be nil for sinks.
+func (g *Graph) AddNode(n *Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("graph %s: node with empty name", g.name)
+	}
+	if _, dup := g.nodes[n.Name]; dup {
+		return fmt.Errorf("graph %s: duplicate node %q", g.name, n.Name)
+	}
+	if n.Selectivity == nil {
+		n.Selectivity = map[string]float64{}
+	}
+	g.nodes[n.Name] = n
+	g.order = append(g.order, n.Name)
+	return nil
+}
+
+// AddEdge subscribes consumer to producer's stream.
+func (g *Graph) AddEdge(e Edge) error {
+	if _, ok := g.nodes[e.From]; !ok {
+		return fmt.Errorf("graph %s: edge from unknown node %q", g.name, e.From)
+	}
+	if _, ok := g.nodes[e.To]; !ok {
+		return fmt.Errorf("graph %s: edge to unknown node %q", g.name, e.To)
+	}
+	if e.From == e.To {
+		return fmt.Errorf("graph %s: self-loop on %q", g.name, e.From)
+	}
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	return nil
+}
+
+// Node returns the named operator, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[name] }
+
+// Nodes returns all operators in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, g.nodes[name])
+	}
+	return out
+}
+
+// Len returns the number of operators.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Out returns the outgoing edges of an operator.
+func (g *Graph) Out(name string) []Edge { return g.out[name] }
+
+// In returns the incoming edges of an operator.
+func (g *Graph) In(name string) []Edge { return g.in[name] }
+
+// Spouts returns the source operators in insertion order.
+func (g *Graph) Spouts() []*Node {
+	var s []*Node
+	for _, n := range g.Nodes() {
+		if n.IsSpout {
+			s = append(s, n)
+		}
+	}
+	return s
+}
+
+// Sinks returns the sink operators in insertion order.
+func (g *Graph) Sinks() []*Node {
+	var s []*Node
+	for _, n := range g.Nodes() {
+		if n.IsSink {
+			s = append(s, n)
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: at least one spout and one sink,
+// spouts have no producers, sinks have no consumers, every non-spout is
+// reachable (has at least one producer), the graph is acyclic, and every
+// edge's stream has a declared selectivity on the producer.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("graph %s: empty", g.name)
+	}
+	if len(g.Spouts()) == 0 {
+		return fmt.Errorf("graph %s: no spout", g.name)
+	}
+	if len(g.Sinks()) == 0 {
+		return fmt.Errorf("graph %s: no sink", g.name)
+	}
+	for _, n := range g.Nodes() {
+		if n.IsSpout && len(g.in[n.Name]) > 0 {
+			return fmt.Errorf("graph %s: spout %q has producers", g.name, n.Name)
+		}
+		if n.IsSink && len(g.out[n.Name]) > 0 {
+			return fmt.Errorf("graph %s: sink %q has consumers", g.name, n.Name)
+		}
+		if !n.IsSpout && len(g.in[n.Name]) == 0 {
+			return fmt.Errorf("graph %s: operator %q is unreachable", g.name, n.Name)
+		}
+		if !n.IsSink && len(g.out[n.Name]) == 0 {
+			return fmt.Errorf("graph %s: non-sink %q has no consumers", g.name, n.Name)
+		}
+		for _, e := range g.out[n.Name] {
+			if _, ok := n.Selectivity[e.Stream]; !ok {
+				return fmt.Errorf("graph %s: %q emits on stream %q with no declared selectivity", g.name, n.Name, e.Stream)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns operator names in a topological order (producers
+// before consumers) or an error if the graph has a cycle. Ties are broken
+// by insertion order so results are deterministic.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for name := range g.nodes {
+		indeg[name] = len(g.in[name])
+	}
+	var ready []string
+	for _, name := range g.order {
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		// Deterministic: iterate out-edges in insertion order.
+		for _, e := range g.out[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("graph %s: cycle detected", g.name)
+	}
+	return out, nil
+}
+
+// ReverseTopoSort returns sinks-first ordering; Algorithm 1 scales
+// bottlenecks starting from the sink toward the spout.
+func (g *Graph) ReverseTopoSort() ([]string, error) {
+	fwd, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	rev := make([]string, len(fwd))
+	for i, n := range fwd {
+		rev[len(fwd)-1-i] = n
+	}
+	return rev, nil
+}
+
+// Producers returns the distinct producer names of an operator, sorted.
+func (g *Graph) Producers(name string) []string {
+	set := map[string]bool{}
+	for _, e := range g.in[name] {
+		set[e.From] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consumers returns the distinct consumer names of an operator, sorted.
+func (g *Graph) Consumers(name string) []string {
+	set := map[string]bool{}
+	for _, e := range g.out[name] {
+		set[e.To] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns every edge, producers in insertion order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, name := range g.order {
+		out = append(out, g.out[name]...)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linear builds spout -> a -> b -> sink.
+func linear(t *testing.T) *Graph {
+	t.Helper()
+	g := New("linear")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&Node{Name: "a", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&Node{Name: "b", Selectivity: map[string]float64{"default": 10}}))
+	must(g.AddNode(&Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(Edge{From: "spout", To: "a", Stream: "default"}))
+	must(g.AddEdge(Edge{From: "a", To: "b", Stream: "default"}))
+	must(g.AddEdge(Edge{From: "b", To: "sink", Stream: "default", Partitioning: Fields, KeyField: 0}))
+	return g
+}
+
+func TestValidateAcceptsLinear(t *testing.T) {
+	g := linear(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if len(g.Spouts()) != 1 || g.Spouts()[0].Name != "spout" {
+		t.Error("spout detection failed")
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0].Name != "sink" {
+		t.Error("sink detection failed")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := linear(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %s->%s violates topo order", e.From, e.To)
+		}
+	}
+	rev, err := g.ReverseTopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0] != "sink" || rev[len(rev)-1] != "spout" {
+		t.Errorf("reverse order = %v", rev)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("cyclic")
+	g.AddNode(&Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&Node{Name: "a", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&Node{Name: "b", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&Node{Name: "sink", IsSink: true})
+	g.AddEdge(Edge{From: "spout", To: "a", Stream: "default"})
+	g.AddEdge(Edge{From: "a", To: "b", Stream: "default"})
+	g.AddEdge(Edge{From: "b", To: "a", Stream: "default"})
+	g.AddEdge(Edge{From: "b", To: "sink", Stream: "default"})
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted cyclic graph")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if err := New("e").Validate(); err == nil {
+			t.Error("empty graph accepted")
+		}
+	})
+	t.Run("no sink", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "spout", IsSpout: true})
+		if err := g.Validate(); err == nil {
+			t.Error("graph without sink accepted")
+		}
+	})
+	t.Run("unreachable operator", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&Node{Name: "orphan", Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&Node{Name: "sink", IsSink: true})
+		g.AddEdge(Edge{From: "spout", To: "sink", Stream: "default"})
+		// orphan has no in-edges and is not a spout
+		if err := g.Validate(); err == nil {
+			t.Error("unreachable operator accepted")
+		}
+	})
+	t.Run("missing selectivity", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"other": 1}})
+		g.AddNode(&Node{Name: "sink", IsSink: true})
+		g.AddEdge(Edge{From: "spout", To: "sink", Stream: "default"})
+		if err := g.Validate(); err == nil {
+			t.Error("edge with undeclared selectivity accepted")
+		}
+	})
+	t.Run("duplicate node", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "x"})
+		if err := g.AddNode(&Node{Name: "x"}); err == nil {
+			t.Error("duplicate accepted")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "x"})
+		if err := g.AddEdge(Edge{From: "x", To: "x", Stream: "default"}); err == nil {
+			t.Error("self loop accepted")
+		}
+	})
+	t.Run("edge to unknown", func(t *testing.T) {
+		g := New("g")
+		g.AddNode(&Node{Name: "x"})
+		if err := g.AddEdge(Edge{From: "x", To: "y", Stream: "default"}); err == nil {
+			t.Error("edge to unknown node accepted")
+		}
+		if err := g.AddEdge(Edge{From: "z", To: "x", Stream: "default"}); err == nil {
+			t.Error("edge from unknown node accepted")
+		}
+	})
+}
+
+func TestProducersConsumers(t *testing.T) {
+	g := New("diamond")
+	for _, n := range []string{"spout", "l", "r", "sink"} {
+		node := &Node{Name: n, Selectivity: map[string]float64{"default": 1}}
+		node.IsSpout = n == "spout"
+		node.IsSink = n == "sink"
+		g.AddNode(node)
+	}
+	g.AddEdge(Edge{From: "spout", To: "l", Stream: "default"})
+	g.AddEdge(Edge{From: "spout", To: "r", Stream: "default"})
+	g.AddEdge(Edge{From: "l", To: "sink", Stream: "default"})
+	g.AddEdge(Edge{From: "r", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Producers("sink"); len(got) != 2 || got[0] != "l" || got[1] != "r" {
+		t.Errorf("Producers(sink) = %v", got)
+	}
+	if got := g.Consumers("spout"); len(got) != 2 || got[0] != "l" || got[1] != "r" {
+		t.Errorf("Consumers(spout) = %v", got)
+	}
+}
+
+func TestTotalSelectivity(t *testing.T) {
+	n := &Node{Name: "d", Selectivity: map[string]float64{"a": 0.99, "b": 0.005, "c": 0.005}}
+	if got := n.TotalSelectivity(); got != 1.0 {
+		t.Errorf("TotalSelectivity = %v", got)
+	}
+}
+
+func TestPartitioningString(t *testing.T) {
+	for p, want := range map[Partitioning]string{Shuffle: "shuffle", Fields: "fields", Broadcast: "broadcast", Global: "global", Partitioning(42): "Partitioning(42)"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+// Property: TopoSort of random DAGs (edges only i->j with i<j) is always a
+// valid linear extension and is deterministic.
+func TestTopoSortRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(10)
+		g := New("rand")
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = string(rune('A' + i))
+			g.AddNode(&Node{Name: names[i], Selectivity: map[string]float64{"default": 1}})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(Edge{From: names[i], To: names[j], Stream: "default"})
+				}
+			}
+		}
+		o1, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		o2, _ := g.TopoSort()
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("trial %d: nondeterministic topo sort", trial)
+			}
+		}
+		pos := map[string]int{}
+		for i, nm := range o1 {
+			pos[nm] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("trial %d: order violation %s->%s", trial, e.From, e.To)
+			}
+		}
+	}
+}

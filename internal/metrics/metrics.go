@@ -1,0 +1,258 @@
+// Package metrics provides the measurement primitives BriskStream's
+// evaluation uses: throughput counters, latency histograms with
+// percentiles and CDFs, and the per-tuple execution-time breakdown
+// (Execute / RMA / Others) of Section 6.1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for
+// concurrent use. Sinks use one Counter each; application throughput is
+// the sum of sink counter rates.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Histogram collects float64 observations (typically nanoseconds or
+// milliseconds) and reports order statistics. It keeps raw samples up to
+// a cap and then reservoir-subsamples, which preserves quantile accuracy
+// for the long-running latency experiments without unbounded memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	cap     int
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	rng     uint64 // xorshift state for reservoir sampling
+}
+
+// NewHistogram creates a histogram retaining at most maxSamples raw
+// observations (default 100k if maxSamples <= 0).
+func NewHistogram(maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 100_000
+	}
+	return &Histogram{cap: maxSamples, min: math.Inf(1), max: math.Inf(-1), rng: 0x9E3779B97F4A7C15}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir sampling: replace a random slot with probability cap/count.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if idx := h.rng % h.count; idx < uint64(h.cap) {
+		h.samples[idx] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations (not just the
+// retained samples), or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over retained samples
+// using linear interpolation, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileLocked(h.samples, q)
+}
+
+func quantileLocked(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDFPoint is one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value   float64 // observation value
+	Percent float64 // cumulative fraction in [0,1]
+}
+
+// CDF returns an empirical CDF with at most points entries, evenly spaced
+// in cumulative probability. The paper plots CDFs of operator execution
+// cycles (Figure 3), end-to-end latency (Figure 7) and random-plan
+// throughput (Figure 14).
+func (h *Histogram) CDF(points int) []CDFPoint {
+	h.mu.Lock()
+	s := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	return CDFOf(s, points)
+}
+
+// CDFOf computes an empirical CDF of the given values.
+func CDFOf(values []float64, points int) []CDFPoint {
+	if len(values) == 0 || points <= 0 {
+		return nil
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if points > len(s) {
+		points = len(s)
+	}
+	out := make([]CDFPoint, 0, points)
+	for k := 1; k <= points; k++ {
+		idx := k*len(s)/points - 1
+		out = append(out, CDFPoint{Value: s[idx], Percent: float64(k) / float64(points)})
+	}
+	return out
+}
+
+// Throughput measures an event rate over a wall-clock window.
+type Throughput struct {
+	counter *Counter
+	start   time.Time
+	base    uint64
+}
+
+// NewThroughput starts measuring rate increases of c from now.
+func NewThroughput(c *Counter) *Throughput {
+	return &Throughput{counter: c, start: time.Now(), base: c.Value()}
+}
+
+// Rate returns events/second since construction.
+func (t *Throughput) Rate() float64 {
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.counter.Value()-t.base) / elapsed
+}
+
+// Breakdown is the per-tuple execution-time decomposition of Section 6.1:
+// Execute (core function execution including processor stalls), RMA
+// (remote memory access, only when placed away from the producer) and
+// Others (queue access, object churn, context switching — overhead).
+// All values are nanoseconds per tuple.
+type Breakdown struct {
+	Execute float64
+	RMA     float64
+	Others  float64
+}
+
+// Total returns the full per-tuple round-trip time.
+func (b Breakdown) Total() float64 { return b.Execute + b.RMA + b.Others }
+
+// String renders the breakdown as a compact report row.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("execute=%.1fns rma=%.1fns others=%.1fns total=%.1fns",
+		b.Execute, b.RMA, b.Others, b.Total())
+}
+
+// Table renders rows of label/value pairs as an aligned text table; the
+// experiment harness uses it for paper-style output.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

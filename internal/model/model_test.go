@@ -1,0 +1,364 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+)
+
+// chain builds spout -> worker -> sink with the given worker selectivity.
+func chain(t *testing.T, workerSel float64) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": workerSel}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func chainStats() profile.Set {
+	return profile.Set{
+		"spout":  {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: 1000, M: 128, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+// testMachine has 4 sockets so that sockets 0 and 1 share a tray (one
+// hop, 200ns) while 0 and 2+ cross trays (400ns).
+func testMachine() *numa.Machine {
+	return numa.Synthetic("test", 4, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+}
+
+func mustEval(t *testing.T, eg *plan.ExecGraph, p *plan.Placement, cfg *Config, opts Options) *Result {
+	t.Helper()
+	r, err := Evaluate(eg, p, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSaturatedChainThroughputIsBottleneckCapacity(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	cfg := &Config{Machine: testMachine(), Stats: chainStats(), Ingress: Saturated}
+	r := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+
+	// Worker Te=1000ns -> capacity 1e6/s; it limits the pipeline.
+	if math.Abs(r.Throughput-1e6) > 1 {
+		t.Errorf("Throughput = %v, want 1e6", r.Throughput)
+	}
+	// Spout and worker are over-supplied; sink is not.
+	worker := eg.OfOp("worker")[0].ID
+	sink := eg.OfOp("sink")[0].ID
+	if !r.Rates[worker].OverSupplied {
+		t.Error("worker should be the bottleneck")
+	}
+	if r.Rates[sink].OverSupplied {
+		t.Error("sink should not be over-supplied")
+	}
+	found := false
+	for _, b := range r.Bottlenecks {
+		if b == worker {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Bottlenecks = %v missing worker %d", r.Bottlenecks, worker)
+	}
+}
+
+func TestUnderSuppliedChainPassesIngressThrough(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	cfg := &Config{Machine: testMachine(), Stats: chainStats(), Ingress: 1000}
+	r := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+	if math.Abs(r.Throughput-1000) > 1e-6 {
+		t.Errorf("Throughput = %v, want 1000 (ingress-limited)", r.Throughput)
+	}
+	if len(r.Bottlenecks) != 0 {
+		t.Errorf("no bottlenecks expected, got %v", r.Bottlenecks)
+	}
+	if !r.Feasible() {
+		t.Errorf("tiny load should be feasible: %v", r.Violations)
+	}
+}
+
+func TestSelectivityAmplification(t *testing.T) {
+	// Splitter-style selectivity 10: sink sees 10x the worker's rate.
+	// Selectivity feeding the model comes from the profiled Stats, the
+	// same way the paper pre-profiles selectivity before optimizing.
+	g := chain(t, 10)
+	eg, _ := plan.Build(g, nil, 1)
+	stats := chainStats()
+	w := stats["worker"]
+	w.Selectivity = map[string]float64{"default": 10}
+	stats["worker"] = w
+	cfg := &Config{Machine: testMachine(), Stats: stats, Ingress: 1000}
+	r := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+	if math.Abs(r.Throughput-10_000) > 1e-6 {
+		t.Errorf("Throughput = %v, want 10000", r.Throughput)
+	}
+}
+
+func TestRemotePlacementChargesFormula2(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	m := testMachine()
+	cfg := &Config{Machine: m, Stats: chainStats(), Ingress: Saturated}
+
+	local := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+
+	remote := plan.NewPlacement()
+	remote.Place(eg.OfOp("spout")[0].ID, 0)
+	remote.Place(eg.OfOp("worker")[0].ID, 1) // one hop from producer
+	remote.Place(eg.OfOp("sink")[0].ID, 1)
+	r := mustEval(t, eg, remote, cfg, Options{})
+
+	worker := eg.OfOp("worker")[0].ID
+	// Tf = ceil(64/64) * 200 = 200ns; T = 1200ns.
+	if math.Abs(r.Rates[worker].Tf-200) > 1e-9 {
+		t.Errorf("worker Tf = %v, want 200", r.Rates[worker].Tf)
+	}
+	if math.Abs(r.Rates[worker].T-1200) > 1e-9 {
+		t.Errorf("worker T = %v, want 1200", r.Rates[worker].T)
+	}
+	if r.Throughput >= local.Throughput {
+		t.Errorf("remote throughput %v should be below local %v", r.Throughput, local.Throughput)
+	}
+	want := 1e9 / 1200
+	if math.Abs(r.Throughput-want) > 1 {
+		t.Errorf("remote throughput = %v, want %v", r.Throughput, want)
+	}
+}
+
+func TestThroughputMonotoneInNUMADistance(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	// 8-socket machine: hop classes 0, 1, 2.
+	m := numa.Synthetic("dist", 8, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &Config{Machine: m, Stats: chainStats(), Ingress: Saturated}
+	spout, worker, sink := eg.OfOp("spout")[0].ID, eg.OfOp("worker")[0].ID, eg.OfOp("sink")[0].ID
+	tput := func(workerSocket numa.SocketID) float64 {
+		p := plan.NewPlacement()
+		p.Place(spout, 0)
+		p.Place(worker, workerSocket)
+		p.Place(sink, workerSocket)
+		return mustEval(t, eg, p, cfg, Options{}).Throughput
+	}
+	localT, hopT, farT := tput(0), tput(1), tput(4)
+	if !(localT > hopT && hopT > farT) {
+		t.Errorf("throughput not monotone in distance: local %v, 1-hop %v, cross-tray %v", localT, hopT, farT)
+	}
+}
+
+func TestReplicationRaisesCapacity(t *testing.T) {
+	g := chain(t, 1)
+	cfg := &Config{Machine: testMachine(), Stats: chainStats(), Ingress: Saturated}
+	eg1, _ := plan.Build(g, nil, 1)
+	r1 := mustEval(t, eg1, plan.CollocateAll(eg1), cfg, Options{})
+	eg2, _ := plan.Build(g, map[string]int{"worker": 2}, 1)
+	r2 := mustEval(t, eg2, plan.CollocateAll(eg2), cfg, Options{})
+	if r2.Throughput <= r1.Throughput {
+		t.Errorf("2 workers %v should beat 1 worker %v", r2.Throughput, r1.Throughput)
+	}
+	if math.Abs(r2.Throughput-2e6) > 1 {
+		t.Errorf("2-worker throughput = %v, want 2e6", r2.Throughput)
+	}
+}
+
+func TestCPUConstraintViolation(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	// One core per socket: spout alone saturates a core (1e7 * 100ns =
+	// 1e9 ns/s); adding worker and sink on socket 0 must violate Eq. 3.
+	m := numa.Synthetic("tiny", 2, 1, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &Config{Machine: m, Stats: chainStats(), Ingress: Saturated}
+	r := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+	if r.Feasible() {
+		t.Fatal("oversubscribed socket should violate CPU constraint")
+	}
+	foundCPU := false
+	for _, v := range r.Violations {
+		if v.Kind == "cpu" && v.From == 0 {
+			foundCPU = true
+			if v.Demand <= v.Limit {
+				t.Errorf("violation with demand %v <= limit %v", v.Demand, v.Limit)
+			}
+		}
+	}
+	if !foundCPU {
+		t.Errorf("no cpu violation found: %v", r.Violations)
+	}
+}
+
+func TestChannelConstraintViolation(t *testing.T) {
+	g := chain(t, 1)
+	// A single remote replica self-throttles (it transfers at most one
+	// cache line per L(i,j) ns), so channel violations need several
+	// consumers sharing one thin channel: 8 workers x ~0.3 GB/s fetch
+	// demand > the 1 GB/s remote channel.
+	eg, _ := plan.Build(g, map[string]int{"worker": 8}, 1)
+	m := numa.Synthetic("thin", 4, 16, 50, 200, 400, 50*numa.GB, 1*numa.GB, 1*numa.GB)
+	stats := chainStats()
+	w := stats["worker"]
+	w.N = 6400
+	stats["worker"] = w
+	cfg := &Config{Machine: m, Stats: stats, Ingress: Saturated}
+	p := plan.NewPlacement()
+	p.Place(eg.OfOp("spout")[0].ID, 0)
+	for _, v := range eg.OfOp("worker") {
+		p.Place(v.ID, 1)
+	}
+	p.Place(eg.OfOp("sink")[0].ID, 1)
+	r := mustEval(t, eg, p, cfg, Options{})
+	foundCh := false
+	for _, v := range r.Violations {
+		if v.Kind == "channel" && v.From == 0 && v.To == 1 {
+			foundCh = true
+		}
+	}
+	if !foundCh {
+		t.Errorf("expected channel violation, got %v", r.Violations)
+	}
+}
+
+func TestBoundIsUpperBound(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, map[string]int{"worker": 2}, 1)
+	m := testMachine()
+	cfg := &Config{Machine: m, Stats: chainStats(), Ingress: Saturated}
+
+	// Partial placement: spout fixed on socket 0, rest unplaced.
+	partial := plan.NewPlacement()
+	partial.Place(eg.OfOp("spout")[0].ID, 0)
+	bound := mustEval(t, eg, partial, cfg, Options{Bound: true})
+
+	// Every complete extension must be <= the bound.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		p := partial.Clone()
+		for _, v := range eg.Vertices {
+			if _, placed := p.SocketOf(v.ID); !placed {
+				p.Place(v.ID, numa.SocketID(rng.Intn(m.Sockets)))
+			}
+		}
+		full := mustEval(t, eg, p, cfg, Options{})
+		if full.Throughput > bound.Throughput*(1+1e-9) {
+			t.Fatalf("completion %d throughput %v exceeds bound %v", i, full.Throughput, bound.Throughput)
+		}
+	}
+}
+
+func TestTfPolicies(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	m := testMachine()
+	remote := plan.NewPlacement()
+	remote.Place(eg.OfOp("spout")[0].ID, 0)
+	remote.Place(eg.OfOp("worker")[0].ID, 1)
+	remote.Place(eg.OfOp("sink")[0].ID, 1)
+
+	zero := mustEval(t, eg, remote, &Config{Machine: m, Stats: chainStats(), Ingress: Saturated, Policy: TfZero}, Options{})
+	worst := mustEval(t, eg, remote, &Config{Machine: m, Stats: chainStats(), Ingress: Saturated, Policy: TfWorstCase}, Options{})
+	real := mustEval(t, eg, remote, &Config{Machine: m, Stats: chainStats(), Ingress: Saturated}, Options{})
+
+	worker := eg.OfOp("worker")[0].ID
+	if zero.Rates[worker].Tf != 0 {
+		t.Errorf("TfZero gave Tf = %v", zero.Rates[worker].Tf)
+	}
+	// Worst case charges max remote latency (400) regardless of actual
+	// placement (one hop = 200).
+	if worst.Rates[worker].Tf != 400 {
+		t.Errorf("TfWorstCase Tf = %v, want 400", worst.Rates[worker].Tf)
+	}
+	if !(zero.Throughput >= real.Throughput && real.Throughput >= worst.Throughput) {
+		t.Errorf("policy ordering broken: zero %v, real %v, worst %v", zero.Throughput, real.Throughput, worst.Throughput)
+	}
+}
+
+func TestEvaluateInputValidation(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	m := testMachine()
+	if _, err := Evaluate(eg, plan.CollocateAll(eg), &Config{Machine: nil, Stats: chainStats(), Ingress: 1}, Options{}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := Evaluate(eg, plan.CollocateAll(eg), &Config{Machine: m, Stats: chainStats(), Ingress: 0}, Options{}); err == nil {
+		t.Error("zero ingress accepted")
+	}
+	if _, err := Evaluate(eg, plan.NewPlacement(), &Config{Machine: m, Stats: chainStats(), Ingress: 1}, Options{}); err == nil {
+		t.Error("incomplete placement accepted without Bound")
+	}
+	missing := profile.Set{"spout": {Te: 1, Selectivity: map[string]float64{"default": 1}}}
+	if _, err := Evaluate(eg, plan.CollocateAll(eg), &Config{Machine: m, Stats: missing, Ingress: 1}, Options{}); err == nil {
+		t.Error("missing operator stats accepted")
+	}
+}
+
+func TestVertexDemandAndRelativeError(t *testing.T) {
+	g := chain(t, 1)
+	eg, _ := plan.Build(g, nil, 1)
+	cfg := &Config{Machine: testMachine(), Stats: chainStats(), Ingress: Saturated}
+	r := mustEval(t, eg, plan.CollocateAll(eg), cfg, Options{})
+	worker := eg.OfOp("worker")[0].ID
+	d := r.VertexDemand(eg, cfg, worker)
+	// Worker saturates one core: 1e6/s * 1000ns = 1e9 ns/s.
+	if math.Abs(d.CPU-1e9) > 1 {
+		t.Errorf("worker CPU demand = %v", d.CPU)
+	}
+	if math.Abs(d.BW-1e6*128) > 1 {
+		t.Errorf("worker BW demand = %v", d.BW)
+	}
+
+	if got := RelativeError(100, 92); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if !math.IsInf(RelativeError(0, 5), 1) {
+		t.Error("RelativeError(0, x) should be +Inf")
+	}
+}
+
+// Property: with random stats and random full placements, throughput is
+// finite, non-negative, and never exceeds the TfZero evaluation of the
+// same plan (removing RMA can only help — the "W/o rma" bound of Fig 10).
+func TestZeroRMADominatesProperty(t *testing.T) {
+	g := chain(t, 1)
+	rng := rand.New(rand.NewSource(17))
+	m := numa.Synthetic("prop", 4, 4, 50, 250, 500, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	for trial := 0; trial < 100; trial++ {
+		stats := profile.Set{
+			"spout":  {Te: 50 + rng.Float64()*500, M: 64, N: 32 + rng.Float64()*512, Selectivity: map[string]float64{"default": 1}},
+			"worker": {Te: 50 + rng.Float64()*2000, M: 64, N: 32 + rng.Float64()*512, Selectivity: map[string]float64{"default": rng.Float64() * 10}},
+			"sink":   {Te: 20 + rng.Float64()*100, M: 64, N: 32 + rng.Float64()*512, Selectivity: map[string]float64{}},
+		}
+		eg, _ := plan.Build(g, map[string]int{"worker": 1 + rng.Intn(4)}, 1)
+		p := plan.NewPlacement()
+		for _, v := range eg.Vertices {
+			p.Place(v.ID, numa.SocketID(rng.Intn(m.Sockets)))
+		}
+		withRMA := mustEval(t, eg, p, &Config{Machine: m, Stats: stats, Ingress: Saturated}, Options{})
+		noRMA := mustEval(t, eg, p, &Config{Machine: m, Stats: stats, Ingress: Saturated, Policy: TfZero}, Options{})
+		if withRMA.Throughput < 0 || math.IsNaN(withRMA.Throughput) || math.IsInf(withRMA.Throughput, 0) {
+			t.Fatalf("trial %d: bad throughput %v", trial, withRMA.Throughput)
+		}
+		if withRMA.Throughput > noRMA.Throughput*(1+1e-9) {
+			t.Fatalf("trial %d: RMA-charged %v exceeds zero-RMA %v", trial, withRMA.Throughput, noRMA.Throughput)
+		}
+	}
+}

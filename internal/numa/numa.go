@@ -1,0 +1,274 @@
+// Package numa describes shared-memory multi-socket (NUMA) machines.
+//
+// Everything RLAS needs to know about a machine is captured by the
+// Machine descriptor: per-socket compute capacity C, local DRAM
+// bandwidth B, the remote channel bandwidth matrix Q(i,j), the worst-case
+// memory access latency matrix L(i,j) and the cache line size S
+// (Table 1 of the BriskStream paper). The package ships descriptors for
+// the two eight-socket servers evaluated in the paper (Table 2) and a
+// constructor for synthetic machines used in parameter sweeps.
+package numa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheLineSize is S in the paper's model: the granularity of a remote
+// memory transfer, in bytes.
+const CacheLineSize = 64
+
+// SocketID identifies a CPU socket on a machine.
+type SocketID int
+
+// Machine describes a NUMA machine in exactly the terms the BriskStream
+// performance model consumes. All latencies are in nanoseconds, all
+// bandwidths in bytes per second, and compute capacity in nanoseconds of
+// CPU time available per wall-clock second per socket (i.e. cores x 1e9,
+// scaled by relative clock speed when comparing machines).
+type Machine struct {
+	// Name labels the machine in reports (e.g. "Server A").
+	Name string
+	// Sockets is the number of CPU sockets.
+	Sockets int
+	// CoresPerSocket is the number of physical cores per socket
+	// (hyper-threading disabled, as in the paper).
+	CoresPerSocket int
+	// ClockGHz is the nominal core frequency in GHz.
+	ClockGHz float64
+	// CyclesPerSocket is C: attainable CPU nanoseconds per second per
+	// socket. A socket with k cores supplies k*1e9 ns of CPU time per
+	// second; operators' Te is expressed in (frequency-normalized)
+	// nanoseconds, so C already folds in the clock rate.
+	CyclesPerSocket float64
+	// LocalBandwidth is B: maximum attainable local DRAM bandwidth of one
+	// socket, bytes/sec.
+	LocalBandwidth float64
+	// Latency is L(i,j): worst-case memory access latency from socket i
+	// to socket j in nanoseconds. Latency[i][i] is the local latency.
+	Latency [][]float64
+	// Bandwidth is Q(i,j): maximum attainable remote channel bandwidth
+	// from socket i to socket j, bytes/sec. Bandwidth[i][i] is B.
+	Bandwidth [][]float64
+	// TrayOf maps a socket to its CPU tray (0 = upper, 1 = lower). Both
+	// paper servers have two trays of four sockets; crossing the tray
+	// boundary is the expensive "max hops" case.
+	TrayOf []int
+}
+
+// GB is one gigabyte per second, the unit Table 2 uses for bandwidth.
+const GB = 1e9
+
+// Validate checks internal consistency of the descriptor.
+func (m *Machine) Validate() error {
+	if m.Sockets <= 0 {
+		return fmt.Errorf("numa: machine %q has %d sockets", m.Name, m.Sockets)
+	}
+	if m.CoresPerSocket <= 0 {
+		return fmt.Errorf("numa: machine %q has %d cores per socket", m.Name, m.CoresPerSocket)
+	}
+	if len(m.Latency) != m.Sockets || len(m.Bandwidth) != m.Sockets {
+		return fmt.Errorf("numa: machine %q matrix dimensions do not match %d sockets", m.Name, m.Sockets)
+	}
+	for i := 0; i < m.Sockets; i++ {
+		if len(m.Latency[i]) != m.Sockets || len(m.Bandwidth[i]) != m.Sockets {
+			return fmt.Errorf("numa: machine %q row %d has wrong width", m.Name, i)
+		}
+		for j := 0; j < m.Sockets; j++ {
+			if m.Latency[i][j] <= 0 {
+				return fmt.Errorf("numa: machine %q latency[%d][%d] = %v", m.Name, i, j, m.Latency[i][j])
+			}
+			if m.Bandwidth[i][j] <= 0 {
+				return fmt.Errorf("numa: machine %q bandwidth[%d][%d] = %v", m.Name, i, j, m.Bandwidth[i][j])
+			}
+			if m.Latency[i][j] != m.Latency[j][i] {
+				return fmt.Errorf("numa: machine %q latency matrix not symmetric at (%d,%d)", m.Name, i, j)
+			}
+		}
+		if m.Latency[i][i] > m.Latency[i][(i+1)%m.Sockets] && m.Sockets > 1 {
+			return fmt.Errorf("numa: machine %q local latency exceeds remote", m.Name)
+		}
+	}
+	if len(m.TrayOf) != m.Sockets {
+		return fmt.Errorf("numa: machine %q TrayOf has %d entries", m.Name, len(m.TrayOf))
+	}
+	if m.CyclesPerSocket <= 0 || m.LocalBandwidth <= 0 {
+		return fmt.Errorf("numa: machine %q has non-positive capacity", m.Name)
+	}
+	return nil
+}
+
+// TotalCores is the machine-wide core count.
+func (m *Machine) TotalCores() int { return m.Sockets * m.CoresPerSocket }
+
+// SameTray reports whether two sockets share a CPU tray.
+func (m *Machine) SameTray(i, j SocketID) bool { return m.TrayOf[i] == m.TrayOf[j] }
+
+// Local reports whether i and j are the same socket.
+func (m *Machine) Local(i, j SocketID) bool { return i == j }
+
+// L returns the worst-case memory access latency from socket i to j (ns).
+func (m *Machine) L(i, j SocketID) float64 { return m.Latency[i][j] }
+
+// Q returns the attainable channel bandwidth from socket i to j (bytes/s).
+func (m *Machine) Q(i, j SocketID) float64 { return m.Bandwidth[i][j] }
+
+// Hops classifies the NUMA distance between two sockets: 0 for local,
+// 1 within a tray and 2 across trays. The paper's Table 2 reports exactly
+// these three latency classes for both servers.
+func (m *Machine) Hops(i, j SocketID) int {
+	switch {
+	case i == j:
+		return 0
+	case m.SameTray(i, j):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FetchCost is the paper's Formula 2: the per-tuple remote fetch time in
+// nanoseconds for a tuple of n bytes moved from socket i to socket j.
+// Collocated operators pay nothing extra (the local fetch is already part
+// of Te).
+func (m *Machine) FetchCost(n int, i, j SocketID) float64 {
+	if i == j {
+		return 0
+	}
+	lines := (n + CacheLineSize - 1) / CacheLineSize
+	return float64(lines) * m.Latency[i][j]
+}
+
+// Restrict returns a copy of the machine with only the first n sockets
+// enabled. It is used by the scalability experiments (Figure 9) which
+// enable 1, 2, 4 and 8 sockets.
+func (m *Machine) Restrict(n int) (*Machine, error) {
+	if n <= 0 || n > m.Sockets {
+		return nil, fmt.Errorf("numa: cannot restrict %q to %d sockets", m.Name, n)
+	}
+	r := &Machine{
+		Name:            fmt.Sprintf("%s[%d sockets]", m.Name, n),
+		Sockets:         n,
+		CoresPerSocket:  m.CoresPerSocket,
+		ClockGHz:        m.ClockGHz,
+		CyclesPerSocket: m.CyclesPerSocket,
+		LocalBandwidth:  m.LocalBandwidth,
+		Latency:         make([][]float64, n),
+		Bandwidth:       make([][]float64, n),
+		TrayOf:          append([]int(nil), m.TrayOf[:n]...),
+	}
+	for i := 0; i < n; i++ {
+		r.Latency[i] = append([]float64(nil), m.Latency[i][:n]...)
+		r.Bandwidth[i] = append([]float64(nil), m.Bandwidth[i][:n]...)
+	}
+	return r, nil
+}
+
+// String renders a short human-readable summary.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d sockets x %d cores @ %.2f GHz, local B/W %.1f GB/s",
+		m.Name, m.Sockets, m.CoresPerSocket, m.ClockGHz, m.LocalBandwidth/GB)
+	return b.String()
+}
+
+// matrix builds a Sockets x Sockets matrix where the value for a pair of
+// sockets is chosen by NUMA distance class: local, one hop (same tray) or
+// max hops (cross tray).
+func matrix(sockets int, trayOf []int, local, oneHop, maxHops float64) [][]float64 {
+	m := make([][]float64, sockets)
+	for i := range m {
+		m[i] = make([]float64, sockets)
+		for j := range m[i] {
+			switch {
+			case i == j:
+				m[i][j] = local
+			case trayOf[i] == trayOf[j]:
+				m[i][j] = oneHop
+			default:
+				m[i][j] = maxHops
+			}
+		}
+	}
+	return m
+}
+
+func twoTrays(sockets int) []int {
+	t := make([]int, sockets)
+	for i := range t {
+		if i >= (sockets+1)/2 {
+			t[i] = 1
+		}
+	}
+	return t
+}
+
+// ServerA returns the HUAWEI KunLun descriptor from Table 2: a glue-less
+// eight-socket machine (8 x 18-core Xeon E7-8890 at 1.2 GHz). Remote
+// bandwidth degrades sharply with NUMA distance (13.2 GB/s one hop,
+// 5.8 GB/s across trays).
+func ServerA() *Machine {
+	trays := twoTrays(8)
+	m := &Machine{
+		Name:            "Server A (HUAWEI KunLun)",
+		Sockets:         8,
+		CoresPerSocket:  18,
+		ClockGHz:        1.2,
+		CyclesPerSocket: 18 * 1e9,
+		LocalBandwidth:  54.3 * GB,
+		Latency:         matrix(8, trays, 50, 307.7, 548.0),
+		Bandwidth:       matrix(8, trays, 54.3*GB, 13.2*GB, 5.8*GB),
+		TrayOf:          trays,
+	}
+	return m
+}
+
+// ServerB returns the HP ProLiant DL980 G7 descriptor from Table 2: a
+// glue-assisted (XNC node controller) eight-socket machine (8 x 8-core
+// Xeon E7-2860 at 2.27 GHz). Thanks to the XNC, remote bandwidth is nearly
+// uniform regardless of distance (10.6 vs 10.8 GB/s), though latency still
+// grows across trays.
+func ServerB() *Machine {
+	trays := twoTrays(8)
+	m := &Machine{
+		Name:           "Server B (HP ProLiant DL980 G7)",
+		Sockets:        8,
+		CoresPerSocket: 8,
+		ClockGHz:       2.27,
+		// Server B cores are ~1.89x faster per core than Server A's
+		// power-saving 1.2 GHz parts; Te statistics are profiled on
+		// Server A, so Server B's effective capacity per socket is
+		// scaled by the clock ratio.
+		CyclesPerSocket: 8 * 1e9 * (2.27 / 1.2),
+		LocalBandwidth:  24.2 * GB,
+		Latency:         matrix(8, trays, 50, 185.2, 349.6),
+		Bandwidth:       matrix(8, trays, 24.2*GB, 10.6*GB, 10.8*GB),
+		TrayOf:          trays,
+	}
+	return m
+}
+
+// Synthetic builds a two-tray machine with the given shape for sweeps and
+// tests. Latencies and bandwidths interpolate between the two paper
+// servers' characteristics.
+func Synthetic(name string, sockets, coresPerSocket int, localLat, hopLat, maxLat, localBW, hopBW, maxBW float64) *Machine {
+	trays := twoTrays(sockets)
+	return &Machine{
+		Name:            name,
+		Sockets:         sockets,
+		CoresPerSocket:  coresPerSocket,
+		ClockGHz:        2.0,
+		CyclesPerSocket: float64(coresPerSocket) * 1e9,
+		LocalBandwidth:  localBW,
+		Latency:         matrix(sockets, trays, localLat, hopLat, maxLat),
+		Bandwidth:       matrix(sockets, trays, localBW, hopBW, maxBW),
+		TrayOf:          trays,
+	}
+}
+
+// Uniform builds a machine with no NUMA effect: remote access costs the
+// same as local. Used to isolate the contribution of NUMA awareness in
+// ablation tests.
+func Uniform(name string, sockets, coresPerSocket int) *Machine {
+	return Synthetic(name, sockets, coresPerSocket, 50, 50, 50, 50*GB, 50*GB, 50*GB)
+}

@@ -1,0 +1,199 @@
+package numa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerAMatchesTable2(t *testing.T) {
+	a := ServerA()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("ServerA invalid: %v", err)
+	}
+	if a.Sockets != 8 || a.CoresPerSocket != 18 {
+		t.Fatalf("ServerA shape = %dx%d, want 8x18", a.Sockets, a.CoresPerSocket)
+	}
+	if got := a.TotalCores(); got != 144 {
+		t.Fatalf("ServerA TotalCores = %d, want 144", got)
+	}
+	if got := a.L(0, 0); got != 50 {
+		t.Errorf("local latency = %v, want 50", got)
+	}
+	if got := a.L(0, 1); got != 307.7 {
+		t.Errorf("1-hop latency = %v, want 307.7", got)
+	}
+	if got := a.L(0, 4); got != 548.0 {
+		t.Errorf("max-hop latency = %v, want 548.0", got)
+	}
+	if got := a.Q(0, 1); got != 13.2*GB {
+		t.Errorf("1-hop bandwidth = %v, want 13.2 GB/s", got)
+	}
+	if got := a.Q(0, 7); got != 5.8*GB {
+		t.Errorf("max-hop bandwidth = %v, want 5.8 GB/s", got)
+	}
+}
+
+func TestServerBMatchesTable2(t *testing.T) {
+	b := ServerB()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("ServerB invalid: %v", err)
+	}
+	if b.Sockets != 8 || b.CoresPerSocket != 8 {
+		t.Fatalf("ServerB shape = %dx%d, want 8x8", b.Sockets, b.CoresPerSocket)
+	}
+	if got := b.L(0, 1); got != 185.2 {
+		t.Errorf("1-hop latency = %v, want 185.2", got)
+	}
+	if got := b.L(0, 4); got != 349.6 {
+		t.Errorf("max-hop latency = %v, want 349.6", got)
+	}
+	// The XNC makes remote bandwidth nearly uniform (second takeaway of
+	// Table 2): max-hop bandwidth is not lower than 1-hop bandwidth.
+	if b.Q(0, 4) < b.Q(0, 1) {
+		t.Errorf("ServerB cross-tray bandwidth %v < in-tray %v; XNC should equalize", b.Q(0, 4), b.Q(0, 1))
+	}
+}
+
+func TestHopsClassification(t *testing.T) {
+	a := ServerA()
+	tests := []struct {
+		i, j SocketID
+		want int
+	}{
+		{0, 0, 0}, {3, 3, 0},
+		{0, 1, 1}, {0, 3, 1}, {1, 2, 1},
+		{4, 7, 1}, {5, 6, 1},
+		{0, 4, 2}, {3, 4, 2}, {0, 7, 2}, {2, 5, 2},
+	}
+	for _, tc := range tests {
+		if got := a.Hops(tc.i, tc.j); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.i, tc.j, got, tc.want)
+		}
+	}
+}
+
+func TestFetchCostFormula2(t *testing.T) {
+	a := ServerA()
+	// Collocated: free.
+	if got := a.FetchCost(1024, 2, 2); got != 0 {
+		t.Errorf("collocated fetch cost = %v, want 0", got)
+	}
+	// One cache line remote, one hop.
+	if got := a.FetchCost(1, 0, 1); got != 307.7 {
+		t.Errorf("1-byte 1-hop fetch = %v, want 307.7", got)
+	}
+	// 65 bytes => 2 cache lines.
+	if got := a.FetchCost(65, 0, 1); got != 2*307.7 {
+		t.Errorf("65-byte 1-hop fetch = %v, want %v", got, 2*307.7)
+	}
+	// Cross-tray costs more than in-tray for the same size.
+	if a.FetchCost(128, 0, 4) <= a.FetchCost(128, 0, 1) {
+		t.Errorf("cross-tray fetch should exceed in-tray fetch")
+	}
+}
+
+// Property: fetch cost is monotonically non-decreasing in tuple size and
+// in NUMA distance class.
+func TestFetchCostMonotonic(t *testing.T) {
+	a := ServerA()
+	f := func(n uint16, add uint8) bool {
+		small := int(n)
+		large := small + int(add)
+		for _, pair := range [][2]SocketID{{0, 0}, {0, 1}, {0, 4}} {
+			if a.FetchCost(small, pair[0], pair[1]) > a.FetchCost(large, pair[0], pair[1]) {
+				return false
+			}
+		}
+		// Distance monotonicity for a fixed size.
+		return a.FetchCost(large, 0, 0) <= a.FetchCost(large, 0, 1) &&
+			a.FetchCost(large, 0, 1) <= a.FetchCost(large, 0, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a := ServerA()
+	for _, n := range []int{1, 2, 4, 8} {
+		r, err := a.Restrict(n)
+		if err != nil {
+			t.Fatalf("Restrict(%d): %v", n, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("Restrict(%d) invalid: %v", n, err)
+		}
+		if r.Sockets != n {
+			t.Errorf("Restrict(%d).Sockets = %d", n, r.Sockets)
+		}
+		if r.TotalCores() != n*18 {
+			t.Errorf("Restrict(%d).TotalCores = %d, want %d", n, r.TotalCores(), n*18)
+		}
+	}
+	if _, err := a.Restrict(0); err == nil {
+		t.Error("Restrict(0) should fail")
+	}
+	if _, err := a.Restrict(9); err == nil {
+		t.Error("Restrict(9) should fail")
+	}
+	// Restricting must not alias the original matrices.
+	r, _ := a.Restrict(4)
+	r.Latency[0][1] = 1
+	if a.Latency[0][1] == 1 {
+		t.Error("Restrict aliases parent latency matrix")
+	}
+}
+
+func TestSyntheticAndUniform(t *testing.T) {
+	s := Synthetic("sweep", 4, 6, 50, 200, 400, 30*GB, 10*GB, 5*GB)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("synthetic invalid: %v", err)
+	}
+	u := Uniform("flat", 4, 6)
+	if err := u.Validate(); err != nil {
+		t.Fatalf("uniform invalid: %v", err)
+	}
+	if u.FetchCost(256, 0, 3) != u.FetchCost(256, 0, 1) {
+		t.Error("uniform machine should have distance-independent cost")
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	bad := ServerA()
+	bad.Latency[0][1] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	bad2 := ServerA()
+	bad2.Latency[0][1] = 100
+	// asymmetric now (Latency[1][0] still 307.7)
+	if err := bad2.Validate(); err == nil {
+		t.Error("asymmetric latency accepted")
+	}
+	bad3 := ServerA()
+	bad3.Sockets = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero sockets accepted")
+	}
+	bad4 := ServerA()
+	bad4.TrayOf = bad4.TrayOf[:3]
+	if err := bad4.Validate(); err == nil {
+		t.Error("short TrayOf accepted")
+	}
+}
+
+// Property: on random synthetic machines, Validate accepts what the
+// constructor produces.
+func TestSyntheticAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		sockets := 1 + rng.Intn(8)
+		cores := 1 + rng.Intn(32)
+		m := Synthetic("r", sockets, cores, 40+rng.Float64()*20, 150+rng.Float64()*200, 300+rng.Float64()*300,
+			(10+rng.Float64()*50)*GB, (5+rng.Float64()*10)*GB, (2+rng.Float64()*9)*GB)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("synthetic machine %d invalid: %v", i, err)
+		}
+	}
+}

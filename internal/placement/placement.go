@@ -1,0 +1,151 @@
+// Package placement implements the competing placement strategies the
+// paper evaluates against RLAS (Table 6 and Figure 13/14):
+//
+//   - OS: placement left to the operating system — modelled as a load-
+//     spreading assignment that balances thread counts across sockets
+//     without any notion of communication cost.
+//   - FF: topological first-fit — greedily packs operators (producers
+//     first) into the current socket until its resources are exhausted,
+//     a stand-in for traffic-minimizing heuristics [T-Storm, Xu et al.].
+//   - RR: round-robin over sockets — resource balancing in the spirit of
+//     R-Storm and Flink's NUMA patch.
+//   - Random: uniformly random placements for the Monte-Carlo study
+//     (Figure 14).
+//   - BruteForce: exhaustive optimal placement for tiny instances, used
+//     to verify the branch-and-bound search.
+//
+// FF and RR are "enforced to guarantee resource constraints as much as
+// possible": when no socket satisfies the constraints they gradually
+// relax them (Section 6.4), so they always return a complete placement.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+)
+
+// OS spreads vertices across sockets to balance per-socket thread count,
+// ignoring communication entirely: a simple model of a general-purpose
+// OS scheduler's load balancing on a NUMA machine.
+func OS(eg *plan.ExecGraph, m *numa.Machine) *plan.Placement {
+	p := plan.NewPlacement()
+	load := make([]int, m.Sockets)
+	for _, id := range eg.TopoOrder() {
+		v := eg.Vertex(id)
+		// Pick the least-loaded socket (ties to lowest index).
+		best := 0
+		for s := 1; s < m.Sockets; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		load[best] += v.Count
+		p.Place(id, numa.SocketID(best))
+	}
+	return p
+}
+
+// RR places vertices round-robin over sockets in topological order.
+func RR(eg *plan.ExecGraph, m *numa.Machine) *plan.Placement {
+	p := plan.NewPlacement()
+	s := 0
+	for _, id := range eg.TopoOrder() {
+		p.Place(id, numa.SocketID(s))
+		s = (s + 1) % m.Sockets
+	}
+	return p
+}
+
+// FF is topological first-fit: starting from the spout it packs each
+// vertex into the lowest-numbered socket whose CPU and bandwidth
+// constraints still hold under the model's (saturated) demand estimates.
+// If no socket fits, constraints are relaxed by an increasing factor
+// until the vertex can be placed — mirroring the paper's description of
+// FF falling into "not-able-to-progress" situations and repacking with
+// relaxed constraints, which tends to oversubscribe a few sockets.
+func FF(eg *plan.ExecGraph, cfg *model.Config) (*plan.Placement, error) {
+	m := cfg.Machine
+	p := plan.NewPlacement()
+	for _, relax := range []float64{1, 1.5, 2, 4, 8, 1e18} {
+		p = plan.NewPlacement()
+		ok := true
+		for _, id := range eg.TopoOrder() {
+			ev, err := model.Evaluate(eg, p, cfg, model.Options{Bound: true})
+			if err != nil {
+				return nil, err
+			}
+			placed := false
+			for s := 0; s < m.Sockets; s++ {
+				d := ev.VertexDemand(eg, cfg, id)
+				if ev.CPUUsed[s]+d.CPU <= m.CyclesPerSocket*relax &&
+					ev.BWUsed[s]+d.BW <= m.LocalBandwidth*relax {
+					p.Place(id, numa.SocketID(s))
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: first-fit could not place all vertices")
+}
+
+// Random places every vertex uniformly at random.
+func Random(eg *plan.ExecGraph, m *numa.Machine, rng *rand.Rand) *plan.Placement {
+	p := plan.NewPlacement()
+	for _, v := range eg.Vertices {
+		p.Place(v.ID, numa.SocketID(rng.Intn(m.Sockets)))
+	}
+	return p
+}
+
+// BruteForce enumerates every complete placement (m^n of them) and
+// returns the feasible one with the highest modelled throughput, or nil
+// if none is feasible. Only usable for tiny instances; it exists to
+// verify the branch-and-bound optimizer.
+func BruteForce(eg *plan.ExecGraph, cfg *model.Config) (*plan.Placement, *model.Result, error) {
+	n := len(eg.Vertices)
+	m := cfg.Machine.Sockets
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= m
+		if total > 5_000_000 {
+			return nil, nil, fmt.Errorf("placement: brute force space too large (%d vertices on %d sockets)", n, m)
+		}
+	}
+	var best *plan.Placement
+	var bestEval *model.Result
+	assign := make([]int, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := 0; i < n; i++ {
+			assign[i] = c % m
+			c /= m
+		}
+		p := plan.NewPlacement()
+		for i, v := range eg.Vertices {
+			p.Place(v.ID, numa.SocketID(assign[i]))
+		}
+		ev, err := model.Evaluate(eg, p, cfg, model.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ev.Feasible() {
+			continue
+		}
+		if bestEval == nil || ev.Throughput > bestEval.Throughput {
+			best, bestEval = p, ev
+		}
+	}
+	return best, bestEval, nil
+}

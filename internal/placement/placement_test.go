@@ -1,0 +1,170 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+)
+
+func chain(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func testStats() profile.Set {
+	return profile.Set{
+		"spout":  {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+func TestOSBalancesThreadCounts(t *testing.T) {
+	m := numa.Synthetic("os", 4, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 6}, 1)
+	p := OS(eg, m)
+	if !p.Complete(eg) {
+		t.Fatal("OS placement incomplete")
+	}
+	load := make([]int, m.Sockets)
+	for _, v := range eg.Vertices {
+		s, _ := p.SocketOf(v.ID)
+		load[s] += v.Count
+	}
+	// 8 replicas over 4 sockets: max-min spread should be at most 1.
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("OS load imbalance: %v", load)
+	}
+}
+
+func TestRRCyclesSockets(t *testing.T) {
+	m := numa.Synthetic("rr", 3, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p := RR(eg, m)
+	order := eg.TopoOrder()
+	for i, id := range order {
+		s, ok := p.SocketOf(id)
+		if !ok || int(s) != i%3 {
+			t.Errorf("vertex %d on socket %v, want %d", id, s, i%3)
+		}
+	}
+}
+
+func TestFFPacksGreedily(t *testing.T) {
+	m := numa.Synthetic("ff", 4, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p, err := FF(eg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete(eg) {
+		t.Fatal("FF incomplete")
+	}
+	// Everything fits on socket 0 (spout 1 core + worker 1 core + sink):
+	// first-fit packs them all there.
+	for _, v := range eg.Vertices {
+		if s, _ := p.SocketOf(v.ID); s != 0 {
+			t.Errorf("%s on socket %d, want 0", v.Label(), s)
+		}
+	}
+}
+
+func TestFFRelaxesWhenOverloaded(t *testing.T) {
+	// 1 socket x 1 core cannot hold the saturated chain under the strict
+	// constraints; FF must still return a (relaxed) complete placement.
+	m := numa.Synthetic("cramped", 1, 1, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p, err := FF(eg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete(eg) {
+		t.Fatal("FF with relaxation should still complete")
+	}
+}
+
+func TestRandomIsCompleteAndDeterministicPerSeed(t *testing.T) {
+	m := numa.ServerA()
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 4}, 1)
+	p1 := Random(eg, m, rand.New(rand.NewSource(42)))
+	p2 := Random(eg, m, rand.New(rand.NewSource(42)))
+	if !p1.Complete(eg) {
+		t.Fatal("random placement incomplete")
+	}
+	for _, v := range eg.Vertices {
+		s1, _ := p1.SocketOf(v.ID)
+		s2, _ := p2.SocketOf(v.ID)
+		if s1 != s2 {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+func TestBruteForceFindsFeasibleOptimum(t *testing.T) {
+	m := numa.Synthetic("bf", 2, 2, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	cfg := &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p, ev, err := BruteForce(eg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || !ev.Feasible() {
+		t.Fatal("brute force found no feasible plan")
+	}
+	// Exhaustive check: no feasible plan beats it.
+	for s0 := 0; s0 < 2; s0++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for s2 := 0; s2 < 2; s2++ {
+				pp := plan.NewPlacement()
+				pp.Place(eg.Vertices[0].ID, numa.SocketID(s0))
+				pp.Place(eg.Vertices[1].ID, numa.SocketID(s1))
+				pp.Place(eg.Vertices[2].ID, numa.SocketID(s2))
+				e, err := model.Evaluate(eg, pp, cfg, model.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.Feasible() && e.Throughput > ev.Throughput*(1+1e-9) {
+					t.Fatalf("missed better plan: %v > %v", e.Throughput, ev.Throughput)
+				}
+			}
+		}
+	}
+}
+
+func TestBruteForceRejectsHugeSpace(t *testing.T) {
+	m := numa.ServerA()
+	cfg := &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	eg, _ := plan.Build(chain(t), map[string]int{"worker": 20}, 1)
+	if _, _, err := BruteForce(eg, cfg); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}

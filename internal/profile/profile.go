@@ -1,0 +1,153 @@
+// Package profile holds operator specifications — the statistics the
+// performance model consumes (Table 1, "operator specific"): average
+// execution time per tuple Te, average memory bandwidth consumption per
+// tuple M, average input tuple size N, and per-stream selectivity. The
+// paper profiles each operator sequentially in isolation with overseer/
+// classmexer and feeds the 50th-percentile statistics to the model
+// (Section 3.1, "Model instantiation"); Profiler does the same for Go
+// operator functions.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stats are one operator's model inputs.
+type Stats struct {
+	// Te is the average execution+emit time per input tuple in
+	// frequency-normalized nanoseconds (measured at the reference clock
+	// of the machine the statistics were profiled on).
+	Te float64
+	// M is the average memory traffic per tuple in bytes (drives the
+	// local-bandwidth constraint Eq. 4).
+	M float64
+	// N is the average input tuple size in bytes (drives the remote
+	// fetch cost Formula 2 and the QPI constraint Eq. 5).
+	N float64
+	// Selectivity maps output stream -> average output tuples per input
+	// tuple.
+	Selectivity map[string]float64
+}
+
+// TotalSelectivity sums selectivity across output streams.
+func (s Stats) TotalSelectivity() float64 {
+	var t float64
+	for _, v := range s.Selectivity {
+		t += v
+	}
+	return t
+}
+
+// Validate rejects statistics the model cannot use.
+func (s Stats) Validate() error {
+	if s.Te <= 0 {
+		return fmt.Errorf("profile: Te = %v must be positive", s.Te)
+	}
+	if s.M < 0 || s.N < 0 {
+		return fmt.Errorf("profile: negative M or N")
+	}
+	for stream, sel := range s.Selectivity {
+		if sel < 0 {
+			return fmt.Errorf("profile: negative selectivity on stream %q", stream)
+		}
+	}
+	return nil
+}
+
+// Set maps operator names to their statistics for one application.
+type Set map[string]Stats
+
+// Validate checks every entry.
+func (s Set) Validate() error {
+	for op, st := range s {
+		if err := st.Validate(); err != nil {
+			return fmt.Errorf("operator %q: %w", op, err)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for op, st := range s {
+		sel := make(map[string]float64, len(st.Selectivity))
+		for k, v := range st.Selectivity {
+			sel[k] = v
+		}
+		st.Selectivity = sel
+		c[op] = st
+	}
+	return c
+}
+
+// Sample is one profiled observation of an operator invocation.
+type Sample struct {
+	Duration time.Duration // wall time of one invocation
+	InBytes  int           // input tuple size
+	OutCount int           // tuples emitted
+	MemBytes int           // memory traffic attributed to the invocation
+}
+
+// Profiler accumulates isolated single-operator measurements and reduces
+// them to Stats at a chosen percentile. Profiling runs feed sample input
+// from local memory with no co-running operators, mirroring the paper's
+// interference-free methodology.
+type Profiler struct {
+	samples []Sample
+}
+
+// Record adds one observation.
+func (p *Profiler) Record(s Sample) { p.samples = append(p.samples, s) }
+
+// Count returns the number of recorded samples.
+func (p *Profiler) Count() int { return len(p.samples) }
+
+// Durations returns all recorded invocation durations in nanoseconds,
+// for CDF rendering (Figure 3).
+func (p *Profiler) Durations() []float64 {
+	out := make([]float64, len(p.samples))
+	for i, s := range p.samples {
+		out[i] = float64(s.Duration.Nanoseconds())
+	}
+	return out
+}
+
+// Reduce computes Stats at the given percentile (0 < pct <= 1) of the
+// execution-time distribution; the paper uses the 50th percentile. M and
+// N are averaged; selectivity is total emitted / total consumed on the
+// default stream unless the caller overrides it afterwards.
+func (p *Profiler) Reduce(pct float64) (Stats, error) {
+	if len(p.samples) == 0 {
+		return Stats{}, fmt.Errorf("profile: no samples")
+	}
+	if pct <= 0 || pct > 1 {
+		return Stats{}, fmt.Errorf("profile: percentile %v out of (0,1]", pct)
+	}
+	durs := make([]float64, len(p.samples))
+	var sumIn, sumMem, sumOut float64
+	for i, s := range p.samples {
+		durs[i] = float64(s.Duration.Nanoseconds())
+		sumIn += float64(s.InBytes)
+		sumMem += float64(s.MemBytes)
+		sumOut += float64(s.OutCount)
+	}
+	sort.Float64s(durs)
+	idx := int(pct*float64(len(durs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	n := float64(len(p.samples))
+	te := durs[idx]
+	if te <= 0 {
+		te = 1 // clamp: zero-duration samples happen below timer resolution
+	}
+	return Stats{
+		Te:          te,
+		M:           sumMem / n,
+		N:           sumIn / n,
+		Selectivity: map[string]float64{"default": sumOut / n},
+	}, nil
+}

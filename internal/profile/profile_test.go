@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatsValidate(t *testing.T) {
+	good := Stats{Te: 100, M: 50, N: 64, Selectivity: map[string]float64{"default": 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Stats{
+		{Te: 0},
+		{Te: -1},
+		{Te: 1, M: -5},
+		{Te: 1, N: -5},
+		{Te: 1, Selectivity: map[string]float64{"default": -0.5}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad stats %d accepted", i)
+		}
+	}
+}
+
+func TestSetValidateAndClone(t *testing.T) {
+	s := Set{
+		"parser":   {Te: 100, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"splitter": {Te: 1612, N: 100, Selectivity: map[string]float64{"default": 10}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c["parser"].Selectivity["default"] = 99
+	if s["parser"].Selectivity["default"] != 1 {
+		t.Error("Clone shares selectivity maps")
+	}
+	s["bad"] = Stats{Te: -1}
+	if err := s.Validate(); err == nil {
+		t.Error("set with bad entry accepted")
+	}
+}
+
+func TestTotalSelectivity(t *testing.T) {
+	s := Stats{Selectivity: map[string]float64{"a": 0.5, "b": 1.5}}
+	if got := s.TotalSelectivity(); got != 2 {
+		t.Errorf("TotalSelectivity = %v", got)
+	}
+}
+
+func TestProfilerReduce(t *testing.T) {
+	var p Profiler
+	// 100 samples: durations 1..100us, each consuming 64 bytes,
+	// emitting 10 tuples, touching 128 bytes.
+	for i := 1; i <= 100; i++ {
+		p.Record(Sample{
+			Duration: time.Duration(i) * time.Microsecond,
+			InBytes:  64, OutCount: 10, MemBytes: 128,
+		})
+	}
+	if p.Count() != 100 {
+		t.Fatalf("Count = %d", p.Count())
+	}
+	st, err := p.Reduce(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Te != 50_000 { // 50th percentile of 1..100us in ns
+		t.Errorf("Te = %v, want 50000", st.Te)
+	}
+	if st.N != 64 || st.M != 128 {
+		t.Errorf("N,M = %v,%v", st.N, st.M)
+	}
+	if st.Selectivity["default"] != 10 {
+		t.Errorf("selectivity = %v", st.Selectivity["default"])
+	}
+	// Higher percentile -> less optimistic (larger Te).
+	st90, _ := p.Reduce(0.9)
+	if st90.Te <= st.Te {
+		t.Errorf("p90 Te %v should exceed p50 Te %v", st90.Te, st.Te)
+	}
+}
+
+func TestProfilerReduceErrors(t *testing.T) {
+	var p Profiler
+	if _, err := p.Reduce(0.5); err == nil {
+		t.Error("empty profiler accepted")
+	}
+	p.Record(Sample{Duration: time.Microsecond})
+	if _, err := p.Reduce(0); err == nil {
+		t.Error("pct 0 accepted")
+	}
+	if _, err := p.Reduce(1.5); err == nil {
+		t.Error("pct > 1 accepted")
+	}
+}
+
+func TestProfilerZeroDurationClamped(t *testing.T) {
+	var p Profiler
+	p.Record(Sample{Duration: 0, InBytes: 10})
+	st, err := p.Reduce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Te <= 0 {
+		t.Errorf("Te = %v, want clamped positive", st.Te)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	var p Profiler
+	p.Record(Sample{Duration: 5 * time.Nanosecond})
+	p.Record(Sample{Duration: 7 * time.Nanosecond})
+	d := p.Durations()
+	if len(d) != 2 || d[0] != 5 || d[1] != 7 {
+		t.Errorf("Durations = %v", d)
+	}
+}

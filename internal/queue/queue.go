@@ -1,0 +1,155 @@
+// Package queue provides the bounded communication queues that connect
+// BriskStream tasks. A queue carries jumbo tuples (or any payload) from
+// producers to a single consumer, blocks producers when full — this is
+// the engine's back-pressure mechanism, which eventually slows the spout
+// so the system runs at its best achievable stable throughput (Section
+// 6.1, footnote 2) — and blocks the consumer when empty.
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Put after Close, and by Get after Close once
+// the queue has drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded multi-producer single-consumer FIFO. It is
+// implemented as a mutex-guarded ring buffer: at jumbo-tuple granularity
+// one insertion covers many tuples, so the per-slot synchronization cost
+// is amortized exactly as Section 5.2 describes.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int // index of the oldest element
+	size     int // number of elements
+	closed   bool
+
+	// puts and gets count successful operations for the metrics layer.
+	puts, gets uint64
+}
+
+// New creates a queue with the given capacity (minimum 1).
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Put appends v, blocking while the queue is full. It returns ErrClosed
+// if the queue is closed before space becomes available.
+func (q *Queue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.puts++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends v without blocking. It reports whether the element was
+// enqueued; it returns ErrClosed if the queue is closed.
+func (q *Queue[T]) TryPut(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.size == len(q.buf) {
+		return false, nil
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.puts++
+	q.notEmpty.Signal()
+	return true, nil
+}
+
+// Get removes and returns the oldest element, blocking while the queue is
+// empty. After Close, Get keeps returning queued elements until the queue
+// drains and then returns ErrClosed.
+func (q *Queue[T]) Get() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.size == 0 {
+		return zero, ErrClosed
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.gets++
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryGet removes the oldest element without blocking. The boolean reports
+// whether an element was returned; after Close and drain it returns
+// ErrClosed.
+func (q *Queue[T]) TryGet() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.size == 0 {
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.gets++
+	q.notFull.Signal()
+	return v, true, nil
+}
+
+// Close marks the queue closed. Blocked producers fail with ErrClosed;
+// the consumer drains remaining elements and then receives ErrClosed.
+// Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Stats returns the cumulative successful Put and Get counts.
+func (q *Queue[T]) Stats() (puts, gets uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.puts, q.gets
+}

@@ -1,0 +1,206 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("Get = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	if New[int](0).Cap() != 1 {
+		t.Error("capacity floor should be 1")
+	}
+	if New[int](-3).Cap() != 1 {
+		t.Error("negative capacity should clamp to 1")
+	}
+}
+
+func TestTryPutTryGet(t *testing.T) {
+	q := New[string](1)
+	ok, err := q.TryPut("a")
+	if !ok || err != nil {
+		t.Fatalf("TryPut = %v, %v", ok, err)
+	}
+	ok, err = q.TryPut("b")
+	if ok || err != nil {
+		t.Fatalf("TryPut on full = %v, %v; want false, nil", ok, err)
+	}
+	v, ok, err := q.TryGet()
+	if !ok || err != nil || v != "a" {
+		t.Fatalf("TryGet = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = q.TryGet()
+	if ok || err != nil {
+		t.Fatalf("TryGet on empty = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestBackPressureBlocksProducer(t *testing.T) {
+	q := New[int](1)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Put(2) // must block until the consumer drains
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Put on full queue did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("producer never unblocked")
+	}
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	q := New[int](1)
+	got := make(chan int)
+	go func() {
+		v, _ := q.Get()
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Put(42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("consumer never unblocked")
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	q := New[int](4)
+	q.Put(1)
+	q.Put(2)
+	q.Close()
+	if err := q.Put(3); err != ErrClosed {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	if v, err := q.Get(); err != nil || v != 1 {
+		t.Errorf("drain 1: %v %v", v, err)
+	}
+	if v, err := q.Get(); err != nil || v != 2 {
+		t.Errorf("drain 2: %v %v", v, err)
+	}
+	if _, err := q.Get(); err != ErrClosed {
+		t.Errorf("Get after drain = %v, want ErrClosed", err)
+	}
+	if _, _, err := q.TryGet(); err != ErrClosed {
+		t.Errorf("TryGet after drain = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	q := New[int](1)
+	q.Put(1)
+	putErr := make(chan error, 1)
+	go func() { putErr <- q.Put(2) }()
+
+	empty := New[int](1)
+	getErr := make(chan error, 1)
+	go func() { _, err := empty.Get(); getErr <- err }()
+
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	empty.Close()
+	if err := <-putErr; err != ErrClosed {
+		t.Errorf("blocked Put after Close = %v, want ErrClosed", err)
+	}
+	if err := <-getErr; err != ErrClosed {
+		t.Errorf("blocked Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+// No tuples are lost or duplicated under concurrent producers.
+func TestConcurrentNoLoss(t *testing.T) {
+	const producers = 4
+	const perProducer = 2000
+	q := New[int](8)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(p*perProducer + i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); q.Close() }()
+
+	seen := make(map[int]bool, producers*perProducer)
+	lastPerProducer := make([]int, producers)
+	for i := range lastPerProducer {
+		lastPerProducer[i] = -1
+	}
+	for {
+		v, err := q.Get()
+		if err == ErrClosed {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate element %d", v)
+		}
+		seen[v] = true
+		// Per-producer order must be preserved.
+		p, i := v/perProducer, v%perProducer
+		if i <= lastPerProducer[p] {
+			t.Fatalf("producer %d out of order: %d after %d", p, i, lastPerProducer[p])
+		}
+		lastPerProducer[p] = i
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d elements, want %d", len(seen), producers*perProducer)
+	}
+	puts, gets := q.Stats()
+	if puts != uint64(producers*perProducer) || gets != puts {
+		t.Fatalf("stats puts=%d gets=%d", puts, gets)
+	}
+}
+
+func TestReferencesReleased(t *testing.T) {
+	// After Get, the slot must not retain the pointer (GC friendliness).
+	q := New[*int](2)
+	x := new(int)
+	q.Put(x)
+	q.Get()
+	if q.buf[0] != nil {
+		t.Error("queue slot retains pointer after Get")
+	}
+}

@@ -1,0 +1,196 @@
+package rlas
+
+import (
+	"math"
+	"testing"
+
+	"briskstream/internal/bnb"
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/profile"
+)
+
+func chain(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func testStats() profile.Set {
+	return profile.Set{
+		"spout":  {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+func TestScalingRemovesBottleneck(t *testing.T) {
+	// The worker (Te=1000) is 10x slower than the spout (Te=100): RLAS
+	// must replicate it until the pipeline balances or resources run out.
+	m := numa.Synthetic("scale", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	r, err := Optimize(chain(t), Config{
+		Model:    &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated},
+		Compress: 1,
+		BnB:      bnb.Config{NodeLimit: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replication["worker"] < 2 {
+		t.Errorf("worker replication = %d, want >= 2", r.Replication["worker"])
+	}
+	// With one spout capped at 1e7/s and enough workers, throughput must
+	// exceed the single-worker 1e6/s substantially.
+	if r.Eval.Throughput < 3e6 {
+		t.Errorf("throughput = %v, want > 3e6 after scaling", r.Eval.Throughput)
+	}
+	if r.Iterations < 2 {
+		t.Errorf("expected multiple scaling iterations, got %d", r.Iterations)
+	}
+	if len(r.Trace) != r.Iterations {
+		t.Errorf("trace length %d != iterations %d", len(r.Trace), r.Iterations)
+	}
+}
+
+func TestScalingRespectsBudget(t *testing.T) {
+	m := numa.Synthetic("budget", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	r, err := Optimize(chain(t), Config{
+		Model:            &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated},
+		Compress:         1,
+		BnB:              bnb.Config{NodeLimit: 5000},
+		MaxTotalReplicas: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range r.Replication {
+		total += v
+	}
+	if total > 5 {
+		t.Errorf("total replication %d exceeds budget 5", total)
+	}
+}
+
+func TestUnderSuppliedNeedsNoScaling(t *testing.T) {
+	m := numa.Synthetic("idle", 2, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	r, err := Optimize(chain(t), Config{
+		Model:    &model.Config{Machine: m, Stats: testStats(), Ingress: 1000},
+		Compress: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, k := range r.Replication {
+		if k != 1 {
+			t.Errorf("operator %s scaled to %d with idle load", op, k)
+		}
+	}
+	if math.Abs(r.Eval.Throughput-1000) > 1e-6 {
+		t.Errorf("throughput = %v, want 1000", r.Eval.Throughput)
+	}
+	if r.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", r.Iterations)
+	}
+}
+
+func TestInitialReplicationSeed(t *testing.T) {
+	m := numa.Synthetic("seed", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	seeded, err := Optimize(chain(t), Config{
+		Model:    &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated},
+		Compress: 1,
+		BnB:      bnb.Config{NodeLimit: 5000},
+		Initial:  map[string]int{"worker": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Replication["worker"] < 8 {
+		t.Errorf("seeded replication shrank to %d", seeded.Replication["worker"])
+	}
+	// Seeding near the answer should converge in fewer iterations than
+	// starting from one replica.
+	cold, err := Optimize(chain(t), Config{
+		Model:    &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated},
+		Compress: 1,
+		BnB:      bnb.Config{NodeLimit: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Iterations > cold.Iterations {
+		t.Errorf("seeded run took %d iterations vs cold %d", seeded.Iterations, cold.Iterations)
+	}
+}
+
+func TestCompressionTradesGranularity(t *testing.T) {
+	// Table 7: larger r shrinks the search (fewer vertices) but coarser
+	// granularity. Both must return feasible plans.
+	m := numa.Synthetic("ratio", 4, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	for _, r := range []int{1, 3, 5} {
+		res, err := Optimize(chain(t), Config{
+			Model:    &model.Config{Machine: m, Stats: testStats(), Ingress: model.Saturated},
+			Compress: r,
+			BnB:      bnb.Config{NodeLimit: 3000},
+		})
+		if err != nil {
+			t.Fatalf("ratio %d: %v", r, err)
+		}
+		if !res.Eval.Feasible() {
+			t.Errorf("ratio %d: infeasible plan", r)
+		}
+		if res.Graph.Ratio != r {
+			t.Errorf("ratio %d: graph built with %d", r, res.Graph.Ratio)
+		}
+	}
+}
+
+func TestFixedPolicyOptimizationAndReEvaluate(t *testing.T) {
+	// Figure 12: optimizing under TfZero (RLAS_fix(U)) then measuring
+	// under the real model must not beat real RLAS.
+	m := numa.Synthetic("fix", 4, 2, 50, 300, 600, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	st := testStats()
+	base := &model.Config{Machine: m, Stats: st, Ingress: model.Saturated}
+
+	real, err := Optimize(chain(t), Config{Model: base, Compress: 1, BnB: bnb.Config{NodeLimit: 4000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixU := *base
+	fixU.Policy = model.TfZero
+	ru, err := Optimize(chain(t), Config{Model: &fixU, Compress: 1, BnB: bnb.Config{NodeLimit: 4000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := ReEvaluate(ru, base, model.TfByPlacement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.Throughput > real.Eval.Throughput*(1+1e-9) {
+		t.Errorf("fix(U) measured %v beats RLAS %v", measured.Throughput, real.Eval.Throughput)
+	}
+}
+
+func TestOptimizeRejectsBadInputs(t *testing.T) {
+	if _, err := Optimize(chain(t), Config{}); err == nil {
+		t.Error("nil model config accepted")
+	}
+	bad := graph.New("bad")
+	if _, err := Optimize(bad, Config{Model: &model.Config{}}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

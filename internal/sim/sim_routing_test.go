@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+)
+
+// TestSimBroadcastMultipliesLoad: broadcast delivery means every replica
+// of the consumer receives the full stream, so doubling replicas doubles
+// the delivered tuples at the sinks downstream.
+func TestSimBroadcastMultipliesLoad(t *testing.T) {
+	g := graph.New("bcast")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "mirror", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "mirror", Stream: "default", Partitioning: graph.Broadcast})
+	g.AddEdge(graph.Edge{From: "mirror", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := profile.Set{
+		"spout":  {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"mirror": {Te: 500, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+	m := numa.Synthetic("bc", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+
+	tput := func(mirrors int) float64 {
+		eg, err := plan.Build(g, map[string]int{"mirror": mirrors}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(eg, plan.CollocateAll(eg), &Config{
+			Machine: m, Stats: stats, Ingress: 100_000, Duration: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Throughput
+	}
+	one := tput(1)
+	three := tput(3)
+	if three < one*2.5 || three > one*3.5 {
+		t.Errorf("broadcast x3 should triple sink arrivals: 1 replica %v, 3 replicas %v", one, three)
+	}
+}
+
+// TestSimGlobalRoutesToOneReplica: a global-grouped consumer processes
+// the full stream on one replica even when nominally replicated.
+func TestSimGlobalRoutesToOneReplica(t *testing.T) {
+	g := graph.New("global")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "agg", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "agg", Stream: "default", Partitioning: graph.Global})
+	g.AddEdge(graph.Edge{From: "agg", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := profile.Set{
+		"spout": {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"agg":   {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":  {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+	m := numa.Synthetic("gl", 2, 8, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+	eg, err := plan.Build(g, map[string]int{"agg": 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(eg, plan.CollocateAll(eg), &Config{
+		Machine: m, Stats: stats, Ingress: model.Saturated, Duration: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only agg#0 receives input; throughput caps at a single replica's
+	// service rate (1e6/s) despite 4 replicas.
+	aggs := eg.OfOp("agg")
+	if got := r.PerVertex[aggs[0].ID].Processed; got < 0.9e6 {
+		t.Errorf("agg#0 processed %v, want ~1e6", got)
+	}
+	for _, v := range aggs[1:] {
+		if got := r.PerVertex[v.ID].Processed; got > 1 {
+			t.Errorf("%s processed %v, want 0 under global grouping", v.Label(), got)
+		}
+	}
+	if r.Throughput > 1.1e6 {
+		t.Errorf("global grouping should cap throughput at one replica: %v", r.Throughput)
+	}
+}

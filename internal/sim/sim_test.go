@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/model"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/profile"
+)
+
+func chain(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "worker", Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "worker", Stream: "default"}))
+	must(g.AddEdge(graph.Edge{From: "worker", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return g
+}
+
+func testStats() profile.Set {
+	return profile.Set{
+		"spout":  {Te: 100, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"worker": {Te: 1000, M: 64, N: 64, Selectivity: map[string]float64{"default": 1}},
+		"sink":   {Te: 100, M: 32, N: 64, Selectivity: map[string]float64{}},
+	}
+}
+
+func testMachine() *numa.Machine {
+	return numa.Synthetic("sim", 4, 4, 50, 200, 400, 50*numa.GB, 10*numa.GB, 5*numa.GB)
+}
+
+func TestSimAgreesWithModelWhenCollocated(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p := plan.CollocateAll(eg)
+	m := testMachine()
+	cfg := &Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	r, err := Run(eg, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model predicts 1e6 (worker-bound); the simulator should land close
+	// (no RMA, no contention: only discretization error).
+	if rel := math.Abs(r.Throughput-1e6) / 1e6; rel > 0.02 {
+		t.Errorf("sim throughput %v deviates %.1f%% from model 1e6", r.Throughput, rel*100)
+	}
+	worker := eg.OfOp("worker")[0].ID
+	if u := r.PerVertex[worker].Utilization; u < 0.95 || u > 1.01 {
+		t.Errorf("bottleneck utilization = %v, want ~1", u)
+	}
+	sink := eg.OfOp("sink")[0].ID
+	if u := r.PerVertex[sink].Utilization; u > 0.2 {
+		t.Errorf("sink utilization = %v, want low", u)
+	}
+}
+
+func TestSimIngressLimited(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p := plan.CollocateAll(eg)
+	cfg := &Config{Machine: testMachine(), Stats: testStats(), Ingress: 1000}
+	r, err := Run(eg, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-1000) > 20 {
+		t.Errorf("throughput = %v, want ~1000", r.Throughput)
+	}
+}
+
+func TestSimRMALowersThroughput(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	m := testMachine()
+	cfg := &Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+
+	local, err := Run(eg, plan.CollocateAll(eg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := plan.NewPlacement()
+	remote.Place(eg.OfOp("spout")[0].ID, 0)
+	remote.Place(eg.OfOp("worker")[0].ID, 2) // cross-tray
+	remote.Place(eg.OfOp("sink")[0].ID, 2)
+	far, err := Run(eg, remote, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Throughput >= local.Throughput {
+		t.Errorf("remote %v should be slower than local %v", far.Throughput, local.Throughput)
+	}
+}
+
+func TestSimBackPressureStabilizes(t *testing.T) {
+	// Saturated ingress with a slow worker: queues must stay bounded
+	// (back-pressure), not grow to the queue cap on every vertex.
+	eg, _ := plan.Build(chain(t), nil, 1)
+	cfg := &Config{Machine: testMachine(), Stats: testStats(), Ingress: model.Saturated, QueueTuples: 500}
+	r, err := Run(eg, plan.CollocateAll(eg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := eg.OfOp("worker")[0].ID
+	if r.PerVertex[worker].QueueLen > 500 {
+		t.Errorf("worker queue %v exceeds cap", r.PerVertex[worker].QueueLen)
+	}
+	if r.Throughput <= 0 {
+		t.Error("no progress under back-pressure")
+	}
+}
+
+func TestSimCPUContentionSlowsOversubscribedSocket(t *testing.T) {
+	// 16 busy workers on a 4-core socket: CPU contention must cap the
+	// aggregate at roughly the socket capacity (4e6 with Te=1000).
+	g := chain(t)
+	eg, _ := plan.Build(g, map[string]int{"worker": 16}, 1)
+	m := testMachine()
+	p := plan.NewPlacement()
+	p.Place(eg.OfOp("spout")[0].ID, 1)
+	for _, v := range eg.OfOp("worker") {
+		p.Place(v.ID, 0)
+	}
+	p.Place(eg.OfOp("sink")[0].ID, 1)
+	cfg := &Config{Machine: m, Stats: testStats(), Ingress: model.Saturated}
+	r, err := Run(eg, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without contention 16 remote workers could process ~12.6e6; the
+	// 4-core socket must hold them near 4e6 x (1000/(1000+fetch)) —
+	// allow generous slack but require well under the uncontended rate.
+	var total float64
+	for _, v := range eg.OfOp("worker") {
+		total += r.PerVertex[v.ID].Processed
+	}
+	if total > 4.5e6 {
+		t.Errorf("oversubscribed socket processed %v, want <= ~4e6 (CPU cap)", total)
+	}
+}
+
+func TestPrefetchFactorShape(t *testing.T) {
+	// Single-line transfers pay slightly more than the latency estimate;
+	// multi-line transfers pay much less (Table 3 calibration).
+	if f := PrefetchFactor(1); f <= 1 {
+		t.Errorf("1-line factor = %v, want > 1", f)
+	}
+	if f := PrefetchFactor(3); f >= 1 {
+		t.Errorf("3-line factor = %v, want < 1", f)
+	}
+	if f := PrefetchFactor(10); f < 0.3 || f > 0.31 {
+		t.Errorf("large transfers should clamp at 0.3, got %v", f)
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for l := 1.0; l < 12; l++ {
+		f := PrefetchFactor(l)
+		if f > prev {
+			t.Errorf("PrefetchFactor not monotone at %v", l)
+		}
+		prev = f
+	}
+}
+
+func TestEffectiveTMatchesComponents(t *testing.T) {
+	m := testMachine()
+	st := profile.Stats{Te: 1000, N: 64, Selectivity: map[string]float64{"default": 1}}
+	o := Overhead{ExecScale: 2, PerTupleNs: 100, RMAScale: 1, Prefetch: false}
+	local := EffectiveT(m, st, 0, 0, o, 1)
+	if local != 2100 {
+		t.Errorf("local T = %v, want 2100", local)
+	}
+	remote := EffectiveT(m, st, 0, 1, o, 1)
+	if remote != 2100+200 {
+		t.Errorf("remote T = %v, want 2300", remote)
+	}
+	// Central scheduler term scales with cores.
+	o2 := Overhead{ExecScale: 1, CentralSchedNsPerCore: 10}
+	if EffectiveT(m, st, 0, 0, o2, 16)-EffectiveT(m, st, 0, 0, o2, 1) != 150 {
+		t.Error("central scheduler term not linear in cores")
+	}
+}
+
+func TestOverheadRaisesLatencyAndLowersThroughput(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p := plan.CollocateAll(eg)
+	m := testMachine()
+	brisk, err := Run(eg, p, &Config{Machine: m, Stats: testStats(), Ingress: model.Saturated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormish, err := Run(eg, p, &Config{
+		Machine: m, Stats: testStats(), Ingress: model.Saturated,
+		Overhead: Overhead{ExecScale: 8, PerTupleNs: 3000, RMAScale: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormish.Throughput >= brisk.Throughput/3 {
+		t.Errorf("storm-like %v should be far below brisk %v", stormish.Throughput, brisk.Throughput)
+	}
+}
+
+func TestSimRejectsBadInputs(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	if _, err := Run(eg, plan.CollocateAll(eg), &Config{Stats: testStats(), Ingress: 1}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := Run(eg, plan.NewPlacement(), &Config{Machine: testMachine(), Stats: testStats(), Ingress: 1}); err == nil {
+		t.Error("incomplete placement accepted")
+	}
+}
+
+func TestSimLatencyGrowsWithQueueing(t *testing.T) {
+	eg, _ := plan.Build(chain(t), nil, 1)
+	p := plan.CollocateAll(eg)
+	m := testMachine()
+	idle, err := Run(eg, p, &Config{Machine: m, Stats: testStats(), Ingress: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := Run(eg, p, &Config{Machine: m, Stats: testStats(), Ingress: model.Saturated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.AvgLatencyNs <= idle.AvgLatencyNs {
+		t.Errorf("saturated latency %v should exceed idle latency %v", busy.AvgLatencyNs, idle.AvgLatencyNs)
+	}
+}

@@ -1,0 +1,269 @@
+// Package tuple defines the data units that flow through BriskStream:
+// individual tuples and "jumbo tuples" (batches of tuples that share one
+// header and are enqueued with a single queue insertion — Section 5.2 of
+// the paper). It also provides a binary (de)serialization path that is
+// deliberately NOT used by the BriskStream engine: pass-by-reference is
+// the whole point of the shared-memory design. Serialization exists so
+// the Storm-like baseline mode can pay the cost a distributed DSPS pays,
+// which is what the factor analysis (Figure 16) measures.
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Value is a single field of a tuple. Supported dynamic types are
+// int64, float64, string and bool; this mirrors the field model of
+// Storm/Heron whose APIs BriskStream adopts.
+type Value any
+
+// Tuple is one data item flowing along a stream. Tuples are passed by
+// reference between operators in the same process; an output tuple is
+// exclusively accessible by its targeted consumer, so no defensive copy
+// is made (Section 5.1).
+type Tuple struct {
+	// Values are the payload fields, positionally matching the stream's
+	// declared schema.
+	Values []Value
+	// Stream names the output stream this tuple was emitted on. Operators
+	// with a single output use DefaultStream.
+	Stream string
+	// Ts is the event creation time used for end-to-end latency
+	// measurement; it is stamped by the spout and carried through.
+	Ts time.Time
+}
+
+// DefaultStream is the stream name used by operators with one output.
+const DefaultStream = "default"
+
+// New builds a tuple on the default stream.
+func New(values ...Value) *Tuple {
+	return &Tuple{Values: values, Stream: DefaultStream}
+}
+
+// OnStream builds a tuple on a named stream.
+func OnStream(stream string, values ...Value) *Tuple {
+	return &Tuple{Values: values, Stream: stream}
+}
+
+// Int returns field i as an int64.
+func (t *Tuple) Int(i int) int64 {
+	switch v := t.Values[i].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("tuple: field %d is %T, not integer", i, t.Values[i]))
+	}
+}
+
+// Float returns field i as a float64.
+func (t *Tuple) Float(i int) float64 {
+	switch v := t.Values[i].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	case int:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("tuple: field %d is %T, not float", i, t.Values[i]))
+	}
+}
+
+// String returns field i as a string.
+func (t *Tuple) String(i int) string {
+	if s, ok := t.Values[i].(string); ok {
+		return s
+	}
+	panic(fmt.Sprintf("tuple: field %d is %T, not string", i, t.Values[i]))
+}
+
+// Bool returns field i as a bool.
+func (t *Tuple) Bool(i int) bool {
+	if b, ok := t.Values[i].(bool); ok {
+		return b
+	}
+	panic(fmt.Sprintf("tuple: field %d is %T, not bool", i, t.Values[i]))
+}
+
+// Size estimates the in-memory footprint of the tuple in bytes. This is
+// the N statistic of the performance model (average size per tuple); the
+// paper measures it with the classmexer agent, we compute it directly.
+func (t *Tuple) Size() int {
+	const header = 48 // struct + slice header + stream pointer + timestamp
+	n := header
+	for _, v := range t.Values {
+		n += 16 // interface header
+		switch x := v.(type) {
+		case string:
+			n += len(x)
+		case int64, float64:
+			n += 8
+		case int:
+			n += 8
+		case bool:
+			n++
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the tuple. The BriskStream path never calls this on
+// the hot path; the Storm-like baseline mode clones every tuple at every
+// hop to emulate the defensive copies a distributed engine makes.
+func (t *Tuple) Clone() *Tuple {
+	c := &Tuple{Values: make([]Value, len(t.Values)), Stream: t.Stream, Ts: t.Ts}
+	copy(c.Values, t.Values)
+	return c
+}
+
+// Jumbo is a jumbo tuple: a batch of tuples from one producer to one
+// consumer that shares a single header (producer/consumer identity,
+// context metadata) and occupies a single communication-queue slot.
+// Section 5.2: the shared header eliminates duplicate per-tuple metadata
+// and the single insertion amortizes queue synchronization.
+type Jumbo struct {
+	// Producer and Consumer identify the task pair, replacing a
+	// per-tuple header.
+	Producer, Consumer int
+	// Tuples is the batch payload, passed by reference.
+	Tuples []*Tuple
+}
+
+// Len returns the number of tuples in the batch.
+func (j *Jumbo) Len() int { return len(j.Tuples) }
+
+type kind byte
+
+const (
+	kindInt kind = iota + 1
+	kindFloat
+	kindString
+	kindBool
+)
+
+// Marshal serializes the tuple into a compact binary frame. Only the
+// baseline (Storm-like) engine mode uses this; BriskStream passes
+// references.
+func Marshal(t *Tuple, buf []byte) []byte {
+	buf = appendString(buf, t.Stream)
+	// A zero timestamp (no latency sample) is encoded as 0; calling
+	// UnixNano on the zero Time would produce an arbitrary huge value.
+	var ts uint64
+	if !t.Ts.IsZero() {
+		ts = uint64(t.Ts.UnixNano())
+	}
+	buf = binary.BigEndian.AppendUint64(buf, ts)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Values)))
+	for _, v := range t.Values {
+		switch x := v.(type) {
+		case int64:
+			buf = append(buf, byte(kindInt))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(x))
+		case int:
+			buf = append(buf, byte(kindInt))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(x))
+		case float64:
+			buf = append(buf, byte(kindFloat))
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		case string:
+			buf = append(buf, byte(kindString))
+			buf = appendString(buf, x)
+		case bool:
+			buf = append(buf, byte(kindBool))
+			if x {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			panic(fmt.Sprintf("tuple: cannot marshal %T", v))
+		}
+	}
+	return buf
+}
+
+// ErrCorrupt reports a malformed serialized tuple.
+var ErrCorrupt = errors.New("tuple: corrupt frame")
+
+// Unmarshal decodes a frame produced by Marshal and returns the decoded
+// tuple along with the number of bytes consumed.
+func Unmarshal(buf []byte) (*Tuple, int, error) {
+	stream, off, err := readString(buf, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+10 > len(buf) {
+		return nil, 0, ErrCorrupt
+	}
+	ts := int64(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	n := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	t := &Tuple{Stream: stream, Values: make([]Value, 0, n)}
+	if ts != 0 {
+		t.Ts = time.Unix(0, ts)
+	}
+	for i := 0; i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, ErrCorrupt
+		}
+		k := kind(buf[off])
+		off++
+		switch k {
+		case kindInt:
+			if off+8 > len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			t.Values = append(t.Values, int64(binary.BigEndian.Uint64(buf[off:])))
+			off += 8
+		case kindFloat:
+			if off+8 > len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			t.Values = append(t.Values, math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
+			off += 8
+		case kindString:
+			s, o, err := readString(buf, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			t.Values = append(t.Values, s)
+			off = o
+		case kindBool:
+			if off >= len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			t.Values = append(t.Values, buf[off] == 1)
+			off++
+		default:
+			return nil, 0, ErrCorrupt
+		}
+	}
+	return t, off, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte, off int) (string, int, error) {
+	if off+4 > len(buf) {
+		return "", 0, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if off+n > len(buf) {
+		return "", 0, ErrCorrupt
+	}
+	return string(buf[off : off+n]), off + n, nil
+}

@@ -1,0 +1,172 @@
+package tuple
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAccessors(t *testing.T) {
+	tp := New(int64(7), 3.5, "word", true)
+	if tp.Int(0) != 7 {
+		t.Errorf("Int(0) = %d", tp.Int(0))
+	}
+	if tp.Float(1) != 3.5 {
+		t.Errorf("Float(1) = %v", tp.Float(1))
+	}
+	if tp.String(2) != "word" {
+		t.Errorf("String(2) = %q", tp.String(2))
+	}
+	if !tp.Bool(3) {
+		t.Errorf("Bool(3) = false")
+	}
+	// Numeric coercions.
+	if New(42).Int(0) != 42 {
+		t.Error("int coercion failed")
+	}
+	if New(int64(2)).Float(0) != 2.0 {
+		t.Error("int64->float coercion failed")
+	}
+}
+
+func TestAccessorPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong type")
+		}
+	}()
+	New("nope").Int(0)
+}
+
+func TestOnStream(t *testing.T) {
+	tp := OnStream("position_report", int64(1))
+	if tp.Stream != "position_report" {
+		t.Errorf("stream = %q", tp.Stream)
+	}
+	if New().Stream != DefaultStream {
+		t.Error("New should use default stream")
+	}
+}
+
+func TestSizeGrowsWithPayload(t *testing.T) {
+	small := New(int64(1))
+	big := New(int64(1), "a sentence with quite a few characters in it")
+	if small.Size() >= big.Size() {
+		t.Errorf("Size: small %d >= big %d", small.Size(), big.Size())
+	}
+	if small.Size() <= 0 {
+		t.Error("size must be positive")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := New(int64(1), "x")
+	c := orig.Clone()
+	c.Values[0] = int64(99)
+	if orig.Int(0) != 1 {
+		t.Error("clone shares values slice with original")
+	}
+	if c.Stream != orig.Stream || !c.Ts.Equal(orig.Ts) {
+		t.Error("clone lost metadata")
+	}
+}
+
+func TestJumbo(t *testing.T) {
+	j := &Jumbo{Producer: 3, Consumer: 9, Tuples: []*Tuple{New(int64(1)), New(int64(2))}}
+	if j.Len() != 2 {
+		t.Errorf("Len = %d", j.Len())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	orig := OnStream("s1", int64(-5), 2.75, "hello", true, false)
+	orig.Ts = time.Unix(0, 123456789)
+	buf := Marshal(orig, nil)
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Stream != orig.Stream || !got.Ts.Equal(orig.Ts) {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Values, orig.Values) {
+		t.Errorf("values = %v, want %v", got.Values, orig.Values)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(a int64, b float64, s string, c bool) bool {
+		if math.IsNaN(b) {
+			b = 0
+		}
+		if a == 0 {
+			a = 1 // Unix(0,0) is a valid instant but encodes as "no sample"
+		}
+		orig := New(a, b, s, c)
+		orig.Ts = time.Unix(0, a)
+		got, _, err := Unmarshal(Marshal(orig, nil))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Values, orig.Values) && got.Ts.Equal(orig.Ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalZeroTimestampStaysZero(t *testing.T) {
+	// Regression: tuples without a latency sample (zero Ts) must decode
+	// with a zero Ts, not an arbitrary instant derived from
+	// time.Time{}.UnixNano().
+	orig := New(int64(1))
+	got, _, err := Unmarshal(Marshal(orig, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Ts.IsZero() {
+		t.Errorf("zero timestamp decoded as %v", got.Ts)
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	buf := Marshal(New(int64(1), "abcdef"), nil)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := Unmarshal(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbageKind(t *testing.T) {
+	buf := Marshal(New(int64(1)), nil)
+	// Flip the kind byte of the first value to an invalid code. Layout:
+	// 4(streamlen)+len("default")+8(ts)+2(count) = kind offset.
+	off := 4 + len(DefaultStream) + 8 + 2
+	buf[off] = 0xEE
+	if _, _, err := Unmarshal(buf); err == nil {
+		t.Error("garbage kind accepted")
+	}
+}
+
+func TestMultipleFramesInOneBuffer(t *testing.T) {
+	var buf []byte
+	buf = Marshal(New(int64(1)), buf)
+	buf = Marshal(New(int64(2)), buf)
+	first, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := Unmarshal(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Int(0) != 1 || second.Int(0) != 2 {
+		t.Errorf("frames decoded out of order: %v %v", first.Values, second.Values)
+	}
+}
