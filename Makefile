@@ -1,0 +1,34 @@
+# BriskStream build/test entry points. `make check` is what CI runs;
+# the missing-go.mod class of breakage fails `make build` immediately.
+
+GO ?= go
+
+.PHONY: all build test race bench vet check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race focuses on the concurrent hot path (queue + engine); `make
+# race-all` covers every package and takes correspondingly longer.
+race:
+	$(GO) test -race ./internal/queue/ ./internal/engine/
+
+.PHONY: race-all
+race-all:
+	$(GO) test -race ./...
+
+# bench runs the queue/dispatch microbenchmarks that gate the SPSC
+# rework (mutex ring vs per-edge SPSC fan-in, and the dispatch path).
+bench:
+	$(GO) test -bench 'PutGet|EngineDispatch' -benchtime 1s -run xxx ./internal/queue/ ./internal/engine/
+
+vet:
+	$(GO) vet ./...
+
+check: vet build
+	$(GO) test -race ./...

@@ -183,6 +183,7 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(res.SinkTuples)/time.Since(start).Seconds(), "tuples/s")
+			reportTuplesPerInsert(b, res)
 		})
 	}
 }

@@ -112,9 +112,23 @@ func BenchmarkFig16_FactorAnalysis(b *testing.B)      { benchExperiment(b, "fig1
 // --- Engine micro-benchmarks (real runtime) ---
 
 // BenchmarkQueuePutGet measures the communication-queue hot path at
-// jumbo-tuple granularity.
+// jumbo-tuple granularity on the legacy mutex ring; the SPSC variant
+// below is what the engine actually runs. Producer-count scaling
+// comparisons live in internal/queue/bench_test.go.
 func BenchmarkQueuePutGet(b *testing.B) {
 	q := queue.New[*tuple.Jumbo](64)
+	j := &tuple.Jumbo{Tuples: []*tuple.Tuple{tuple.New(int64(1))}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(j)
+		q.Get()
+	}
+}
+
+// BenchmarkQueueSPSCPutGet is the same loop on the lock-free
+// single-producer/single-consumer ring the engine uses per edge.
+func BenchmarkQueueSPSCPutGet(b *testing.B) {
+	q := queue.NewRing[*tuple.Jumbo](64)
 	j := &tuple.Jumbo{Tuples: []*tuple.Tuple{tuple.New(int64(1))}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -181,6 +195,19 @@ func benchPipeline(b *testing.B, cfg engine.Config) {
 		b.Fatal(res.Errors)
 	}
 	b.ReportMetric(float64(res.SinkTuples)/time.Since(start).Seconds(), "tuples/s")
+	reportTuplesPerInsert(b, res)
+}
+
+// reportTuplesPerInsert reports Section 5.2's amortization — tuples
+// moved through queues per jumbo insertion — for the spout->double->sink
+// pipeline the engine benchmarks share.
+func reportTuplesPerInsert(b *testing.B, res *engine.Result) {
+	b.Helper()
+	if res.QueuePuts == 0 {
+		return
+	}
+	moved := res.Processed["double"] + res.SinkTuples
+	b.ReportMetric(float64(moved)/float64(res.QueuePuts), "tuples/insert")
 }
 
 // BenchmarkEngineBriskPath measures the BriskStream execution path

@@ -23,6 +23,30 @@
 //	t.Operator("count", mkCount).Subscribe("split", briskstream.FieldsKey(0))
 //	t.Sink("sink", mkSink).Subscribe("count", briskstream.Shuffle)
 //	res, err := t.Run(briskstream.RunConfig{Duration: time.Second})
+//
+// # Module layout
+//
+// The repository is the single Go module "briskstream". The public API
+// lives in this root package; cmd/ holds the CLI tools (briskbench,
+// rlas, topo, profile), examples/ the runnable applications, and
+// internal/ the implementation: engine (the shared-memory runtime),
+// queue (lock-free SPSC rings + fan-in inboxes between tasks), tuple,
+// graph, plan, model, bnb, rlas and placement (the optimizer stack),
+// sim and baseline (the calibrated simulator), plus metrics, numa,
+// apps, experiments and friends.
+//
+// # Building and testing
+//
+// Everything runs off the standard toolchain (or the equivalent
+// Makefile targets: build, test, race, bench, vet):
+//
+//	go build ./...                                   # compile everything
+//	go test ./...                                    # full test suite
+//	go test -race ./internal/queue/ ./internal/engine/
+//	go test -bench 'PutGet|EngineDispatch' -run xxx \
+//	    ./internal/queue/ ./internal/engine/         # queue/dispatch microbenchmarks
+//	go test -bench . -benchtime 1x .                 # paper artifacts as benchmarks
+//	go run ./cmd/briskbench -engine 3s               # engine hot-path report
 package briskstream
 
 import (
@@ -54,6 +78,11 @@ type Spout = engine.Spout
 
 // SpoutFunc adapts a function to Spout.
 type SpoutFunc = engine.SpoutFunc
+
+// RouteError reports a tuple that could not be routed by a
+// fields-grouping key (the tuple is narrower than the declared key
+// field); it surfaces in RunResult.Errors, match with errors.As.
+type RouteError = engine.RouteError
 
 // DefaultStream is the stream name used by single-output operators.
 const DefaultStream = tuple.DefaultStream

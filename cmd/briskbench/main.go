@@ -5,6 +5,7 @@
 //	briskbench -exp table4      # run one experiment
 //	briskbench -all             # run the full suite (slow)
 //	briskbench -all -quick      # reduced fidelity, minutes instead
+//	briskbench -engine 3s       # real-engine hot-path microbenchmark
 package main
 
 import (
@@ -13,21 +14,34 @@ import (
 	"os"
 	"time"
 
+	"briskstream/internal/engine"
 	"briskstream/internal/experiments"
+	"briskstream/internal/graph"
+	"briskstream/internal/metrics"
+	"briskstream/internal/tuple"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		exp   = flag.String("exp", "", "run a single experiment by id")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "", "run a single experiment by id")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
+		engineDur = flag.Duration("engine", 0, "run the real-engine queue/dispatch microbenchmark for this duration")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	if *engineDur > 0 {
+		if err := engineMicrobench(*engineDur); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -56,4 +70,91 @@ func main() {
 		fmt.Println(r.String())
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// engineMicrobench runs a duration-bounded spout->double->sink pipeline
+// on the real engine at several producer replication levels and prints
+// throughput plus the queue-layer counters, making the SPSC rework's
+// effect observable without `go test -bench`.
+func engineMicrobench(d time.Duration) error {
+	rows := [][]string{}
+	for _, spouts := range []int{1, 2, 4} {
+		g := graph.New("microbench")
+		g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&graph.Node{Name: "double", Selectivity: map[string]float64{"default": 1}})
+		g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+		g.AddEdge(graph.Edge{From: "spout", To: "double", Stream: "default"})
+		g.AddEdge(graph.Edge{From: "double", To: "sink", Stream: "default"})
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		topo := engine.Topology{
+			App: g,
+			Spouts: map[string]func() engine.Spout{"spout": func() engine.Spout {
+				i := int64(0)
+				return engine.SpoutFunc(func(c engine.Collector) error {
+					i++
+					c.Emit(i)
+					return nil
+				})
+			}},
+			Operators: map[string]func() engine.Operator{
+				"double": func() engine.Operator {
+					return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
+						c.Emit(t.Values...)
+						return nil
+					})
+				},
+				"sink": func() engine.Operator {
+					return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
+				},
+			},
+			Replication: map[string]int{"spout": spouts},
+		}
+		e, err := engine.New(topo, engine.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		// Poll the inbox atomics while the engine runs — the same live
+		// sampling the metrics/adaptive layers do — and report the
+		// insert rate over the second half of the run (past warm-up).
+		type runOut struct {
+			res *engine.Result
+			err error
+		}
+		done := make(chan runOut, 1)
+		go func() {
+			res, err := e.Run(d)
+			done <- runOut{res, err}
+		}()
+		time.Sleep(d / 2)
+		puts0, _ := e.QueueStats()
+		insertRate := metrics.NewSampleRate(puts0)
+		out := <-done
+		if out.err != nil {
+			return out.err
+		}
+		res := out.res
+		if len(res.Errors) != 0 {
+			return res.Errors[0]
+		}
+		putsEnd, _ := e.QueueStats()
+		perInsert := float64(0)
+		if res.QueuePuts > 0 {
+			perInsert = float64(res.Processed["double"]+res.SinkTuples) / float64(res.QueuePuts)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", spouts),
+			fmt.Sprintf("%.0f", res.Throughput),
+			fmt.Sprintf("%d", res.QueuePuts),
+			fmt.Sprintf("%.0f", insertRate.Rate(putsEnd)),
+			fmt.Sprintf("%.1f", perInsert),
+		})
+	}
+	fmt.Printf("engine queue/dispatch microbenchmark (%v per row)\n\n", d)
+	fmt.Println(metrics.Table(
+		[]string{"spouts", "tuples/s", "queue puts", "inserts/s", "tuples/insert"},
+		rows,
+	))
+	return nil
 }

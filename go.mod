@@ -1,0 +1,3 @@
+module briskstream
+
+go 1.24

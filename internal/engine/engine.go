@@ -67,8 +67,11 @@ func (f SpoutFunc) Next(c Collector) error { return f(c) }
 
 // Config tunes the runtime.
 type Config struct {
-	// QueueCapacity bounds each task input queue (in queue slots; a slot
-	// holds a jumbo tuple). Default 64.
+	// QueueCapacity bounds each task input queue (in queue slots; a
+	// slot holds a jumbo tuple). Default 64. The budget is split across
+	// the task's per-producer SPSC rings: each of N producers gets
+	// QueueCapacity/N slots (minimum 1, rounded up to a power of two),
+	// keeping total buffering close to the single-queue semantics.
 	QueueCapacity int
 	// BatchSize is the jumbo-tuple size: output tuples buffered per
 	// consumer before one queue insertion. Default 64. Ignored (forced
@@ -153,6 +156,10 @@ type Result struct {
 	Latency *metrics.Histogram
 	// Processed counts processed tuples per operator.
 	Processed map[string]uint64
+	// QueuePuts and QueueGets count jumbo-tuple queue insertions and
+	// removals across all task inboxes, read from the queues' atomic
+	// counters (Section 5.2's amortization is QueuePuts vs SinkTuples).
+	QueuePuts, QueueGets uint64
 	// Errors aggregates operator failures (panics are recovered and
 	// reported here; the rest of the pipeline is shut down cleanly).
 	Errors []error
@@ -166,17 +173,28 @@ type task struct {
 	spout    Spout
 	operator Operator
 	isSink   bool
-	in       *queue.Queue[*tuple.Jumbo]
-	inFrom   atomic.Int64 // live producers feeding this task
+	in       *queue.Inbox[*tuple.Jumbo]
 	socket   numa.SocketID
 
 	// routing: per logical out-edge, the consumer tasks and partitioning
 	routes []route
 
-	// out buffers per consumer task id (jumbo accumulation)
-	buffers map[int][]*tuple.Tuple
+	// out is indexed by consumer task id (nil for tasks this one does
+	// not feed); outList is the dense list of the same edges for flush
+	// and shutdown, so neither path scans all tasks.
+	out     []*outEdge
+	outList []*outEdge
 
 	processed uint64
+}
+
+// outEdge is one (producer, consumer) communication edge: the
+// producer's private SPSC ring into the consumer's inbox plus the
+// jumbo-tuple accumulation buffer.
+type outEdge struct {
+	consumer *task
+	ring     *queue.Ring[*tuple.Jumbo]
+	buf      []*tuple.Tuple
 }
 
 type route struct {
@@ -185,6 +203,23 @@ type route struct {
 	keyField  int
 	consumers []*task
 	rr        int // round-robin cursor for shuffle
+}
+
+// RouteError reports a tuple that could not be routed by a
+// fields-grouping key: the tuple is narrower than the edge's declared
+// key field. It is returned through Result.Errors instead of panicking
+// inside dispatch.
+type RouteError struct {
+	Task     string // producing task label, e.g. "split#0"
+	Stream   string // output stream of the offending edge
+	KeyField int    // declared key field index
+	Width    int    // actual number of values in the tuple
+}
+
+// Error implements error.
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("engine: task %s stream %q: fields grouping needs key field %d but tuple has %d values",
+		e.Task, e.Stream, e.KeyField, e.Width)
 }
 
 // Engine executes one topology.
@@ -198,6 +233,11 @@ type Engine struct {
 	lat    *metrics.Histogram
 	errs   []error
 	errsMu sync.Mutex
+
+	// batchPool recycles jumbo batch slices (cap = BatchSize) between
+	// the producer that fills one and the consumer that drains it, so
+	// the steady-state hot path allocates no slices per flush.
+	batchPool sync.Pool
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -216,6 +256,8 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 		cfg.BatchSize = 1
 	}
 	e := &Engine{cfg: cfg, topo: topo, byOp: map[string][]*task{}, lat: metrics.NewHistogram(0)}
+	batch := cfg.BatchSize
+	e.batchPool.New = func() any { return make([]*tuple.Tuple, 0, batch) }
 
 	for _, n := range topo.App.Nodes() {
 		repl := 1
@@ -229,7 +271,6 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 				replica: i,
 				label:   fmt.Sprintf("%s#%d", n.Name, i),
 				isSink:  n.IsSink,
-				buffers: map[int][]*tuple.Tuple{},
 			}
 			if n.IsSpout {
 				mk, ok := topo.Spouts[n.Name]
@@ -243,7 +284,7 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 					return nil, fmt.Errorf("engine: no operator builder for %q", n.Name)
 				}
 				t.operator = mk()
-				t.in = queue.New[*tuple.Jumbo](cfg.QueueCapacity)
+				t.in = queue.NewInbox[*tuple.Jumbo](cfg.QueueCapacity)
 			}
 			if cfg.Placement != nil {
 				t.socket = cfg.Placement[t.label]
@@ -253,10 +294,28 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 		}
 	}
 
-	// Wire routes. Producer counts are per distinct producer-consumer
-	// task pair (an operator pair may be connected by several streams,
-	// but the producing task finishes exactly once).
-	feeds := map[int]map[int]bool{} // consumer task id -> producer task ids
+	// QueueCapacity bounds a task's whole input queue, so split it
+	// across the task's per-producer rings: with the budget divided, a
+	// consumer fed by many producers buffers roughly as much as the old
+	// single MPSC queue did (each ring keeps at least one slot, and
+	// ring sizes round up to a power of two).
+	for _, ct := range e.tasks {
+		if ct.in == nil {
+			continue
+		}
+		nprod := 0
+		for _, p := range topo.App.Producers(ct.op) {
+			nprod += len(e.byOp[p])
+		}
+		if nprod > 1 {
+			ct.in.SetRingCap(cfg.QueueCapacity / nprod)
+		}
+	}
+
+	// Wire routes and per-edge SPSC rings. One ring per distinct
+	// (producer task, consumer task) pair: an operator pair may be
+	// connected by several streams, but all of them share the edge's
+	// ring, and the producing task closes its rings exactly once.
 	for _, n := range topo.App.Nodes() {
 		for _, edge := range topo.App.Out(n.Name) {
 			consumers := e.byOp[edge.To]
@@ -266,19 +325,23 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 					part:      edge.Partitioning,
 					keyField:  edge.KeyField,
 					consumers: consumers,
-					rr:        pt.replica, // offset cursors to spread load
+					// Offset cursors so replicas of one producer start
+					// on different consumers; each cursor still visits
+					// every consumer uniformly (index before increment).
+					rr: pt.replica % max(len(consumers), 1),
 				})
 				for _, ct := range consumers {
-					if feeds[ct.id] == nil {
-						feeds[ct.id] = map[int]bool{}
+					for len(pt.out) <= ct.id {
+						pt.out = append(pt.out, nil)
 					}
-					feeds[ct.id][pt.id] = true
+					if pt.out[ct.id] == nil {
+						oe := &outEdge{consumer: ct, ring: ct.in.Bind()}
+						pt.out[ct.id] = oe
+						pt.outList = append(pt.outList, oe)
+					}
 				}
 			}
 		}
-	}
-	for cid, prods := range feeds {
-		e.tasks[cid].inFrom.Add(int64(len(prods)))
 	}
 	return e, nil
 }
@@ -342,13 +405,19 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 				return err
 			}
 		case graph.Fields:
+			if r.keyField < 0 || r.keyField >= len(out.Values) {
+				return &RouteError{Task: t.label, Stream: r.stream, KeyField: r.keyField, Width: len(out.Values)}
+			}
 			idx := int(hashValue(out.Values[r.keyField]) % uint64(len(r.consumers)))
 			if err := e.buffer(t, r.consumers[idx], out, false); err != nil {
 				return err
 			}
 		default: // Shuffle
-			r.rr++
-			if err := e.buffer(t, r.consumers[r.rr%len(r.consumers)], out, false); err != nil {
+			idx := r.rr
+			if r.rr++; r.rr == len(r.consumers) {
+				r.rr = 0
+			}
+			if err := e.buffer(t, r.consumers[idx], out, false); err != nil {
 				return err
 			}
 		}
@@ -373,36 +442,48 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 		}
 		msg = decoded
 	}
-	buf := append(t.buffers[consumer.id], msg)
-	if len(buf) >= e.cfg.BatchSize {
-		t.buffers[consumer.id] = nil
-		return e.send(t, consumer, buf)
+	oe := t.out[consumer.id]
+	if oe.buf == nil {
+		oe.buf = e.batchPool.Get().([]*tuple.Tuple)
 	}
-	t.buffers[consumer.id] = buf
+	oe.buf = append(oe.buf, msg)
+	if len(oe.buf) >= e.cfg.BatchSize {
+		batch := oe.buf
+		oe.buf = nil
+		return e.send(t, oe, batch)
+	}
 	return nil
 }
 
-func (e *Engine) send(t *task, consumer *task, batch []*tuple.Tuple) error {
-	j := &tuple.Jumbo{Producer: t.id, Consumer: consumer.id, Tuples: batch}
-	if err := consumer.in.Put(j); err != nil {
+func (e *Engine) send(t *task, oe *outEdge, batch []*tuple.Tuple) error {
+	j := &tuple.Jumbo{Producer: t.id, Consumer: oe.consumer.id, Tuples: batch}
+	if err := oe.ring.Put(j); err != nil {
 		return ErrStopped
 	}
 	return nil
 }
 
+// recycleBatch returns a drained jumbo batch slice to the pool. Slots
+// are cleared first so the pool does not pin consumed tuples.
+func (e *Engine) recycleBatch(batch []*tuple.Tuple) {
+	if cap(batch) != e.cfg.BatchSize {
+		return // foreign or resized slice; let the GC take it
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	e.batchPool.Put(batch[:0])
+}
+
 // flushAll flushes all pending buffers of a task.
 func (e *Engine) flushAll(t *task) {
-	for cid, buf := range t.buffers {
-		if len(buf) == 0 {
+	for _, oe := range t.outList {
+		if len(oe.buf) == 0 {
 			continue
 		}
-		t.buffers[cid] = nil
-		for _, c := range e.tasks {
-			if c.id == cid {
-				_ = e.send(t, c, buf)
-				break
-			}
-		}
+		batch := oe.buf
+		oe.buf = nil
+		_ = e.send(t, oe, batch)
 	}
 }
 
@@ -442,7 +523,24 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	for _, t := range e.tasks {
 		res.Processed[t.op] += atomic.LoadUint64(&t.processed)
 	}
+	res.QueuePuts, res.QueueGets = e.QueueStats()
 	return res, nil
+}
+
+// QueueStats returns the cumulative jumbo-tuple queue insertions and
+// removals across all task inboxes. It reads atomic counters, so it is
+// safe to call while the engine runs (the metrics layer polls it the
+// same way Snapshot is polled for rates).
+func (e *Engine) QueueStats() (puts, gets uint64) {
+	for _, t := range e.tasks {
+		if t.in == nil {
+			continue
+		}
+		p, g := t.in.Stats()
+		puts += p
+		gets += g
+	}
+	return puts, gets
 }
 
 func (e *Engine) runTask(t *task) {
@@ -460,7 +558,11 @@ func (e *Engine) runTask(t *task) {
 		c := &collector{e: e, t: t}
 		for !e.stop.Load() {
 			err := t.spout.Next(c)
-			if err == io.EOF || c.fail != nil {
+			if c.fail != nil {
+				e.failTask(c.fail)
+				return
+			}
+			if err == io.EOF {
 				return
 			}
 			if err != nil {
@@ -492,18 +594,31 @@ func (e *Engine) runTask(t *task) {
 			}
 			if t.operator != nil {
 				if err := t.operator.Process(c, in); err != nil {
-					e.recordErr(fmt.Errorf("engine: operator %s: %w", t.label, err))
-					e.stop.Store(true)
-					e.closeAllQueues()
+					e.failTask(fmt.Errorf("engine: operator %s: %w", t.label, err))
 					return
 				}
 				if c.fail != nil {
+					e.failTask(c.fail)
 					return
 				}
 			}
 			atomic.AddUint64(&t.processed, 1)
 		}
+		e.recycleBatch(j.Tuples)
 	}
+}
+
+// failTask handles a task-fatal dispatch or operator error: a routing
+// failure (e.g. RouteError) is recorded and aborts the run; ErrStopped
+// only means a downstream queue closed during shutdown, so the task
+// simply exits. Either way all queues are closed so no peer blocks on a
+// task that is gone.
+func (e *Engine) failTask(err error) {
+	if !errors.Is(err, ErrStopped) {
+		e.recordErr(err)
+	}
+	e.stop.Store(true)
+	e.closeAllQueues()
 }
 
 // chargeRMA emulates the remote-fetch penalty of Formula 2 for a batch.
@@ -522,20 +637,13 @@ func (e *Engine) chargeRMA(t *task, j *tuple.Jumbo) {
 	spin(int(total * e.cfg.RMAScale))
 }
 
-// finishProducing decrements the live-producer count of each consumer
-// queue; the last producer closes the queue so consumers drain and exit.
+// finishProducing closes this task's private ring into each consumer it
+// feeds. A consumer's inbox reports closed only once every bound ring is
+// closed and drained, so "the last producer closes the queue" needs no
+// shared refcount.
 func (e *Engine) finishProducing(t *task) {
-	seen := map[int]bool{}
-	for _, r := range t.routes {
-		for _, c := range r.consumers {
-			if seen[c.id] {
-				continue
-			}
-			seen[c.id] = true
-			if c.inFrom.Add(-1) == 0 {
-				c.in.Close()
-			}
-		}
+	for _, oe := range t.outList {
+		oe.ring.Close()
 	}
 }
 

@@ -1,0 +1,211 @@
+package engine
+
+// engine_routing_test.go covers the partition-controller fixes of the
+// queue/dispatch rework: shuffle round-robin starting at replica 0 (the
+// old cursor pre-increment skipped consumer 0 for the first tuple) and
+// fields grouping returning a structured RouteError instead of
+// panicking on tuples narrower than the key field.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// shuffleGraph is spout -> work(x replicas) -> sink with shuffle
+// grouping on both edges.
+func shuffleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("shuffle")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "work", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "work", Stream: "default", Partitioning: graph.Shuffle})
+	g.AddEdge(graph.Edge{From: "work", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runShuffle executes the shuffle pipeline with `replicas` work tasks
+// over n tuples and returns the per-replica processed counts, indexed
+// by replica creation order.
+func runShuffle(t *testing.T, replicas, n int) []uint64 {
+	t.Helper()
+	counts := make([]atomic.Uint64, replicas)
+	var replicaSeq atomic.Int32
+	work := func() Operator {
+		idx := int(replicaSeq.Add(1)) - 1
+		return OperatorFunc(func(c Collector, tp *tuple.Tuple) error {
+			counts[idx].Add(1)
+			c.Emit(tp.Values...)
+			return nil
+		})
+	}
+	topo := Topology{
+		App:         shuffleGraph(t),
+		Spouts:      map[string]func() Spout{"spout": boundedSpoutEOF(n)},
+		Operators:   map[string]func() Operator{"work": work, "sink": sinkOp},
+		Replication: map[string]int{"work": replicas},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	out := make([]uint64, replicas)
+	for i := range counts {
+		out[i] = counts[i].Load()
+	}
+	return out
+}
+
+func TestShuffleFirstTupleReachesReplicaZero(t *testing.T) {
+	// One tuple, three replicas: round-robin must start at replica 0.
+	// The old cursor pre-increment sent it to replica 1 and replica 0
+	// only ever saw traffic once the cursor wrapped.
+	counts := runShuffle(t, 3, 1)
+	if counts[0] != 1 {
+		t.Fatalf("first tuple went to counts=%v; shuffle must start at replica 0", counts)
+	}
+}
+
+func TestShuffleDistributionUniform(t *testing.T) {
+	const replicas = 4
+	for _, n := range []int{replicas * 250, 999} {
+		counts := runShuffle(t, replicas, n)
+		var total, min, max uint64
+		min = ^uint64(0)
+		for _, c := range counts {
+			total += c
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if total != uint64(n) {
+			t.Fatalf("n=%d: processed %d tuples in total (counts=%v)", n, total, counts)
+		}
+		// A single round-robin cursor distributes exactly evenly, up to
+		// the remainder of n/replicas.
+		if max-min > 1 {
+			t.Errorf("n=%d: skewed shuffle distribution %v (max-min=%d)", n, counts, max-min)
+		}
+	}
+}
+
+func TestFieldsShortTupleReturnsRouteError(t *testing.T) {
+	// The fields edge declares key field 2, but the spout emits tuples
+	// with a single value. The old dispatch indexed out of range and
+	// panicked; now the run must shut down cleanly with a RouteError.
+	g := graph.New("short")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "agg", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "agg", Stream: "default", Partitioning: graph.Fields, KeyField: 2})
+	g.AddEdge(graph.Edge{From: "agg", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{
+		App:       g,
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(100)},
+		Operators: map[string]func() Operator{"agg": passthrough, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	go func() { res, _ := e.Run(0); done <- res }()
+	select {
+	case res := <-done:
+		var re *RouteError
+		found := false
+		for _, err := range res.Errors {
+			if errors.As(err, &re) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no RouteError reported; errors = %v", res.Errors)
+		}
+		if re.KeyField != 2 || re.Width != 1 {
+			t.Errorf("RouteError = %+v; want KeyField 2, Width 1", re)
+		}
+		if re.Task != "spout#0" || re.Stream != "default" {
+			t.Errorf("RouteError identifies %q/%q; want spout#0/default", re.Task, re.Stream)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline did not shut down after routing error")
+	}
+}
+
+// TestQueueStatsExposed checks the Result carries the inbox atomics.
+func TestQueueStatsExposed(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(1000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuePuts == 0 || res.QueuePuts != res.QueueGets {
+		t.Fatalf("queue stats puts=%d gets=%d; want equal and nonzero", res.QueuePuts, res.QueueGets)
+	}
+	// Jumbo batching: far fewer insertions than tuples moved.
+	moved := res.Processed["double"] + res.SinkTuples
+	if res.QueuePuts*8 > moved {
+		t.Errorf("queue puts %d vs %d tuples moved; jumbo batching should amortize", res.QueuePuts, moved)
+	}
+}
+
+// TestQueueCapacitySplitAcrossProducers: QueueCapacity bounds a task's
+// whole input queue, so with N producers each per-producer ring gets
+// QueueCapacity/N slots rather than N full queues of buffering.
+func TestQueueCapacitySplitAcrossProducers(t *testing.T) {
+	topo := Topology{
+		App:         shuffleGraph(t),
+		Spouts:      map[string]func() Spout{"spout": boundedSpoutEOF(1)},
+		Operators:   map[string]func() Operator{"work": passthrough, "sink": sinkOp},
+		Replication: map[string]int{"work": 4},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := e.byOp["sink"][0]
+	rings := sink.in.Rings()
+	if len(rings) != 4 {
+		t.Fatalf("sink has %d rings, want 4", len(rings))
+	}
+	for _, r := range rings {
+		if r.Cap() != 64/4 {
+			t.Errorf("ring cap = %d, want %d (QueueCapacity/producers)", r.Cap(), 64/4)
+		}
+	}
+	// Single-producer consumers keep the full budget.
+	work := e.byOp["work"][0]
+	if got := work.in.Rings()[0].Cap(); got != 64 {
+		t.Errorf("single-producer ring cap = %d, want 64", got)
+	}
+}

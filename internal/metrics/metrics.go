@@ -201,6 +201,30 @@ func (t *Throughput) Rate() float64 {
 	return float64(t.counter.Value()-t.base) / elapsed
 }
 
+// SampleRate measures an event rate from externally sampled cumulative
+// counts — the shape Engine.QueueStats and Engine.Snapshot produce from
+// their atomics — where no Counter is available to wrap.
+type SampleRate struct {
+	start time.Time
+	base  uint64
+}
+
+// NewSampleRate starts measuring from the given cumulative base count.
+func NewSampleRate(base uint64) *SampleRate {
+	return &SampleRate{start: time.Now(), base: base}
+}
+
+// Rate returns events/second between the base sample and current. A
+// current below the base (counter reset, samples from different
+// engines) yields 0 rather than a wrapped uint64.
+func (s *SampleRate) Rate(current uint64) float64 {
+	elapsed := time.Since(s.start).Seconds()
+	if elapsed <= 0 || current < s.base {
+		return 0
+	}
+	return float64(current-s.base) / elapsed
+}
+
 // Breakdown is the per-tuple execution-time decomposition of Section 6.1:
 // Execute (core function execution including processor stalls), RMA
 // (remote memory access, only when placed away from the producer) and

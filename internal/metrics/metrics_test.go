@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -167,5 +168,17 @@ func TestThroughput(t *testing.T) {
 	c.Add(1000)
 	if tp.Rate() <= 0 {
 		t.Error("rate should be positive after events")
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	sr := NewSampleRate(500)
+	time.Sleep(time.Millisecond)
+	r := sr.Rate(1500)
+	if r <= 0 {
+		t.Error("rate should be positive after the sample grew")
+	}
+	if sr.Rate(500) != 0 {
+		t.Error("unchanged sample should give zero rate")
 	}
 }

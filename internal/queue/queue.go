@@ -4,6 +4,25 @@
 // the engine's back-pressure mechanism, which eventually slows the spout
 // so the system runs at its best achievable stable throughput (Section
 // 6.1, footnote 2) — and blocks the consumer when empty.
+//
+// Two implementations share the contract:
+//
+//   - Queue is the original mutex/condvar multi-producer ring. It is kept
+//     as the baseline the microbenchmarks compare against and for callers
+//     that need arbitrary producer counts on one queue.
+//   - Ring is a lock-free single-producer/single-consumer ring (atomic
+//     cursors on separate cache lines, power-of-two capacity,
+//     spin-then-park waiting); Inbox fans in one Ring per producer on the
+//     consumer side. This is the engine's hot path: per-edge SPSC rings
+//     remove all producer-side contention (Section 5.2).
+//
+// The one contract divergence: the mutex Queue serializes Put against
+// Close, so an accepted Put is always drainable. A lock-free Ring.Put
+// racing a Close from a third goroutine can succeed for an element the
+// consumer never sees (it stays in the ring). Close a ring from its
+// producer after the final Put — as the engine's clean shutdown does —
+// and the contracts are identical; asynchronous Close is the engine's
+// abort path, where dropping in-flight elements is intended.
 package queue
 
 import (

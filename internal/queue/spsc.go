@@ -1,0 +1,258 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// cacheLine separates the producer- and consumer-owned cursors so a
+	// Put never invalidates the cache line a concurrent Get is spinning
+	// on (false sharing is the dominant cost of a naive atomic ring).
+	cacheLine = 64
+	// spinLimit bounds the busy-wait phase before a blocked side parks.
+	// Spinning covers the common case where the peer is actively running
+	// on another core; parking keeps an idle pipeline from burning CPU.
+	spinLimit = 128
+)
+
+// waiter is the park/wake rendezvous for one blocked goroutine. The
+// waking side only touches the channel when the parked flag is visible,
+// so the wake path costs a single atomic load while the peer is running.
+// The buffered channel tolerates a spurious token: the sleeper re-checks
+// the ring state after every wakeup.
+type waiter struct {
+	parked atomic.Bool
+	ch     chan struct{}
+}
+
+func newWaiter() *waiter { return &waiter{ch: make(chan struct{}, 1)} }
+
+// wake unparks the waiter if it is parked (or mid-park: the sleeper
+// re-validates state after setting the flag, which closes the race).
+func (w *waiter) wake() {
+	if w.parked.Load() {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Ring is a bounded single-producer/single-consumer FIFO implemented as
+// a lock-free ring buffer: one goroutine may call Put/TryPut and one
+// goroutine may call Get/TryGet, with no mutex on the hot path. Close
+// may be called from any goroutine. The capacity is rounded up to a
+// power of two so index wrapping is a mask instead of a division.
+//
+// Both sides spin briefly, then park on a per-side waiter; this is the
+// spin-then-park handoff Section 5.2 of the paper assumes when it prices
+// a queue insertion at nanoseconds rather than a syscall.
+//
+// The Close/drain contract matches Queue — Put fails with ErrClosed
+// once closed, Get drains remaining elements and then returns
+// ErrClosed, and back-pressure is preserved (Put blocks while the ring
+// is full, which ultimately slows the spout) — with one caveat: a Put
+// racing an asynchronous Close from a third goroutine may be accepted
+// after the consumer has already drained and exited, leaving the
+// element in the ring. Close from the producer goroutine (after its
+// final Put) for loss-free shutdown; see the package doc.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	closed atomic.Bool
+
+	prod *waiter
+	cons *waiter
+
+	// Consumer-owned cache line: the read cursor plus the consumer's
+	// stale copy of tail. While cachedTail says elements remain, a Get
+	// never touches the producer's line.
+	_          [cacheLine]byte
+	head       atomic.Uint64 // next read index; written only by the consumer
+	cachedTail uint64        // consumer's last-seen tail
+	// Producer-owned cache line, symmetric.
+	_          [cacheLine - 16]byte
+	tail       atomic.Uint64 // next write index; written only by the producer
+	cachedHead uint64        // producer's last-seen head
+	_          [cacheLine - 16]byte
+}
+
+// NewRing creates an SPSC ring with at least the given capacity
+// (rounded up to a power of two, minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	return newRing[T](capacity, newWaiter())
+}
+
+// newRing builds a ring with the supplied consumer-side waiter; an
+// Inbox shares one waiter across all its member rings so any producer
+// can unpark the single fan-in consumer.
+func newRing[T any](capacity int, cons *waiter) *Ring[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{
+		buf:  make([]T, n),
+		mask: uint64(n - 1),
+		prod: newWaiter(),
+		cons: cons,
+	}
+}
+
+// Cap returns the ring capacity.
+func (q *Ring[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued elements. head is loaded
+// first: head never passes tail, so a concurrent observer can see a
+// stale (smaller) length but never tail < head underflowing negative.
+func (q *Ring[T]) Len() int {
+	head := q.head.Load()
+	return int(q.tail.Load() - head)
+}
+
+// Closed reports whether Close has been called.
+func (q *Ring[T]) Closed() bool { return q.closed.Load() }
+
+// Put appends v, blocking while the ring is full. It returns ErrClosed
+// if the ring is closed before space becomes available.
+func (q *Ring[T]) Put(v T) error {
+	for i := 0; ; i++ {
+		if q.closed.Load() {
+			return ErrClosed
+		}
+		tail := q.tail.Load()
+		if tail-q.cachedHead == uint64(len(q.buf)) {
+			q.cachedHead = q.head.Load()
+		}
+		if tail-q.cachedHead < uint64(len(q.buf)) {
+			q.buf[tail&q.mask] = v
+			q.tail.Store(tail + 1)
+			q.cons.wake()
+			return nil
+		}
+		if i < spinLimit {
+			runtime.Gosched()
+			continue
+		}
+		// Park: publish the flag, re-validate (the consumer checks the
+		// flag after advancing head, so one of the two sides must see
+		// the other's store), then sleep until woken.
+		q.prod.parked.Store(true)
+		if q.tail.Load()-q.head.Load() < uint64(len(q.buf)) || q.closed.Load() {
+			q.prod.parked.Store(false)
+			i = 0
+			continue
+		}
+		<-q.prod.ch
+		q.prod.parked.Store(false)
+		i = 0
+	}
+}
+
+// TryPut appends v without blocking. It reports whether the element was
+// enqueued; it returns ErrClosed if the ring is closed.
+func (q *Ring[T]) TryPut(v T) (bool, error) {
+	if q.closed.Load() {
+		return false, ErrClosed
+	}
+	tail := q.tail.Load()
+	if tail-q.cachedHead == uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead == uint64(len(q.buf)) {
+			return false, nil
+		}
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	q.cons.wake()
+	return true, nil
+}
+
+// Get removes and returns the oldest element, blocking while the ring
+// is empty. After Close, Get keeps returning queued elements until the
+// ring drains and then returns ErrClosed.
+func (q *Ring[T]) Get() (T, error) {
+	var zero T
+	for i := 0; ; i++ {
+		head := q.head.Load()
+		if q.cachedTail == head {
+			q.cachedTail = q.tail.Load()
+		}
+		if q.cachedTail != head {
+			v := q.buf[head&q.mask]
+			q.buf[head&q.mask] = zero // release the reference for GC
+			q.head.Store(head + 1)
+			q.prod.wake()
+			return v, nil
+		}
+		if q.closed.Load() {
+			// A final Put sequenced before Close is visible by now; one
+			// more tail check decides between drain and ErrClosed.
+			if q.cachedTail = q.tail.Load(); q.cachedTail != head {
+				continue
+			}
+			return zero, ErrClosed
+		}
+		if i < spinLimit {
+			runtime.Gosched()
+			continue
+		}
+		q.cons.parked.Store(true)
+		if q.tail.Load() != head || q.closed.Load() {
+			q.cons.parked.Store(false)
+			i = 0
+			continue
+		}
+		<-q.cons.ch
+		q.cons.parked.Store(false)
+		i = 0
+	}
+}
+
+// TryGet removes the oldest element without blocking. The boolean
+// reports whether an element was returned; after Close and drain it
+// returns ErrClosed.
+func (q *Ring[T]) TryGet() (T, bool, error) {
+	var zero T
+	head := q.head.Load()
+	if q.cachedTail == head {
+		q.cachedTail = q.tail.Load()
+	}
+	if q.cachedTail == head {
+		if q.closed.Load() {
+			// Same final-Put re-check as Get.
+			if q.cachedTail = q.tail.Load(); q.cachedTail != head {
+				return q.TryGet()
+			}
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero
+	q.head.Store(head + 1)
+	q.prod.wake()
+	return v, true, nil
+}
+
+// Close marks the ring closed. A blocked producer fails with ErrClosed;
+// the consumer drains remaining elements and then receives ErrClosed.
+// Close is idempotent and may be called from any goroutine.
+func (q *Ring[T]) Close() {
+	q.closed.Store(true)
+	q.prod.wake()
+	q.cons.wake()
+}
+
+// Stats returns the cumulative successful Put and Get counts. The
+// monotonic cursors double as the counters — tail is the number of
+// elements ever enqueued, head the number ever dequeued — so the hot
+// path pays nothing for accounting. head is loaded first, so a live
+// reader never observes gets > puts.
+func (q *Ring[T]) Stats() (puts, gets uint64) {
+	gets = q.head.Load()
+	puts = q.tail.Load()
+	return puts, gets
+}
