@@ -27,6 +27,17 @@ race-all:
 bench:
 	$(GO) test -bench 'PutGet|EngineDispatch' -benchtime 1s -run xxx ./internal/queue/ ./internal/engine/
 
+# bench-json runs the four benchmark apps on the real engine and writes
+# machine-readable rows (throughput, latency p50/p99, allocs/tuple) to
+# $(BENCH_JSON), tracking the data-path perf trajectory across PRs. CI
+# runs it as a non-gating step.
+BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON_DUR ?= 2s
+.PHONY: bench-json
+bench-json:
+	$(GO) run ./cmd/briskbench -bench-json $(BENCH_JSON_DUR) > $(BENCH_JSON).tmp
+	mv $(BENCH_JSON).tmp $(BENCH_JSON)
+
 vet:
 	$(GO) vet ./...
 

@@ -61,10 +61,30 @@ import (
 // Value is a dynamically typed tuple field.
 type Value = tuple.Value
 
-// Tuple is one data item flowing on a stream.
+// Tuple is one data item flowing on a stream. Tuples handed to Process
+// are pooled: they are valid until Process returns, and operators that
+// keep one longer must Retain (and later Release) it. Values read out
+// of a tuple are immutable and never need retaining. See the
+// internal/tuple package doc for the full ownership contract.
 type Tuple = tuple.Tuple
 
+// StreamID is an interned stream identifier; resolve names once with
+// Stream and assign the id to Tuple.Stream for allocation-free emission
+// on named streams via Collector.Borrow/Send.
+type StreamID = tuple.StreamID
+
+// DefaultStreamID is the interned id of DefaultStream (the zero value,
+// which Borrow-ed tuples carry by default).
+const DefaultStreamID = tuple.DefaultStreamID
+
+// Stream interns a stream name, returning its StreamID. Call it at
+// operator construction (wiring) time, not per tuple.
+func Stream(name string) StreamID { return tuple.Intern(name) }
+
 // Collector receives emitted tuples during an operator invocation.
+// Emit/EmitTo copy variadic values into pooled tuples; the
+// allocation-free surface is Borrow (get a pooled tuple, fill Values
+// and optionally Stream) followed by Send (transfer it to the engine).
 type Collector = engine.Collector
 
 // Operator processes one input tuple per invocation.

@@ -6,14 +6,18 @@
 //	briskbench -all             # run the full suite (slow)
 //	briskbench -all -quick      # reduced fidelity, minutes instead
 //	briskbench -engine 3s       # real-engine hot-path microbenchmark
+//	briskbench -bench-json 2s   # four apps on the real engine, JSON rows
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"briskstream/internal/apps"
 	"briskstream/internal/engine"
 	"briskstream/internal/experiments"
 	"briskstream/internal/graph"
@@ -28,6 +32,7 @@ func main() {
 		all       = flag.Bool("all", false, "run every experiment")
 		quick     = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
 		engineDur = flag.Duration("engine", 0, "run the real-engine queue/dispatch microbenchmark for this duration")
+		benchJSON = flag.Duration("bench-json", 0, "run the four benchmark apps on the real engine for this duration each and print JSON perf rows")
 	)
 	flag.Parse()
 
@@ -40,6 +45,14 @@ func main() {
 
 	if *engineDur > 0 {
 		if err := engineMicrobench(*engineDur); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchJSON > 0 {
+		if err := appBenchJSON(*benchJSON, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -94,14 +107,18 @@ func engineMicrobench(d time.Duration) error {
 				i := int64(0)
 				return engine.SpoutFunc(func(c engine.Collector) error {
 					i++
-					c.Emit(i)
+					out := c.Borrow()
+					out.Values = append(out.Values, i)
+					c.Send(out)
 					return nil
 				})
 			}},
 			Operators: map[string]func() engine.Operator{
 				"double": func() engine.Operator {
 					return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-						c.Emit(t.Values...)
+						out := c.Borrow()
+						out.Values = append(out.Values, t.Values...)
+						c.Send(out)
 						return nil
 					})
 				},
@@ -157,4 +174,89 @@ func engineMicrobench(d time.Duration) error {
 		rows,
 	))
 	return nil
+}
+
+// appBenchRow is one (application, replication) measurement of the
+// real-engine data path, serialized into the BENCH_PR*.json trajectory
+// files the Makefile's bench-json target maintains.
+type appBenchRow struct {
+	App            string  `json:"app"`
+	Replication    int     `json:"replication"`
+	DurationSec    float64 `json:"duration_sec"`
+	SinkTuples     uint64  `json:"sink_tuples"`
+	ThroughputTPS  float64 `json:"throughput_tps"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	QueuePuts      uint64  `json:"queue_puts"`
+}
+
+type appBenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	PerRunDur  string        `json:"per_run_duration"`
+	Rows       []appBenchRow `json:"rows"`
+}
+
+// appBenchJSON runs the four benchmark applications on the real engine
+// at replication 1 and 4 and writes machine-readable throughput,
+// latency and allocation rows, so the perf trajectory of the data path
+// is tracked across PRs (`make bench-json`).
+func appBenchJSON(d time.Duration, w *os.File) error {
+	report := appBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PerRunDur:  d.String(),
+	}
+	for _, a := range apps.All() {
+		for _, repl := range []int{1, 4} {
+			replication := map[string]int{}
+			for _, n := range a.Graph.Nodes() {
+				replication[n.Name] = repl
+			}
+			e, err := engine.New(engine.Topology{
+				App:         a.Graph,
+				Spouts:      a.Spouts,
+				Operators:   a.Operators,
+				Replication: replication,
+			}, engine.DefaultConfig())
+			if err != nil {
+				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			res, err := e.Run(d)
+			if err != nil {
+				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
+			}
+			runtime.ReadMemStats(&m1)
+			if len(res.Errors) != 0 {
+				return fmt.Errorf("%s x%d: %v", a.Name, repl, res.Errors[0])
+			}
+			var processed uint64
+			for _, n := range res.Processed {
+				processed += n
+			}
+			row := appBenchRow{
+				App:           a.Name,
+				Replication:   repl,
+				DurationSec:   res.Duration.Seconds(),
+				SinkTuples:    res.SinkTuples,
+				ThroughputTPS: res.Throughput,
+				LatencyP50Ms:  res.Latency.Quantile(0.5) / 1e6,
+				LatencyP99Ms:  res.Latency.Quantile(0.99) / 1e6,
+				QueuePuts:     res.QueuePuts,
+			}
+			if processed > 0 {
+				row.AllocsPerTuple = float64(m1.Mallocs-m0.Mallocs) / float64(processed)
+			}
+			report.Rows = append(report.Rows, row)
+			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f tuples/s  %.3f allocs/tuple\n",
+				a.Name, repl, row.ThroughputTPS, row.AllocsPerTuple)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

@@ -28,6 +28,8 @@ func (c *capture) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, va
 func (c *capture) EmitTo(stream string, values ...tuple.Value) {
 	c.buf = append(c.buf, tuple.OnStream(stream, values...))
 }
+func (c *capture) Borrow() *tuple.Tuple { return tuple.New() }
+func (c *capture) Send(t *tuple.Tuple)  { c.buf = append(c.buf, t) }
 func (c *capture) take() []*tuple.Tuple {
 	out := c.buf
 	c.buf = nil
@@ -87,8 +89,9 @@ func main() {
 		// Feed produced tuples to each consumer's input pool, honoring
 		// the stream subscription.
 		for _, e := range a.Graph.Out(op) {
+			sid := tuple.Intern(e.Stream)
 			for _, t := range produced {
-				if t.Stream == e.Stream {
+				if t.Stream == sid {
 					inputs[e.To] = append(inputs[e.To], t)
 				}
 			}

@@ -48,14 +48,20 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 	spouts := map[string]func() engine.Spout{
 		"spout": func() engine.Spout {
 			i := 0
+			var words []string
 			return engine.SpoutFunc(func(c engine.Collector) error {
 				i++
 				n := int(wordsPerSentence.Load())
-				words := make([]string, n)
+				if cap(words) < n {
+					words = make([]string, n)
+				}
+				words = words[:n]
 				for j := range words {
 					words[j] = fmt.Sprintf("w%d", (i+j)%64)
 				}
-				c.Emit(strings.Join(words, " "))
+				out := c.Borrow()
+				out.Values = append(out.Values, strings.Join(words, " "))
+				c.Send(out)
 				return nil
 			})
 		},
@@ -64,7 +70,9 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 		"splitter": func() engine.Operator {
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				for _, w := range strings.Fields(t.String(0)) {
-					c.Emit(w)
+					out := c.Borrow()
+					out.Values = append(out.Values, w)
+					c.Send(out)
 				}
 				return nil
 			})
@@ -74,7 +82,9 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				w := t.String(0)
 				counts[w]++
-				c.Emit(w, counts[w])
+				out := c.Borrow()
+				out.Values = append(out.Values, t.Values[0], counts[w])
+				c.Send(out)
 				return nil
 			})
 		},

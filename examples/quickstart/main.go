@@ -16,12 +16,16 @@ import (
 func main() {
 	t := briskstream.NewTopology("quickstart")
 
-	// A spout producing sentences forever; the run is time-bounded.
+	// A spout producing sentences forever; the run is time-bounded. The
+	// Borrow/Send surface reuses pooled tuples, so the only per-event
+	// allocation is the sentence itself.
 	t.Spout("sentences", func() briskstream.Spout {
 		i := 0
 		return briskstream.SpoutFunc(func(c briskstream.Collector) error {
 			i++
-			c.Emit(fmt.Sprintf("event %d from the quickstart stream pipeline", i))
+			out := c.Borrow()
+			out.Values = append(out.Values, fmt.Sprintf("event %d from the quickstart stream pipeline", i))
+			c.Send(out)
 			return nil
 		})
 	})
@@ -30,7 +34,9 @@ func main() {
 	t.Operator("split", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
 			for _, w := range strings.Fields(tp.String(0)) {
-				c.Emit(w)
+				out := c.Borrow()
+				out.Values = append(out.Values, w)
+				c.Send(out)
 			}
 			return nil
 		})
@@ -42,7 +48,9 @@ func main() {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
 			w := tp.String(0)
 			counts[w]++
-			c.Emit(w, counts[w])
+			out := c.Borrow()
+			out.Values = append(out.Values, tp.Values[0], counts[w])
+			c.Send(out)
 			return nil
 		})
 	}).Subscribe("split", briskstream.FieldsKey(0)).Parallelism(2)

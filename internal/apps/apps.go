@@ -14,6 +14,7 @@ import (
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
+	"briskstream/internal/tuple"
 )
 
 // App is one runnable benchmark application.
@@ -52,6 +53,27 @@ func ByName(name string) *App {
 // rng returns a deterministic per-replica random source: replicated
 // spouts must not emit identical streams, and runs must be reproducible.
 func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// emit sends vals on the given stream through the pooled Borrow/Send
+// surface — the shared emission idiom of every app operator. Forwarding
+// already-boxed input fields (t.Values[i]) avoids re-boxing; the
+// variadic slice itself stays on the caller's stack (Send copies the
+// values into the pooled tuple's reusable backing array).
+func emit(c engine.Collector, stream tuple.StreamID, vals ...tuple.Value) {
+	out := c.Borrow()
+	out.Stream = stream
+	out.Values = append(out.Values, vals...)
+	c.Send(out)
+}
+
+// forward re-emits all of t's fields on the given stream: the
+// pass-through/dispatcher shape.
+func forward(c engine.Collector, t *tuple.Tuple, stream tuple.StreamID) {
+	out := c.Borrow()
+	out.Stream = stream
+	out.Values = append(out.Values, t.Values...)
+	c.Send(out)
+}
 
 func mustNode(g *graph.Graph, n *graph.Node) {
 	if err := g.AddNode(n); err != nil {

@@ -257,3 +257,9 @@ func (c *captureCollector) Emit(values ...tuple.Value) {
 func (c *captureCollector) EmitTo(stream string, values ...tuple.Value) {
 	*c.out = append(*c.out, values[0].(string))
 }
+
+func (c *captureCollector) Borrow() *tuple.Tuple { return tuple.New() }
+
+func (c *captureCollector) Send(t *tuple.Tuple) {
+	*c.out = append(*c.out, t.Values[0].(string))
+}

@@ -43,7 +43,7 @@ func FraudDetection() *App {
 					record := fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d",
 						entity, r.Intn(100000), r.Intn(9999), r.Intn(100),
 						r.Intn(24), r.Intn(60), r.Intn(2), r.Int63())
-					c.Emit(entity, record)
+					emit(c, tuple.DefaultStreamID, entity, record)
 					return nil
 				})
 			},
@@ -54,7 +54,7 @@ func FraudDetection() *App {
 					if len(t.Values) < 2 {
 						return nil // drop malformed records
 					}
-					c.Emit(t.Values...)
+					forward(c, t, tuple.DefaultStreamID)
 					return nil
 				})
 			},
@@ -77,7 +77,7 @@ func FraudDetection() *App {
 					fraud := seen && (bucket-prev) > 80
 					// A signal is emitted for every input tuple
 					// regardless of the detection outcome.
-					c.Emit(entity, fraud)
+					emit(c, tuple.DefaultStreamID, t.Values[0], fraud)
 					return nil
 				})
 			},

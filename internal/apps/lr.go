@@ -24,6 +24,21 @@ const (
 	lrToll     = "toll_nofity_stream" // spelled as in the paper's Table 8
 )
 
+// Interned stream ids, resolved once at package init so the operators'
+// per-tuple stream dispatch is an integer compare (the engine's routing
+// tables are keyed the same way).
+var (
+	lrPositionID = tuple.Intern(lrPosition)
+	lrBalanceID  = tuple.Intern(lrBalance)
+	lrDailyID    = tuple.Intern(lrDaily)
+	lrAvgID      = tuple.Intern(lrAvg)
+	lrLasID      = tuple.Intern(lrLas)
+	lrDetectID   = tuple.Intern(lrDetect)
+	lrCountsID   = tuple.Intern(lrCounts)
+	lrNotifyID   = tuple.Intern(lrNotify)
+	lrTollID     = tuple.Intern(lrToll)
+)
+
 // Input record types on the LR input stream.
 const (
 	lrTypePosition = int64(0)
@@ -120,11 +135,13 @@ func lrSpout() engine.Spout {
 		if r.Intn(500) == 0 {
 			speed = 0 // stopped vehicle: potential accident
 		}
-		c.Emit(typ, vehicle, speed,
+		out := c.Borrow()
+		out.Values = append(out.Values, typ, vehicle, speed,
 			int64(r.Intn(2)),   // xway
 			int64(r.Intn(4)),   // lane
 			int64(r.Intn(100)), // segment
 			int64(r.Intn(528000)))
+		c.Send(out)
 		return nil
 	})
 }
@@ -132,7 +149,7 @@ func lrSpout() engine.Spout {
 func lrOperators() map[string]func() engine.Operator {
 	pass := func() engine.Operator {
 		return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-			c.Emit(t.Values...)
+			forward(c, t, tuple.DefaultStreamID)
 			return nil
 		})
 	}
@@ -145,11 +162,11 @@ func lrOperators() map[string]func() engine.Operator {
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				switch t.Int(0) {
 				case lrTypeBalance:
-					c.EmitTo(lrBalance, t.Values...)
+					forward(c, t, lrBalanceID)
 				case lrTypeDaily:
-					c.EmitTo(lrDaily, t.Values...)
+					forward(c, t, lrDailyID)
 				default:
-					c.EmitTo(lrPosition, t.Values...)
+					forward(c, t, lrPositionID)
 				}
 				return nil
 			})
@@ -169,7 +186,7 @@ func lrOperators() map[string]func() engine.Operator {
 				}
 				s.sum += t.Int(2)
 				s.count++
-				c.EmitTo(lrAvg, seg, float64(s.sum)/float64(s.count))
+				emit(c, lrAvgID, t.Values[5], float64(s.sum)/float64(s.count))
 				return nil
 			})
 		},
@@ -185,7 +202,7 @@ func lrOperators() map[string]func() engine.Operator {
 				}
 				cur := 0.8*prev + 0.2*avg
 				lav[seg] = cur
-				c.EmitTo(lrLas, seg, cur)
+				emit(c, lrLasID, t.Values[0], cur)
 				return nil
 			})
 		},
@@ -207,7 +224,7 @@ func lrOperators() map[string]func() engine.Operator {
 				if speed == 0 && s.pos == pos {
 					s.stopped++
 					if s.stopped == 4 {
-						c.EmitTo(lrDetect, seg, pos)
+						emit(c, lrDetectID, seg, pos)
 					}
 				} else {
 					s.stopped = 0
@@ -226,7 +243,7 @@ func lrOperators() map[string]func() engine.Operator {
 					counts[seg] = set
 				}
 				set[v] = true
-				c.EmitTo(lrCounts, seg, int64(len(set)))
+				emit(c, lrCountsID, t.Values[5], int64(len(set)))
 				return nil
 			})
 		},
@@ -236,13 +253,13 @@ func lrOperators() map[string]func() engine.Operator {
 			accident := map[int64]bool{}
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				switch t.Stream {
-				case lrLas:
+				case lrLasID:
 					lav[t.Int(0)] = t.Float(1)
-					c.EmitTo(lrToll, t.Int(0), 0.0) // statistics update notification
-				case lrCounts:
+					emit(c, lrTollID, t.Values[0], 0.0) // statistics update notification
+				case lrCountsID:
 					cnt[t.Int(0)] = t.Int(1)
-					c.EmitTo(lrToll, t.Int(0), 0.0)
-				case lrDetect:
+					emit(c, lrTollID, t.Values[0], 0.0)
+				case lrDetectID:
 					accident[t.Int(0)] = true
 					// No toll is charged in accident segments; no
 					// notification is emitted for the detect stream.
@@ -253,7 +270,7 @@ func lrOperators() map[string]func() engine.Operator {
 						base := float64(cnt[seg] - 50)
 						toll = 2 * base * base / 100
 					}
-					c.EmitTo(lrToll, t.Int(1), toll)
+					emit(c, lrTollID, t.Values[1], toll)
 				}
 				return nil
 			})
@@ -261,14 +278,14 @@ func lrOperators() map[string]func() engine.Operator {
 		"accident_notify": func() engine.Operator {
 			accidents := map[int64]bool{}
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				if t.Stream == lrDetect {
+				if t.Stream == lrDetectID {
 					accidents[t.Int(0)] = true
 					return nil
 				}
 				// Position report: notify vehicles entering a segment
 				// with a known accident (rare).
 				if seg := t.Int(5); accidents[seg] {
-					c.EmitTo(lrNotify, t.Int(1), seg)
+					emit(c, lrNotifyID, t.Values[1], seg)
 				}
 				return nil
 			})
@@ -278,7 +295,7 @@ func lrOperators() map[string]func() engine.Operator {
 			// pseudo-history keyed by vehicle.
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				v := t.Int(1)
-				c.Emit(v, float64((v*7919)%500)/10)
+				emit(c, tuple.DefaultStreamID, t.Values[1], float64((v*7919)%500)/10)
 				return nil
 			})
 		},
@@ -287,7 +304,7 @@ func lrOperators() map[string]func() engine.Operator {
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				v := t.Int(1)
 				balances[v] += 0.5
-				c.Emit(v, balances[v])
+				emit(c, tuple.DefaultStreamID, t.Values[1], balances[v])
 				return nil
 			})
 		},

@@ -49,7 +49,7 @@ func SpikeDetection() *App {
 					if r.Intn(100) == 0 {
 						value *= 1.5 // occasional genuine spike
 					}
-					c.Emit(device, value)
+					emit(c, tuple.DefaultStreamID, device, value)
 					return nil
 				})
 			},
@@ -60,7 +60,7 @@ func SpikeDetection() *App {
 					if len(t.Values) < 2 {
 						return nil
 					}
-					c.Emit(t.Values...)
+					forward(c, t, tuple.DefaultStreamID)
 					return nil
 				})
 			},
@@ -88,7 +88,7 @@ func SpikeDetection() *App {
 					w.vals[w.next] = v
 					w.next = (w.next + 1) % sdWindow
 					w.sum += v
-					c.Emit(device, v, w.sum/float64(w.n))
+					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], w.sum/float64(w.n))
 					return nil
 				})
 			},
@@ -96,7 +96,7 @@ func SpikeDetection() *App {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 					v, avg := t.Float(1), t.Float(2)
 					// Signal emitted whether or not a spike triggered.
-					c.Emit(t.Values[0], v, v > sdThreshold*avg)
+					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], v > sdThreshold*avg)
 					return nil
 				})
 			},

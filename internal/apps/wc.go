@@ -54,7 +54,7 @@ func WordCount() *App {
 					for i := range words {
 						words[i] = wcVocabulary[r.Intn(len(wcVocabulary))]
 					}
-					c.Emit(strings.Join(words, " "))
+					emit(c, tuple.DefaultStreamID, strings.Join(words, " "))
 					return nil
 				})
 			},
@@ -62,18 +62,18 @@ func WordCount() *App {
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					s := t.String(0)
-					if len(s) == 0 {
+					if len(t.String(0)) == 0 {
 						return nil // drop invalid tuples
 					}
-					c.Emit(s)
+					// Forward the already-boxed field: no re-boxing.
+					emit(c, tuple.DefaultStreamID, t.Values[0])
 					return nil
 				})
 			},
 			"splitter": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 					for _, w := range strings.Fields(t.String(0)) {
-						c.Emit(w)
+						emit(c, tuple.DefaultStreamID, w)
 					}
 					return nil
 				})
@@ -83,7 +83,7 @@ func WordCount() *App {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 					w := t.String(0)
 					counts[w]++
-					c.Emit(w, counts[w])
+					emit(c, tuple.DefaultStreamID, t.Values[0], counts[w])
 					return nil
 				})
 			},

@@ -12,12 +12,32 @@
 // topology: per-hop (de)serialization, defensive tuple copies instead of
 // reference passing, disabled jumbo tuples, and an artificial extra
 // instruction footprint.
+//
+// # Tuple ownership
+//
+// The steady-state emit→dispatch→process path allocates nothing: tuples
+// come from per-task pools, stream routing compares interned integer
+// ids, fields-grouping hashes inline without a heap hasher, and jumbo
+// batch headers are recycled. The ownership contract that makes this
+// safe:
+//
+//   - Collector.Borrow hands the operator a pooled tuple; Collector.Send
+//     (and the Emit/EmitTo convenience paths, which Borrow internally)
+//     transfers ownership to the engine.
+//   - dispatch counts, before the first enqueue, how many consumers
+//     receive the tuple by reference and retains it accordingly, so one
+//     tuple fanned out to several routes is recycled only after the last
+//     consumer finishes.
+//   - After an operator's Process returns, the engine releases the input
+//     tuple back to its producer's pool. Operators that keep a tuple
+//     beyond Process (windows, joins, side goroutines) must Retain it in
+//     Process and Release it later; values read out of a tuple are
+//     immutable and never need retaining.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"sync"
@@ -32,11 +52,28 @@ import (
 )
 
 // Collector receives the tuples an operator emits during one invocation.
+//
+// Emit and EmitTo are the convenience surface: they copy the variadic
+// values into a pooled tuple. The allocation-free surface is
+// Borrow+Send: Borrow returns a pooled tuple whose Values backing array
+// is reused across emissions, the caller fills Values (and Stream, for
+// named streams — pre-intern with tuple.Intern), and Send transfers
+// ownership back to the engine. After Send the caller must not touch
+// the tuple.
 type Collector interface {
 	// Emit sends values on the default stream.
 	Emit(values ...tuple.Value)
-	// EmitTo sends values on a named stream.
+	// EmitTo sends values on a named stream. Stream names are interned
+	// globally and never evicted, so they must come from the topology's
+	// fixed set — never compute a stream name per tuple or per key.
 	EmitTo(stream string, values ...tuple.Value)
+	// Borrow returns an empty pooled tuple on the default stream, owned
+	// by the caller until passed to Send.
+	Borrow() *tuple.Tuple
+	// Send emits a tuple obtained from Borrow, consuming ownership. The
+	// engine stamps the event timestamp; callers only fill Values and
+	// Stream.
+	Send(t *tuple.Tuple)
 }
 
 // Operator is the processing interface: Process consumes one input tuple
@@ -176,8 +213,18 @@ type task struct {
 	in       *queue.Inbox[*tuple.Jumbo]
 	socket   numa.SocketID
 
+	// pool recycles this task's output tuples: consumers release each
+	// processed tuple back here once every reference is dropped.
+	pool *tuple.Pool
+	// mbuf is the reusable marshal buffer for the serialization-emulation
+	// mode (one per task; tasks are single-goroutine).
+	mbuf []byte
+
 	// routing: per logical out-edge, the consumer tasks and partitioning
 	routes []route
+	// scratch is the reusable destination list dispatch resolves per
+	// emitted tuple (tasks are single-goroutine, so one scratch each).
+	scratch []dest
 
 	// out is indexed by consumer task id (nil for tasks this one does
 	// not feed); outList is the dense list of the same edges for flush
@@ -190,19 +237,26 @@ type task struct {
 
 // outEdge is one (producer, consumer) communication edge: the
 // producer's private SPSC ring into the consumer's inbox plus the
-// jumbo-tuple accumulation buffer.
+// jumbo tuple being accumulated for the next single-slot insertion.
 type outEdge struct {
 	consumer *task
 	ring     *queue.Ring[*tuple.Jumbo]
-	buf      []*tuple.Tuple
+	jumbo    *tuple.Jumbo
 }
 
 type route struct {
-	stream    string
+	stream    tuple.StreamID
 	part      graph.Partitioning
 	keyField  int
 	consumers []*task
 	rr        int // round-robin cursor for shuffle
+}
+
+// dest is one resolved delivery of an emitted tuple: the consumer task
+// and whether it receives a copy (fan-out) or the tuple pointer itself.
+type dest struct {
+	c     *task
+	clone bool
 }
 
 // RouteError reports a tuple that could not be routed by a
@@ -222,7 +276,8 @@ func (e *RouteError) Error() string {
 		e.Task, e.Stream, e.KeyField, e.Width)
 }
 
-// Engine executes one topology.
+// Engine executes one topology. An engine may be Run repeatedly; each
+// Run resets the per-run counters and reopens the task queues.
 type Engine struct {
 	cfg    Config
 	topo   Topology
@@ -234,10 +289,16 @@ type Engine struct {
 	errs   []error
 	errsMu sync.Mutex
 
-	// batchPool recycles jumbo batch slices (cap = BatchSize) between
-	// the producer that fills one and the consumer that drains it, so
-	// the steady-state hot path allocates no slices per flush.
-	batchPool sync.Pool
+	// ptrSend is true when dispatch enqueues the emitted tuple pointer
+	// itself (the BriskStream path); cloning/serializing modes always
+	// hand consumers a separate object.
+	ptrSend bool
+
+	// jumboPool recycles jumbo tuples (header + batch slice with cap =
+	// BatchSize) between the producer that fills one and the consumer
+	// that drains it, so the steady-state hot path allocates neither
+	// headers nor slices per flush.
+	jumboPool sync.Pool
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -256,8 +317,11 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 		cfg.BatchSize = 1
 	}
 	e := &Engine{cfg: cfg, topo: topo, byOp: map[string][]*task{}, lat: metrics.NewHistogram(0)}
+	e.ptrSend = cfg.PassByReference && !cfg.Serialize
 	batch := cfg.BatchSize
-	e.batchPool.New = func() any { return make([]*tuple.Tuple, 0, batch) }
+	e.jumboPool.New = func() any {
+		return &tuple.Jumbo{Tuples: make([]*tuple.Tuple, 0, batch)}
+	}
 
 	for _, n := range topo.App.Nodes() {
 		repl := 1
@@ -271,6 +335,7 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 				replica: i,
 				label:   fmt.Sprintf("%s#%d", n.Name, i),
 				isSink:  n.IsSink,
+				pool:    tuple.NewPool(),
 			}
 			if n.IsSpout {
 				mk, ok := topo.Spouts[n.Name]
@@ -321,7 +386,7 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 			consumers := e.byOp[edge.To]
 			for _, pt := range e.byOp[n.Name] {
 				pt.routes = append(pt.routes, route{
-					stream:    edge.Stream,
+					stream:    tuple.Intern(edge.Stream),
 					part:      edge.Partitioning,
 					keyField:  edge.KeyField,
 					consumers: consumers,
@@ -356,17 +421,45 @@ type collector struct {
 	seq   uint64
 	curTs time.Time // event time of the input tuple being processed
 	fail  error
+
+	// lastName/lastID memoize the EmitTo compat path's stream-name
+	// resolution: operators overwhelmingly emit on one stream, so the
+	// common case is a pointer-equal string compare, not a map lookup.
+	lastName string
+	lastID   tuple.StreamID
 }
 
 // Emit implements Collector.
-func (c *collector) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, values...) }
+func (c *collector) Emit(values ...tuple.Value) {
+	if c.fail != nil {
+		return
+	}
+	out := c.t.pool.Get()
+	out.Values = append(out.Values, values...)
+	c.Send(out)
+}
 
 // EmitTo implements Collector.
 func (c *collector) EmitTo(stream string, values ...tuple.Value) {
 	if c.fail != nil {
 		return
 	}
-	out := &tuple.Tuple{Values: values, Stream: stream}
+	out := c.t.pool.Get()
+	out.Stream = c.streamID(stream)
+	out.Values = append(out.Values, values...)
+	c.Send(out)
+}
+
+// Borrow implements Collector.
+func (c *collector) Borrow() *tuple.Tuple { return c.t.pool.Get() }
+
+// Send implements Collector: it stamps the event time and hands the
+// tuple (with the caller's reference) to dispatch.
+func (c *collector) Send(out *tuple.Tuple) {
+	if c.fail != nil {
+		out.Release()
+		return
+	}
 	if c.t.spout != nil {
 		// Latency sampling: spouts stamp every k-th tuple.
 		if c.e.cfg.LatencySampleEvery > 0 {
@@ -385,9 +478,36 @@ func (c *collector) EmitTo(stream string, values ...tuple.Value) {
 	}
 }
 
+func (c *collector) streamID(stream string) tuple.StreamID {
+	// The memo's zero value is ("", DefaultStreamID); require a
+	// non-empty hit so EmitTo("") interns like every other name instead
+	// of silently resolving to the default stream.
+	if stream == c.lastName && stream != "" {
+		return c.lastID
+	}
+	id := tuple.Intern(stream)
+	c.lastName, c.lastID = stream, id
+	return id
+}
+
 // dispatch routes one output tuple through the task's partition
-// controller into per-consumer buffers, flushing full jumbo tuples.
+// controller into per-consumer buffers, flushing full jumbo tuples. It
+// consumes the caller's reference: the tuple is handed to its
+// consumer(s), or released back to the producer's pool if nothing
+// subscribes to its stream.
+//
+// It runs in two phases so recycling needs no atomic read-modify-write
+// in the common single-consumer case. Phase 1 resolves every
+// destination — all reads of the tuple (stream id, key fields) happen
+// here, before any consumer can see it. Phase 2 enqueues copies first
+// (fan-out and defensive copies read the tuple), then the pointer
+// sends, which only move the pointer: the caller's reference transfers
+// with the last pointer send, extra pointer shares are retained before
+// the first, and after the final send dispatch never touches the tuple
+// again — so a fast consumer's release can never recycle it
+// mid-dispatch.
 func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
+	dests := t.scratch[:0]
 	for ri := range t.routes {
 		r := &t.routes[ri]
 		if r.stream != out.Stream {
@@ -395,105 +515,155 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 		}
 		switch r.part {
 		case graph.Broadcast:
+			fan := len(r.consumers) > 1
 			for _, c := range r.consumers {
-				if err := e.buffer(t, c, out, len(r.consumers) > 1); err != nil {
-					return err
-				}
+				dests = append(dests, dest{c, fan})
 			}
 		case graph.Global:
-			if err := e.buffer(t, r.consumers[0], out, false); err != nil {
-				return err
-			}
+			dests = append(dests, dest{r.consumers[0], false})
 		case graph.Fields:
 			if r.keyField < 0 || r.keyField >= len(out.Values) {
-				return &RouteError{Task: t.label, Stream: r.stream, KeyField: r.keyField, Width: len(out.Values)}
-			}
-			idx := int(hashValue(out.Values[r.keyField]) % uint64(len(r.consumers)))
-			if err := e.buffer(t, r.consumers[idx], out, false); err != nil {
+				t.scratch = dests[:0]
+				err := &RouteError{Task: t.label, Stream: r.stream.String(), KeyField: r.keyField, Width: len(out.Values)}
+				out.Release() // nothing enqueued yet; the caller's reference ends here
 				return err
 			}
+			idx := int(hashValue(out.Values[r.keyField]) % uint64(len(r.consumers)))
+			dests = append(dests, dest{r.consumers[idx], false})
 		default: // Shuffle
 			idx := r.rr
 			if r.rr++; r.rr == len(r.consumers) {
 				r.rr = 0
 			}
-			if err := e.buffer(t, r.consumers[idx], out, false); err != nil {
-				return err
-			}
+			dests = append(dests, dest{r.consumers[idx], false})
 		}
+	}
+	t.scratch = dests
+
+	shares := 0
+	for _, d := range dests {
+		if e.ptrSend && !d.clone {
+			shares++ // pointer sends go in the second pass
+			continue
+		}
+		if err := e.buffer(t, d.c, out, d.clone); err != nil {
+			out.Release() // not yet pointer-enqueued; drop the caller's reference
+			return err
+		}
+	}
+	if shares == 0 {
+		out.Release()
+		return nil
+	}
+	out.RetainN(shares - 1)
+	for _, d := range dests {
+		if d.clone {
+			continue
+		}
+		if err := e.buffer(t, d.c, out, false); err != nil {
+			// Consumers already holding the tuple release their own
+			// references; drop the ones for this and the undelivered
+			// sends so the tuple still recycles (shutdown/abort path).
+			for ; shares > 0; shares-- {
+				out.Release()
+			}
+			return err
+		}
+		shares--
 	}
 	return nil
 }
 
-// buffer appends a tuple to the producer's per-consumer output buffer
-// and flushes it as a jumbo tuple when full.
+// buffer appends a tuple to the producer's per-consumer jumbo under
+// construction and flushes it when full.
 func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout bool) error {
 	msg := out
 	if copyForFanout || !e.cfg.PassByReference {
-		msg = out.Clone()
+		// Defensive/fan-out copy into a pooled tuple from the producer's
+		// pool; the consumer releases it like any other input.
+		msg = t.pool.Get()
+		msg.CopyFrom(out)
 	}
 	if e.cfg.Serialize {
 		// Emulate a serialization transport: marshal + unmarshal per
 		// tuple, preserving the timestamp for latency accounting.
-		buf := tuple.Marshal(msg, nil)
-		decoded, _, err := tuple.Unmarshal(buf)
+		t.mbuf = tuple.Marshal(msg, t.mbuf[:0])
+		decoded, _, err := tuple.Unmarshal(t.mbuf)
+		if msg != out {
+			msg.Release()
+		}
 		if err != nil {
 			return err
 		}
 		msg = decoded
 	}
 	oe := t.out[consumer.id]
-	if oe.buf == nil {
-		oe.buf = e.batchPool.Get().([]*tuple.Tuple)
+	if oe.jumbo == nil {
+		oe.jumbo = e.jumboPool.Get().(*tuple.Jumbo)
 	}
-	oe.buf = append(oe.buf, msg)
-	if len(oe.buf) >= e.cfg.BatchSize {
-		batch := oe.buf
-		oe.buf = nil
-		return e.send(t, oe, batch)
+	oe.jumbo.Tuples = append(oe.jumbo.Tuples, msg)
+	if len(oe.jumbo.Tuples) >= e.cfg.BatchSize {
+		j := oe.jumbo
+		oe.jumbo = nil
+		return e.send(t, oe, j)
 	}
 	return nil
 }
 
-func (e *Engine) send(t *task, oe *outEdge, batch []*tuple.Tuple) error {
-	j := &tuple.Jumbo{Producer: t.id, Consumer: oe.consumer.id, Tuples: batch}
+func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
+	j.Producer, j.Consumer = t.id, oe.consumer.id
 	if err := oe.ring.Put(j); err != nil {
 		return ErrStopped
 	}
 	return nil
 }
 
-// recycleBatch returns a drained jumbo batch slice to the pool. Slots
-// are cleared first so the pool does not pin consumed tuples.
-func (e *Engine) recycleBatch(batch []*tuple.Tuple) {
-	if cap(batch) != e.cfg.BatchSize {
-		return // foreign or resized slice; let the GC take it
+// recycleJumbo returns a drained jumbo to the pool. Slots are cleared
+// first so the pool does not pin consumed tuples.
+func (e *Engine) recycleJumbo(j *tuple.Jumbo) {
+	if cap(j.Tuples) != e.cfg.BatchSize {
+		return // foreign or resized batch; let the GC take it
 	}
-	for i := range batch {
-		batch[i] = nil
-	}
-	e.batchPool.Put(batch[:0])
+	clear(j.Tuples)
+	j.Tuples = j.Tuples[:0]
+	e.jumboPool.Put(j)
 }
 
 // flushAll flushes all pending buffers of a task.
 func (e *Engine) flushAll(t *task) {
 	for _, oe := range t.outList {
-		if len(oe.buf) == 0 {
+		if oe.jumbo == nil || len(oe.jumbo.Tuples) == 0 {
 			continue
 		}
-		batch := oe.buf
-		oe.buf = nil
-		_ = e.send(t, oe, batch)
+		j := oe.jumbo
+		oe.jumbo = nil
+		_ = e.send(t, oe, j)
 	}
 }
 
 // Run executes the topology until every spout returns io.EOF, or for at
 // most d if d > 0 (duration-bound measurement runs). It returns the run
 // metrics; operator errors are collected in Result.Errors.
+//
+// Run may be called repeatedly on the same engine (not concurrently):
+// each call resets the sink/latency/processed counters and reopens the
+// task queues the previous run closed, so results never double-count.
+// Operator and spout instances persist across runs and keep their state.
 func (e *Engine) Run(d time.Duration) (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	e.stop.Store(false)
+	e.sink.Reset()
+	e.lat = metrics.NewHistogram(0)
+	e.errs = nil
+	for _, t := range e.tasks {
+		atomic.StoreUint64(&t.processed, 0)
+		if t.in != nil {
+			t.in.Reopen()
+		}
+	}
+	// Queue cursors are cumulative across runs; report per-run deltas.
+	puts0, gets0 := e.QueueStats()
 
 	for _, t := range e.tasks {
 		wg.Add(1)
@@ -523,7 +693,8 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	for _, t := range e.tasks {
 		res.Processed[t.op] += atomic.LoadUint64(&t.processed)
 	}
-	res.QueuePuts, res.QueueGets = e.QueueStats()
+	puts, gets := e.QueueStats()
+	res.QueuePuts, res.QueueGets = puts-puts0, gets-gets0
 	return res, nil
 }
 
@@ -603,8 +774,11 @@ func (e *Engine) runTask(t *task) {
 				}
 			}
 			atomic.AddUint64(&t.processed, 1)
+			// The consumer's reference ends here; unless the operator
+			// retained it, the tuple returns to its producer's pool.
+			in.Release()
 		}
-		e.recycleBatch(j.Tuples)
+		e.recycleJumbo(j)
 	}
 }
 
@@ -685,31 +859,55 @@ func spin(ns int) {
 	}
 }
 
-// hashValue hashes a tuple field for Fields partitioning.
+// FNV-1a parameters for the inline field hash.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashValue hashes a tuple field for Fields partitioning. It is an
+// inline allocation-free FNV-1a — hash/fnv heap-allocates a hasher per
+// call through its interface, which was one of the per-tuple taxes on
+// the emit path. Byte order matches the previous hash/fnv encoding
+// (strings as their bytes, integers little-endian), so key→replica
+// assignments are unchanged.
 func hashValue(v tuple.Value) uint64 {
-	h := fnv.New64a()
 	switch x := v.(type) {
 	case string:
-		h.Write([]byte(x))
+		h := fnvOffset64
+		for i := 0; i < len(x); i++ {
+			h ^= uint64(x[i])
+			h *= fnvPrime64
+		}
+		return h
 	case int64:
-		var b [8]byte
-		u := uint64(x)
-		for i := 0; i < 8; i++ {
-			b[i] = byte(u >> (8 * i))
-		}
-		h.Write(b[:])
+		return hashUint64(uint64(x))
 	case int:
-		return hashValue(int64(x))
+		return hashUint64(uint64(int64(x)))
 	case float64:
-		return hashValue(int64(math.Float64bits(x)))
+		return hashUint64(math.Float64bits(x))
 	case bool:
+		h := fnvOffset64
 		if x {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
+			h ^= 1
 		}
+		return h * fnvPrime64
 	default:
-		h.Write([]byte(fmt.Sprint(x)))
+		h := fnvOffset64
+		for _, b := range []byte(fmt.Sprint(x)) {
+			h ^= uint64(b)
+			h *= fnvPrime64
+		}
+		return h
 	}
-	return h.Sum64()
+}
+
+// hashUint64 FNV-1a-hashes the eight little-endian bytes of u.
+func hashUint64(u uint64) uint64 {
+	h := fnvOffset64
+	for i := 0; i < 8; i++ {
+		h ^= (u >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
 }

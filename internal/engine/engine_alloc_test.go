@@ -1,0 +1,107 @@
+package engine
+
+// Allocation guards for the emit→dispatch hot path: the BriskStream
+// mode (pass-by-reference, jumbo tuples) must not allocate per emitted
+// tuple in steady state — tuples, Values backing arrays and jumbo
+// headers are pooled, routing compares interned stream ids, and fields
+// hashing is inline. The Storm-like emulation mode is exempt: paying
+// per-tuple copy and serialization costs is exactly what it models.
+
+import (
+	"io"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// allocHarness builds a spout->sink edge with `consumers` sink replicas
+// and returns the producer's collector plus a drain func that empties
+// the consumer inboxes inline, releasing tuples and recycling jumbos
+// the way runTask does. Draining on the measuring goroutine keeps the
+// recycle loop alive under testing.AllocsPerRun, which pins
+// GOMAXPROCS(1) and would starve background drain goroutines.
+func allocHarness(t *testing.T, cfg Config, consumers int, part graph.Partitioning) (*collector, func()) {
+	t.Helper()
+	g := graph.New("alloc")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "sink", Stream: "default", Partitioning: part, KeyField: 0})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{
+		App: g,
+		Spouts: map[string]func() Spout{"spout": func() Spout {
+			return SpoutFunc(func(c Collector) error { return io.EOF })
+		}},
+		Operators:   map[string]func() Operator{"sink": func() Operator { return sinkOp() }},
+		Replication: map[string]int{"sink": consumers},
+	}
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := e.byOp["spout"][0]
+	drain := func() {
+		for _, ct := range e.byOp["sink"] {
+			for {
+				j, ok, _ := ct.in.TryGet()
+				if !ok {
+					break
+				}
+				for _, in := range j.Tuples {
+					in.Release()
+				}
+				e.recycleJumbo(j)
+			}
+		}
+	}
+	return &collector{e: e, t: producer}, drain
+}
+
+func TestEmitDispatchAllocFreeBriskMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LatencySampleEvery = 0 // time.Now stamping is not the measured path
+	for _, part := range []graph.Partitioning{graph.Shuffle, graph.Fields} {
+		c, drain := allocHarness(t, cfg, 4, part)
+		// Pre-boxed values: boxing fresh payloads is the operator's cost
+		// (and unavoidable with dynamic fields); the engine path itself
+		// must add nothing.
+		vals := []tuple.Value{"the quick brown fox", int64(100042)}
+		emit := func() {
+			out := c.Borrow()
+			out.Values = append(out.Values, vals...)
+			c.Send(out)
+			drain()
+		}
+		for i := 0; i < 1000; i++ {
+			emit() // warm the pools
+		}
+		avg := testing.AllocsPerRun(5000, emit)
+		if avg > 1 {
+			t.Errorf("%v: emit->dispatch allocates %.2f/op in BriskStream mode, want <= 1", part, avg)
+		}
+	}
+}
+
+func TestEmitDispatchAllocsStormModeExempt(t *testing.T) {
+	// Documented contrast, not a ceiling: the Storm-like path clones and
+	// (de)serializes per tuple, so it must allocate. If this ever drops
+	// to zero the emulation stopped emulating.
+	c, drain := allocHarness(t, StormLikeConfig(), 4, graph.Shuffle)
+	vals := []tuple.Value{"the quick brown fox", int64(100042)}
+	emit := func() {
+		out := c.Borrow()
+		out.Values = append(out.Values, vals...)
+		c.Send(out)
+		drain()
+	}
+	for i := 0; i < 100; i++ {
+		emit()
+	}
+	avg := testing.AllocsPerRun(2000, emit)
+	if avg < 1 {
+		t.Errorf("storm-like emit allocates %.2f/op; the defensive-copy emulation should allocate", avg)
+	}
+}

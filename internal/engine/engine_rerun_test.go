@@ -1,0 +1,117 @@
+package engine
+
+// Regression tests for engine reuse: Run used to leave the sink
+// counter, latency histogram and per-task processed counters populated
+// (double-counting a second run) and the task queues closed (so a
+// second run could not transfer a single tuple).
+
+import (
+	"testing"
+	"time"
+)
+
+// rewindingSpout emits n tuples, returns io.EOF, and rewinds so the
+// next Run replays the same stream.
+func rewindingSpout(n int) func() Spout {
+	return func() Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) error {
+			if i >= n {
+				i = 0
+				return ioEOF
+			}
+			c.Emit(int64(i))
+			i++
+			return nil
+		})
+	}
+}
+
+func TestRunTwiceDoesNotDoubleCount(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": rewindingSpout(1000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 3; run++ {
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Errors) != 0 {
+			t.Fatalf("run %d errors: %v", run, res.Errors)
+		}
+		if res.SinkTuples != 2000 {
+			t.Fatalf("run %d: sink tuples = %d, want 2000 (no carry-over between runs)", run, res.SinkTuples)
+		}
+		if res.Processed["spout"] != 1000 || res.Processed["double"] != 1000 {
+			t.Fatalf("run %d: processed = %v, want 1000 each", run, res.Processed)
+		}
+		if res.QueuePuts == 0 || res.QueueGets == 0 {
+			t.Fatalf("run %d: queue stats empty", run)
+		}
+		if res.QueuePuts != res.QueueGets {
+			t.Fatalf("run %d: per-run queue stats unbalanced: puts %d gets %d", run, res.QueuePuts, res.QueueGets)
+		}
+	}
+}
+
+func TestRunTwiceResetsLatency(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": rewindingSpout(2000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.LatencySampleEvery = 10
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Latency.Count() == 0 || r2.Latency.Count() == 0 {
+		t.Fatalf("latency not sampled: %d / %d", r1.Latency.Count(), r2.Latency.Count())
+	}
+	if r2.Latency.Count() > r1.Latency.Count()*2 {
+		t.Fatalf("second run accumulated first run's samples: %d then %d",
+			r1.Latency.Count(), r2.Latency.Count())
+	}
+}
+
+func TestRunTwiceDurationBounded(t *testing.T) {
+	infinite := func() Spout {
+		return SpoutFunc(func(c Collector) error {
+			c.Emit(int64(1))
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": infinite},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		res, err := e.Run(50 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SinkTuples == 0 {
+			t.Fatalf("run %d moved no tuples (queues not reopened?)", run+1)
+		}
+	}
+}

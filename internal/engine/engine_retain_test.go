@@ -1,0 +1,126 @@
+package engine
+
+// Pool-recycling safety tests: operators that keep tuples beyond
+// Process (the Retain escape hatch for windows/joins) must be able to
+// hand them to other goroutines without the producer's pool recycling
+// them underneath. Run under -race (make race / CI) these exercise the
+// reference-counting protocol end to end.
+
+import (
+	"sync"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+func TestRetainAcrossGoroutines(t *testing.T) {
+	const n = 20000
+	g := graph.New("retain")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "hold", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "hold", Stream: "default", Partitioning: graph.Shuffle})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each sink replica retains every input and hands it to a shared
+	// side goroutine that reads the payload and drops the reference.
+	held := make(chan *tuple.Tuple, 256)
+	var side sync.WaitGroup
+	side.Add(1)
+	var sum, count int64
+	go func() {
+		defer side.Done()
+		for tp := range held {
+			sum += tp.Int(0)
+			count++
+			tp.Release()
+		}
+	}()
+
+	topo := Topology{
+		App:    g,
+		Spouts: map[string]func() Spout{"spout": boundedSpoutEOF(n)},
+		Operators: map[string]func() Operator{
+			"hold": func() Operator {
+				return OperatorFunc(func(c Collector, tp *tuple.Tuple) error {
+					tp.Retain()
+					held <- tp
+					return nil
+				})
+			},
+		},
+		Replication: map[string]int{"hold": 4},
+	}
+	cfg := DefaultConfig()
+	cfg.QueueCapacity = 8 // small buffers: maximum recycling pressure
+	cfg.BatchSize = 16
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	close(held)
+	side.Wait()
+	if count != n {
+		t.Fatalf("side goroutine saw %d tuples, want %d", count, n)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("payload sum = %d, want %d (retained tuple recycled early?)", sum, want)
+	}
+}
+
+func TestSharedFanoutTupleSurvivesAllConsumers(t *testing.T) {
+	// One emitted tuple reaches several consumer tasks by reference
+	// (multiple routes on the same stream, as in LR's position report).
+	// Every consumer must read intact values; -race catches a recycle
+	// racing a slower consumer.
+	const n = 5000
+	g := graph.New("fanout")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "left", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "right", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "left", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "spout", To: "right", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "left", To: "sink", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "right", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	check := func() Operator {
+		return OperatorFunc(func(c Collector, tp *tuple.Tuple) error {
+			if v := tp.Int(0); v < 0 || v >= n {
+				t.Errorf("clobbered payload %d", v)
+			}
+			c.Emit(tp.Values...)
+			return nil
+		})
+	}
+	topo := Topology{
+		App:       g,
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(n)},
+		Operators: map[string]func() Operator{"left": check, "right": check, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.SinkTuples != 2*n {
+		t.Fatalf("sink tuples = %d, want %d", res.SinkTuples, 2*n)
+	}
+}

@@ -221,6 +221,8 @@ func (c *capture) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, va
 func (c *capture) EmitTo(stream string, values ...tuple.Value) {
 	c.buf = append(c.buf, tuple.OnStream(stream, values...))
 }
+func (c *capture) Borrow() *tuple.Tuple { return tuple.New() }
+func (c *capture) Send(t *tuple.Tuple)  { c.buf = append(c.buf, t) }
 
 // take returns and clears the buffer.
 func (c *capture) take() []*tuple.Tuple {

@@ -129,6 +129,15 @@ func TestTable4ModelAccuracy(t *testing.T) {
 }
 
 func TestTable5LatencyOrdering(t *testing.T) {
+	if raceEnabled {
+		// The assertion compares measured p99 latencies of two engine
+		// modes; the race detector's 10-20x slowdown (worst on few-core
+		// machines) distorts their relative overheads and inverts the
+		// ordering spuriously. The race build still runs the experiment
+		// via the other table5 coverage; the ordering is asserted only
+		// on uninstrumented builds.
+		t.Skip("latency-ordering assertion is meaningless under the race detector")
+	}
 	r := runExp(t, "table5")
 	for i := range r.Rows {
 		brisk, storm := cell(t, r, i, 1), cell(t, r, i, 2)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-ordering assertions skip under it (see its use).
+const raceEnabled = false

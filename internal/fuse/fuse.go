@@ -200,11 +200,22 @@ type chainCollector struct {
 	downstream engine.Operator
 	out        engine.Collector
 	err        error
+
+	// lastName/lastID memoize EmitTo's stream-name resolution, like the
+	// engine collector does: fused operators emit on one stream almost
+	// always, so the common case is a single string compare.
+	lastName string
+	lastID   tuple.StreamID
 }
 
 // Emit implements engine.Collector.
 func (c *chainCollector) Emit(values ...tuple.Value) {
-	c.EmitTo(tuple.DefaultStream, values...)
+	if c.err != nil {
+		return
+	}
+	t := c.out.Borrow()
+	t.Values = append(t.Values, values...)
+	c.Send(t)
 }
 
 // EmitTo implements engine.Collector.
@@ -212,5 +223,25 @@ func (c *chainCollector) EmitTo(stream string, values ...tuple.Value) {
 	if c.err != nil {
 		return
 	}
-	c.err = c.downstream.Process(c.out, tuple.OnStream(stream, values...))
+	if stream != c.lastName || stream == "" {
+		c.lastName, c.lastID = stream, tuple.Intern(stream)
+	}
+	t := c.out.Borrow()
+	t.Stream = c.lastID
+	t.Values = append(t.Values, values...)
+	c.Send(t)
+}
+
+// Borrow implements engine.Collector by borrowing from the real task
+// pool, so fused operators keep the zero-allocation emit path.
+func (c *chainCollector) Borrow() *tuple.Tuple { return c.out.Borrow() }
+
+// Send implements engine.Collector: the tuple is processed synchronously
+// by the fused consumer and then released (the consumer's own emissions
+// went to the real collector during Process).
+func (c *chainCollector) Send(t *tuple.Tuple) {
+	if c.err == nil {
+		c.err = c.downstream.Process(c.out, t)
+	}
+	t.Release()
 }

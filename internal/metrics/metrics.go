@@ -28,6 +28,10 @@ func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
+// Reset zeroes the counter (the engine resets per-run counters at the
+// start of each Run so one engine can be run repeatedly).
+func (c *Counter) Reset() { c.n.Store(0) }
+
 // Histogram collects float64 observations (typically nanoseconds or
 // milliseconds) and reports order statistics. It keeps raw samples up to
 // a cap and then reservoir-subsamples, which preserves quantile accuracy

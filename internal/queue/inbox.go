@@ -158,6 +158,15 @@ func (ib *Inbox[T]) Close() {
 	}
 }
 
+// Reopen reopens every bound ring, discarding undelivered elements (see
+// Ring.Reopen). Only valid between runs, with no producers or the
+// consumer active.
+func (ib *Inbox[T]) Reopen() {
+	for _, r := range ib.rings {
+		r.Reopen()
+	}
+}
+
 // Stats returns the cumulative successful Put and Get counts across all
 // rings, read from atomics (the metrics layer polls this while the
 // engine runs).

@@ -1,0 +1,63 @@
+package queue
+
+import "testing"
+
+func TestRingReopenAfterClose(t *testing.T) {
+	r := NewRing[int](4)
+	if err := r.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := r.Get(); err != nil {
+		t.Fatal("close must still drain queued elements")
+	}
+	if _, err := r.Get(); err != ErrClosed {
+		t.Fatal("drained closed ring must report ErrClosed")
+	}
+
+	r.Reopen()
+	if r.Closed() {
+		t.Fatal("reopened ring still reports closed")
+	}
+	if err := r.Put(2); err != nil {
+		t.Fatalf("Put after Reopen: %v", err)
+	}
+	v, err := r.Get()
+	if err != nil || v != 2 {
+		t.Fatalf("Get after Reopen = %d, %v", v, err)
+	}
+}
+
+func TestRingReopenDiscardsUndelivered(t *testing.T) {
+	// A run aborted by an operator error can leave elements in flight;
+	// Reopen must not leak them into the next run.
+	r := NewRing[int](8)
+	for i := 0; i < 3; i++ {
+		if err := r.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	r.Reopen()
+	if n := r.Len(); n != 0 {
+		t.Fatalf("reopened ring holds %d stale elements", n)
+	}
+}
+
+func TestInboxReopen(t *testing.T) {
+	ib := NewInbox[int](4)
+	r1, r2 := ib.Bind(), ib.Bind()
+	r1.Put(10)
+	ib.Close()
+	ib.Reopen()
+	if ib.Len() != 0 {
+		t.Fatal("reopened inbox holds stale elements")
+	}
+	if err := r2.Put(20); err != nil {
+		t.Fatalf("Put after inbox Reopen: %v", err)
+	}
+	v, err := ib.Get()
+	if err != nil || v != 20 {
+		t.Fatalf("Get after Reopen = %d, %v", v, err)
+	}
+}

@@ -246,6 +246,19 @@ func (q *Ring[T]) Close() {
 	q.cons.wake()
 }
 
+// Reopen discards any undelivered elements and clears the closed flag
+// so the ring can carry another run. It must only be called while no
+// producer or consumer goroutine is active (the engine calls it between
+// runs, before any task starts).
+func (q *Ring[T]) Reopen() {
+	for {
+		if _, ok, _ := q.TryGet(); !ok {
+			q.closed.Store(false)
+			return
+		}
+	}
+}
+
 // Stats returns the cumulative successful Put and Get counts. The
 // monotonic cursors double as the counters — tail is the number of
 // elements ever enqueued, head the number ever dequeued — so the hot

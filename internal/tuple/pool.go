@@ -1,0 +1,104 @@
+package tuple
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool recycles tuples between a producer and the consumers of its
+// output, removing the per-emit Tuple (and Values backing array)
+// allocation from the steady-state data path. The engine gives every
+// task one Pool; a consumed tuple travels back to its producer's pool
+// once every reference holder has released it.
+//
+// The ownership contract (see also the package doc):
+//
+//   - Pool.Get returns a tuple holding one reference, owned by the
+//     caller. Handing the tuple to the engine (Collector.Send, or the
+//     engine's own dispatch) transfers that reference.
+//   - The engine releases each input tuple after the consuming
+//     operator's Process returns. An operator that keeps the *Tuple*
+//     beyond Process (windows, joins, side goroutines) must call Retain
+//     before Process returns and Release when done.
+//   - Field values read out of a tuple (strings, ints, ...) are
+//     immutable boxed values; keeping them needs no Retain. Only the
+//     *Tuple pointer and its Values slice are recycled.
+//
+// Pool is backed by sync.Pool: Get and Put are safe from any goroutine
+// and the per-P caches keep the common (same-core) recycle path free of
+// contention, approximating a per-task free list without a cross-thread
+// return queue.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool creates an empty tuple pool.
+func NewPool() *Pool {
+	pl := &Pool{}
+	pl.p.New = func() any { return new(Tuple) }
+	return pl
+}
+
+// Get returns an empty tuple on the default stream holding one
+// reference. The Values slice is empty but keeps the capacity of its
+// previous life, so appending up to that arity allocates nothing.
+func (p *Pool) Get() *Tuple {
+	t := p.p.Get().(*Tuple)
+	t.pool = p
+	atomic.StoreInt32(&t.refs, 1)
+	return t
+}
+
+// Retain adds a reference to a pooled tuple, keeping it alive past the
+// engine's release after Process. It is a no-op for tuples that did not
+// come from a Pool (those are garbage-collected as usual). The caller
+// must already hold a reference.
+func (t *Tuple) Retain() {
+	if t.pool != nil {
+		atomic.AddInt32(&t.refs, 1)
+	}
+}
+
+// RetainN adds n references at once; the engine uses it when one tuple
+// is enqueued by reference to several consumers, so that the first
+// consumer's Release cannot recycle the tuple while it is still being
+// fanned out. The caller must already hold a reference.
+func (t *Tuple) RetainN(n int) {
+	if t.pool != nil && n > 0 {
+		atomic.AddInt32(&t.refs, int32(n))
+	}
+}
+
+// Release drops one reference; the last release resets the tuple and
+// returns it to its pool. It is a no-op for non-pooled tuples. A caller
+// must not touch the tuple after releasing its reference.
+func (t *Tuple) Release() {
+	if t.pool == nil {
+		return
+	}
+	// Single-holder fast path: with one reference outstanding only the
+	// caller can retain or release, so no atomic read-modify-write is
+	// needed to reach zero.
+	if atomic.LoadInt32(&t.refs) == 1 {
+		atomic.StoreInt32(&t.refs, 0)
+		t.recycle()
+		return
+	}
+	if atomic.AddInt32(&t.refs, -1) == 0 {
+		t.recycle()
+	}
+}
+
+// recycle resets the tuple and returns it to its pool. Values elements
+// are cleared so the pooled backing array does not pin released
+// payloads; the capacity is kept for reuse.
+func (t *Tuple) recycle() {
+	clear(t.Values)
+	t.Values = t.Values[:0]
+	t.Stream = DefaultStreamID
+	t.Ts = time.Time{}
+	p := t.pool
+	t.pool = nil // a stray double Release is a no-op, not a re-pool
+	p.p.Put(t)
+}

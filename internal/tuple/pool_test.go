@@ -1,0 +1,139 @@
+package tuple
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolGetResetsTuple(t *testing.T) {
+	p := NewPool()
+	tp := p.Get()
+	tp.Values = append(tp.Values, "payload", int64(7))
+	tp.Stream = Intern("pool-test-stream")
+	tp.Ts = time.Now()
+	tp.Release()
+
+	got := p.Get()
+	if len(got.Values) != 0 {
+		t.Errorf("recycled tuple has %d values", len(got.Values))
+	}
+	if got.Stream != DefaultStreamID {
+		t.Errorf("recycled tuple stream = %v", got.Stream)
+	}
+	if !got.Ts.IsZero() {
+		t.Errorf("recycled tuple ts = %v", got.Ts)
+	}
+}
+
+func TestPoolReusesBackingArray(t *testing.T) {
+	p := NewPool()
+	tp := p.Get()
+	tp.Values = append(tp.Values, int64(1), int64(2), int64(3))
+	tp.Release()
+	// sync.Pool keeps per-P caches; with no GC in between the same
+	// tuple comes back with its capacity intact.
+	got := p.Get()
+	if got != tp {
+		t.Skip("pool returned a different tuple (unlucky scheduling); nothing to assert")
+	}
+	if cap(got.Values) < 3 {
+		t.Errorf("recycled capacity = %d, want >= 3", cap(got.Values))
+	}
+}
+
+func TestRetainKeepsTupleAlive(t *testing.T) {
+	p := NewPool()
+	tp := p.Get()
+	tp.Values = append(tp.Values, "keep")
+	tp.Retain() // second reference
+
+	tp.Release() // engine's reference ends
+	if tp.String(0) != "keep" {
+		t.Error("retained tuple was recycled")
+	}
+	tp.Release() // holder's reference ends; now recycled
+}
+
+func TestRetainNMatchesNReleases(t *testing.T) {
+	p := NewPool()
+	tp := p.Get()
+	tp.Values = append(tp.Values, int64(9))
+	tp.RetainN(3) // refs: 1 + 3
+	for i := 0; i < 3; i++ {
+		tp.Release()
+		if tp.Int(0) != 9 {
+			t.Fatalf("tuple recycled after %d of 4 releases", i+1)
+		}
+	}
+	tp.Release()
+}
+
+func TestNonPooledTupleIgnoresRetainRelease(t *testing.T) {
+	tp := New(int64(5))
+	tp.Retain()
+	tp.Release()
+	tp.Release() // extra releases must be harmless no-ops
+	if tp.Int(0) != 5 {
+		t.Error("non-pooled tuple mutated by Release")
+	}
+}
+
+func TestCopyFromReusesCapacity(t *testing.T) {
+	p := NewPool()
+	src := OnStream("copy-test-stream", "a", int64(1))
+	src.Ts = time.Unix(0, 42)
+	dst := p.Get()
+	dst.Values = append(dst.Values, int64(1), int64(2), int64(3))
+	dst.Values = dst.Values[:0]
+	before := cap(dst.Values)
+	dst.CopyFrom(src)
+	if dst.String(0) != "a" || dst.Int(1) != 1 {
+		t.Errorf("copy lost values: %v", dst.Values)
+	}
+	if dst.Stream != src.Stream || !dst.Ts.Equal(src.Ts) {
+		t.Error("copy lost metadata")
+	}
+	if before >= 2 && cap(dst.Values) != before {
+		t.Errorf("CopyFrom reallocated: cap %d -> %d", before, cap(dst.Values))
+	}
+	// The copy must be deep at the slice level.
+	dst.Values[0] = "mutated"
+	if src.String(0) != "a" {
+		t.Error("CopyFrom aliased the source slice")
+	}
+}
+
+// TestPoolConcurrentRecycle hammers one pool from producer and consumer
+// goroutines with retains crossing goroutines; run with -race to check
+// the reference-counting protocol.
+func TestPoolConcurrentRecycle(t *testing.T) {
+	p := NewPool()
+	const n = 5000
+	ch := make(chan *Tuple, 64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer: borrow, fill, retain for the side consumer
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tp := p.Get()
+			tp.Values = append(tp.Values, int64(i))
+			tp.Retain()
+			ch <- tp
+			tp.Release() // producer's own reference
+		}
+		close(ch)
+	}()
+	var sum int64
+	go func() { // consumer: read then drop the retained reference
+		defer wg.Done()
+		for tp := range ch {
+			sum += tp.Int(0)
+			tp.Release()
+		}
+	}()
+	wg.Wait()
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Errorf("sum = %d, want %d (values clobbered by premature recycle?)", sum, want)
+	}
+}

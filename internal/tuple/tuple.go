@@ -6,6 +6,26 @@
 // the whole point of the shared-memory design. Serialization exists so
 // the Storm-like baseline mode can pay the cost a distributed DSPS pays,
 // which is what the factor analysis (Figure 16) measures.
+//
+// # Ownership and recycling
+//
+// Tuples on the BriskStream path are pooled (see Pool): a producer
+// acquires a tuple, the engine passes the pointer to its consumer(s),
+// and after the consuming operator's Process returns the engine releases
+// the tuple back to the producer's pool. The contract for operator code:
+//
+//   - A tuple received by Process is valid only until Process returns.
+//     To keep the *Tuple itself longer (windows, joins, handing it to
+//     another goroutine), call Retain before returning and Release when
+//     done.
+//   - Field values read from a tuple (String, Int, ...) are immutable
+//     boxed values and may be kept forever without Retain; recycling
+//     only reuses the Tuple struct and its Values backing array.
+//   - A tuple obtained from Collector.Borrow is owned by the caller
+//     until passed to Collector.Send, which consumes that ownership.
+//
+// Stream identity is interned: StreamID is resolved from the stream name
+// once at wiring time, so per-tuple routing never compares strings.
 package tuple
 
 import (
@@ -29,26 +49,37 @@ type Tuple struct {
 	// Values are the payload fields, positionally matching the stream's
 	// declared schema.
 	Values []Value
-	// Stream names the output stream this tuple was emitted on. Operators
-	// with a single output use DefaultStream.
-	Stream string
+	// Stream is the interned id of the output stream this tuple was
+	// emitted on. Operators with a single output use DefaultStreamID
+	// (the zero value).
+	Stream StreamID
 	// Ts is the event creation time used for end-to-end latency
 	// measurement; it is stamped by the spout and carried through.
 	Ts time.Time
+
+	// pool and refs implement recycling: pool points back to the Pool
+	// the tuple came from (nil for ordinary GC-managed tuples), refs
+	// counts the outstanding references (accessed atomically).
+	pool *Pool
+	refs int32
 }
 
 // DefaultStream is the stream name used by operators with one output.
 const DefaultStream = "default"
 
-// New builds a tuple on the default stream.
+// New builds a non-pooled tuple on the default stream.
 func New(values ...Value) *Tuple {
-	return &Tuple{Values: values, Stream: DefaultStream}
+	return &Tuple{Values: values}
 }
 
-// OnStream builds a tuple on a named stream.
+// OnStream builds a non-pooled tuple on a named stream (interning the
+// name; hot paths should pre-intern and set Stream directly).
 func OnStream(stream string, values ...Value) *Tuple {
-	return &Tuple{Values: values, Stream: stream}
+	return &Tuple{Values: values, Stream: Intern(stream)}
 }
+
+// StreamName returns the name of the tuple's stream.
+func (t *Tuple) StreamName() string { return t.Stream.String() }
 
 // Int returns field i as an int64.
 func (t *Tuple) Int(i int) int64 {
@@ -116,13 +147,22 @@ func (t *Tuple) Size() int {
 	return n
 }
 
-// Clone deep-copies the tuple. The BriskStream path never calls this on
-// the hot path; the Storm-like baseline mode clones every tuple at every
-// hop to emulate the defensive copies a distributed engine makes.
+// Clone deep-copies the tuple into a fresh non-pooled allocation. The
+// BriskStream path never calls this on the hot path; defensive-copy
+// emulation uses pooled copies via CopyFrom instead.
 func (t *Tuple) Clone() *Tuple {
 	c := &Tuple{Values: make([]Value, len(t.Values)), Stream: t.Stream, Ts: t.Ts}
 	copy(c.Values, t.Values)
 	return c
+}
+
+// CopyFrom overwrites this tuple's payload, stream and timestamp with
+// src's, reusing the Values backing array. It is the allocation-free
+// deep copy used for fan-out and defensive-copy paths on pooled tuples.
+func (t *Tuple) CopyFrom(src *Tuple) {
+	t.Values = append(t.Values[:0], src.Values...)
+	t.Stream = src.Stream
+	t.Ts = src.Ts
 }
 
 // Jumbo is a jumbo tuple: a batch of tuples from one producer to one
@@ -154,7 +194,7 @@ const (
 // baseline (Storm-like) engine mode uses this; BriskStream passes
 // references.
 func Marshal(t *Tuple, buf []byte) []byte {
-	buf = appendString(buf, t.Stream)
+	buf = appendString(buf, t.Stream.String())
 	// A zero timestamp (no latency sample) is encoded as 0; calling
 	// UnixNano on the zero Time would produce an arbitrary huge value.
 	var ts uint64
@@ -208,7 +248,7 @@ func Unmarshal(buf []byte) (*Tuple, int, error) {
 	off += 8
 	n := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
-	t := &Tuple{Stream: stream, Values: make([]Value, 0, n)}
+	t := &Tuple{Stream: Intern(stream), Values: make([]Value, 0, n)}
 	if ts != 0 {
 		t.Ts = time.Unix(0, ts)
 	}

@@ -42,11 +42,39 @@ func TestAccessorPanicsOnWrongType(t *testing.T) {
 
 func TestOnStream(t *testing.T) {
 	tp := OnStream("position_report", int64(1))
-	if tp.Stream != "position_report" {
-		t.Errorf("stream = %q", tp.Stream)
+	if tp.Stream != Intern("position_report") {
+		t.Errorf("stream = %v", tp.Stream)
 	}
-	if New().Stream != DefaultStream {
+	if tp.StreamName() != "position_report" {
+		t.Errorf("stream name = %q", tp.StreamName())
+	}
+	if New().Stream != DefaultStreamID {
 		t.Error("New should use default stream")
+	}
+}
+
+func TestStreamInterning(t *testing.T) {
+	if Intern(DefaultStream) != DefaultStreamID {
+		t.Error("default stream must intern to the zero id")
+	}
+	a, b := Intern("ts-one"), Intern("ts-two")
+	if a == b {
+		t.Error("distinct names interned to one id")
+	}
+	if Intern("ts-one") != a {
+		t.Error("interning is not idempotent")
+	}
+	if a.String() != "ts-one" {
+		t.Errorf("name of %v = %q", a, a.String())
+	}
+	if got, ok := LookupStream("ts-two"); !ok || got != b {
+		t.Errorf("LookupStream = %v,%v", got, ok)
+	}
+	if _, ok := LookupStream("ts-never-registered"); ok {
+		t.Error("LookupStream registered a name")
+	}
+	if s := StreamID(1 << 30).String(); s == "" {
+		t.Error("unknown id must still print")
 	}
 }
 
