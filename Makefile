@@ -13,10 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# race focuses on the concurrent hot path (queue + engine); `make
-# race-all` covers every package and takes correspondingly longer.
+# race focuses on the concurrent hot path (queue + engine) plus the
+# window/state subsystem and the windowed apps; `make race-all` covers
+# every package and takes correspondingly longer.
 race:
-	$(GO) test -race ./internal/queue/ ./internal/engine/
+	$(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/apps/
 
 .PHONY: race-all
 race-all:
@@ -27,11 +28,12 @@ race-all:
 bench:
 	$(GO) test -bench 'PutGet|EngineDispatch' -benchtime 1s -run xxx ./internal/queue/ ./internal/engine/
 
-# bench-json runs the four benchmark apps on the real engine and writes
-# machine-readable rows (throughput, latency p50/p99, allocs/tuple) to
-# $(BENCH_JSON), tracking the data-path perf trajectory across PRs. CI
-# runs it as a non-gating step.
-BENCH_JSON ?= BENCH_PR2.json
+# bench-json runs the benchmark apps (the paper's four plus the
+# windowed TW) on the real engine and writes machine-readable rows
+# (throughput in and out, latency p50/p99, allocs/tuple) to
+# $(BENCH_JSON), tracking the data-path perf trajectory — including the
+# window/session path — across PRs. CI runs it as a non-gating step.
+BENCH_JSON ?= BENCH_PR3.json
 BENCH_JSON_DUR ?= 2s
 .PHONY: bench-json
 bench-json:

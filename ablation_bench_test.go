@@ -105,7 +105,13 @@ func fusionPipeline(b *testing.B, fused bool) {
 				return io.EOF
 			}
 			i++
-			c.Emit("alpha beta gamma delta epsilon zeta eta theta iota kappa")
+			out := c.Borrow()
+			out.Values = append(out.Values, "alpha beta gamma delta epsilon zeta eta theta iota kappa")
+			out.Event = int64(i)
+			c.Send(out)
+			if i%64 == 0 {
+				c.EmitWatermark(int64(i))
+			}
 			return nil
 		})
 	}
@@ -126,7 +132,9 @@ func fusionPipeline(b *testing.B, fused bool) {
 	if len(res.Errors) != 0 {
 		b.Fatal(res.Errors)
 	}
-	b.ReportMetric(float64(res.SinkTuples)/time.Since(start).Seconds(), "words/s")
+	// The counter aggregates windows, so the sink sees window closes;
+	// sentences/s at the spout compares the shapes on equal terms.
+	b.ReportMetric(float64(res.Processed["spout"])/time.Since(start).Seconds(), "sentences/s")
 }
 
 // BenchmarkAblationFusionOff runs WC with every stage as its own task.

@@ -56,6 +56,7 @@ import (
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/tuple"
+	"briskstream/internal/window"
 )
 
 // Value is a dynamically typed tuple field.
@@ -103,6 +104,64 @@ type SpoutFunc = engine.SpoutFunc
 // fields-grouping key (the tuple is narrower than the declared key
 // field); it surfaces in RunResult.Errors, match with errors.As.
 type RouteError = engine.RouteError
+
+// Event time and timers. Tuples carry an event timestamp (Tuple.Event,
+// int64 event-time units — milliseconds by convention); sources stamp
+// it and punctuate progress with Collector.EmitWatermark. The engine
+// broadcasts watermarks to every consumer replica, min-merges them at
+// fan-in, and fires event-time timers on each task's execution
+// goroutine. Operators opt in by implementing TimerAware (to receive
+// the per-task Timers service) plus TimerHandler and/or
+// WatermarkHandler. The internal/window package builds tumbling,
+// sliding and session windows on these hooks.
+
+// Timers is the per-task timer service (event-time and
+// processing-time hashed timer wheels).
+type Timers = engine.Timers
+
+// TimerKind distinguishes event-time from processing-time timers.
+type TimerKind = engine.TimerKind
+
+// EventTimer and ProcTimer are the TimerKind values.
+const (
+	EventTimer = engine.EventTimer
+	ProcTimer  = engine.ProcTimer
+)
+
+// TimerAware operators receive their task's Timers before the run.
+type TimerAware = engine.TimerAware
+
+// TimerHandler operators receive OnTimer callbacks on their task's
+// goroutine.
+type TimerHandler = engine.TimerHandler
+
+// WatermarkHandler operators observe every watermark advance.
+type WatermarkHandler = engine.WatermarkHandler
+
+// Watermark sentinels: WatermarkMax flushes all event time (broadcast
+// automatically when a finite spout EOFs); WatermarkIdle excludes a
+// source from downstream fan-in merges while it has no data.
+const (
+	WatermarkMax  = engine.WatermarkMax
+	WatermarkIdle = engine.WatermarkIdle
+)
+
+// WindowSpan is one window's half-open event-time interval.
+type WindowSpan = window.Span
+
+// WindowOp configures a keyed tumbling/sliding window aggregation; see
+// the internal/window package doc for semantics.
+type WindowOp[A any] = window.Op[A]
+
+// SessionWindowOp configures keyed session windows.
+type SessionWindowOp[A any] = window.SessionOp[A]
+
+// NewWindow builds a tumbling/sliding window operator (library-boundary
+// surface for internal/window.New).
+func NewWindow[A any](cfg WindowOp[A]) Operator { return window.New(cfg) }
+
+// NewSessionWindow builds a session window operator.
+func NewSessionWindow[A any](cfg SessionWindowOp[A]) Operator { return window.NewSession(cfg) }
 
 // DefaultStream is the stream name used by single-output operators.
 const DefaultStream = tuple.DefaultStream
@@ -256,6 +315,10 @@ type RunConfig struct {
 	// Replication overrides the per-operator replica counts (e.g. from
 	// an optimized Plan).
 	Replication map[string]int
+	// Linger overrides the partial-batch flush timeout (low-rate
+	// streams see at most this much batching delay). Negative disables
+	// the flush; 0 keeps the engine default.
+	Linger time.Duration
 }
 
 // RunResult reports a real-engine execution.
@@ -285,6 +348,9 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.QueueCapacity > 0 {
 		ecfg.QueueCapacity = cfg.QueueCapacity
+	}
+	if cfg.Linger != 0 {
+		ecfg.Linger = max(cfg.Linger, 0)
 	}
 	repl := t.repl
 	if cfg.Replication != nil {

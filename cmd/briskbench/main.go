@@ -6,7 +6,14 @@
 //	briskbench -all             # run the full suite (slow)
 //	briskbench -all -quick      # reduced fidelity, minutes instead
 //	briskbench -engine 3s       # real-engine hot-path microbenchmark
-//	briskbench -bench-json 2s   # four apps on the real engine, JSON rows
+//	briskbench -bench-json 2s   # benchmark apps on the real engine, JSON rows
+//
+// The real-engine modes accept -rate N (token-bucket cap on each app's
+// total spout output, tuples/sec) and -linger D (partial jumbo batch
+// flush timeout), which makes low-rate/linger and watermark-lag
+// scenarios drivable from the CLI:
+//
+//	briskbench -bench-json 2s -rate 5000 -linger 2ms
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"briskstream/internal/apps"
@@ -32,7 +40,9 @@ func main() {
 		all       = flag.Bool("all", false, "run every experiment")
 		quick     = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
 		engineDur = flag.Duration("engine", 0, "run the real-engine queue/dispatch microbenchmark for this duration")
-		benchJSON = flag.Duration("bench-json", 0, "run the four benchmark apps on the real engine for this duration each and print JSON perf rows")
+		benchJSON = flag.Duration("bench-json", 0, "run the benchmark apps on the real engine for this duration each and print JSON perf rows")
+		rate      = flag.Float64("rate", 0, "token-bucket cap on spout output (tuples/sec across an app's spout replicas); 0 = unthrottled")
+		linger    = flag.Duration("linger", engine.DefaultConfig().Linger, "partial jumbo-batch flush timeout (0 disables)")
 	)
 	flag.Parse()
 
@@ -44,7 +54,7 @@ func main() {
 	}
 
 	if *engineDur > 0 {
-		if err := engineMicrobench(*engineDur); err != nil {
+		if err := engineMicrobench(*engineDur, *rate, *linger); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -52,7 +62,7 @@ func main() {
 	}
 
 	if *benchJSON > 0 {
-		if err := appBenchJSON(*benchJSON, os.Stdout); err != nil {
+		if err := appBenchJSON(*benchJSON, *rate, *linger, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -85,11 +95,70 @@ func main() {
 	}
 }
 
+// tokenBucket throttles a set of spout replicas to a shared tuples/sec
+// budget. Take is called from every replica's goroutine; the mutex is
+// uncontended at the low rates the throttle exists for.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	return &tokenBucket{rate: rate, tokens: 1, last: time.Now()}
+}
+
+// take consumes one token if available; a dry bucket yields briefly so
+// a throttled spout does not monopolize its core while waiting.
+func (b *tokenBucket) take() bool {
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if burst := 1 + b.rate/100; b.tokens > burst {
+		b.tokens = burst // burst bound: ~10ms of backlog
+	}
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if !ok {
+		time.Sleep(50 * time.Microsecond)
+	}
+	return ok
+}
+
+// throttleSpouts wraps every spout builder of an app with one shared
+// token bucket (the app-wide ingress rate), leaving the builders
+// untouched when rate is 0.
+func throttleSpouts(spouts map[string]func() engine.Spout, rate float64) map[string]func() engine.Spout {
+	if rate <= 0 {
+		return spouts
+	}
+	bucket := newTokenBucket(rate)
+	out := make(map[string]func() engine.Spout, len(spouts))
+	for name, mk := range spouts {
+		mk := mk
+		out[name] = func() engine.Spout {
+			inner := mk()
+			return engine.SpoutFunc(func(c engine.Collector) error {
+				if !bucket.take() {
+					return nil // no token: emit nothing this call
+				}
+				return inner.Next(c)
+			})
+		}
+	}
+	return out
+}
+
 // engineMicrobench runs a duration-bounded spout->double->sink pipeline
 // on the real engine at several producer replication levels and prints
 // throughput plus the queue-layer counters, making the SPSC rework's
 // effect observable without `go test -bench`.
-func engineMicrobench(d time.Duration) error {
+func engineMicrobench(d time.Duration, rate float64, linger time.Duration) error {
 	rows := [][]string{}
 	for _, spouts := range []int{1, 2, 4} {
 		g := graph.New("microbench")
@@ -103,7 +172,7 @@ func engineMicrobench(d time.Duration) error {
 		}
 		topo := engine.Topology{
 			App: g,
-			Spouts: map[string]func() engine.Spout{"spout": func() engine.Spout {
+			Spouts: throttleSpouts(map[string]func() engine.Spout{"spout": func() engine.Spout {
 				i := int64(0)
 				return engine.SpoutFunc(func(c engine.Collector) error {
 					i++
@@ -112,7 +181,7 @@ func engineMicrobench(d time.Duration) error {
 					c.Send(out)
 					return nil
 				})
-			}},
+			}}, rate),
 			Operators: map[string]func() engine.Operator{
 				"double": func() engine.Operator {
 					return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
@@ -128,7 +197,9 @@ func engineMicrobench(d time.Duration) error {
 			},
 			Replication: map[string]int{"spout": spouts},
 		}
-		e, err := engine.New(topo, engine.DefaultConfig())
+		cfg := engine.DefaultConfig()
+		cfg.Linger = linger
+		e, err := engine.New(topo, cfg)
 		if err != nil {
 			return err
 		}
@@ -180,11 +251,15 @@ func engineMicrobench(d time.Duration) error {
 // real-engine data path, serialized into the BENCH_PR*.json trajectory
 // files the Makefile's bench-json target maintains.
 type appBenchRow struct {
-	App            string  `json:"app"`
-	Replication    int     `json:"replication"`
-	DurationSec    float64 `json:"duration_sec"`
-	SinkTuples     uint64  `json:"sink_tuples"`
-	ThroughputTPS  float64 `json:"throughput_tps"`
+	App         string  `json:"app"`
+	Replication int     `json:"replication"`
+	DurationSec float64 `json:"duration_sec"`
+	SinkTuples  uint64  `json:"sink_tuples"`
+	// ThroughputTPS is the sink-output rate; for windowed apps (WC, SD,
+	// TW, and LR's stat path) sinks receive aggregates, so InputTPS —
+	// the spout ingest rate — is the cross-PR comparable number.
+	ThroughputTPS float64 `json:"throughput_tps"`
+	InputTPS      float64 `json:"input_tps"`
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
 	LatencyP99Ms   float64 `json:"latency_p99_ms"`
 	AllocsPerTuple float64 `json:"allocs_per_tuple"`
@@ -198,17 +273,20 @@ type appBenchReport struct {
 	Rows       []appBenchRow `json:"rows"`
 }
 
-// appBenchJSON runs the four benchmark applications on the real engine
-// at replication 1 and 4 and writes machine-readable throughput,
-// latency and allocation rows, so the perf trajectory of the data path
-// is tracked across PRs (`make bench-json`).
-func appBenchJSON(d time.Duration, w *os.File) error {
+// appBenchJSON runs the benchmark applications (the paper's four plus
+// the windowed TW) on the real engine at replication 1 and 4 and writes
+// machine-readable throughput, latency and allocation rows, so the perf
+// trajectory of the data path — including the window/session path — is
+// tracked across PRs (`make bench-json`).
+func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.File) error {
 	report := appBenchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		PerRunDur:  d.String(),
 	}
-	for _, a := range apps.All() {
+	cfg := engine.DefaultConfig()
+	cfg.Linger = linger
+	for _, a := range apps.Benchmarks() {
 		for _, repl := range []int{1, 4} {
 			replication := map[string]int{}
 			for _, n := range a.Graph.Nodes() {
@@ -216,10 +294,10 @@ func appBenchJSON(d time.Duration, w *os.File) error {
 			}
 			e, err := engine.New(engine.Topology{
 				App:         a.Graph,
-				Spouts:      a.Spouts,
+				Spouts:      throttleSpouts(a.Spouts, rate),
 				Operators:   a.Operators,
 				Replication: replication,
-			}, engine.DefaultConfig())
+			}, cfg)
 			if err != nil {
 				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
 			}
@@ -234,9 +312,12 @@ func appBenchJSON(d time.Duration, w *os.File) error {
 			if len(res.Errors) != 0 {
 				return fmt.Errorf("%s x%d: %v", a.Name, repl, res.Errors[0])
 			}
-			var processed uint64
+			var processed, ingested uint64
 			for _, n := range res.Processed {
 				processed += n
+			}
+			for _, n := range a.Graph.Spouts() {
+				ingested += res.Processed[n.Name]
 			}
 			row := appBenchRow{
 				App:           a.Name,
@@ -248,12 +329,15 @@ func appBenchJSON(d time.Duration, w *os.File) error {
 				LatencyP99Ms:  res.Latency.Quantile(0.99) / 1e6,
 				QueuePuts:     res.QueuePuts,
 			}
+			if s := res.Duration.Seconds(); s > 0 {
+				row.InputTPS = float64(ingested) / s
+			}
 			if processed > 0 {
 				row.AllocsPerTuple = float64(m1.Mallocs-m0.Mallocs) / float64(processed)
 			}
 			report.Rows = append(report.Rows, row)
-			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f tuples/s  %.3f allocs/tuple\n",
-				a.Name, repl, row.ThroughputTPS, row.AllocsPerTuple)
+			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f in-tuples/s %10.0f out/s  %.3f allocs/tuple\n",
+				a.Name, repl, row.InputTPS, row.ThroughputTPS, row.AllocsPerTuple)
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -19,6 +19,7 @@ import (
 	"briskstream/internal/metrics"
 	"briskstream/internal/profile"
 	"briskstream/internal/tuple"
+	"briskstream/internal/window"
 )
 
 // capture buffers emissions during isolated invocations.
@@ -28,8 +29,9 @@ func (c *capture) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, va
 func (c *capture) EmitTo(stream string, values ...tuple.Value) {
 	c.buf = append(c.buf, tuple.OnStream(stream, values...))
 }
-func (c *capture) Borrow() *tuple.Tuple { return tuple.New() }
-func (c *capture) Send(t *tuple.Tuple)  { c.buf = append(c.buf, t) }
+func (c *capture) Borrow() *tuple.Tuple  { return tuple.New() }
+func (c *capture) Send(t *tuple.Tuple)   { c.buf = append(c.buf, t) }
+func (c *capture) EmitWatermark(w int64) {} // isolated profiling has no downstream
 func (c *capture) take() []*tuple.Tuple {
 	out := c.buf
 	c.buf = nil
@@ -81,6 +83,15 @@ func main() {
 				if len(produced) >= *samples {
 					break
 				}
+			}
+			// Window operators emit on window close, not per tuple:
+			// drain open windows so downstream operators get inputs.
+			if f, ok := impl.(window.Flusher); ok && len(produced) < *samples {
+				if err := f.FlushOpen(cap1); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", op, err)
+					os.Exit(1)
+				}
+				produced = append(produced, cap1.take()...)
 			}
 		}
 		if len(produced) > *samples {

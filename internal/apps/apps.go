@@ -35,14 +35,23 @@ type App struct {
 	Stats profile.Set
 }
 
-// All returns the four applications in the paper's order.
+// All returns the four applications of the paper's evaluation in the
+// paper's order. Model-accuracy experiments iterate this set, keeping
+// them comparable with the published tables.
 func All() []*App {
 	return []*App{WordCount(), FraudDetection(), SpikeDetection(), LinearRoad()}
 }
 
+// Benchmarks returns every packaged application: the paper's four plus
+// the repo's own additions (TW, the sessionized top-K trending-words
+// workload benchmarking the window subsystem).
+func Benchmarks() []*App {
+	return append(All(), TrendingWords())
+}
+
 // ByName returns the application with the given name, or nil.
 func ByName(name string) *App {
-	for _, a := range All() {
+	for _, a := range Benchmarks() {
 		if a.Name == name {
 			return a
 		}

@@ -204,6 +204,78 @@ func TestLRReplicatedRun(t *testing.T) {
 	}
 }
 
+func TestBenchmarksIncludeTrendingWords(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("Benchmarks() has %d apps, want 5 (paper's four + TW)", len(bs))
+	}
+	tw := ByName("TW")
+	if tw == nil {
+		t.Fatal("ByName(TW) = nil")
+	}
+	if err := tw.Graph.Validate(); err != nil {
+		t.Errorf("TW graph invalid: %v", err)
+	}
+	if err := tw.Stats.Validate(); err != nil {
+		t.Errorf("TW stats invalid: %v", err)
+	}
+	for _, n := range tw.Graph.Nodes() {
+		if _, ok := tw.Stats[n.Name]; !ok {
+			t.Errorf("TW: no stats for %q", n.Name)
+		}
+		if n.IsSpout {
+			if _, ok := tw.Spouts[n.Name]; !ok {
+				t.Errorf("TW: no spout impl for %q", n.Name)
+			}
+		} else if _, ok := tw.Operators[n.Name]; !ok {
+			t.Errorf("TW: no operator impl for %q", n.Name)
+		}
+	}
+}
+
+func TestTWEndToEnd(t *testing.T) {
+	res := runApp(t, TrendingWords(), 250*time.Millisecond)
+	if res.SinkTuples == 0 {
+		t.Fatal("TW produced no ranked output")
+	}
+	if res.Processed["sessionize"] == 0 {
+		t.Fatal("sessionize processed nothing")
+	}
+	if res.Processed["rank"] == 0 {
+		t.Fatal("rank received no closed sessions; session windows never fired")
+	}
+	// Ranked output arrives in batches of at most twK per rank window.
+	if res.SinkTuples > res.Processed["rank"]*twK {
+		t.Errorf("sink received %d tuples from %d sessions; top-K should bound it", res.SinkTuples, res.Processed["rank"])
+	}
+}
+
+func TestTWReplicatedRun(t *testing.T) {
+	a := TrendingWords()
+	topo := engine.Topology{
+		App:       a.Graph,
+		Spouts:    a.Spouts,
+		Operators: a.Operators,
+		// Sessionize replicates (fields-partitioned by word); rank is
+		// global so extra replicas would idle, keep it at 1.
+		Replication: map[string]int{"spout": 2, "sessionize": 2},
+	}
+	e, err := engine.New(topo, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(250 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.SinkTuples == 0 {
+		t.Fatal("replicated TW produced no output")
+	}
+}
+
 func TestAppsModelEvaluable(t *testing.T) {
 	// Every app must evaluate under the model on both paper servers.
 	for _, a := range All() {
@@ -259,6 +331,8 @@ func (c *captureCollector) EmitTo(stream string, values ...tuple.Value) {
 }
 
 func (c *captureCollector) Borrow() *tuple.Tuple { return tuple.New() }
+
+func (c *captureCollector) EmitWatermark(wm int64) {}
 
 func (c *captureCollector) Send(t *tuple.Tuple) {
 	*c.out = append(*c.out, t.Values[0].(string))

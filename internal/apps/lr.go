@@ -6,10 +6,24 @@ import (
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
+	"briskstream/internal/state"
 	"briskstream/internal/tuple"
+	"briskstream/internal/window"
 )
 
 var lrSpoutSeq atomic.Int64
+
+// LR event-time parameters: the input clock advances one event-ms per
+// record; the benchmark's "minute statistics" — average segment speed
+// over the last five minutes, distinct vehicles per minute — are scaled
+// onto that synthetic clock as sliding windows of lrStatSpan sliding by
+// lrStatSlide (avg speed) and tumbling windows of lrStatSlide (vehicle
+// counts).
+const (
+	lrStatSpan       = 4096
+	lrStatSlide      = 1024
+	lrWatermarkEvery = 64
+)
 
 // LR stream names (Table 8).
 const (
@@ -50,6 +64,10 @@ const (
 // benchmark's continuous queries over a simulated expressway: variable
 // tolling from segment statistics (average speed, vehicle counts),
 // accident detection and notification, and historical account queries.
+// The segment statistics are event-time windows on keyed state:
+// avg_speed is a sliding window, count_vehicle a tumbling distinct
+// count, both per segment (the benchmark's minute statistics on the
+// synthetic event clock).
 //
 // Stream selectivities follow Table 8. Entries the paper prints as
 // "(approx) 0.0" are rare-but-nonzero events (accidents, account
@@ -119,9 +137,11 @@ func LinearRoad() *App {
 }
 
 // lrSpout generates typed input records:
-// (type, vehicle, speed, xway, lane, segment, position).
+// (type, vehicle, speed, xway, lane, segment, position), stamped with
+// the synthetic event clock and punctuated with watermarks.
 func lrSpout() engine.Spout {
 	r := rng(4000 + lrSpoutSeq.Add(1))
+	et := int64(0)
 	return engine.SpoutFunc(func(c engine.Collector) error {
 		typ := lrTypePosition
 		switch p := r.Intn(1000); {
@@ -135,13 +155,18 @@ func lrSpout() engine.Spout {
 		if r.Intn(500) == 0 {
 			speed = 0 // stopped vehicle: potential accident
 		}
+		et++
 		out := c.Borrow()
 		out.Values = append(out.Values, typ, vehicle, speed,
 			int64(r.Intn(2)),   // xway
 			int64(r.Intn(4)),   // lane
 			int64(r.Intn(100)), // segment
 			int64(r.Intn(528000)))
+		out.Event = et
 		c.Send(out)
+		if et%lrWatermarkEvery == 0 {
+			c.EmitWatermark(et)
+		}
 		return nil
 	})
 }
@@ -172,22 +197,29 @@ func lrOperators() map[string]func() engine.Operator {
 			})
 		},
 		"avg_speed": func() engine.Operator {
+			// Per-segment average speed over the trailing lrStatSpan,
+			// refreshed every lrStatSlide — LR's five-minute speed
+			// statistic on keyed window state.
 			type segStat struct {
 				sum   int64
 				count int64
 			}
-			stats := map[int64]*segStat{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				seg := t.Int(5)
-				s := stats[seg]
-				if s == nil {
-					s = &segStat{}
-					stats[seg] = s
-				}
-				s.sum += t.Int(2)
-				s.count++
-				emit(c, lrAvgID, t.Values[5], float64(s.sum)/float64(s.count))
-				return nil
+			return window.New(window.Op[segStat]{
+				KeyField: 5,
+				Size:     lrStatSpan,
+				Slide:    lrStatSlide,
+				Init:     func(a *segStat) { *a = segStat{} },
+				Add: func(a *segStat, t *tuple.Tuple) {
+					a.sum += t.Int(2)
+					a.count++
+				},
+				Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *segStat) {
+					out := c.Borrow()
+					out.Stream = lrAvgID
+					out.Values = append(out.Values, key, float64(a.sum)/float64(a.count))
+					out.Event = w.End
+					c.Send(out)
+				},
 			})
 		},
 		"las_avg_speed": func() engine.Operator {
@@ -208,18 +240,18 @@ func lrOperators() map[string]func() engine.Operator {
 		},
 		"accident_detect": func() engine.Operator {
 			// A vehicle reporting speed 0 at the same position four
-			// consecutive times marks an accident in its segment.
+			// consecutive times marks an accident in its segment. The
+			// per-vehicle state lives in a pooled keyed store.
 			type vstate struct {
 				pos     int64
 				stopped int
 			}
-			vehicles := map[int64]*vstate{}
+			vehicles := state.NewMap[int64, vstate]()
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				v, speed, seg, pos := t.Int(1), t.Int(2), t.Int(5), t.Int(6)
-				s := vehicles[v]
-				if s == nil {
-					s = &vstate{}
-					vehicles[v] = s
+				s, created := vehicles.GetOrCreate(v)
+				if created {
+					*s = vstate{}
 				}
 				if speed == 0 && s.pos == pos {
 					s.stopped++
@@ -234,17 +266,30 @@ func lrOperators() map[string]func() engine.Operator {
 			})
 		},
 		"count_vehicle": func() engine.Operator {
-			counts := map[int64]map[int64]bool{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				seg, v := t.Int(5), t.Int(1)
-				set := counts[seg]
-				if set == nil {
-					set = map[int64]bool{}
-					counts[seg] = set
-				}
-				set[v] = true
-				emit(c, lrCountsID, t.Values[5], int64(len(set)))
-				return nil
+			// Distinct vehicles per segment per minute: a tumbling
+			// window of lrStatSlide keyed by segment; the accumulator's
+			// distinct-set keeps its buckets across window lives.
+			type distinct struct {
+				seen map[int64]bool
+			}
+			return window.New(window.Op[distinct]{
+				KeyField: 5,
+				Size:     lrStatSlide,
+				Init: func(a *distinct) {
+					if a.seen == nil {
+						a.seen = make(map[int64]bool)
+					} else {
+						clear(a.seen)
+					}
+				},
+				Add: func(a *distinct, t *tuple.Tuple) { a.seen[t.Int(1)] = true },
+				Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *distinct) {
+					out := c.Borrow()
+					out.Stream = lrCountsID
+					out.Values = append(out.Values, key, int64(len(a.seen)))
+					out.Event = w.End
+					c.Send(out)
+				},
 			})
 		},
 		"toll_notify": func() engine.Operator {

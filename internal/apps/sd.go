@@ -8,23 +8,35 @@ import (
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
 	"briskstream/internal/tuple"
+	"briskstream/internal/window"
 )
 
 var sdSpoutSeq atomic.Int64
 
-// sdWindow is the moving-average window length (sensor readings).
-const sdWindow = 16
+// SD event-time parameters. The spout's synthetic event clock advances
+// one millisecond per reading across ~512 devices, so a device sees a
+// reading every ~512 event-ms; a sliding window of sdWindowSpan with
+// slide sdSlide covers ~16 readings per device — the same horizon the
+// pre-windowed implementation kept as a 16-reading ring buffer.
+const (
+	sdWindowSpan     = 8192
+	sdSlide          = 2048
+	sdWatermarkEvery = 64
+)
 
-// sdThreshold flags a spike when a reading exceeds the moving average by
-// this factor.
+// sdThreshold flags a spike when a window's peak reading exceeds its
+// average by this factor.
 const sdThreshold = 1.03
 
 // SpikeDetection builds the SD application of Figure 18b: Spout emits
-// sensor readings (device id, value); Parser validates; MovingAverage
-// maintains a per-device sliding window and emits (device, value, avg);
-// SpikeDetection emits a signal for every input tuple with a flag set
-// when value > threshold x average (selectivity 1, Appendix B); Sink
-// counts results.
+// sensor readings (device id, value) with event timestamps; Parser
+// validates; MovingAverage aggregates per-device sliding event-time
+// windows and emits (device, peak, avg) per closed window;
+// SpikeDetection emits a signal per window with a flag set when peak >
+// threshold x average; Sink counts results.
+//
+// As with WC, the declared model statistics keep the paper's
+// calibration; the executable operators carry the windowed semantics.
 func SpikeDetection() *App {
 	g := graph.New("SD")
 	mustNode(g, &graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
@@ -43,13 +55,21 @@ func SpikeDetection() *App {
 		Spouts: map[string]func() engine.Spout{
 			"spout": func() engine.Spout {
 				r := rng(3000 + sdSpoutSeq.Add(1))
+				et := int64(0)
 				return engine.SpoutFunc(func(c engine.Collector) error {
 					device := fmt.Sprintf("mote-%03d", r.Intn(512))
 					value := 20 + r.Float64()*5 // temperature-like signal
 					if r.Intn(100) == 0 {
 						value *= 1.5 // occasional genuine spike
 					}
-					emit(c, tuple.DefaultStreamID, device, value)
+					et++
+					out := c.Borrow()
+					out.Values = append(out.Values, device, value)
+					out.Event = et
+					c.Send(out)
+					if et%sdWatermarkEvery == 0 {
+						c.EmitWatermark(et)
+					}
 					return nil
 				})
 			},
@@ -65,38 +85,38 @@ func SpikeDetection() *App {
 				})
 			},
 			"moving_avg": func() engine.Operator {
-				type window struct {
-					vals [sdWindow]float64
-					n    int
-					next int
+				type stats struct {
 					sum  float64
+					peak float64
+					n    int64
 				}
-				wins := make(map[string]*window)
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					device := t.String(0)
-					v := t.Float(1)
-					w := wins[device]
-					if w == nil {
-						w = &window{}
-						wins[device] = w
-					}
-					if w.n == sdWindow {
-						w.sum -= w.vals[w.next]
-					} else {
-						w.n++
-					}
-					w.vals[w.next] = v
-					w.next = (w.next + 1) % sdWindow
-					w.sum += v
-					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], w.sum/float64(w.n))
-					return nil
+				return window.New(window.Op[stats]{
+					KeyField: 0,
+					Size:     sdWindowSpan,
+					Slide:    sdSlide,
+					Init:     func(a *stats) { *a = stats{} },
+					Add: func(a *stats, t *tuple.Tuple) {
+						v := t.Float(1)
+						a.sum += v
+						a.n++
+						if v > a.peak {
+							a.peak = v
+						}
+					},
+					Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *stats) {
+						out := c.Borrow()
+						out.Values = append(out.Values, key, a.peak, a.sum/float64(a.n))
+						out.Event = w.End
+						c.Send(out)
+					},
 				})
 			},
 			"spike_detect": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					v, avg := t.Float(1), t.Float(2)
-					// Signal emitted whether or not a spike triggered.
-					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], v > sdThreshold*avg)
+					peak, avg := t.Float(1), t.Float(2)
+					// Signal emitted per window whether or not a spike
+					// triggered.
+					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], peak > sdThreshold*avg)
 					return nil
 				})
 			},

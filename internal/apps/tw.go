@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/graph"
+	"briskstream/internal/profile"
+	"briskstream/internal/tuple"
+	"briskstream/internal/window"
+)
+
+var twSpoutSeq atomic.Int64
+
+// TW parameters. The spout emits word mentions on a synthetic event
+// clock with bursty per-word activity (a hot set rotates every
+// twBurstLen events), so mentions of one word cluster into sessions.
+// The sessionizer closes a word's session after twGap quiet event-ms;
+// the ranker tallies closed sessions over tumbling twRankWindow spans
+// and emits the top twK trending words per span.
+// twGap sits between the hot-word mention interval (a hot word is
+// mentioned every ~7 events while its burst lasts) and the background
+// interval (any given word appears in the 20% background traffic every
+// ~160 events), so hot bursts form multi-mention sessions while
+// background mentions close as near-singletons.
+const (
+	twGap            = 64
+	twRankWindow     = 4096
+	twK              = 5
+	twBurstLen       = 512
+	twHotSet         = 6
+	twWatermarkEvery = 32
+)
+
+// twRankedID is the interned output stream of the ranker.
+var twRankedID = tuple.Intern("ranked")
+
+// TrendingWords builds TW, the windowed addition to the benchmark
+// suite: sessionized top-K trending words. Spout emits (word) mention
+// events with bursty temporal locality; Sessionize groups each word's
+// mentions into gap-separated session windows (fields-partitioned so a
+// word always sessionizes on the same replica) and emits (word,
+// mentions, start, end) per closed session; Rank tallies session
+// intensity over tumbling event-time windows and emits the top-K
+// (rank, word, mentions) per window (globally, so one replica sees all
+// sessions); Sink counts results.
+//
+// TW is not part of the paper's four-app evaluation (All()); it ships
+// as the window subsystem's benchmark and is included in Benchmarks()
+// so `briskbench -bench-json` tracks the session/window path.
+func TrendingWords() *App {
+	g := graph.New("TW")
+	mustNode(g, &graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	mustNode(g, &graph.Node{Name: "sessionize", Selectivity: map[string]float64{"default": 0.15}})
+	mustNode(g, &graph.Node{Name: "rank", Selectivity: map[string]float64{"ranked": 0.01}})
+	mustNode(g, &graph.Node{Name: "sink", IsSink: true})
+	mustEdge(g, graph.Edge{From: "spout", To: "sessionize", Stream: "default", Partitioning: graph.Fields, KeyField: 0})
+	mustEdge(g, graph.Edge{From: "sessionize", To: "rank", Stream: "default", Partitioning: graph.Global})
+	mustEdge(g, graph.Edge{From: "rank", To: "sink", Stream: "ranked"})
+
+	return &App{
+		Name:  "TW",
+		Graph: mustValid(g),
+		Spouts: map[string]func() engine.Spout{
+			"spout": func() engine.Spout {
+				r := rng(7000 + twSpoutSeq.Add(1))
+				et := int64(0)
+				hot := make([]string, twHotSet)
+				rotate := func() {
+					for i := range hot {
+						hot[i] = wcVocabulary[r.Intn(len(wcVocabulary))]
+					}
+				}
+				rotate()
+				return engine.SpoutFunc(func(c engine.Collector) error {
+					if et%twBurstLen == 0 {
+						rotate() // new hot set: old words' sessions go quiet
+					}
+					var word string
+					if r.Intn(100) < 80 {
+						word = hot[r.Intn(len(hot))] // bursty mention
+					} else {
+						word = wcVocabulary[r.Intn(len(wcVocabulary))]
+					}
+					et++
+					out := c.Borrow()
+					out.Values = append(out.Values, word)
+					out.Event = et
+					c.Send(out)
+					if et%twWatermarkEvery == 0 {
+						c.EmitWatermark(et)
+					}
+					return nil
+				})
+			},
+		},
+		Operators: map[string]func() engine.Operator{
+			"sessionize": func() engine.Operator {
+				type mentions struct{ n int64 }
+				return window.NewSession(window.SessionOp[mentions]{
+					KeyField: 0,
+					Gap:      twGap,
+					Init:     func(a *mentions) { a.n = 0 },
+					Add:      func(a *mentions, t *tuple.Tuple) { a.n++ },
+					Merge:    func(dst, src *mentions) { dst.n += src.n },
+					Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *mentions) {
+						out := c.Borrow()
+						out.Values = append(out.Values, key, a.n, w.Start, w.End)
+						out.Event = w.End
+						c.Send(out)
+					},
+				})
+			},
+			"rank": func() engine.Operator {
+				type entry struct {
+					word     string
+					mentions int64
+				}
+				type board struct{ items []entry }
+				return window.New(window.Op[board]{
+					KeyField: -1, // global: rank across all words
+					Size:     twRankWindow,
+					Init:     func(a *board) { a.items = a.items[:0] },
+					Add: func(a *board, t *tuple.Tuple) {
+						a.items = append(a.items, entry{word: t.String(0), mentions: t.Int(1)})
+					},
+					Emit: func(c engine.Collector, _ tuple.Value, w window.Span, a *board) {
+						// Sum a word's sessions within the span, then
+						// rank by total mentions (ties by word).
+						slices.SortFunc(a.items, func(x, y entry) int {
+							switch {
+							case x.word < y.word:
+								return -1
+							case x.word > y.word:
+								return 1
+							}
+							return 0
+						})
+						merged := a.items[:0]
+						for _, it := range a.items {
+							if n := len(merged); n > 0 && merged[n-1].word == it.word {
+								merged[n-1].mentions += it.mentions
+							} else {
+								merged = append(merged, it)
+							}
+						}
+						slices.SortFunc(merged, func(x, y entry) int {
+							switch {
+							case x.mentions > y.mentions:
+								return -1
+							case x.mentions < y.mentions:
+								return 1
+							case x.word < y.word:
+								return -1
+							case x.word > y.word:
+								return 1
+							}
+							return 0
+						})
+						for i, it := range merged {
+							if i == twK {
+								break
+							}
+							out := c.Borrow()
+							out.Stream = twRankedID
+							out.Values = append(out.Values, int64(i+1), it.word, it.mentions)
+							out.Event = w.End
+							c.Send(out)
+						}
+					},
+				})
+			},
+			"sink": func() engine.Operator {
+				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
+			},
+		},
+		// Session maintenance dominates; calibration is indicative (TW
+		// has no paper reference row).
+		Stats: profile.Set{
+			"spout":      {Te: 600, M: 60, N: 30, Selectivity: map[string]float64{"default": 1}},
+			"sessionize": {Te: 2400, M: 200, N: 30, Selectivity: map[string]float64{"default": 0.15}},
+			"rank":       {Te: 1800, M: 160, N: 50, Selectivity: map[string]float64{"ranked": 0.01}},
+			"sink":       {Te: 150, M: 60, N: 40, Selectivity: map[string]float64{}},
+		},
+	}
+}

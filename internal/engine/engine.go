@@ -74,6 +74,15 @@ type Collector interface {
 	// engine stamps the event timestamp; callers only fill Values and
 	// Stream.
 	Send(t *tuple.Tuple)
+	// EmitWatermark broadcasts a low-watermark punctuation to every
+	// consumer of the task: a promise that no tuple with Event < wm will
+	// follow on any of its streams. Sources drive event time with it
+	// (and may pass WatermarkIdle to exclude themselves from downstream
+	// fan-in merges while they have no data); the engine min-merges
+	// watermarks at fan-in and forwards them automatically, so ordinary
+	// operators never call it. Watermarks are monotonic — a regressing
+	// value is dropped.
+	EmitWatermark(wm int64)
 }
 
 // Operator is the processing interface: Process consumes one input tuple
@@ -117,6 +126,12 @@ type Config struct {
 	// LatencySampleEvery stamps every k-th spout tuple with a timestamp
 	// for end-to-end latency measurement. Default 64; 0 disables.
 	LatencySampleEvery int
+	// Linger bounds how long a partial jumbo batch may wait for more
+	// tuples before it is flushed anyway: the task's timer service
+	// schedules a flush when the batch is started, so low-rate streams
+	// see at most Linger of batching delay instead of stranding tuples
+	// until shutdown. Default 5ms; 0 disables (flush only when full).
+	Linger time.Duration
 
 	// JumboTuples enables batched single-insertion transfers (Section
 	// 5.2). Disabling it emulates per-tuple queue insertions.
@@ -150,6 +165,7 @@ func DefaultConfig() Config {
 		QueueCapacity:      64,
 		BatchSize:          64,
 		LatencySampleEvery: 64,
+		Linger:             5 * time.Millisecond,
 		JumboTuples:        true,
 		PassByReference:    true,
 	}
@@ -232,6 +248,19 @@ type task struct {
 	out     []*outEdge
 	outList []*outEdge
 
+	// tm is the task's timer service: event-time timers fired by
+	// watermark advances, processing-time timers (and the engine's own
+	// jumbo linger flushes) fired by the wall clock, all on this task's
+	// goroutine.
+	tm *Timers
+	// wmIn/idleIn track the low watermark (and idleness) last received
+	// from each producer task, indexed by producer task id; the task's
+	// own watermark is the min over its non-idle producers. prods lists
+	// the producer task ids feeding this task.
+	wmIn   []int64
+	idleIn []bool
+	prods  []int
+
 	processed uint64
 }
 
@@ -242,6 +271,12 @@ type outEdge struct {
 	consumer *task
 	ring     *queue.Ring[*tuple.Jumbo]
 	jumbo    *tuple.Jumbo
+	// idx is this edge's index in the producer's outList (linger-flush
+	// timers address edges by it); seq numbers the jumbo batches started
+	// on this edge, so a linger timer for a batch that already flushed
+	// full is recognized as stale and skipped.
+	idx int
+	seq uint32
 }
 
 type route struct {
@@ -258,6 +293,13 @@ type dest struct {
 	c     *task
 	clone bool
 }
+
+// punctStreamID is the reserved interned stream carrying watermark
+// punctuations. The name starts with a NUL byte so it can never collide
+// with an application stream; punctuations ride the same per-edge rings
+// as data (so they stay ordered relative to it) but are consumed by the
+// engine, never delivered to Process or counted as data tuples.
+var punctStreamID = tuple.Intern("\x00punctuation")
 
 // RouteError reports a tuple that could not be routed by a
 // fields-grouping key: the tuple is narrower than the edge's declared
@@ -336,6 +378,7 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 				label:   fmt.Sprintf("%s#%d", n.Name, i),
 				isSink:  n.IsSink,
 				pool:    tuple.NewPool(),
+				tm:      NewTimers(),
 			}
 			if n.IsSpout {
 				mk, ok := topo.Spouts[n.Name]
@@ -400,12 +443,36 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 						pt.out = append(pt.out, nil)
 					}
 					if pt.out[ct.id] == nil {
-						oe := &outEdge{consumer: ct, ring: ct.in.Bind()}
+						oe := &outEdge{consumer: ct, ring: ct.in.Bind(), idx: len(pt.outList)}
 						pt.out[ct.id] = oe
 						pt.outList = append(pt.outList, oe)
 					}
 				}
 			}
+		}
+	}
+
+	// Watermark plumbing: each consumer task tracks the last watermark
+	// per producer task and min-merges across them; the timer service is
+	// injected into operators and spouts that ask for it.
+	for _, pt := range e.tasks {
+		for _, oe := range pt.outList {
+			oe.consumer.prods = append(oe.consumer.prods, pt.id)
+		}
+	}
+	for _, t := range e.tasks {
+		if t.in != nil {
+			t.wmIn = make([]int64, len(e.tasks))
+			for i := range t.wmIn {
+				t.wmIn[i] = WatermarkMin
+			}
+			t.idleIn = make([]bool, len(e.tasks))
+		}
+		if ta, ok := t.operator.(TimerAware); ok {
+			ta.SetTimers(t.tm)
+		}
+		if ta, ok := t.spout.(TimerAware); ok {
+			ta.SetTimers(t.tm)
 		}
 	}
 	return e, nil
@@ -416,11 +483,12 @@ var ErrStopped = errors.New("engine: stopped")
 
 // collector implements Collector for one task.
 type collector struct {
-	e     *Engine
-	t     *task
-	seq   uint64
-	curTs time.Time // event time of the input tuple being processed
-	fail  error
+	e        *Engine
+	t        *task
+	seq      uint64
+	curTs    time.Time // latency timestamp of the input tuple being processed
+	curEvent int64     // event time of the input tuple (or the advancing watermark)
+	fail     error
 
 	// lastName/lastID memoize the EmitTo compat path's stream-name
 	// resolution: operators overwhelmingly emit on one stream, so the
@@ -461,6 +529,10 @@ func (c *collector) Send(out *tuple.Tuple) {
 		return
 	}
 	if c.t.spout != nil {
+		// Source tasks count emitted tuples (not Next invocations — a
+		// throttled or idle source returning without emitting produced
+		// nothing, and rate metrics divide by this counter).
+		atomic.AddUint64(&c.t.processed, 1)
 		// Latency sampling: spouts stamp every k-th tuple.
 		if c.e.cfg.LatencySampleEvery > 0 {
 			c.seq++
@@ -469,11 +541,62 @@ func (c *collector) Send(out *tuple.Tuple) {
 			}
 		}
 	} else {
-		// Event time propagates downstream so sinks can measure
-		// end-to-end latency.
+		// The latency timestamp propagates downstream so sinks can
+		// measure end-to-end latency; the event timestamp propagates
+		// input→output unless the operator assigned its own (windows
+		// stamp aggregates with the window end, for example).
 		out.Ts = c.curTs
+		if out.Event == 0 {
+			out.Event = c.curEvent
+		}
 	}
 	if err := c.e.dispatch(c.t, out); err != nil {
+		c.fail = err
+	}
+}
+
+// EmitWatermark implements Collector: it broadcasts a punctuation to
+// every consumer of this task and flushes the pending output batches so
+// event time is never stuck behind batching.
+func (c *collector) EmitWatermark(wm int64) {
+	if c.fail != nil {
+		return
+	}
+	if wm == WatermarkIdle {
+		if err := c.e.broadcastPunct(c.t, WatermarkIdle, time.Time{}); err != nil {
+			c.fail = err
+		}
+		return
+	}
+	if wm <= c.t.tm.wm {
+		return // watermarks are monotonic
+	}
+	// Advance the emitting task's own event wheel first: a source that
+	// registered event timers (TimerAware spouts) gets its OnTimer
+	// callbacks here, since no punctuation ever flows INTO a source.
+	var h TimerHandler
+	if c.t.spout != nil {
+		h, _ = c.t.spout.(TimerHandler)
+	} else {
+		h, _ = c.t.operator.(TimerHandler)
+	}
+	if err := c.t.tm.AdvanceWatermark(wm, func(at int64) error {
+		if h == nil {
+			return nil
+		}
+		return h.OnTimer(c, EventTimer, at)
+	}); err != nil {
+		c.fail = err
+		return
+	}
+	// Punctuations are rare, so every one carries a latency timestamp:
+	// it rides through to window aggregates fired by this watermark,
+	// keeping end-to-end latency observable on windowed paths.
+	var ts time.Time
+	if c.e.cfg.LatencySampleEvery > 0 {
+		ts = time.Now()
+	}
+	if err := c.e.broadcastPunct(c.t, wm, ts); err != nil {
 		c.fail = err
 	}
 }
@@ -600,6 +723,13 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 	oe := t.out[consumer.id]
 	if oe.jumbo == nil {
 		oe.jumbo = e.jumboPool.Get().(*tuple.Jumbo)
+		oe.seq++
+		if e.cfg.Linger > 0 {
+			// Bound how long this fresh batch may stay partial. The
+			// timer addresses (edge, seq); if the batch flushes full
+			// first, the fire finds a newer seq and skips.
+			t.tm.registerLinger(oe.idx, oe.seq, time.Now().Add(e.cfg.Linger))
+		}
 	}
 	oe.jumbo.Tuples = append(oe.jumbo.Tuples, msg)
 	if len(oe.jumbo.Tuples) >= e.cfg.BatchSize {
@@ -616,6 +746,141 @@ func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 		return ErrStopped
 	}
 	return nil
+}
+
+// broadcastPunct sends a watermark punctuation to every consumer of the
+// task — watermarks ignore stream subscriptions and partitioning: every
+// replica of every consumer must see every watermark for the fan-in
+// min-merge to be sound. The punctuation is appended behind whatever
+// data is already buffered per edge (preserving order) and every edge
+// is flushed, so event time is never delayed by batching.
+func (e *Engine) broadcastPunct(t *task, wm int64, ts time.Time) error {
+	if len(t.outList) == 0 {
+		return nil
+	}
+	p := t.pool.Get()
+	p.Stream = punctStreamID
+	p.Event = wm
+	p.Ts = ts
+	if e.ptrSend {
+		// Same single-retain discipline as dispatch fan-out: all
+		// references exist before the first enqueue, so a fast consumer
+		// can never recycle the punctuation mid-broadcast.
+		remaining := len(t.outList)
+		p.RetainN(remaining - 1)
+		for _, oe := range t.outList {
+			if err := e.buffer(t, oe.consumer, p, false); err != nil {
+				for ; remaining > 0; remaining-- {
+					p.Release()
+				}
+				return err
+			}
+			remaining--
+		}
+	} else {
+		// Clone/serialize modes: buffer copies, the original stays ours.
+		for _, oe := range t.outList {
+			if err := e.buffer(t, oe.consumer, p, false); err != nil {
+				p.Release()
+				return err
+			}
+		}
+		p.Release()
+	}
+	e.flushAll(t)
+	return nil
+}
+
+// handlePunct processes one received watermark punctuation: record the
+// producer's watermark, min-merge across all non-idle producers, and on
+// advance fire due event timers, notify the operator, and forward the
+// merged watermark downstream. Returns the first handler error.
+func (e *Engine) handlePunct(t *task, c *collector, in *tuple.Tuple, producer int) error {
+	wm := in.Event
+	if wm == WatermarkIdle {
+		t.idleIn[producer] = true
+	} else {
+		t.idleIn[producer] = false
+		if wm > t.wmIn[producer] {
+			t.wmIn[producer] = wm
+		}
+	}
+	merged := int64(WatermarkIdle)
+	for _, p := range t.prods {
+		if t.idleIn[p] {
+			continue
+		}
+		if t.wmIn[p] < merged {
+			merged = t.wmIn[p]
+		}
+	}
+	if merged == WatermarkIdle {
+		// Every input is idle: propagate idleness (once) so downstream
+		// fan-ins exclude this whole subgraph too. The watermark itself
+		// does not advance — idleness is not event-time progress.
+		if t.tm.idle {
+			return nil
+		}
+		t.tm.idle = true
+		return e.broadcastPunct(t, WatermarkIdle, in.Ts)
+	}
+	t.tm.idle = false
+	if merged <= t.tm.wm {
+		return nil // not an advance (some producer still lags)
+	}
+	c.curTs, c.curEvent = in.Ts, merged
+	var th TimerHandler
+	if t.operator != nil {
+		th, _ = t.operator.(TimerHandler)
+	}
+	if err := t.tm.AdvanceWatermark(merged, func(at int64) error {
+		if th == nil {
+			return nil
+		}
+		return th.OnTimer(c, EventTimer, at)
+	}); err != nil {
+		return err
+	}
+	if wh, ok := t.operator.(WatermarkHandler); ok {
+		if err := wh.OnWatermark(c, merged); err != nil {
+			return err
+		}
+	}
+	if c.fail != nil {
+		return c.fail
+	}
+	return e.broadcastPunct(t, merged, in.Ts)
+}
+
+// fireProcTimers advances the task's processing-time wheel to now:
+// linger timers flush their partial jumbo batch (if it is still the
+// batch they were armed for), operator/spout timers get OnTimer.
+func (e *Engine) fireProcTimers(t *task, c *collector) error {
+	var h TimerHandler
+	if t.operator != nil {
+		h, _ = t.operator.(TimerHandler)
+	} else if t.spout != nil {
+		h, _ = t.spout.(TimerHandler)
+	}
+	err := t.tm.fireProcDue(time.Now(), func(en wheelEntry) error {
+		if en.edge >= 0 {
+			oe := t.outList[en.edge]
+			if oe.seq == en.seq && oe.jumbo != nil && len(oe.jumbo.Tuples) > 0 {
+				j := oe.jumbo
+				oe.jumbo = nil
+				return e.send(t, oe, j)
+			}
+			return nil
+		}
+		if h == nil {
+			return nil
+		}
+		return h.OnTimer(c, ProcTimer, en.at)
+	})
+	if err != nil {
+		return err
+	}
+	return c.fail
 }
 
 // recycleJumbo returns a drained jumbo to the pool. Slots are cleared
@@ -658,6 +923,11 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	e.errs = nil
 	for _, t := range e.tasks {
 		atomic.StoreUint64(&t.processed, 0)
+		t.tm.reset()
+		for i := range t.wmIn {
+			t.wmIn[i] = WatermarkMin
+			t.idleIn[i] = false
+		}
 		if t.in != nil {
 			t.in.Reopen()
 		}
@@ -727,6 +997,7 @@ func (e *Engine) runTask(t *task) {
 
 	if t.spout != nil {
 		c := &collector{e: e, t: t}
+		iter := 0
 		for !e.stop.Load() {
 			err := t.spout.Next(c)
 			if c.fail != nil {
@@ -734,26 +1005,70 @@ func (e *Engine) runTask(t *task) {
 				return
 			}
 			if err == io.EOF {
+				// Finite stream: broadcast the final watermark so every
+				// open window downstream fires before shutdown.
+				c.EmitWatermark(WatermarkMax)
+				if c.fail != nil && !errors.Is(c.fail, ErrStopped) {
+					e.failTask(c.fail)
+				}
 				return
 			}
 			if err != nil {
 				e.recordErr(fmt.Errorf("engine: spout %s: %w", t.label, err))
 				return
 			}
-			atomic.AddUint64(&t.processed, 1)
+			// Spouts have no blocking input to piggyback timer checks
+			// on, so poll the clock every few iterations while timers
+			// (the linger flush, spout-registered proc timers) pend.
+			if iter++; iter&31 == 0 && t.tm.procPending() && !time.Now().Before(t.tm.nextProc()) {
+				if err := e.fireProcTimers(t, c); err != nil {
+					e.failTask(err)
+					return
+				}
+			}
 		}
 		return
 	}
 
 	c := &collector{e: e, t: t}
 	for {
-		j, err := t.in.Get()
-		if err != nil {
-			return // closed and drained
+		var j *tuple.Jumbo
+		if t.tm.procPending() {
+			// Wake at the earliest processing-time deadline even if no
+			// input flows: that is what bounds the linger latency.
+			jj, ok, err := t.in.GetUntil(t.tm.nextProc())
+			if err != nil {
+				return // closed and drained
+			}
+			if !ok {
+				if err := e.fireProcTimers(t, c); err != nil {
+					e.failTask(err)
+					return
+				}
+				continue
+			}
+			j = jj
+		} else {
+			jj, err := t.in.Get()
+			if err != nil {
+				return // closed and drained
+			}
+			j = jj
 		}
 		e.chargeRMA(t, j)
 		for _, in := range j.Tuples {
-			c.curTs = in.Ts
+			if in.Stream == punctStreamID {
+				// Watermark punctuation: consumed by the engine, not
+				// the operator, and excluded from every data counter.
+				err := e.handlePunct(t, c, in, j.Producer)
+				in.Release()
+				if err != nil {
+					e.failTask(err)
+					return
+				}
+				continue
+			}
+			c.curTs, c.curEvent = in.Ts, in.Event
 			if e.cfg.ExtraWorkNs > 0 {
 				spin(e.cfg.ExtraWorkNs)
 			}
@@ -779,6 +1094,12 @@ func (e *Engine) runTask(t *task) {
 			in.Release()
 		}
 		e.recycleJumbo(j)
+		if t.tm.procPending() && !time.Now().Before(t.tm.nextProc()) {
+			if err := e.fireProcTimers(t, c); err != nil {
+				e.failTask(err)
+				return
+			}
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package engine
+
+// Linger-flush regression: a low-rate stream must not strand tuples in
+// partial jumbo batches until shutdown — the timer service flushes a
+// partial batch after Config.Linger.
+
+import (
+	"testing"
+	"time"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// lingerTopology: spout -> fwd -> sink, exercising the linger flush on
+// both a spout task (busy loop, polled timers) and an operator task
+// (blocking inbox, deadline-bounded Get).
+func lingerTopology(t *testing.T, emit int, cfg Config) *Engine {
+	t.Helper()
+	g := graph.New("linger")
+	g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "fwd", Selectivity: map[string]float64{"default": 1}})
+	g.AddNode(&graph.Node{Name: "sink", IsSink: true})
+	g.AddEdge(graph.Edge{From: "spout", To: "fwd", Stream: "default"})
+	g.AddEdge(graph.Edge{From: "fwd", To: "sink", Stream: "default"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{
+		App: g,
+		Spouts: map[string]func() Spout{"spout": func() Spout {
+			emitted := 0
+			return SpoutFunc(func(c Collector) error {
+				// Emit a handful of tuples immediately, then go quiet
+				// without EOF: the classic stranded-partial-batch shape.
+				if emitted < emit {
+					emitted++
+					out := c.Borrow()
+					out.Values = append(out.Values, int64(emitted))
+					c.Send(out)
+				}
+				return nil
+			})
+		}},
+		Operators: map[string]func() Operator{
+			"fwd": func() Operator {
+				return OperatorFunc(func(c Collector, in *tuple.Tuple) error {
+					out := c.Borrow()
+					out.Values = append(out.Values, in.Values...)
+					c.Send(out)
+					return nil
+				})
+			},
+			"sink": func() Operator {
+				return OperatorFunc(func(c Collector, in *tuple.Tuple) error { return nil })
+			},
+		},
+	}
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runAndPollSink runs the engine for d and samples the sink counter at
+// half time — what a consumer of the stream would have seen mid-run.
+func runAndPollSink(t *testing.T, e *Engine, d time.Duration) (mid, final uint64) {
+	t.Helper()
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := e.Run(d)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(d / 2)
+	mid = e.SinkCount()
+	res := <-done
+	if res != nil {
+		if len(res.Errors) != 0 {
+			t.Fatalf("errors: %v", res.Errors)
+		}
+		final = res.SinkTuples
+	}
+	return mid, final
+}
+
+func TestLingerFlushBoundsLowRateLatency(t *testing.T) {
+	const n = 5
+	cfg := DefaultConfig() // BatchSize 64 >> n: the batch never fills
+	cfg.Linger = 2 * time.Millisecond
+	e := lingerTopology(t, n, cfg)
+	mid, final := runAndPollSink(t, e, 400*time.Millisecond)
+	if mid != n {
+		t.Errorf("sink saw %d/%d tuples mid-run; linger flush did not bound the batching delay", mid, n)
+	}
+	if final != n {
+		t.Errorf("final sink count = %d, want %d", final, n)
+	}
+}
+
+func TestNoLingerStrandsPartialBatch(t *testing.T) {
+	// Control: with linger disabled the partial batch sits until the
+	// run's shutdown flush — proving the previous test observes the
+	// linger mechanism and not some other flush.
+	const n = 5
+	cfg := DefaultConfig()
+	cfg.Linger = 0
+	e := lingerTopology(t, n, cfg)
+	mid, final := runAndPollSink(t, e, 400*time.Millisecond)
+	if mid != 0 {
+		t.Errorf("sink saw %d tuples mid-run with linger disabled; expected them stranded in the partial batch", mid)
+	}
+	if final != n {
+		t.Errorf("final sink count = %d, want %d (shutdown flush)", final, n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"briskstream/internal/profile"
 	"briskstream/internal/sim"
 	"briskstream/internal/tuple"
+	"briskstream/internal/window"
 )
 
 func init() {
@@ -154,6 +155,14 @@ func fig3(ctx *Context) (*Report, error) {
 		}
 		counts = append(counts, cap1.take()...)
 	}
+	// The windowed counter emits on window close, not per tuple: drain
+	// its open windows so the sink has inputs to be profiled on.
+	if f, ok := cnt.(window.Flusher); ok {
+		if err := f.FlushOpen(cap1); err != nil {
+			return nil, err
+		}
+		counts = append(counts, cap1.take()...)
+	}
 
 	profiles := []struct {
 		name   string
@@ -221,8 +230,9 @@ func (c *capture) Emit(values ...tuple.Value) { c.EmitTo(tuple.DefaultStream, va
 func (c *capture) EmitTo(stream string, values ...tuple.Value) {
 	c.buf = append(c.buf, tuple.OnStream(stream, values...))
 }
-func (c *capture) Borrow() *tuple.Tuple { return tuple.New() }
-func (c *capture) Send(t *tuple.Tuple)  { c.buf = append(c.buf, t) }
+func (c *capture) Borrow() *tuple.Tuple  { return tuple.New() }
+func (c *capture) Send(t *tuple.Tuple)   { c.buf = append(c.buf, t) }
+func (c *capture) EmitWatermark(w int64) {} // isolated profiling has no downstream
 
 // take returns and clears the buffer.
 func (c *capture) take() []*tuple.Tuple {

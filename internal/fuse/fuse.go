@@ -180,18 +180,77 @@ func Apply(app *graph.Graph, stats profile.Set, ops map[string]func() engine.Ope
 
 // Compose chains two operator builders into one: the producer's
 // emissions are fed synchronously to the consumer within the same task,
-// eliminating the intermediate queue entirely.
+// eliminating the intermediate queue entirely. Timer and watermark
+// callbacks are forwarded to both members (upstream first, so its fired
+// aggregates reach the consumer before the consumer's own callbacks);
+// the members share the task's timer wheel, so each must tolerate
+// OnTimer for timestamps it did not register — the documented
+// TimerHandler contract.
 func Compose(mkU, mkV func() engine.Operator) func() engine.Operator {
 	return func() engine.Operator {
-		u, v := mkU(), mkV()
-		return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-			cc := &chainCollector{downstream: v, out: c}
-			if err := u.Process(cc, t); err != nil {
-				return err
-			}
-			return cc.err
-		})
+		return &fusedOp{u: mkU(), v: mkV()}
 	}
+}
+
+// fusedOp is a fused producer-consumer pair running as one operator.
+type fusedOp struct {
+	u, v engine.Operator
+}
+
+// Process implements engine.Operator.
+func (f *fusedOp) Process(c engine.Collector, t *tuple.Tuple) error {
+	cc := &chainCollector{downstream: f.v, out: c}
+	if err := f.u.Process(cc, t); err != nil {
+		return err
+	}
+	return cc.err
+}
+
+// SetTimers implements engine.TimerAware by injecting the task's timer
+// service into both members.
+func (f *fusedOp) SetTimers(tm *engine.Timers) {
+	if ta, ok := f.u.(engine.TimerAware); ok {
+		ta.SetTimers(tm)
+	}
+	if ta, ok := f.v.(engine.TimerAware); ok {
+		ta.SetTimers(tm)
+	}
+}
+
+// OnTimer implements engine.TimerHandler: the upstream member fires
+// first and its emissions flow through the fused chain into the
+// consumer, then the consumer's own timers fire.
+func (f *fusedOp) OnTimer(c engine.Collector, kind engine.TimerKind, at int64) error {
+	if h, ok := f.u.(engine.TimerHandler); ok {
+		cc := &chainCollector{downstream: f.v, out: c}
+		if err := h.OnTimer(cc, kind, at); err != nil {
+			return err
+		}
+		if cc.err != nil {
+			return cc.err
+		}
+	}
+	if h, ok := f.v.(engine.TimerHandler); ok {
+		return h.OnTimer(c, kind, at)
+	}
+	return nil
+}
+
+// OnWatermark implements engine.WatermarkHandler, upstream first.
+func (f *fusedOp) OnWatermark(c engine.Collector, wm int64) error {
+	if h, ok := f.u.(engine.WatermarkHandler); ok {
+		cc := &chainCollector{downstream: f.v, out: c}
+		if err := h.OnWatermark(cc, wm); err != nil {
+			return err
+		}
+		if cc.err != nil {
+			return cc.err
+		}
+	}
+	if h, ok := f.v.(engine.WatermarkHandler); ok {
+		return h.OnWatermark(c, wm)
+	}
+	return nil
 }
 
 // chainCollector routes the producer's emissions straight into the
@@ -235,6 +294,12 @@ func (c *chainCollector) EmitTo(stream string, values ...tuple.Value) {
 // Borrow implements engine.Collector by borrowing from the real task
 // pool, so fused operators keep the zero-allocation emit path.
 func (c *chainCollector) Borrow() *tuple.Tuple { return c.out.Borrow() }
+
+// EmitWatermark implements engine.Collector by passing the punctuation
+// through to the real collector (the engine broadcasts task-level
+// watermarks itself; a fused member emitting one reaches the same
+// consumers the fused task feeds).
+func (c *chainCollector) EmitWatermark(wm int64) { c.out.EmitWatermark(wm) }
 
 // Send implements engine.Collector: the tuple is processed synchronously
 // by the fused consumer and then released (the consumer's own emissions

@@ -89,8 +89,11 @@ func TestApplyRejections(t *testing.T) {
 	}
 }
 
-// TestFusedEngineRunEquivalent: the fused WC produces the same number of
-// sink tuples per input sentence as the unfused one.
+// TestFusedEngineRunEquivalent: fusing WC's stages preserves the
+// pipeline's selectivity — the counting stage still receives ten words
+// per input sentence in both shapes. (The counter aggregates windows,
+// so the sink's tuple count reflects window closes, not words; the
+// words-per-sentence invariant is observed at the counter's input.)
 func TestFusedEngineRunEquivalent(t *testing.T) {
 	wc := apps.WordCount()
 	res, err := Apply(wc.Graph, wc.Stats, wc.Operators,
@@ -99,7 +102,7 @@ func TestFusedEngineRunEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	count := func(app *engine.Topology) uint64 {
+	count := func(app *engine.Topology, counterOp string) uint64 {
 		e, err := engine.New(*app, engine.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
@@ -114,12 +117,15 @@ func TestFusedEngineRunEquivalent(t *testing.T) {
 		if r.Processed["spout"] == 0 {
 			t.Fatal("no input generated")
 		}
-		// Words per sentence must be exactly 10 in both shapes.
-		return r.SinkTuples / r.Processed["spout"]
+		if r.SinkTuples == 0 {
+			t.Fatal("no windows reached the sink")
+		}
+		// Words per sentence must be ~10 in both shapes.
+		return r.Processed[counterOp] / r.Processed["spout"]
 	}
 
-	plainRatio := count(&engine.Topology{App: wc.Graph, Spouts: wc.Spouts, Operators: wc.Operators})
-	fusedRatio := count(&engine.Topology{App: res.Graph, Spouts: wc.Spouts, Operators: res.Operators})
+	plainRatio := count(&engine.Topology{App: wc.Graph, Spouts: wc.Spouts, Operators: wc.Operators}, "counter")
+	fusedRatio := count(&engine.Topology{App: res.Graph, Spouts: wc.Spouts, Operators: res.Operators}, "counter+sink")
 	// Both runs drain asynchronously, so compare the words-per-sentence
 	// ratio (selectivity), which is deterministic in both shapes.
 	if plainRatio < 9 || plainRatio > 10 {

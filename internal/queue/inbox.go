@@ -1,6 +1,9 @@
 package queue
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // Inbox is the consumer-side fan-in over per-producer SPSC rings. The
 // engine gives every task one Inbox and binds one Ring per distinct
@@ -114,6 +117,58 @@ func (ib *Inbox[T]) Get() (T, error) {
 			continue
 		}
 		<-ib.cons.ch
+		ib.cons.parked.Store(false)
+		i = 0
+	}
+}
+
+// GetUntil behaves like Get but gives up at the deadline: it returns
+// (zero, false, nil) if no element arrives before then. The engine uses
+// it when a task has pending processing-time timers — the task must
+// wake to fire them even if no input is flowing. The timer needed for
+// parking is allocated only on the park path (an inbox with data never
+// parks), so a busy consumer pays nothing for the deadline.
+func (ib *Inbox[T]) GetUntil(deadline time.Time) (T, bool, error) {
+	var zero T
+	for i := 0; ; i++ {
+		v, ok, err := ib.TryGet()
+		if ok || err != nil {
+			return v, ok, err
+		}
+		if !time.Now().Before(deadline) {
+			return zero, false, nil
+		}
+		if i < spinLimit {
+			runtime.Gosched()
+			continue
+		}
+		// Park with a timeout, using the same two-sided handshake as
+		// Get: publish the flag, re-validate every ring, then sleep.
+		ib.cons.parked.Store(true)
+		changed := false
+		open := false
+		for _, r := range ib.rings {
+			if r.Len() > 0 {
+				changed = true
+			}
+			if !r.Closed() {
+				open = true
+			}
+		}
+		if changed || !open {
+			ib.cons.parked.Store(false)
+			i = 0
+			continue
+		}
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ib.cons.ch:
+		case <-t.C:
+			t.Stop()
+			ib.cons.parked.Store(false)
+			return zero, false, nil
+		}
+		t.Stop()
 		ib.cons.parked.Store(false)
 		i = 0
 	}

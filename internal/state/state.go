@@ -1,0 +1,89 @@
+// Package state provides the keyed operator state store backing
+// BriskStream's stateful operators and the window subsystem. The paper's
+// evaluation workloads are dominated by keyed aggregation — WC's word
+// counts, SD's per-device statistics, LR's per-segment minute statistics
+// — and each used to hand-roll an unbounded map. Map stores entries
+// behind a pool so the steady-state access path matches the engine's
+// zero-allocation discipline (PR 2): looking up an existing key
+// allocates nothing, and deleting a key recycles its entry (including
+// any internal capacity the value accumulated — slices, nested maps)
+// for the next key instead of handing it to the garbage collector.
+package state
+
+// Map is a keyed state store with pooled, type-stable entries. Entries
+// are *V pointers that remain valid (and stable) until Delete or Clear;
+// after recycling, an entry is handed out again by GetOrCreate with its
+// previous contents intact, so callers reset it through their own
+// initializer — which lets values retain internal capacity across
+// lives (the whole point of pooling).
+//
+// Map is not safe for concurrent use: like all operator state it
+// belongs to one task goroutine.
+type Map[K comparable, V any] struct {
+	m    map[K]*V
+	free []*V
+}
+
+// NewMap creates an empty store.
+func NewMap[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{m: make(map[K]*V)}
+}
+
+// Get returns the entry for k, or nil if absent. Lookup of an existing
+// key performs no allocation.
+func (s *Map[K, V]) Get(k K) *V { return s.m[k] }
+
+// GetOrCreate returns the entry for k, creating it from the free list
+// (or fresh, if the pool is empty) when absent. The boolean reports
+// whether the entry was just created — a created entry holds whatever
+// its previous life left behind, and the caller must initialize it.
+func (s *Map[K, V]) GetOrCreate(k K) (*V, bool) {
+	if e, ok := s.m[k]; ok {
+		return e, false
+	}
+	var e *V
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(V)
+	}
+	s.m[k] = e
+	return e, true
+}
+
+// Delete removes k and recycles its entry. The caller must not touch
+// the entry pointer after deleting the key.
+func (s *Map[K, V]) Delete(k K) {
+	e, ok := s.m[k]
+	if !ok {
+		return
+	}
+	delete(s.m, k)
+	s.free = append(s.free, e)
+}
+
+// Len returns the number of live keys.
+func (s *Map[K, V]) Len() int { return len(s.m) }
+
+// Range calls f for every live (key, entry) pair until f returns false.
+// Iteration order is unspecified (callers needing deterministic output
+// must sort; the window operators do). f must not Delete other keys or
+// create new ones mid-iteration.
+func (s *Map[K, V]) Range(f func(k K, e *V) bool) {
+	for k, e := range s.m {
+		if !f(k, e) {
+			return
+		}
+	}
+}
+
+// Clear removes every key, recycling all entries. The map's buckets and
+// the entries' internal capacity are retained.
+func (s *Map[K, V]) Clear() {
+	for k, e := range s.m {
+		delete(s.m, k)
+		s.free = append(s.free, e)
+	}
+}

@@ -98,6 +98,7 @@ func (t *Tuple) recycle() {
 	t.Values = t.Values[:0]
 	t.Stream = DefaultStreamID
 	t.Ts = time.Time{}
+	t.Event = 0
 	p := t.pool
 	t.pool = nil // a stray double Release is a no-op, not a re-pool
 	p.p.Put(t)

@@ -56,6 +56,13 @@ type Tuple struct {
 	// Ts is the event creation time used for end-to-end latency
 	// measurement; it is stamped by the spout and carried through.
 	Ts time.Time
+	// Event is the tuple's event timestamp in application time units
+	// (milliseconds by convention): the domain time the event occurred,
+	// as opposed to Ts, which is wall-clock processing time. Sources
+	// stamp it, the engine propagates it input→output when an operator
+	// leaves it zero, and the window operators assign tuples to windows
+	// by it. Zero means "unset" (no event-time semantics on this path).
+	Event int64
 
 	// pool and refs implement recycling: pool points back to the Pool
 	// the tuple came from (nil for ordinary GC-managed tuples), refs
@@ -151,7 +158,7 @@ func (t *Tuple) Size() int {
 // BriskStream path never calls this on the hot path; defensive-copy
 // emulation uses pooled copies via CopyFrom instead.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{Values: make([]Value, len(t.Values)), Stream: t.Stream, Ts: t.Ts}
+	c := &Tuple{Values: make([]Value, len(t.Values)), Stream: t.Stream, Ts: t.Ts, Event: t.Event}
 	copy(c.Values, t.Values)
 	return c
 }
@@ -163,6 +170,7 @@ func (t *Tuple) CopyFrom(src *Tuple) {
 	t.Values = append(t.Values[:0], src.Values...)
 	t.Stream = src.Stream
 	t.Ts = src.Ts
+	t.Event = src.Event
 }
 
 // Jumbo is a jumbo tuple: a batch of tuples from one producer to one
@@ -202,6 +210,7 @@ func Marshal(t *Tuple, buf []byte) []byte {
 		ts = uint64(t.Ts.UnixNano())
 	}
 	buf = binary.BigEndian.AppendUint64(buf, ts)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Event))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Values)))
 	for _, v := range t.Values {
 		switch x := v.(type) {
@@ -241,14 +250,16 @@ func Unmarshal(buf []byte) (*Tuple, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if off+10 > len(buf) {
+	if off+18 > len(buf) {
 		return nil, 0, ErrCorrupt
 	}
 	ts := int64(binary.BigEndian.Uint64(buf[off:]))
 	off += 8
+	event := int64(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
 	n := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
-	t := &Tuple{Stream: Intern(stream), Values: make([]Value, 0, n)}
+	t := &Tuple{Stream: Intern(stream), Values: make([]Value, 0, n), Event: event}
 	if ts != 0 {
 		t.Ts = time.Unix(0, ts)
 	}

@@ -111,6 +111,7 @@ func TestJumbo(t *testing.T) {
 func TestMarshalRoundTrip(t *testing.T) {
 	orig := OnStream("s1", int64(-5), 2.75, "hello", true, false)
 	orig.Ts = time.Unix(0, 123456789)
+	orig.Event = 987654
 	buf := Marshal(orig, nil)
 	got, n, err := Unmarshal(buf)
 	if err != nil {
@@ -119,7 +120,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if n != len(buf) {
 		t.Errorf("consumed %d of %d bytes", n, len(buf))
 	}
-	if got.Stream != orig.Stream || !got.Ts.Equal(orig.Ts) {
+	if got.Stream != orig.Stream || !got.Ts.Equal(orig.Ts) || got.Event != orig.Event {
 		t.Errorf("metadata mismatch: %+v", got)
 	}
 	if !reflect.DeepEqual(got.Values, orig.Values) {
@@ -137,11 +138,12 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 		}
 		orig := New(a, b, s, c)
 		orig.Ts = time.Unix(0, a)
+		orig.Event = a
 		got, _, err := Unmarshal(Marshal(orig, nil))
 		if err != nil {
 			return false
 		}
-		return reflect.DeepEqual(got.Values, orig.Values) && got.Ts.Equal(orig.Ts)
+		return reflect.DeepEqual(got.Values, orig.Values) && got.Ts.Equal(orig.Ts) && got.Event == orig.Event
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -174,8 +176,8 @@ func TestUnmarshalRejectsTruncated(t *testing.T) {
 func TestUnmarshalRejectsGarbageKind(t *testing.T) {
 	buf := Marshal(New(int64(1)), nil)
 	// Flip the kind byte of the first value to an invalid code. Layout:
-	// 4(streamlen)+len("default")+8(ts)+2(count) = kind offset.
-	off := 4 + len(DefaultStream) + 8 + 2
+	// 4(streamlen)+len("default")+8(ts)+8(event)+2(count) = kind offset.
+	off := 4 + len(DefaultStream) + 8 + 8 + 2
 	buf[off] = 0xEE
 	if _, _, err := Unmarshal(buf); err == nil {
 		t.Error("garbage kind accepted")

@@ -1,0 +1,233 @@
+package window
+
+import (
+	"fmt"
+	"slices"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/state"
+	"briskstream/internal/tuple"
+)
+
+// SessionOp configures keyed session windows: per key, consecutive
+// events closer than Gap belong to one session; a session closes (and
+// fires) once the watermark passes its last event plus Gap. Unlike
+// fixed windows, sessions merge — an event bridging two sessions fuses
+// them, which is why a Merge function is required.
+type SessionOp[A any] struct {
+	// KeyField is the tuple field to key by; negative sessionizes the
+	// whole stream as one group.
+	KeyField int
+	// Gap is the inactivity gap (event-time units) that closes a
+	// session. Required.
+	Gap int64
+	// Lateness delays each session's fire time past its end.
+	Lateness int64
+	// Init resets a (possibly recycled) accumulator.
+	Init func(acc *A)
+	// Add folds one tuple into the accumulator.
+	Add func(acc *A, t *tuple.Tuple)
+	// Merge folds src into dst when a bridging event fuses two
+	// sessions. src is recycled afterward.
+	Merge func(dst, src *A)
+	// Emit publishes one closed session; w.End is last event + Gap.
+	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+}
+
+// session is one open session window.
+type session[A any] struct {
+	start, end int64 // [start, end) with end = last event + gap
+	acc        A
+}
+
+// sessList is the per-key list of open sessions, sorted by start.
+// Sessions per key are few (gap merging collapses them), so linear
+// scans beat any index.
+type sessList[A any] struct {
+	s []session[A]
+}
+
+// skBucket lists keys with a session scheduled to fire at one instant.
+type skBucket struct{ keys []tuple.Value }
+
+type sessionOp[A any] struct {
+	cfg    SessionOp[A]
+	tm     *engine.Timers
+	byKey  *state.Map[tuple.Value, sessList[A]]
+	byFire *state.Map[int64, skBucket]
+	late   uint64
+}
+
+// NewSession builds the session-window operator; it panics on an
+// invalid configuration (see New).
+func NewSession[A any](cfg SessionOp[A]) engine.Operator {
+	if cfg.Gap <= 0 {
+		panic("window: session Gap must be positive")
+	}
+	if cfg.Lateness < 0 {
+		panic("window: negative Lateness")
+	}
+	if cfg.Init == nil || cfg.Add == nil || cfg.Merge == nil || cfg.Emit == nil {
+		panic("window: Init, Add, Merge and Emit are required for sessions")
+	}
+	return &sessionOp[A]{
+		cfg:    cfg,
+		byKey:  state.NewMap[tuple.Value, sessList[A]](),
+		byFire: state.NewMap[int64, skBucket](),
+	}
+}
+
+// SetTimers implements engine.TimerAware.
+func (op *sessionOp[A]) SetTimers(tm *engine.Timers) { op.tm = tm }
+
+func (op *sessionOp[A]) watermark() int64 {
+	if op.tm == nil {
+		return engine.WatermarkMin
+	}
+	return op.tm.Watermark()
+}
+
+// Process implements engine.Operator: place the event's own [et,
+// et+Gap) proto-session, merging every open session it overlaps.
+func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
+	et := t.Event
+	var key tuple.Value
+	if op.cfg.KeyField >= 0 {
+		if op.cfg.KeyField >= len(t.Values) {
+			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
+		}
+		key = t.Values[op.cfg.KeyField]
+	}
+	if et+op.cfg.Gap+op.cfg.Lateness <= op.watermark() {
+		// Even a session containing only this event would already have
+		// fired; any session it could have extended has, too.
+		op.late++
+		return nil
+	}
+
+	sl, created := op.byKey.GetOrCreate(key)
+	if created {
+		sl.s = sl.s[:0]
+	}
+	ns := session[A]{start: et, end: et + op.cfg.Gap}
+	op.cfg.Init(&ns.acc)
+	op.cfg.Add(&ns.acc, t)
+
+	// Merge overlapping sessions (at most a contiguous run, list is
+	// sorted by start). Accumulators merge in start order so the result
+	// is permutation-independent for commutative aggregates.
+	kept := sl.s[:0]
+	for i := range sl.s {
+		s := &sl.s[i]
+		if s.start < ns.end && ns.start < s.end {
+			if s.start < ns.start {
+				// s precedes: fold ns into s's position keeping order.
+				op.cfg.Merge(&s.acc, &ns.acc)
+				ns.acc = s.acc
+				ns.start = s.start
+			} else {
+				op.cfg.Merge(&ns.acc, &s.acc)
+			}
+			if s.end > ns.end {
+				ns.end = s.end
+			}
+		} else {
+			kept = append(kept, *s)
+		}
+	}
+	sl.s = append(kept, ns)
+	slices.SortFunc(sl.s, func(a, b session[A]) int {
+		switch {
+		case a.start < b.start:
+			return -1
+		case a.start > b.start:
+			return 1
+		}
+		return 0
+	})
+	op.scheduleFire(key, ns.end+op.cfg.Lateness)
+	return nil
+}
+
+// scheduleFire registers the (possibly updated) fire time for a key's
+// session. Superseded registrations for earlier ends become stale; the
+// fire path validates the end before emitting.
+func (op *sessionOp[A]) scheduleFire(key tuple.Value, at int64) {
+	b, fresh := op.byFire.GetOrCreate(at)
+	if fresh {
+		b.keys = b.keys[:0]
+		if op.tm != nil {
+			op.tm.RegisterEvent(at)
+		}
+	}
+	b.keys = append(b.keys, key)
+}
+
+// OnTimer implements engine.TimerHandler: close every session whose
+// (end + lateness) is exactly this instant — extended sessions have a
+// later end and simply ignore the stale timer.
+func (op *sessionOp[A]) OnTimer(c engine.Collector, kind engine.TimerKind, at int64) error {
+	if kind != engine.EventTimer {
+		return nil
+	}
+	b := op.byFire.Get(at)
+	if b == nil {
+		return nil
+	}
+	slices.SortFunc(b.keys, CompareValues)
+	var prev tuple.Value
+	for i, key := range b.keys {
+		if i > 0 && key == prev {
+			continue // duplicate registration for the same key
+		}
+		prev = key
+		sl := op.byKey.Get(key)
+		if sl == nil {
+			continue
+		}
+		kept := sl.s[:0]
+		for j := range sl.s {
+			s := &sl.s[j]
+			if s.end+op.cfg.Lateness == at {
+				op.cfg.Emit(c, key, Span{s.start, s.end}, &s.acc)
+			} else {
+				kept = append(kept, *s)
+			}
+		}
+		sl.s = kept
+		if len(sl.s) == 0 {
+			op.byKey.Delete(key)
+		}
+	}
+	op.byFire.Delete(at)
+	return nil
+}
+
+// FlushOpen closes every open session in (fire time, key) order.
+func (op *sessionOp[A]) FlushOpen(c engine.Collector) error {
+	fires := make([]int64, 0, op.byFire.Len())
+	op.byFire.Range(func(at int64, _ *skBucket) bool {
+		fires = append(fires, at)
+		return true
+	})
+	slices.Sort(fires)
+	for _, at := range fires {
+		if err := op.OnTimer(c, engine.EventTimer, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LateCount reports dropped late tuples.
+func (op *sessionOp[A]) LateCount() uint64 { return op.late }
+
+// OpenSessions reports the number of open sessions across keys.
+func (op *sessionOp[A]) OpenSessions() int {
+	n := 0
+	op.byKey.Range(func(_ tuple.Value, sl *sessList[A]) bool {
+		n += len(sl.s)
+		return true
+	})
+	return n
+}

@@ -1,0 +1,289 @@
+// Package window implements event-time windowed aggregation over keyed
+// streams: tumbling and sliding windows (Op) and session windows
+// (SessionOp), driven by the engine's watermark punctuations and
+// per-task timer service. This is the abstraction the paper's
+// evaluation workloads kept hand-rolling — WC's word counts, SD's
+// rolling per-device statistics, LR's per-segment minute statistics are
+// all "aggregate per key per bounded time span" — now with real
+// event-time semantics: out-of-order input is placed by the event
+// timestamp it carries, results fire when the watermark (not the wall
+// clock, not arrival order) says a window is complete, and every fire
+// is deterministically ordered, so a topology's windowed output is a
+// pure function of the event stream.
+//
+// # Mechanics
+//
+// A window operator implements engine.Operator plus the engine's
+// TimerAware/TimerHandler hooks. Process assigns each tuple to its
+// window(s) by Tuple.Event and folds it into a pooled per-(key, window)
+// accumulator (state.Map — no per-tuple allocation in steady state).
+// The first tuple of a window registers an event-time timer at the
+// window's fire time (end + allowed lateness); when the task's
+// watermark passes it, the engine calls OnTimer on the task goroutine
+// and the operator emits every window firing at that instant in
+// ascending key order, then recycles their state. A tuple arriving
+// behind the watermark skips panes that already fired; one none of
+// whose windows remain open is dropped and counted (LateCount).
+//
+// Operators without a timer service (isolated profiling harnesses) can
+// still run: windows accumulate and are drained explicitly via
+// FlushOpen.
+package window
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"strings"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/state"
+	"briskstream/internal/tuple"
+)
+
+// Span is one window's half-open event-time interval [Start, End).
+type Span struct{ Start, End int64 }
+
+// Op configures a keyed tumbling or sliding window aggregation. A is
+// the accumulator type; entries are pooled, so Init must fully reset an
+// accumulator (clearing, not reallocating, any internal maps/slices —
+// that is what keeps the hot path allocation-free).
+type Op[A any] struct {
+	// KeyField is the tuple field to key by; negative keys the whole
+	// stream into one group (a global window).
+	KeyField int
+	// Size is the window length in event-time units. Required.
+	Size int64
+	// Slide is the pane offset for sliding windows; 0 (or Size) makes
+	// the window tumbling. Size must be a multiple of nothing — any
+	// positive Slide works, each event lands in ceil(Size/Slide) spans.
+	Slide int64
+	// Lateness delays each window's fire time past its end, tolerating
+	// that much event-time disorder beyond what the watermark already
+	// promises. Tuples for windows that have fired are dropped.
+	Lateness int64
+	// Init resets a (possibly recycled) accumulator.
+	Init func(acc *A)
+	// Add folds one tuple into the accumulator. The tuple is only valid
+	// during the call (the engine recycles it); values read out of it
+	// are immutable and may be kept.
+	Add func(acc *A, t *tuple.Tuple)
+	// Emit publishes one completed window. Emissions inherit the firing
+	// watermark as their event timestamp unless Emit assigns its own
+	// (stamping the window end is conventional).
+	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+}
+
+// winKey identifies one (key, window start) accumulator.
+type winKey struct {
+	key   tuple.Value
+	start int64
+}
+
+// bucket lists the windows sharing one fire timestamp.
+type bucket struct{ keys []winKey }
+
+// windowOp is the runtime for Op.
+type windowOp[A any] struct {
+	cfg    Op[A]
+	tm     *engine.Timers
+	wins   *state.Map[winKey, A]
+	byFire *state.Map[int64, bucket]
+	spans  []Span // per-tuple scratch
+	late   uint64
+}
+
+// New builds the operator. It panics on an invalid configuration —
+// builders run at topology wiring time, where a panic is a programming
+// error, not a data-path condition.
+func New[A any](cfg Op[A]) engine.Operator {
+	if cfg.Size <= 0 {
+		panic("window: Size must be positive")
+	}
+	if cfg.Slide < 0 || cfg.Slide > cfg.Size {
+		panic("window: Slide must be in (0, Size]")
+	}
+	if cfg.Slide == 0 {
+		cfg.Slide = cfg.Size // tumbling
+	}
+	if cfg.Lateness < 0 {
+		panic("window: negative Lateness")
+	}
+	if cfg.Init == nil || cfg.Add == nil || cfg.Emit == nil {
+		panic("window: Init, Add and Emit are required")
+	}
+	return &windowOp[A]{
+		cfg:    cfg,
+		wins:   state.NewMap[winKey, A](),
+		byFire: state.NewMap[int64, bucket](),
+	}
+}
+
+// SetTimers implements engine.TimerAware.
+func (op *windowOp[A]) SetTimers(tm *engine.Timers) { op.tm = tm }
+
+// watermark returns the task watermark, or -inf without a timer service
+// (isolated harnesses: nothing is ever late, nothing auto-fires).
+func (op *windowOp[A]) watermark() int64 {
+	if op.tm == nil {
+		return engine.WatermarkMin
+	}
+	return op.tm.Watermark()
+}
+
+// Process implements engine.Operator.
+func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
+	et := t.Event
+	var key tuple.Value
+	if op.cfg.KeyField >= 0 {
+		if op.cfg.KeyField >= len(t.Values) {
+			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
+		}
+		key = t.Values[op.cfg.KeyField]
+	}
+	wm := op.watermark()
+
+	// Assign: all spans with start in (et-Size, et] on the Slide grid.
+	op.spans = op.spans[:0]
+	for start := floorDiv(et, op.cfg.Slide) * op.cfg.Slide; start > et-op.cfg.Size; start -= op.cfg.Slide {
+		op.spans = append(op.spans, Span{start, start + op.cfg.Size})
+	}
+
+	accepted := false
+	for _, sp := range op.spans {
+		fireAt := sp.End + op.cfg.Lateness
+		if fireAt <= wm {
+			continue // this window already fired; skip the pane
+		}
+		accepted = true
+		wk := winKey{key: key, start: sp.Start}
+		acc, created := op.wins.GetOrCreate(wk)
+		if created {
+			op.cfg.Init(acc)
+			b, fresh := op.byFire.GetOrCreate(fireAt)
+			if fresh {
+				b.keys = b.keys[:0] // recycled bucket: drop its old life
+				if op.tm != nil {
+					op.tm.RegisterEvent(fireAt)
+				}
+			}
+			b.keys = append(b.keys, wk)
+		}
+		op.cfg.Add(acc, t)
+	}
+	if !accepted {
+		op.late++ // every assigned window had fired: the tuple is dropped
+	}
+	return nil
+}
+
+// OnTimer implements engine.TimerHandler: fire every window scheduled
+// at this instant, in ascending key order (all share a start — fixed
+// window sizes make equal fire times equal spans), then recycle.
+func (op *windowOp[A]) OnTimer(c engine.Collector, kind engine.TimerKind, at int64) error {
+	if kind != engine.EventTimer {
+		return nil
+	}
+	b := op.byFire.Get(at)
+	if b == nil {
+		return nil // shared per-task wheel: someone else's timer
+	}
+	slices.SortFunc(b.keys, func(x, y winKey) int {
+		if d := cmp.Compare(x.start, y.start); d != 0 {
+			return d
+		}
+		return CompareValues(x.key, y.key)
+	})
+	for _, wk := range b.keys {
+		acc := op.wins.Get(wk)
+		if acc == nil {
+			continue
+		}
+		op.cfg.Emit(c, wk.key, Span{wk.start, wk.start + op.cfg.Size}, acc)
+		op.wins.Delete(wk)
+	}
+	op.byFire.Delete(at)
+	return nil
+}
+
+// FlushOpen emits every open window in (fire time, key) order and
+// clears the state. Harnesses without watermark infrastructure
+// (operator profiling, batch drains) use it as the end-of-input flush.
+func (op *windowOp[A]) FlushOpen(c engine.Collector) error {
+	fires := make([]int64, 0, op.byFire.Len())
+	op.byFire.Range(func(at int64, _ *bucket) bool {
+		fires = append(fires, at)
+		return true
+	})
+	slices.Sort(fires)
+	for _, at := range fires {
+		if err := op.OnTimer(c, engine.EventTimer, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LateCount reports tuples dropped entirely: every window they were
+// assigned to had already fired. A tuple that still lands in at least
+// one open sliding pane is not counted. (The session operator counts
+// the same unit: whole dropped tuples.)
+func (op *windowOp[A]) LateCount() uint64 { return op.late }
+
+// OpenWindows reports the number of accumulating (key, window) pairs.
+func (op *windowOp[A]) OpenWindows() int { return op.wins.Len() }
+
+// Flusher is implemented by the window operators: FlushOpen drains all
+// open state, emitting in deterministic order. Profiling harnesses use
+// it in place of watermark-driven firing.
+type Flusher interface {
+	FlushOpen(c engine.Collector) error
+}
+
+// LateCounter exposes the late-drop counter of a window operator.
+type LateCounter interface {
+	LateCount() uint64
+}
+
+// CompareValues orders two tuple field values deterministically:
+// same-typed values by their natural order, mixed types by formatted
+// representation (a stable fallback; keyed streams are same-typed in
+// practice).
+func CompareValues(a, b tuple.Value) int {
+	switch x := a.(type) {
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y)
+		}
+	case int64:
+		if y, ok := b.(int64); ok {
+			return cmp.Compare(x, y)
+		}
+	case float64:
+		if y, ok := b.(float64); ok {
+			return cmp.Compare(x, y)
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			switch {
+			case x == y:
+				return 0
+			case y:
+				return -1
+			default:
+				return 1
+			}
+		}
+	}
+	return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// window starts align on the grid for negative event times too.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
