@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # race focuses on the concurrent hot path (queue + engine) plus the
-# window/state subsystem and the windowed apps; `make race-all` covers
-# every package and takes correspondingly longer.
+# window/state/checkpoint subsystems and the windowed apps (including
+# the end-to-end kill/restore/replay recovery test); `make race-all`
+# covers every package and takes correspondingly longer.
 race:
-	$(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/apps/
+	$(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/apps/
 
 .PHONY: race-all
 race-all:
@@ -30,10 +31,12 @@ bench:
 
 # bench-json runs the benchmark apps (the paper's four plus the
 # windowed TW) on the real engine and writes machine-readable rows
-# (throughput in and out, latency p50/p99, allocs/tuple) to
+# (throughput in and out, latency p50/p99, allocs/tuple, and the
+# checkpoint-on vs. checkpoint-off ingest overhead at 1s intervals) to
 # $(BENCH_JSON), tracking the data-path perf trajectory — including the
-# window/session path — across PRs. CI runs it as a non-gating step.
-BENCH_JSON ?= BENCH_PR3.json
+# window/session and fault-tolerance paths — across PRs. CI runs it as
+# a non-gating step.
+BENCH_JSON ?= BENCH_PR4.json
 BENCH_JSON_DUR ?= 2s
 .PHONY: bench-json
 bench-json:

@@ -50,9 +50,11 @@
 package briskstream
 
 import (
+	"cmp"
 	"fmt"
 	"time"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/tuple"
@@ -162,6 +164,68 @@ func NewWindow[A any](cfg WindowOp[A]) Operator { return window.New(cfg) }
 
 // NewSessionWindow builds a session window operator.
 func NewSessionWindow[A any](cfg SessionWindowOp[A]) Operator { return window.NewSession(cfg) }
+
+// Fault tolerance. With a checkpoint coordinator configured, the engine
+// takes aligned-barrier checkpoints (Chandy–Lamport style): sources
+// record replay offsets, every operator snapshot is taken at a
+// consistent cut, and a checkpoint completes only when every task has
+// acknowledged. Recovery restores the latest completed checkpoint and
+// replays the sources from their recorded offsets. Operators with state
+// opt in by implementing Snapshotter (the window operators do, given
+// Save/Load codecs); sources opt in by implementing ReplayableSpout.
+
+// Snapshotter is implemented by operators (and spouts with state beyond
+// their offset) whose state must survive failure.
+type Snapshotter = checkpoint.Snapshotter
+
+// SnapshotEncoder and SnapshotDecoder are the deterministic binary
+// (de)serialization surface snapshot payloads use.
+type (
+	SnapshotEncoder = checkpoint.Encoder
+	SnapshotDecoder = checkpoint.Decoder
+)
+
+// ReplayableSpout is a source that can report and rewind to a stream
+// offset, enabling post-checkpoint replay.
+type ReplayableSpout = engine.ReplayableSpout
+
+// Checkpoint is one completed global snapshot.
+type Checkpoint = checkpoint.Checkpoint
+
+// CheckpointStore persists completed checkpoints.
+type CheckpointStore = checkpoint.Store
+
+// CheckpointCoordinator tracks in-flight checkpoints and persists
+// completed ones. One coordinator spans the failure-free run and the
+// recovery run — it is where the recovered engine finds the snapshot.
+type CheckpointCoordinator = checkpoint.Coordinator
+
+// NewCheckpointCoordinator builds a coordinator over store (nil means
+// in-memory).
+func NewCheckpointCoordinator(store CheckpointStore) *CheckpointCoordinator {
+	return checkpoint.NewCoordinator(store)
+}
+
+// NewMemoryCheckpointStore keeps checkpoints in process memory
+// (recovery from soft failures within one process lifetime).
+func NewMemoryCheckpointStore() CheckpointStore { return checkpoint.NewMemoryStore() }
+
+// NewFileCheckpointStore persists each checkpoint as one file under
+// dir, surviving process death.
+func NewFileCheckpointStore(dir string) (CheckpointStore, error) { return checkpoint.NewFileStore(dir) }
+
+// SaveMapOrdered encodes a plain Go map deterministically (sorted keys,
+// length prefix) — the byte-stable encoding Snapshotter implementations
+// with hand-rolled map state should use instead of re-deriving it.
+func SaveMapOrdered[K cmp.Ordered, V any](enc *SnapshotEncoder, m map[K]V, key func(*SnapshotEncoder, K), val func(*SnapshotEncoder, V)) {
+	checkpoint.SaveMapOrdered(enc, m, key, val)
+}
+
+// LoadMapOrdered decodes a SaveMapOrdered encoding into m, replacing
+// its contents.
+func LoadMapOrdered[K cmp.Ordered, V any](dec *SnapshotDecoder, m map[K]V, key func(*SnapshotDecoder) K, val func(*SnapshotDecoder) V) error {
+	return checkpoint.LoadMapOrdered(dec, m, key, val)
+}
 
 // DefaultStream is the stream name used by single-output operators.
 const DefaultStream = tuple.DefaultStream
@@ -319,6 +383,18 @@ type RunConfig struct {
 	// streams see at most this much batching delay). Negative disables
 	// the flush; 0 keeps the engine default.
 	Linger time.Duration
+	// CheckpointInterval enables periodic aligned checkpoints. The
+	// Checkpoint coordinator is required with it — recovery needs a
+	// handle the caller keeps across runs.
+	CheckpointInterval time.Duration
+	// Checkpoint supplies the coordinator that tracks and persists this
+	// run's checkpoints. Share one coordinator between the original run
+	// and a Resume run to recover across Run calls.
+	Checkpoint *CheckpointCoordinator
+	// Resume restores every task from the coordinator's latest
+	// completed checkpoint — and replays sources from their recorded
+	// offsets — before processing begins. Requires Checkpoint.
+	Resume bool
 }
 
 // RunResult reports a real-engine execution.
@@ -352,6 +428,16 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Linger != 0 {
 		ecfg.Linger = max(cfg.Linger, 0)
 	}
+	if cfg.Resume && cfg.Checkpoint == nil {
+		return nil, fmt.Errorf("briskstream: Resume requires a Checkpoint coordinator")
+	}
+	if cfg.CheckpointInterval > 0 && cfg.Checkpoint == nil {
+		// A hidden throwaway coordinator would make every checkpoint pure
+		// overhead: the caller could never Restore from it.
+		return nil, fmt.Errorf("briskstream: CheckpointInterval requires a Checkpoint coordinator (keep it to Resume after a failure)")
+	}
+	ecfg.Checkpoint = cfg.Checkpoint
+	ecfg.CheckpointInterval = cfg.CheckpointInterval
 	repl := t.repl
 	if cfg.Replication != nil {
 		repl = cfg.Replication
@@ -364,6 +450,11 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	}, ecfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Resume {
+		if _, err := e.Restore(); err != nil {
+			return nil, err
+		}
 	}
 	res, err := e.Run(cfg.Duration)
 	if err != nil {

@@ -203,3 +203,105 @@ func TestRunWithOptimizedReplication(t *testing.T) {
 		t.Fatalf("sink tuples = %d, want 3000", res.SinkTuples)
 	}
 }
+
+// ckptSource is a replayable, snapshottable public-API source: emits
+// 1..limit and can rewind.
+type ckptSource struct{ i, limit int64 }
+
+func (s *ckptSource) Next(c Collector) error {
+	if s.i >= s.limit {
+		return io.EOF
+	}
+	s.i++
+	c.Emit(s.i)
+	return nil
+}
+
+func (s *ckptSource) Offset() int64             { return s.i }
+func (s *ckptSource) SeekTo(offset int64) error { s.i = offset; return nil }
+
+// TestRunWithCheckpointsAndResume drives the public fault-tolerance
+// surface: a checkpointed run followed by a Resume run on a fresh
+// topology instance sharing the coordinator, with a Snapshotter sink
+// whose state survives the restore.
+func TestRunWithCheckpointsAndResume(t *testing.T) {
+	co := NewCheckpointCoordinator(NewMemoryCheckpointStore())
+	var lastSum atomic.Int64
+	build := func(limit int64) *Topology {
+		topo := NewTopology("ckpt")
+		topo.Spout("source", func() Spout { return &ckptSource{limit: limit} })
+		topo.Sink("sum", func() Operator {
+			sum := int64(0)
+			return &struct {
+				OperatorFunc
+				Snapshotter
+			}{
+				OperatorFunc(func(c Collector, tp *Tuple) error {
+					sum += tp.Int(0)
+					lastSum.Store(sum)
+					return nil
+				}),
+				snapshotterFuncs{
+					snap: func(enc *SnapshotEncoder) error { enc.Int64(sum); return nil },
+					rest: func(dec *SnapshotDecoder) error { sum = dec.Int64(); lastSum.Store(sum); return dec.Err() },
+				},
+			}
+		}).Subscribe("source", Global)
+		return topo
+	}
+	// Run 1: finite stream, checkpoints on an interval. The stream is
+	// long enough for at least one completed checkpoint on any machine.
+	const n = 2_000_000
+	res, err := build(n).Run(RunConfig{CheckpointInterval: time.Millisecond, Checkpoint: co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if co.Completed() == 0 {
+		t.Skip("run finished before any checkpoint completed (machine too fast for the interval)")
+	}
+	want := int64(n) * (n + 1) / 2
+	if got := lastSum.Load(); got != want {
+		t.Fatalf("run 1 sum = %d, want %d", got, want)
+	}
+	// Run 2: a fresh topology (fresh operator/spout instances, as after
+	// a process restart with a persistent store) resumes from the
+	// coordinator's latest checkpoint and replays to EOF; the final
+	// state must match the failure-free total exactly.
+	lastSum.Store(0)
+	res2, err := build(n).Run(RunConfig{Checkpoint: co, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Errors) != 0 {
+		t.Fatalf("resume errors: %v", res2.Errors)
+	}
+	if got := lastSum.Load(); got != want {
+		t.Fatalf("resumed sum = %d, want %d", got, want)
+	}
+	// Resume without any checkpoint is a clean error.
+	empty := NewCheckpointCoordinator(nil)
+	if _, err := build(10).Run(RunConfig{Checkpoint: empty, Resume: true}); err == nil {
+		t.Fatal("Resume with no completed checkpoint must fail")
+	}
+}
+
+// snapshotterFuncs adapts two closures to Snapshotter.
+type snapshotterFuncs struct {
+	snap func(*SnapshotEncoder) error
+	rest func(*SnapshotDecoder) error
+}
+
+func (s snapshotterFuncs) Snapshot(enc *SnapshotEncoder) error { return s.snap(enc) }
+func (s snapshotterFuncs) Restore(dec *SnapshotDecoder) error  { return s.rest(dec) }
+
+// TestCheckpointIntervalRequiresCoordinator: a throwaway hidden
+// coordinator would make checkpoints pure overhead with no recovery
+// handle, so the API refuses the interval without one.
+func TestCheckpointIntervalRequiresCoordinator(t *testing.T) {
+	if _, err := buildWC(10).Run(RunConfig{CheckpointInterval: time.Millisecond}); err == nil {
+		t.Fatal("CheckpointInterval without a coordinator must be rejected")
+	}
+}

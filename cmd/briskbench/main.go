@@ -14,6 +14,18 @@
 // scenarios drivable from the CLI:
 //
 //	briskbench -bench-json 2s -rate 5000 -linger 2ms
+//
+// Fault-tolerance modes:
+//
+//	briskbench -kill-after 1s -app WC            # kill/recover demo
+//	briskbench -kill-after 1s -ckpt-dir /tmp/cp  # file-backed checkpoints
+//
+// -kill-after runs the app with aligned checkpoints (interval set by
+// -checkpoint, default 200ms), kills the engine like a crash after the
+// given duration, restores the latest completed checkpoint, seeks the
+// sources back to their recorded offsets, and resumes. bench-json also
+// measures checkpointing overhead: every row reports checkpoint-off and
+// checkpoint-on ingest (1s interval) and the relative cost.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"briskstream/internal/apps"
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/experiments"
 	"briskstream/internal/graph"
@@ -43,8 +56,20 @@ func main() {
 		benchJSON = flag.Duration("bench-json", 0, "run the benchmark apps on the real engine for this duration each and print JSON perf rows")
 		rate      = flag.Float64("rate", 0, "token-bucket cap on spout output (tuples/sec across an app's spout replicas); 0 = unthrottled")
 		linger    = flag.Duration("linger", engine.DefaultConfig().Linger, "partial jumbo-batch flush timeout (0 disables)")
+		killAfter = flag.Duration("kill-after", 0, "fault-tolerance demo: kill the engine after this duration, then restore from the latest checkpoint and resume")
+		appName   = flag.String("app", "WC", "application for -kill-after (WC, FD, SD, LR, TW)")
+		ckptEvery = flag.Duration("checkpoint", 200*time.Millisecond, "checkpoint interval for -kill-after")
+		ckptDir   = flag.String("ckpt-dir", "", "persist checkpoints to this directory (default: in-memory)")
 	)
 	flag.Parse()
+
+	if *killAfter > 0 {
+		if err := killRecoverDemo(*appName, *killAfter, *ckptEvery, *ckptDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -247,6 +272,63 @@ func engineMicrobench(d time.Duration, rate float64, linger time.Duration) error
 	return nil
 }
 
+// killRecoverDemo is the CLI face of the recovery path: run an app with
+// periodic aligned checkpoints, kill the engine mid-run the way a crash
+// would, restore the latest completed checkpoint, seek the sources back
+// and resume for another kill-after window.
+func killRecoverDemo(appName string, killAfter, interval time.Duration, dir string) error {
+	a := apps.ByName(appName)
+	if a == nil {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	var store checkpoint.Store
+	if dir != "" {
+		fs, err := checkpoint.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		store = fs
+	}
+	co := checkpoint.NewCoordinator(store)
+	cfg := engine.DefaultConfig()
+	cfg.Checkpoint = co
+	cfg.CheckpointInterval = interval
+	e, err := engine.New(engine.Topology{App: a.Graph, Spouts: a.Spouts, Operators: a.Operators}, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: running with %v checkpoints, killing after %v...\n", a.Name, interval, killAfter)
+	done := make(chan *engine.Result, 1)
+	go func() {
+		res, _ := e.Run(0)
+		done <- res
+	}()
+	time.Sleep(killAfter)
+	e.Kill()
+	res := <-done
+	if len(res.Errors) != 0 {
+		return res.Errors[0]
+	}
+	fmt.Printf("killed:    %d sink tuples, %d checkpoints completed\n", res.SinkTuples, co.Completed())
+
+	id, err := e.Restore()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored:  checkpoint %d (latest completed)\n", id)
+	res2, err := e.Run(killAfter)
+	if err != nil {
+		return err
+	}
+	if len(res2.Errors) != 0 {
+		return res2.Errors[0]
+	}
+	fmt.Printf("recovered: %d sink tuples in %v after replaying from the checkpoint offsets\n",
+		res2.SinkTuples, res2.Duration.Round(time.Millisecond))
+	return nil
+}
+
 // appBenchRow is one (application, replication) measurement of the
 // real-engine data path, serialized into the BENCH_PR*.json trajectory
 // files the Makefile's bench-json target maintains.
@@ -258,12 +340,20 @@ type appBenchRow struct {
 	// ThroughputTPS is the sink-output rate; for windowed apps (WC, SD,
 	// TW, and LR's stat path) sinks receive aggregates, so InputTPS —
 	// the spout ingest rate — is the cross-PR comparable number.
-	ThroughputTPS float64 `json:"throughput_tps"`
-	InputTPS      float64 `json:"input_tps"`
+	ThroughputTPS  float64 `json:"throughput_tps"`
+	InputTPS       float64 `json:"input_tps"`
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
 	LatencyP99Ms   float64 `json:"latency_p99_ms"`
 	AllocsPerTuple float64 `json:"allocs_per_tuple"`
 	QueuePuts      uint64  `json:"queue_puts"`
+	// InputTPSCkpt is the ingest rate of the same configuration with
+	// aligned checkpoints at a 1s interval; CkptOverheadPct is the
+	// relative throughput cost ((off-on)/off, percent — the subsystem
+	// targets <5%), and CkptCompleted counts the checkpoints that
+	// completed during the measurement.
+	InputTPSCkpt    float64 `json:"input_tps_ckpt"`
+	CkptOverheadPct float64 `json:"ckpt_overhead_pct"`
+	CkptCompleted   uint64  `json:"ckpt_completed"`
 }
 
 type appBenchReport struct {
@@ -335,9 +425,45 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 			if processed > 0 {
 				row.AllocsPerTuple = float64(m1.Mallocs-m0.Mallocs) / float64(processed)
 			}
+
+			// Same configuration with aligned checkpoints at a 1s
+			// interval: the overhead column the subsystem is gated on.
+			co := checkpoint.NewCoordinator(nil)
+			ccfg := cfg
+			ccfg.Checkpoint = co
+			ccfg.CheckpointInterval = time.Second
+			ec, err := engine.New(engine.Topology{
+				App:         a.Graph,
+				Spouts:      throttleSpouts(a.Spouts, rate),
+				Operators:   a.Operators,
+				Replication: replication,
+			}, ccfg)
+			if err != nil {
+				return fmt.Errorf("%s x%d ckpt: %w", a.Name, repl, err)
+			}
+			resC, err := ec.Run(d)
+			if err != nil {
+				return fmt.Errorf("%s x%d ckpt: %w", a.Name, repl, err)
+			}
+			if len(resC.Errors) != 0 {
+				return fmt.Errorf("%s x%d ckpt: %v", a.Name, repl, resC.Errors[0])
+			}
+			var ingestedC uint64
+			for _, n := range a.Graph.Spouts() {
+				ingestedC += resC.Processed[n.Name]
+			}
+			if s := resC.Duration.Seconds(); s > 0 {
+				row.InputTPSCkpt = float64(ingestedC) / s
+			}
+			row.CkptCompleted = co.Completed()
+			if row.InputTPS > 0 {
+				row.CkptOverheadPct = (row.InputTPS - row.InputTPSCkpt) / row.InputTPS * 100
+			}
+
 			report.Rows = append(report.Rows, row)
-			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f in-tuples/s %10.0f out/s  %.3f allocs/tuple\n",
-				a.Name, repl, row.InputTPS, row.ThroughputTPS, row.AllocsPerTuple)
+			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f in-tuples/s %10.0f out/s  %.3f allocs/tuple  ckpt %.0f/s (%+.1f%%, %d completed)\n",
+				a.Name, repl, row.InputTPS, row.ThroughputTPS, row.AllocsPerTuple,
+				row.InputTPSCkpt, row.CkptOverheadPct, row.CkptCompleted)
 		}
 	}
 	enc := json.NewEncoder(w)

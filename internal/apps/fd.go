@@ -2,8 +2,10 @@ package apps
 
 import (
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -11,6 +13,94 @@ import (
 )
 
 var fdSpoutSeq atomic.Int64
+
+// fdSpout generates transaction records; replayable like wcSpout (the
+// stream is a pure function of (seed, offset)).
+type fdSpout struct {
+	seed   int64
+	r      *rand.Rand
+	entity string
+	record string
+	n      int64
+}
+
+func newFDSpout(seed int64) *fdSpout {
+	return &fdSpout{seed: seed, r: rng(seed)}
+}
+
+func (s *fdSpout) draw() {
+	s.entity = fmt.Sprintf("cust-%05d", s.r.Intn(10000))
+	s.record = fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d",
+		s.entity, s.r.Intn(100000), s.r.Intn(9999), s.r.Intn(100),
+		s.r.Intn(24), s.r.Intn(60), s.r.Intn(2), s.r.Int63())
+	s.n++
+}
+
+// Next implements engine.Spout.
+func (s *fdSpout) Next(c engine.Collector) error {
+	s.draw()
+	emit(c, tuple.DefaultStreamID, s.entity, s.record)
+	return nil
+}
+
+// Offset implements engine.ReplayableSpout.
+func (s *fdSpout) Offset() int64 { return s.n }
+
+// SeekTo implements engine.ReplayableSpout.
+func (s *fdSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("apps: fd spout seek to %d", offset)
+	}
+	s.r = rng(s.seed)
+	s.n = 0
+	for s.n < offset {
+		s.draw()
+	}
+	return nil
+}
+
+// fdPredict scores records against per-entity transition state (last
+// amount bucket seen) and snapshots that state, so FD recovers exactly:
+// a replayed record meets the same per-entity history it met originally.
+type fdPredict struct {
+	last map[string]int64
+}
+
+// Process implements engine.Operator.
+func (p *fdPredict) Process(c engine.Collector, t *tuple.Tuple) error {
+	entity := t.String(0)
+	record := t.String(1)
+	// Score: a cheap stand-in for a Markov-model probability lookup —
+	// bucket the record hash and compare with the entity's previous
+	// bucket.
+	var h int64
+	for i := 0; i < len(record); i++ {
+		h = h*31 + int64(record[i])
+	}
+	bucket := (h%97 + 97) % 97
+	prev, seen := p.last[entity]
+	p.last[entity] = bucket
+	fraud := seen && (bucket-prev) > 80
+	// A signal is emitted for every input tuple regardless of the
+	// detection outcome.
+	emit(c, tuple.DefaultStreamID, t.Values[0], fraud)
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter (sorted keys: byte-stable).
+func (p *fdPredict) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveMapOrdered(enc, p.last,
+		func(e *checkpoint.Encoder, k string) { e.String(k) },
+		func(e *checkpoint.Encoder, v int64) { e.Int64(v) })
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *fdPredict) Restore(dec *checkpoint.Decoder) error {
+	return checkpoint.LoadMapOrdered(dec, p.last,
+		(*checkpoint.Decoder).String,
+		(*checkpoint.Decoder).Int64)
+}
 
 // FraudDetection builds the FD application of Figure 18a: Spout emits
 // credit-card transaction records; Parser extracts the entity id and the
@@ -36,17 +126,7 @@ func FraudDetection() *App {
 		Name:  "FD",
 		Graph: mustValid(g),
 		Spouts: map[string]func() engine.Spout{
-			"spout": func() engine.Spout {
-				r := rng(2000 + fdSpoutSeq.Add(1))
-				return engine.SpoutFunc(func(c engine.Collector) error {
-					entity := fmt.Sprintf("cust-%05d", r.Intn(10000))
-					record := fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d",
-						entity, r.Intn(100000), r.Intn(9999), r.Intn(100),
-						r.Intn(24), r.Intn(60), r.Intn(2), r.Int63())
-					emit(c, tuple.DefaultStreamID, entity, record)
-					return nil
-				})
-			},
+			"spout": func() engine.Spout { return newFDSpout(2000 + fdSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
@@ -59,27 +139,7 @@ func FraudDetection() *App {
 				})
 			},
 			"predict": func() engine.Operator {
-				// Per-entity transition state: last amount bucket seen.
-				last := make(map[string]int64)
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					entity := t.String(0)
-					record := t.String(1)
-					// Score: a cheap stand-in for a Markov-model
-					// probability lookup — bucket the record hash and
-					// compare with the entity's previous bucket.
-					var h int64
-					for i := 0; i < len(record); i++ {
-						h = h*31 + int64(record[i])
-					}
-					bucket := (h%97 + 97) % 97
-					prev, seen := last[entity]
-					last[entity] = bucket
-					fraud := seen && (bucket-prev) > 80
-					// A signal is emitted for every input tuple
-					// regardless of the detection outcome.
-					emit(c, tuple.DefaultStreamID, t.Values[0], fraud)
-					return nil
-				})
+				return &fdPredict{last: make(map[string]int64)}
 			},
 			"sink": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })

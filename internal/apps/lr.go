@@ -1,8 +1,12 @@
 package apps
 
 import (
+	"fmt"
+	"math/rand"
+	"slices"
 	"sync/atomic"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -138,37 +142,274 @@ func LinearRoad() *App {
 
 // lrSpout generates typed input records:
 // (type, vehicle, speed, xway, lane, segment, position), stamped with
-// the synthetic event clock and punctuated with watermarks.
-func lrSpout() engine.Spout {
-	r := rng(4000 + lrSpoutSeq.Add(1))
-	et := int64(0)
-	return engine.SpoutFunc(func(c engine.Collector) error {
-		typ := lrTypePosition
-		switch p := r.Intn(1000); {
-		case p < 3:
-			typ = lrTypeBalance
-		case p < 5:
-			typ = lrTypeDaily
+// the synthetic event clock and punctuated with watermarks. It is
+// replayable like wcSpout: the record stream is a pure function of
+// (seed, offset).
+type lrSpoutT struct {
+	seed int64
+	r    *rand.Rand
+	et   int64
+
+	typ, vehicle, speed, xway, lane, segment, position int64
+}
+
+func newLRSpout(seed int64) *lrSpoutT {
+	return &lrSpoutT{seed: seed, r: rng(seed)}
+}
+
+func lrSpout() engine.Spout { return newLRSpout(4000 + lrSpoutSeq.Add(1)) }
+
+func (s *lrSpoutT) draw() {
+	s.typ = lrTypePosition
+	switch p := s.r.Intn(1000); {
+	case p < 3:
+		s.typ = lrTypeBalance
+	case p < 5:
+		s.typ = lrTypeDaily
+	}
+	s.vehicle = int64(s.r.Intn(50000))
+	s.speed = int64(s.r.Intn(100))
+	if s.r.Intn(500) == 0 {
+		s.speed = 0 // stopped vehicle: potential accident
+	}
+	s.xway = int64(s.r.Intn(2))
+	s.lane = int64(s.r.Intn(4))
+	s.segment = int64(s.r.Intn(100))
+	s.position = int64(s.r.Intn(528000))
+	s.et++
+}
+
+// Next implements engine.Spout.
+func (s *lrSpoutT) Next(c engine.Collector) error {
+	s.draw()
+	out := c.Borrow()
+	out.Values = append(out.Values, s.typ, s.vehicle, s.speed, s.xway, s.lane, s.segment, s.position)
+	out.Event = s.et
+	c.Send(out)
+	if s.et%lrWatermarkEvery == 0 {
+		c.EmitWatermark(s.et)
+	}
+	return nil
+}
+
+// Offset implements engine.ReplayableSpout.
+func (s *lrSpoutT) Offset() int64 { return s.et }
+
+// SeekTo implements engine.ReplayableSpout.
+func (s *lrSpoutT) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("apps: lr spout seek to %d", offset)
+	}
+	s.r = rng(s.seed)
+	s.et = 0
+	for s.et < offset {
+		s.draw()
+	}
+	return nil
+}
+
+// LR's non-window stateful operators. Each snapshots its maps in sorted
+// key order so a recovered LR run re-applies replayed records against
+// exactly the state it had at the cut — without this, balances would
+// double-increment and stop counters would flag spurious accidents on
+// replay. (LR's toll output still depends on the arrival interleaving
+// of its three input streams, so unlike WC/TW/FD its output is not a
+// pure function of the input; state recovery is exact, output equality
+// is not a testable property here.)
+
+// lrLasAvg smooths the latest average speed per segment (EWMA).
+type lrLasAvg struct {
+	lav map[int64]float64
+}
+
+func (o *lrLasAvg) Process(c engine.Collector, t *tuple.Tuple) error {
+	seg := t.Int(0)
+	avg := t.Float(1)
+	prev, ok := o.lav[seg]
+	if !ok {
+		prev = avg
+	}
+	cur := 0.8*prev + 0.2*avg
+	o.lav[seg] = cur
+	emit(c, lrLasID, t.Values[0], cur)
+	return nil
+}
+
+func (o *lrLasAvg) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveMapOrdered(enc, o.lav,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v float64) { e.Float64(v) })
+	return nil
+}
+
+func (o *lrLasAvg) Restore(dec *checkpoint.Decoder) error {
+	return checkpoint.LoadMapOrdered(dec, o.lav,
+		(*checkpoint.Decoder).Int64,
+		(*checkpoint.Decoder).Float64)
+}
+
+// lrVState is one vehicle's stop-detection state.
+type lrVState struct {
+	pos     int64
+	stopped int
+}
+
+// lrAccidentDetect marks an accident when a vehicle reports speed 0 at
+// the same position four consecutive times; per-vehicle state lives in
+// a pooled keyed store.
+type lrAccidentDetect struct {
+	vehicles *state.Map[int64, lrVState]
+}
+
+func (o *lrAccidentDetect) Process(c engine.Collector, t *tuple.Tuple) error {
+	v, speed, seg, pos := t.Int(1), t.Int(2), t.Int(5), t.Int(6)
+	s, created := o.vehicles.GetOrCreate(v)
+	if created {
+		*s = lrVState{}
+	}
+	if speed == 0 && s.pos == pos {
+		s.stopped++
+		if s.stopped == 4 {
+			emit(c, lrDetectID, seg, pos)
 		}
-		vehicle := int64(r.Intn(50000))
-		speed := int64(r.Intn(100))
-		if r.Intn(500) == 0 {
-			speed = 0 // stopped vehicle: potential accident
+	} else {
+		s.stopped = 0
+		s.pos = pos
+	}
+	return nil
+}
+
+func (o *lrAccidentDetect) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveOrdered(enc, o.vehicles,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v *lrVState) {
+			e.Int64(v.pos)
+			e.Int64(int64(v.stopped))
+		})
+	return nil
+}
+
+func (o *lrAccidentDetect) Restore(dec *checkpoint.Decoder) error {
+	return checkpoint.LoadOrdered(dec, o.vehicles,
+		(*checkpoint.Decoder).Int64,
+		func(d *checkpoint.Decoder, v *lrVState) {
+			v.pos = d.Int64()
+			v.stopped = int(d.Int64())
+		})
+}
+
+// lrTollNotify computes variable tolls from the latest per-segment
+// statistics and accident flags.
+type lrTollNotify struct {
+	lav      map[int64]float64
+	cnt      map[int64]int64
+	accident map[int64]bool
+}
+
+func (o *lrTollNotify) Process(c engine.Collector, t *tuple.Tuple) error {
+	switch t.Stream {
+	case lrLasID:
+		o.lav[t.Int(0)] = t.Float(1)
+		emit(c, lrTollID, t.Values[0], 0.0) // statistics update notification
+	case lrCountsID:
+		o.cnt[t.Int(0)] = t.Int(1)
+		emit(c, lrTollID, t.Values[0], 0.0)
+	case lrDetectID:
+		o.accident[t.Int(0)] = true
+		// No toll is charged in accident segments; no notification is
+		// emitted for the detect stream.
+	default: // position report
+		seg := t.Int(5)
+		toll := 0.0
+		if !o.accident[seg] && o.lav[seg] < 40 && o.cnt[seg] > 50 {
+			base := float64(o.cnt[seg] - 50)
+			toll = 2 * base * base / 100
 		}
-		et++
-		out := c.Borrow()
-		out.Values = append(out.Values, typ, vehicle, speed,
-			int64(r.Intn(2)),   // xway
-			int64(r.Intn(4)),   // lane
-			int64(r.Intn(100)), // segment
-			int64(r.Intn(528000)))
-		out.Event = et
-		c.Send(out)
-		if et%lrWatermarkEvery == 0 {
-			c.EmitWatermark(et)
-		}
+		emit(c, lrTollID, t.Values[1], toll)
+	}
+	return nil
+}
+
+func (o *lrTollNotify) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveMapOrdered(enc, o.lav,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v float64) { e.Float64(v) })
+	checkpoint.SaveMapOrdered(enc, o.cnt,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v int64) { e.Int64(v) })
+	checkpoint.SaveMapOrdered(enc, o.accident,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v bool) { e.Bool(v) })
+	return nil
+}
+
+func (o *lrTollNotify) Restore(dec *checkpoint.Decoder) error {
+	if err := checkpoint.LoadMapOrdered(dec, o.lav,
+		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Float64); err != nil {
+		return err
+	}
+	if err := checkpoint.LoadMapOrdered(dec, o.cnt,
+		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Int64); err != nil {
+		return err
+	}
+	return checkpoint.LoadMapOrdered(dec, o.accident,
+		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Bool)
+}
+
+// lrAccidentNotify notifies vehicles entering a segment with a known
+// accident.
+type lrAccidentNotify struct {
+	accidents map[int64]bool
+}
+
+func (o *lrAccidentNotify) Process(c engine.Collector, t *tuple.Tuple) error {
+	if t.Stream == lrDetectID {
+		o.accidents[t.Int(0)] = true
 		return nil
-	})
+	}
+	// Position report: notify vehicles entering a segment with a known
+	// accident (rare).
+	if seg := t.Int(5); o.accidents[seg] {
+		emit(c, lrNotifyID, t.Values[1], seg)
+	}
+	return nil
+}
+
+func (o *lrAccidentNotify) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveMapOrdered(enc, o.accidents,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v bool) { e.Bool(v) })
+	return nil
+}
+
+func (o *lrAccidentNotify) Restore(dec *checkpoint.Decoder) error {
+	return checkpoint.LoadMapOrdered(dec, o.accidents,
+		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Bool)
+}
+
+// lrAccountBalance answers (rare) balance queries from running account
+// state.
+type lrAccountBalance struct {
+	balances map[int64]float64
+}
+
+func (o *lrAccountBalance) Process(c engine.Collector, t *tuple.Tuple) error {
+	v := t.Int(1)
+	o.balances[v] += 0.5
+	emit(c, tuple.DefaultStreamID, t.Values[1], o.balances[v])
+	return nil
+}
+
+func (o *lrAccountBalance) Snapshot(enc *checkpoint.Encoder) error {
+	checkpoint.SaveMapOrdered(enc, o.balances,
+		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
+		func(e *checkpoint.Encoder, v float64) { e.Float64(v) })
+	return nil
+}
+
+func (o *lrAccountBalance) Restore(dec *checkpoint.Decoder) error {
+	return checkpoint.LoadMapOrdered(dec, o.balances,
+		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Float64)
 }
 
 func lrOperators() map[string]func() engine.Operator {
@@ -220,50 +461,22 @@ func lrOperators() map[string]func() engine.Operator {
 					out.Event = w.End
 					c.Send(out)
 				},
+				Save: func(enc *checkpoint.Encoder, a *segStat) {
+					enc.Int64(a.sum)
+					enc.Int64(a.count)
+				},
+				Load: func(dec *checkpoint.Decoder, a *segStat) error {
+					a.sum = dec.Int64()
+					a.count = dec.Int64()
+					return nil
+				},
 			})
 		},
 		"las_avg_speed": func() engine.Operator {
-			// Exponentially smoothed latest average speed per segment.
-			lav := map[int64]float64{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				seg := t.Int(0)
-				avg := t.Float(1)
-				prev, ok := lav[seg]
-				if !ok {
-					prev = avg
-				}
-				cur := 0.8*prev + 0.2*avg
-				lav[seg] = cur
-				emit(c, lrLasID, t.Values[0], cur)
-				return nil
-			})
+			return &lrLasAvg{lav: map[int64]float64{}}
 		},
 		"accident_detect": func() engine.Operator {
-			// A vehicle reporting speed 0 at the same position four
-			// consecutive times marks an accident in its segment. The
-			// per-vehicle state lives in a pooled keyed store.
-			type vstate struct {
-				pos     int64
-				stopped int
-			}
-			vehicles := state.NewMap[int64, vstate]()
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				v, speed, seg, pos := t.Int(1), t.Int(2), t.Int(5), t.Int(6)
-				s, created := vehicles.GetOrCreate(v)
-				if created {
-					*s = vstate{}
-				}
-				if speed == 0 && s.pos == pos {
-					s.stopped++
-					if s.stopped == 4 {
-						emit(c, lrDetectID, seg, pos)
-					}
-				} else {
-					s.stopped = 0
-					s.pos = pos
-				}
-				return nil
-			})
+			return &lrAccidentDetect{vehicles: state.NewMap[int64, lrVState]()}
 		},
 		"count_vehicle": func() engine.Operator {
 			// Distinct vehicles per segment per minute: a tumbling
@@ -290,50 +503,33 @@ func lrOperators() map[string]func() engine.Operator {
 					out.Event = w.End
 					c.Send(out)
 				},
+				Save: func(enc *checkpoint.Encoder, a *distinct) {
+					// Deterministic encoding of the distinct set: sorted
+					// vehicle ids.
+					ids := make([]int64, 0, len(a.seen))
+					for v := range a.seen {
+						ids = append(ids, v)
+					}
+					slices.Sort(ids)
+					enc.Len(len(ids))
+					for _, v := range ids {
+						enc.Int64(v)
+					}
+				},
+				Load: func(dec *checkpoint.Decoder, a *distinct) error {
+					n := dec.Len()
+					for i := 0; i < n && dec.Err() == nil; i++ {
+						a.seen[dec.Int64()] = true
+					}
+					return dec.Err()
+				},
 			})
 		},
 		"toll_notify": func() engine.Operator {
-			lav := map[int64]float64{}
-			cnt := map[int64]int64{}
-			accident := map[int64]bool{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				switch t.Stream {
-				case lrLasID:
-					lav[t.Int(0)] = t.Float(1)
-					emit(c, lrTollID, t.Values[0], 0.0) // statistics update notification
-				case lrCountsID:
-					cnt[t.Int(0)] = t.Int(1)
-					emit(c, lrTollID, t.Values[0], 0.0)
-				case lrDetectID:
-					accident[t.Int(0)] = true
-					// No toll is charged in accident segments; no
-					// notification is emitted for the detect stream.
-				default: // position report
-					seg := t.Int(5)
-					toll := 0.0
-					if !accident[seg] && lav[seg] < 40 && cnt[seg] > 50 {
-						base := float64(cnt[seg] - 50)
-						toll = 2 * base * base / 100
-					}
-					emit(c, lrTollID, t.Values[1], toll)
-				}
-				return nil
-			})
+			return &lrTollNotify{lav: map[int64]float64{}, cnt: map[int64]int64{}, accident: map[int64]bool{}}
 		},
 		"accident_notify": func() engine.Operator {
-			accidents := map[int64]bool{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				if t.Stream == lrDetectID {
-					accidents[t.Int(0)] = true
-					return nil
-				}
-				// Position report: notify vehicles entering a segment
-				// with a known accident (rare).
-				if seg := t.Int(5); accidents[seg] {
-					emit(c, lrNotifyID, t.Values[1], seg)
-				}
-				return nil
-			})
+			return &lrAccidentNotify{accidents: map[int64]bool{}}
 		},
 		"daily_expen": func() engine.Operator {
 			// Historical daily expenditure lookup: deterministic
@@ -345,13 +541,7 @@ func lrOperators() map[string]func() engine.Operator {
 			})
 		},
 		"account_balance": func() engine.Operator {
-			balances := map[int64]float64{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				v := t.Int(1)
-				balances[v] += 0.5
-				emit(c, tuple.DefaultStreamID, t.Values[1], balances[v])
-				return nil
-			})
+			return &lrAccountBalance{balances: map[int64]float64{}}
 		},
 		"sink": sink,
 	}

@@ -2,8 +2,10 @@ package apps
 
 import (
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -27,6 +29,58 @@ const (
 // sdThreshold flags a spike when a window's peak reading exceeds its
 // average by this factor.
 const sdThreshold = 1.03
+
+// sdSpout generates sensor readings; replayable like wcSpout (the
+// stream is a pure function of (seed, offset)).
+type sdSpout struct {
+	seed   int64
+	r      *rand.Rand
+	device string
+	value  float64
+	et     int64
+}
+
+func newSDSpout(seed int64) *sdSpout {
+	return &sdSpout{seed: seed, r: rng(seed)}
+}
+
+func (s *sdSpout) draw() {
+	s.device = fmt.Sprintf("mote-%03d", s.r.Intn(512))
+	s.value = 20 + s.r.Float64()*5 // temperature-like signal
+	if s.r.Intn(100) == 0 {
+		s.value *= 1.5 // occasional genuine spike
+	}
+	s.et++
+}
+
+// Next implements engine.Spout.
+func (s *sdSpout) Next(c engine.Collector) error {
+	s.draw()
+	out := c.Borrow()
+	out.Values = append(out.Values, s.device, s.value)
+	out.Event = s.et
+	c.Send(out)
+	if s.et%sdWatermarkEvery == 0 {
+		c.EmitWatermark(s.et)
+	}
+	return nil
+}
+
+// Offset implements engine.ReplayableSpout.
+func (s *sdSpout) Offset() int64 { return s.et }
+
+// SeekTo implements engine.ReplayableSpout.
+func (s *sdSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("apps: sd spout seek to %d", offset)
+	}
+	s.r = rng(s.seed)
+	s.et = 0
+	for s.et < offset {
+		s.draw()
+	}
+	return nil
+}
 
 // SpikeDetection builds the SD application of Figure 18b: Spout emits
 // sensor readings (device id, value) with event timestamps; Parser
@@ -53,26 +107,7 @@ func SpikeDetection() *App {
 		Name:  "SD",
 		Graph: mustValid(g),
 		Spouts: map[string]func() engine.Spout{
-			"spout": func() engine.Spout {
-				r := rng(3000 + sdSpoutSeq.Add(1))
-				et := int64(0)
-				return engine.SpoutFunc(func(c engine.Collector) error {
-					device := fmt.Sprintf("mote-%03d", r.Intn(512))
-					value := 20 + r.Float64()*5 // temperature-like signal
-					if r.Intn(100) == 0 {
-						value *= 1.5 // occasional genuine spike
-					}
-					et++
-					out := c.Borrow()
-					out.Values = append(out.Values, device, value)
-					out.Event = et
-					c.Send(out)
-					if et%sdWatermarkEvery == 0 {
-						c.EmitWatermark(et)
-					}
-					return nil
-				})
-			},
+			"spout": func() engine.Spout { return newSDSpout(3000 + sdSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
@@ -108,6 +143,17 @@ func SpikeDetection() *App {
 						out.Values = append(out.Values, key, a.peak, a.sum/float64(a.n))
 						out.Event = w.End
 						c.Send(out)
+					},
+					Save: func(enc *checkpoint.Encoder, a *stats) {
+						enc.Float64(a.sum)
+						enc.Float64(a.peak)
+						enc.Int64(a.n)
+					},
+					Load: func(dec *checkpoint.Decoder, a *stats) error {
+						a.sum = dec.Float64()
+						a.peak = dec.Float64()
+						a.n = dec.Int64()
+						return nil
 					},
 				})
 			},

@@ -1,9 +1,13 @@
 package apps
 
 import (
+	"cmp"
+	"fmt"
+	"math/rand"
 	"slices"
 	"sync/atomic"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -36,6 +40,71 @@ const (
 // twRankedID is the interned output stream of the ranker.
 var twRankedID = tuple.Intern("ranked")
 
+// twSpout generates bursty word mentions; replayable like wcSpout (the
+// hot-set rotation is part of the deterministic draw sequence, so
+// SeekTo rebuilds it along with the random state).
+type twSpout struct {
+	seed int64
+	r    *rand.Rand
+	hot  []string
+	word string
+	et   int64
+}
+
+func newTWSpout(seed int64) *twSpout {
+	s := &twSpout{seed: seed, r: rng(seed), hot: make([]string, twHotSet)}
+	s.rotate()
+	return s
+}
+
+func (s *twSpout) rotate() {
+	for i := range s.hot {
+		s.hot[i] = wcVocabulary[s.r.Intn(len(wcVocabulary))]
+	}
+}
+
+func (s *twSpout) draw() {
+	if s.et%twBurstLen == 0 {
+		s.rotate() // new hot set: old words' sessions go quiet
+	}
+	if s.r.Intn(100) < 80 {
+		s.word = s.hot[s.r.Intn(len(s.hot))] // bursty mention
+	} else {
+		s.word = wcVocabulary[s.r.Intn(len(wcVocabulary))]
+	}
+	s.et++
+}
+
+// Next implements engine.Spout.
+func (s *twSpout) Next(c engine.Collector) error {
+	s.draw()
+	out := c.Borrow()
+	out.Values = append(out.Values, s.word)
+	out.Event = s.et
+	c.Send(out)
+	if s.et%twWatermarkEvery == 0 {
+		c.EmitWatermark(s.et)
+	}
+	return nil
+}
+
+// Offset implements engine.ReplayableSpout.
+func (s *twSpout) Offset() int64 { return s.et }
+
+// SeekTo implements engine.ReplayableSpout.
+func (s *twSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("apps: tw spout seek to %d", offset)
+	}
+	s.r = rng(s.seed)
+	s.et = 0
+	s.rotate() // the constructor's initial rotation is part of the draw sequence
+	for s.et < offset {
+		s.draw()
+	}
+	return nil
+}
+
 // TrendingWords builds TW, the windowed addition to the benchmark
 // suite: sessionized top-K trending words. Spout emits (word) mention
 // events with bursty temporal locality; Sessionize groups each word's
@@ -63,37 +132,7 @@ func TrendingWords() *App {
 		Name:  "TW",
 		Graph: mustValid(g),
 		Spouts: map[string]func() engine.Spout{
-			"spout": func() engine.Spout {
-				r := rng(7000 + twSpoutSeq.Add(1))
-				et := int64(0)
-				hot := make([]string, twHotSet)
-				rotate := func() {
-					for i := range hot {
-						hot[i] = wcVocabulary[r.Intn(len(wcVocabulary))]
-					}
-				}
-				rotate()
-				return engine.SpoutFunc(func(c engine.Collector) error {
-					if et%twBurstLen == 0 {
-						rotate() // new hot set: old words' sessions go quiet
-					}
-					var word string
-					if r.Intn(100) < 80 {
-						word = hot[r.Intn(len(hot))] // bursty mention
-					} else {
-						word = wcVocabulary[r.Intn(len(wcVocabulary))]
-					}
-					et++
-					out := c.Borrow()
-					out.Values = append(out.Values, word)
-					out.Event = et
-					c.Send(out)
-					if et%twWatermarkEvery == 0 {
-						c.EmitWatermark(et)
-					}
-					return nil
-				})
-			},
+			"spout": func() engine.Spout { return newTWSpout(7000 + twSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
 			"sessionize": func() engine.Operator {
@@ -110,6 +149,8 @@ func TrendingWords() *App {
 						out.Event = w.End
 						c.Send(out)
 					},
+					Save: func(enc *checkpoint.Encoder, a *mentions) { enc.Int64(a.n) },
+					Load: func(dec *checkpoint.Decoder, a *mentions) error { a.n = dec.Int64(); return nil },
 				})
 			},
 			"rank": func() engine.Operator {
@@ -124,6 +165,31 @@ func TrendingWords() *App {
 					Init:     func(a *board) { a.items = a.items[:0] },
 					Add: func(a *board, t *tuple.Tuple) {
 						a.items = append(a.items, entry{word: t.String(0), mentions: t.Int(1)})
+					},
+					Save: func(enc *checkpoint.Encoder, a *board) {
+						// Board entries are encoded in arrival order; the
+						// ranker sorts at emit time, but byte-stability
+						// needs a canonical order here too.
+						sorted := slices.Clone(a.items)
+						slices.SortFunc(sorted, func(x, y entry) int {
+							if d := cmp.Compare(x.word, y.word); d != 0 {
+								return d
+							}
+							return cmp.Compare(x.mentions, y.mentions)
+						})
+						enc.Len(len(sorted))
+						for _, it := range sorted {
+							enc.String(it.word)
+							enc.Int64(it.mentions)
+						}
+					},
+					Load: func(dec *checkpoint.Decoder, a *board) error {
+						n := dec.Len()
+						a.items = a.items[:0]
+						for i := 0; i < n && dec.Err() == nil; i++ {
+							a.items = append(a.items, entry{word: dec.String(), mentions: dec.Int64()})
+						}
+						return dec.Err()
 					},
 					Emit: func(c engine.Collector, _ tuple.Value, w window.Span, a *board) {
 						// Sum a word's sessions within the span, then

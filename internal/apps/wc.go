@@ -1,9 +1,12 @@
 package apps
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"sync/atomic"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -35,6 +38,63 @@ const (
 	wcWatermarkEvery = 64
 )
 
+// wcSpout generates ten-word sentences on the synthetic event clock. It
+// is replayable: the stream is a pure function of (seed, offset), so
+// SeekTo regenerates the random draws of the first n sentences and the
+// replay emits exactly the sentences the original run emitted.
+type wcSpout struct {
+	seed  int64
+	r     *rand.Rand
+	words []string
+	et    int64
+}
+
+func newWCSpout(seed int64) *wcSpout {
+	return &wcSpout{seed: seed, r: rng(seed), words: make([]string, 10)}
+}
+
+// draw advances the stream one sentence: fills the word buffer and
+// ticks the event clock. It is the unit of replay.
+func (s *wcSpout) draw() {
+	for i := range s.words {
+		s.words[i] = wcVocabulary[s.r.Intn(len(wcVocabulary))]
+	}
+	s.et++
+}
+
+// Next implements engine.Spout.
+func (s *wcSpout) Next(c engine.Collector) error {
+	s.draw()
+	out := c.Borrow()
+	out.Values = append(out.Values, strings.Join(s.words, " "))
+	out.Event = s.et
+	c.Send(out)
+	if s.et%wcWatermarkEvery == 0 {
+		// Events are in order, so the last emitted event time is a
+		// sound low watermark.
+		c.EmitWatermark(s.et)
+	}
+	return nil
+}
+
+// Offset implements engine.ReplayableSpout.
+func (s *wcSpout) Offset() int64 { return s.et }
+
+// SeekTo implements engine.ReplayableSpout by regenerating the stream
+// prefix, leaving the random state exactly where the original run's
+// offset-th sentence left it.
+func (s *wcSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("apps: wc spout seek to %d", offset)
+	}
+	s.r = rng(s.seed)
+	s.et = 0
+	for s.et < offset {
+		s.draw()
+	}
+	return nil
+}
+
 // WordCount builds the WC application of Figure 2: Spout emits sentences
 // of ten random words (stamped with a synthetic event time and
 // punctuated with watermarks); Parser drops invalid tuples (selectivity
@@ -64,27 +124,7 @@ func WordCount() *App {
 		Name:  "WC",
 		Graph: mustValid(g),
 		Spouts: map[string]func() engine.Spout{
-			"spout": func() engine.Spout {
-				r := rng(1000 + wcSpoutSeq.Add(1))
-				words := make([]string, 10)
-				et := int64(0)
-				return engine.SpoutFunc(func(c engine.Collector) error {
-					for i := range words {
-						words[i] = wcVocabulary[r.Intn(len(wcVocabulary))]
-					}
-					et++
-					out := c.Borrow()
-					out.Values = append(out.Values, strings.Join(words, " "))
-					out.Event = et
-					c.Send(out)
-					if et%wcWatermarkEvery == 0 {
-						// Events are in order, so the last emitted event
-						// time is a sound low watermark.
-						c.EmitWatermark(et)
-					}
-					return nil
-				})
-			},
+			"spout": func() engine.Spout { return newWCSpout(1000 + wcSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
@@ -118,6 +158,8 @@ func WordCount() *App {
 						out.Event = w.End
 						c.Send(out)
 					},
+					Save: func(enc *checkpoint.Encoder, a *count) { enc.Int64(a.n) },
+					Load: func(dec *checkpoint.Decoder, a *count) error { a.n = dec.Int64(); return nil },
 				})
 			},
 			"sink": func() engine.Operator {

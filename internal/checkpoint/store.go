@@ -1,0 +1,232 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checkpoint is one completed global snapshot: the union of every task's
+// local snapshot for one barrier id. Tasks maps the engine's task labels
+// ("op#replica") to their Snapshot payloads; source tasks additionally
+// carry their replay offset inside the payload.
+type Checkpoint struct {
+	ID    uint64
+	Tasks map[string][]byte
+}
+
+// Store persists completed checkpoints. Implementations must be safe
+// for concurrent use: the coordinator saves from whichever task
+// goroutine delivers the final ack while Latest may be called from the
+// recovery path.
+type Store interface {
+	// Save persists a completed checkpoint.
+	Save(cp *Checkpoint) error
+	// Load returns the checkpoint with the given id, or nil if unknown.
+	Load(id uint64) (*Checkpoint, error)
+	// Latest returns the completed checkpoint with the highest id, or
+	// nil if none has been saved.
+	Latest() (*Checkpoint, error)
+}
+
+// MemoryStore keeps checkpoints in process memory — the default backend
+// for tests and for recovery from soft failures (operator panic, engine
+// kill) within one process lifetime.
+type MemoryStore struct {
+	mu  sync.Mutex
+	cps map[uint64]*Checkpoint
+	max uint64
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{cps: map[uint64]*Checkpoint{}}
+}
+
+// Save implements Store.
+func (s *MemoryStore) Save(cp *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cps[cp.ID] = cp
+	if cp.ID > s.max {
+		s.max = cp.ID
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *MemoryStore) Load(id uint64) (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cps[id], nil
+}
+
+// Latest implements Store.
+func (s *MemoryStore) Latest() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cps[s.max], nil
+}
+
+// Prune discards every checkpoint with id < keepFrom. The coordinator
+// calls it after each completed save, so a long-running engine holds
+// one live checkpoint, not its whole history.
+func (s *MemoryStore) Prune(keepFrom uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.cps {
+		if id < keepFrom {
+			delete(s.cps, id)
+		}
+	}
+	return nil
+}
+
+// fileMagic heads every checkpoint file; the version byte follows it.
+const fileMagic = "BSCP"
+
+// FileStore persists each checkpoint as one file in a directory,
+// surviving process death. Writes go through a temp file plus rename so
+// a crash mid-save can never leave a truncated checkpoint that Latest
+// would pick up.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%016d.bin", id))
+}
+
+// Save implements Store.
+func (s *FileStore) Save(cp *Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := NewEncoder()
+	enc.String(fileMagic)
+	enc.Len(1) // format version
+	enc.Uint64(cp.ID)
+	// Sorted task order keeps the file encoding deterministic: the same
+	// checkpoint always serializes to the same bytes.
+	labels := make([]string, 0, len(cp.Tasks))
+	for l := range cp.Tasks {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	enc.Len(len(labels))
+	for _, l := range labels {
+		enc.String(l)
+		enc.Bytes64(cp.Tasks[l])
+	}
+	tmp := s.path(cp.ID) + ".tmp"
+	if err := os.WriteFile(tmp, enc.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(cp.ID)); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *FileStore) Load(id uint64) (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(id)
+}
+
+func (s *FileStore) load(id uint64) (*Checkpoint, error) {
+	raw, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load: %w", err)
+	}
+	dec := NewDecoder(raw)
+	if dec.String() != fileMagic || dec.Len() != 1 {
+		return nil, fmt.Errorf("checkpoint: %s: not a checkpoint file", s.path(id))
+	}
+	cp := &Checkpoint{ID: dec.Uint64(), Tasks: map[string][]byte{}}
+	n := dec.Len()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		label := dec.String()
+		cp.Tasks[label] = dec.Bytes64()
+	}
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", s.path(id), err)
+	}
+	if cp.ID != id {
+		return nil, fmt.Errorf("checkpoint: %s: id %d inside file named %d", s.path(id), cp.ID, id)
+	}
+	return cp, nil
+}
+
+// Latest implements Store.
+func (s *FileStore) Latest() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.ids()
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	return s.load(slices.Max(ids))
+}
+
+// Prune removes every checkpoint file with id < keepFrom (see
+// MemoryStore.Prune). Removal failures are reported but the store stays
+// usable — a leftover old file never shadows a newer id.
+func (s *FileStore) Prune(keepFrom uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.ids()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if id >= keepFrom {
+			continue
+		}
+		if err := os.Remove(s.path(id)); err != nil {
+			return fmt.Errorf("checkpoint: prune: %w", err)
+		}
+	}
+	return nil
+}
+
+// ids lists the checkpoint ids present in the directory (lock held).
+func (s *FileStore) ids() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list: %w", err)
+	}
+	ids := []uint64{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".bin"), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

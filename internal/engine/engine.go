@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/graph"
 	"briskstream/internal/metrics"
 	"briskstream/internal/numa"
@@ -147,6 +148,16 @@ type Config struct {
 	// emulating a larger instruction footprint (condition checking,
 	// exception paths) on the critical path.
 	ExtraWorkNs int
+
+	// Checkpoint enables aligned-barrier checkpointing: the coordinator
+	// tracks each triggered checkpoint and persists it to its store once
+	// every task has snapshotted and acked. Nil disables the whole
+	// subsystem (no per-tuple cost remains on the data path).
+	Checkpoint *checkpoint.Coordinator
+	// CheckpointInterval triggers a checkpoint periodically while Run
+	// executes. Zero means no automatic triggering — checkpoints then
+	// happen only through explicit TriggerCheckpoint calls.
+	CheckpointInterval time.Duration
 
 	// Machine and RMAScale emulate the NUMA fetch penalty: when a task
 	// is placed on a different socket than the producing task, the
@@ -261,6 +272,26 @@ type task struct {
 	idleIn []bool
 	prods  []int
 
+	// Checkpoint state. lastCkpt is the highest checkpoint id this task
+	// has handled (sources: injected; operators: aligned and acked).
+	// While a barrier alignment is in progress, alignID names the
+	// checkpoint, alignSeen (indexed by producer task id) marks the
+	// producer edges whose barrier arrived, alignLeft counts the edges
+	// still missing, and alignBuf holds the jumbo batches received from
+	// already-aligned edges — their data belongs after the snapshot and
+	// is replayed once alignment completes.
+	lastCkpt  uint64
+	alignID   uint64
+	alignSeen []bool
+	alignLeft int
+	alignBuf  []*tuple.Jumbo
+	// doneIn marks producer tasks that finished (EOF) and so will never
+	// emit another barrier: alignment skips them — the barrier analogue
+	// of the watermark path's idle-source exclusion — or a checkpoint
+	// triggered after one source of many ended would park the live
+	// sources' input forever.
+	doneIn []bool
+
 	processed uint64
 }
 
@@ -300,6 +331,12 @@ type dest struct {
 // as data (so they stay ordered relative to it) but are consumed by the
 // engine, never delivered to Process or counted as data tuples.
 var punctStreamID = tuple.Intern("\x00punctuation")
+
+// barrierStreamID is the reserved interned stream carrying checkpoint
+// barriers (Event holds the checkpoint id). Barriers ride the per-edge
+// rings exactly like watermark punctuations — in order behind the data
+// they follow — which is what makes the aligned snapshot consistent.
+var barrierStreamID = tuple.Intern("\x00barrier")
 
 // RouteError reports a tuple that could not be routed by a
 // fields-grouping key: the tuple is narrower than the edge's declared
@@ -341,6 +378,16 @@ type Engine struct {
 	// that drains it, so the steady-state hot path allocates neither
 	// headers nor slices per flush.
 	jumboPool sync.Pool
+
+	// coord receives checkpoint acks (nil disables checkpointing);
+	// ckptReq is the id of the most recently triggered checkpoint, read
+	// by source tasks between Next calls. restoreCp, set by Restore, is
+	// applied by the next Run after its reset phase, so restored timers
+	// and state are never clobbered by the re-run hygiene.
+	coord     *checkpoint.Coordinator
+	ckptSeq   atomic.Uint64 // checkpoint id allocator (engine lifetime)
+	ckptReq   atomic.Uint64
+	restoreCp *checkpoint.Checkpoint
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -360,6 +407,15 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, topo: topo, byOp: map[string][]*task{}, lat: metrics.NewHistogram(0)}
 	e.ptrSend = cfg.PassByReference && !cfg.Serialize
+	e.coord = cfg.Checkpoint
+	if e.coord != nil {
+		// Checkpoint ids must keep ascending across engine lifetimes: the
+		// coordinator (and its store) outlive the engine, and Begin drops
+		// ids at or below the completed floor. Seed the allocator so a
+		// recovered run's checkpoints land above everything completed.
+		e.ckptSeq.Store(e.coord.LatestID())
+		e.ckptReq.Store(e.coord.LatestID())
+	}
 	batch := cfg.BatchSize
 	e.jumboPool.New = func() any {
 		return &tuple.Jumbo{Tuples: make([]*tuple.Tuple, 0, batch)}
@@ -467,12 +523,26 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 				t.wmIn[i] = WatermarkMin
 			}
 			t.idleIn = make([]bool, len(e.tasks))
+			t.alignSeen = make([]bool, len(e.tasks))
+			t.doneIn = make([]bool, len(e.tasks))
 		}
 		if ta, ok := t.operator.(TimerAware); ok {
 			ta.SetTimers(t.tm)
 		}
 		if ta, ok := t.spout.(TimerAware); ok {
 			ta.SetTimers(t.tm)
+		}
+		if e.coord != nil {
+			// Fail configuration errors at build time: an operator that
+			// cannot snapshot (e.g. a window without Save/Load codecs)
+			// must not surface as a mid-run abort at the first barrier.
+			for _, member := range []any{t.operator, t.spout} {
+				if v, ok := member.(checkpoint.Validator); ok {
+					if err := v.ValidateSnapshot(); err != nil {
+						return nil, fmt.Errorf("engine: task %s cannot checkpoint: %w", t.label, err)
+					}
+				}
+			}
 		}
 	}
 	return e, nil
@@ -563,7 +633,7 @@ func (c *collector) EmitWatermark(wm int64) {
 		return
 	}
 	if wm == WatermarkIdle {
-		if err := c.e.broadcastPunct(c.t, WatermarkIdle, time.Time{}); err != nil {
+		if err := c.e.broadcastPunct(c.t, punctStreamID, WatermarkIdle, time.Time{}); err != nil {
 			c.fail = err
 		}
 		return
@@ -596,7 +666,7 @@ func (c *collector) EmitWatermark(wm int64) {
 	if c.e.cfg.LatencySampleEvery > 0 {
 		ts = time.Now()
 	}
-	if err := c.e.broadcastPunct(c.t, wm, ts); err != nil {
+	if err := c.e.broadcastPunct(c.t, punctStreamID, wm, ts); err != nil {
 		c.fail = err
 	}
 }
@@ -748,19 +818,22 @@ func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 	return nil
 }
 
-// broadcastPunct sends a watermark punctuation to every consumer of the
-// task — watermarks ignore stream subscriptions and partitioning: every
-// replica of every consumer must see every watermark for the fan-in
-// min-merge to be sound. The punctuation is appended behind whatever
-// data is already buffered per edge (preserving order) and every edge
-// is flushed, so event time is never delayed by batching.
-func (e *Engine) broadcastPunct(t *task, wm int64, ts time.Time) error {
+// broadcastPunct sends an engine punctuation (a watermark on
+// punctStreamID, or a checkpoint barrier on barrierStreamID) to every
+// consumer of the task — punctuations ignore stream subscriptions and
+// partitioning: every replica of every consumer must see every
+// watermark for the fan-in min-merge to be sound, and every barrier for
+// the alignment to cover all producer edges. The punctuation is
+// appended behind whatever data is already buffered per edge
+// (preserving order) and every edge is flushed, so neither event time
+// nor a checkpoint is ever delayed by batching.
+func (e *Engine) broadcastPunct(t *task, stream tuple.StreamID, ev int64, ts time.Time) error {
 	if len(t.outList) == 0 {
 		return nil
 	}
 	p := t.pool.Get()
-	p.Stream = punctStreamID
-	p.Event = wm
+	p.Stream = stream
+	p.Event = ev
 	p.Ts = ts
 	if e.ptrSend {
 		// Same single-retain discipline as dispatch fan-out: all
@@ -822,7 +895,7 @@ func (e *Engine) handlePunct(t *task, c *collector, in *tuple.Tuple, producer in
 			return nil
 		}
 		t.tm.idle = true
-		return e.broadcastPunct(t, WatermarkIdle, in.Ts)
+		return e.broadcastPunct(t, punctStreamID, WatermarkIdle, in.Ts)
 	}
 	t.tm.idle = false
 	if merged <= t.tm.wm {
@@ -849,7 +922,7 @@ func (e *Engine) handlePunct(t *task, c *collector, in *tuple.Tuple, producer in
 	if c.fail != nil {
 		return c.fail
 	}
-	return e.broadcastPunct(t, merged, in.Ts)
+	return e.broadcastPunct(t, punctStreamID, merged, in.Ts)
 }
 
 // fireProcTimers advances the task's processing-time wheel to now:
@@ -911,9 +984,15 @@ func (e *Engine) flushAll(t *task) {
 // metrics; operator errors are collected in Result.Errors.
 //
 // Run may be called repeatedly on the same engine (not concurrently):
-// each call resets the sink/latency/processed counters and reopens the
-// task queues the previous run closed, so results never double-count.
-// Operator and spout instances persist across runs and keep their state.
+// each call resets the sink/latency/processed counters, the timer
+// wheels, the watermark cursors, the checkpoint alignment state and the
+// shuffle round-robin cursors, and reopens the task queues the previous
+// run closed, so results never double-count and a recovery restart
+// observes no residue of the failed run. Operator and spout instances
+// persist across runs and keep their state — unless a Restore is
+// pending, in which case every task is rebuilt from the restored
+// checkpoint after the reset (and sources are sought back to their
+// recorded offsets) before any task goroutine starts.
 func (e *Engine) Run(d time.Duration) (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -921,6 +1000,10 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	e.sink.Reset()
 	e.lat = metrics.NewHistogram(0)
 	e.errs = nil
+	// A checkpoint requested while no run executes (or left over from a
+	// killed run) must not fire mid-restart: tasks treat everything up
+	// to the current request id as already handled.
+	req := e.ckptReq.Load()
 	for _, t := range e.tasks {
 		atomic.StoreUint64(&t.processed, 0)
 		t.tm.reset()
@@ -928,8 +1011,37 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 			t.wmIn[i] = WatermarkMin
 			t.idleIn[i] = false
 		}
+		t.lastCkpt = req
+		t.alignID = 0
+		t.alignLeft = 0
+		clear(t.alignSeen)
+		clear(t.doneIn)
+		for _, j := range t.alignBuf {
+			// Jumbos buffered mid-alignment by a killed run: the tuples
+			// go back to their producers' pools, the batch to the GC.
+			for _, in := range j.Tuples {
+				in.Release()
+			}
+		}
+		t.alignBuf = nil
+		for ri := range t.routes {
+			// Shuffle cursors restart at the replica-offset phase New
+			// chose, so a re-run (and in particular a recovery replay)
+			// distributes tuples exactly like a fresh engine would.
+			r := &t.routes[ri]
+			r.rr = t.replica % max(len(r.consumers), 1)
+		}
 		if t.in != nil {
 			t.in.Reopen()
+		}
+	}
+	if e.coord != nil {
+		e.coord.Abandon() // in-flight checkpoints of a previous run are dead
+	}
+	if cp := e.restoreCp; cp != nil {
+		e.restoreCp = nil
+		if err := e.applyRestore(cp); err != nil {
+			return nil, err
 		}
 	}
 	// Queue cursors are cumulative across runs; report per-run deltas.
@@ -943,11 +1055,31 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 		}(t)
 	}
 
+	var ckptDone chan struct{}
+	if e.coord != nil && e.cfg.CheckpointInterval > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			tk := time.NewTicker(e.cfg.CheckpointInterval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-tk.C:
+					e.TriggerCheckpoint()
+				case <-ckptDone:
+					return
+				}
+			}
+		}()
+	}
+
 	if d > 0 {
 		timer := time.AfterFunc(d, func() { e.stop.Store(true) })
 		defer timer.Stop()
 	}
 	wg.Wait()
+	if ckptDone != nil {
+		close(ckptDone)
+	}
 	elapsed := time.Since(start)
 
 	res := &Result{
@@ -1006,16 +1138,37 @@ func (e *Engine) runTask(t *task) {
 			}
 			if err == io.EOF {
 				// Finite stream: broadcast the final watermark so every
-				// open window downstream fires before shutdown.
+				// open window downstream fires before shutdown, and —
+				// under checkpointing — the done marker, so consumers
+				// stop expecting barriers from this source while other
+				// sources keep running.
 				c.EmitWatermark(WatermarkMax)
+				if c.fail == nil && e.coord != nil {
+					if err := e.broadcastPunct(t, barrierStreamID, barrierDone, time.Time{}); err != nil {
+						c.fail = err
+					}
+				}
 				if c.fail != nil && !errors.Is(c.fail, ErrStopped) {
 					e.failTask(c.fail)
+					return
 				}
+				e.finishTask(t)
 				return
 			}
 			if err != nil {
 				e.recordErr(fmt.Errorf("engine: spout %s: %w", t.label, err))
 				return
+			}
+			// Checkpoint injection point: between Next calls the source
+			// is at a well-defined offset, so this is where the barrier
+			// (and the source's own snapshot) is taken.
+			if e.coord != nil {
+				if req := e.ckptReq.Load(); req > t.lastCkpt {
+					if err := e.sourceBarrier(t, c, req); err != nil {
+						e.failTask(err)
+						return
+					}
+				}
 			}
 			// Spouts have no blocking input to piggyback timer checks
 			// on, so poll the clock every few iterations while timers
@@ -1038,7 +1191,9 @@ func (e *Engine) runTask(t *task) {
 			// input flows: that is what bounds the linger latency.
 			jj, ok, err := t.in.GetUntil(t.tm.nextProc())
 			if err != nil {
-				return // closed and drained
+				e.drainAlignment(t, c) // closed and drained
+				e.finishTask(t)
+				return
 			}
 			if !ok {
 				if err := e.fireProcTimers(t, c); err != nil {
@@ -1051,49 +1206,23 @@ func (e *Engine) runTask(t *task) {
 		} else {
 			jj, err := t.in.Get()
 			if err != nil {
-				return // closed and drained
+				e.drainAlignment(t, c) // closed and drained
+				e.finishTask(t)
+				return
 			}
 			j = jj
 		}
-		e.chargeRMA(t, j)
-		for _, in := range j.Tuples {
-			if in.Stream == punctStreamID {
-				// Watermark punctuation: consumed by the engine, not
-				// the operator, and excluded from every data counter.
-				err := e.handlePunct(t, c, in, j.Producer)
-				in.Release()
-				if err != nil {
-					e.failTask(err)
-					return
-				}
-				continue
-			}
-			c.curTs, c.curEvent = in.Ts, in.Event
-			if e.cfg.ExtraWorkNs > 0 {
-				spin(e.cfg.ExtraWorkNs)
-			}
-			if t.isSink {
-				e.sink.Inc()
-				if !in.Ts.IsZero() {
-					e.lat.Observe(float64(time.Since(in.Ts).Nanoseconds()))
-				}
-			}
-			if t.operator != nil {
-				if err := t.operator.Process(c, in); err != nil {
-					e.failTask(fmt.Errorf("engine: operator %s: %w", t.label, err))
-					return
-				}
-				if c.fail != nil {
-					e.failTask(c.fail)
-					return
-				}
-			}
-			atomic.AddUint64(&t.processed, 1)
-			// The consumer's reference ends here; unless the operator
-			// retained it, the tuple returns to its producer's pool.
-			in.Release()
+		if t.alignID != 0 && t.alignSeen[j.Producer] {
+			// Barrier alignment in progress and this edge's barrier has
+			// already arrived: everything it sends now belongs after the
+			// snapshot, so park the batch until alignment completes.
+			t.alignBuf = append(t.alignBuf, j)
+			continue
 		}
-		e.recycleJumbo(j)
+		if err := e.consumeJumbo(t, c, j); err != nil {
+			e.failTask(err)
+			return
+		}
 		if t.tm.procPending() && !time.Now().Before(t.tm.nextProc()) {
 			if err := e.fireProcTimers(t, c); err != nil {
 				e.failTask(err)
@@ -1101,6 +1230,77 @@ func (e *Engine) runTask(t *task) {
 			}
 		}
 	}
+}
+
+// consumeJumbo processes one received jumbo batch: data tuples go to the
+// operator, watermark punctuations to the fan-in merge, checkpoint
+// barriers to the alignment protocol. It consumes the batch (tuples are
+// released, the header recycled).
+func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
+	e.chargeRMA(t, j)
+	for i, in := range j.Tuples {
+		if in.Stream == punctStreamID {
+			// Watermark punctuation: consumed by the engine, not
+			// the operator, and excluded from every data counter.
+			err := e.handlePunct(t, c, in, j.Producer)
+			in.Release()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if in.Stream == barrierStreamID {
+			// Checkpoint barrier: align, and if this edge is now blocked
+			// park the batch remainder (barriers are flushed as the last
+			// tuple of their batch, so the remainder is normally empty).
+			ev := in.Event
+			in.Release()
+			if ev == barrierDone {
+				if err := e.handleDoneBarrier(t, c, j.Producer); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := e.handleBarrier(t, c, uint64(ev), j.Producer); err != nil {
+				return err
+			}
+			if t.alignID != 0 && t.alignSeen[j.Producer] && i+1 < len(j.Tuples) {
+				rest := e.jumboPool.Get().(*tuple.Jumbo)
+				rest.Producer, rest.Consumer = j.Producer, j.Consumer
+				rest.Tuples = append(rest.Tuples, j.Tuples[i+1:]...)
+				t.alignBuf = append(t.alignBuf, rest)
+				// The parked remainder owns those tuples now.
+				clear(j.Tuples[i+1:])
+				j.Tuples = j.Tuples[:i+1]
+				break
+			}
+			continue
+		}
+		c.curTs, c.curEvent = in.Ts, in.Event
+		if e.cfg.ExtraWorkNs > 0 {
+			spin(e.cfg.ExtraWorkNs)
+		}
+		if t.isSink {
+			e.sink.Inc()
+			if !in.Ts.IsZero() {
+				e.lat.Observe(float64(time.Since(in.Ts).Nanoseconds()))
+			}
+		}
+		if t.operator != nil {
+			if err := t.operator.Process(c, in); err != nil {
+				return fmt.Errorf("engine: operator %s: %w", t.label, err)
+			}
+			if c.fail != nil {
+				return c.fail
+			}
+		}
+		atomic.AddUint64(&t.processed, 1)
+		// The consumer's reference ends here; unless the operator
+		// retained it, the tuple returns to its producer's pool.
+		in.Release()
+	}
+	e.recycleJumbo(j)
+	return nil
 }
 
 // failTask handles a task-fatal dispatch or operator error: a routing

@@ -143,7 +143,7 @@ func (w *wheel) advance(to int64, out *[]wheelEntry) {
 		}
 	} else {
 		for tk := w.cur / w.tick; tk <= to/w.tick; tk++ {
-			w.drainSlot(int(tk & w.mask), to, out)
+			w.drainSlot(int(tk&w.mask), to, out)
 		}
 	}
 	w.cur = to

@@ -18,6 +18,7 @@ package fuse
 import (
 	"fmt"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
@@ -234,6 +235,54 @@ func (f *fusedOp) OnTimer(c engine.Collector, kind engine.TimerKind, at int64) e
 		return h.OnTimer(c, kind, at)
 	}
 	return nil
+}
+
+// ValidateSnapshot implements checkpoint.Validator by forwarding to
+// both members, so a fused misconfigured window still fails at build
+// time under checkpointing.
+func (f *fusedOp) ValidateSnapshot() error {
+	for _, op := range []engine.Operator{f.u, f.v} {
+		if v, ok := op.(checkpoint.Validator); ok {
+			if err := v.ValidateSnapshot(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter: both members' states are
+// framed (presence flag + payload) in upstream-then-downstream order,
+// so a fused pair checkpoints exactly what its unfused form would.
+func (f *fusedOp) Snapshot(enc *checkpoint.Encoder) error {
+	for _, op := range []engine.Operator{f.u, f.v} {
+		s, ok := op.(checkpoint.Snapshotter)
+		enc.Bool(ok)
+		if !ok {
+			continue
+		}
+		if err := s.Snapshot(enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (f *fusedOp) Restore(dec *checkpoint.Decoder) error {
+	for _, op := range []engine.Operator{f.u, f.v} {
+		if !dec.Bool() {
+			continue
+		}
+		s, ok := op.(checkpoint.Snapshotter)
+		if !ok {
+			return fmt.Errorf("fuse: snapshot has state for a member that is not a Snapshotter")
+		}
+		if err := s.Restore(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
 }
 
 // OnWatermark implements engine.WatermarkHandler, upstream first.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"briskstream/internal/apps"
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/graph"
 	"briskstream/internal/model"
@@ -213,4 +214,71 @@ func TestFusionTradeOff(t *testing.T) {
 			t.Errorf("compute-dominated fusion should lose pipeline parallelism: fused %v >= plain %v", fused, plain)
 		}
 	})
+}
+
+// statefulCounter is a minimal Snapshotter operator for fusion tests.
+type statefulCounter struct {
+	n int64
+}
+
+func (s *statefulCounter) Process(c engine.Collector, t *tuple.Tuple) error {
+	s.n++
+	c.Emit(t.Values...)
+	return nil
+}
+
+func (s *statefulCounter) Snapshot(enc *checkpoint.Encoder) error {
+	enc.Int64(s.n)
+	return nil
+}
+
+func (s *statefulCounter) Restore(dec *checkpoint.Decoder) error {
+	s.n = dec.Int64()
+	return dec.Err()
+}
+
+// A fused pair must checkpoint like its unfused form: stateful members'
+// snapshots are framed through the wrapper, stateless members are
+// skipped, and restore rebuilds exactly the members that saved state.
+func TestFusedOpForwardsSnapshotter(t *testing.T) {
+	stateless := func() engine.Operator {
+		return engine.OperatorFunc(func(c engine.Collector, tp *tuple.Tuple) error {
+			c.Emit(tp.Values...)
+			return nil
+		})
+	}
+	u := &statefulCounter{n: 7}
+	v := &statefulCounter{n: 40}
+	fused := Compose(func() engine.Operator { return u }, func() engine.Operator { return v })()
+	snapper, ok := fused.(checkpoint.Snapshotter)
+	if !ok {
+		t.Fatal("fusedOp does not forward checkpoint.Snapshotter: fused stateful operators would checkpoint as stateless")
+	}
+	enc := checkpoint.NewEncoder()
+	if err := snapper.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	u2, v2 := &statefulCounter{}, &statefulCounter{}
+	fused2 := Compose(func() engine.Operator { return u2 }, func() engine.Operator { return v2 })()
+	if err := fused2.(checkpoint.Snapshotter).Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if u2.n != 7 || v2.n != 40 {
+		t.Fatalf("restored members = (%d, %d), want (7, 40)", u2.n, v2.n)
+	}
+	// Mixed pair: only the stateful member's state is framed.
+	w := &statefulCounter{n: 3}
+	mixed := Compose(stateless, func() engine.Operator { return w })()
+	enc2 := checkpoint.NewEncoder()
+	if err := mixed.(checkpoint.Snapshotter).Snapshot(enc2); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &statefulCounter{}
+	mixed2 := Compose(stateless, func() engine.Operator { return w2 })()
+	if err := mixed2.(checkpoint.Snapshotter).Restore(checkpoint.NewDecoder(enc2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if w2.n != 3 {
+		t.Fatalf("mixed restore = %d, want 3", w2.n)
+	}
 }

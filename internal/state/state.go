@@ -10,6 +10,8 @@
 // for the next key instead of handing it to the garbage collector.
 package state
 
+import "slices"
+
 // Map is a keyed state store with pooled, type-stable entries. Entries
 // are *V pointers that remain valid (and stable) until Delete or Clear;
 // after recycling, an entry is handed out again by GetOrCreate with its
@@ -22,6 +24,7 @@ package state
 type Map[K comparable, V any] struct {
 	m    map[K]*V
 	free []*V
+	keys []K // scratch for RangeSorted, reused across calls
 }
 
 // NewMap creates an empty store.
@@ -74,6 +77,25 @@ func (s *Map[K, V]) Len() int { return len(s.m) }
 func (s *Map[K, V]) Range(f func(k K, e *V) bool) {
 	for k, e := range s.m {
 		if !f(k, e) {
+			return
+		}
+	}
+}
+
+// RangeSorted calls f for every live (key, entry) pair in the order
+// defined by compare, until f returns false. Snapshot encodings use it:
+// a checkpoint of keyed state must be byte-stable, and Range's Go map
+// order is not. The sorted key scratch is retained by the Map, so
+// steady-state calls allocate nothing once it has grown; f must not
+// create or delete keys mid-iteration.
+func (s *Map[K, V]) RangeSorted(compare func(a, b K) int, f func(k K, e *V) bool) {
+	s.keys = s.keys[:0]
+	for k := range s.m {
+		s.keys = append(s.keys, k)
+	}
+	slices.SortFunc(s.keys, compare)
+	for _, k := range s.keys {
+		if !f(k, s.m[k]) {
 			return
 		}
 	}

@@ -1,6 +1,11 @@
 package state
 
-import "testing"
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+)
 
 type acc struct {
 	count int64
@@ -129,5 +134,49 @@ func TestSteadyStateAccessAllocFree(t *testing.T) {
 	})
 	if avg > 0.01 {
 		t.Errorf("churning key allocates %.3f/op, want ~0", avg)
+	}
+}
+
+func TestRangeSortedDeterministicOrder(t *testing.T) {
+	// Two maps with the same keys inserted in different orders must
+	// iterate identically — that is what makes snapshot encodings of
+	// keyed state byte-stable.
+	build := func(keys []string) *Map[string, int] {
+		m := NewMap[string, int]()
+		for _, k := range keys {
+			e, _ := m.GetOrCreate(k)
+			*e = len(k)
+		}
+		return m
+	}
+	a := build([]string{"pear", "fig", "apple", "kiwi"})
+	b := build([]string{"kiwi", "apple", "pear", "fig"})
+	compare := func(x, y string) int { return strings.Compare(x, y) }
+	collect := func(m *Map[string, int]) []string {
+		var out []string
+		m.RangeSorted(compare, func(k string, e *int) bool {
+			out = append(out, fmt.Sprintf("%s=%d", k, *e))
+			return true
+		})
+		return out
+	}
+	ka, kb := collect(a), collect(b)
+	want := []string{"apple=5", "fig=3", "kiwi=4", "pear=4"}
+	if !slices.Equal(ka, want) || !slices.Equal(kb, want) {
+		t.Fatalf("RangeSorted order: %v / %v, want %v", ka, kb, want)
+	}
+	// Early exit stops the sweep.
+	n := 0
+	a.RangeSorted(compare, func(string, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early exit visited %d keys", n)
+	}
+	// The sorted scratch is retained: steady-state calls allocate only
+	// what the caller's closure does.
+	avg := testing.AllocsPerRun(100, func() {
+		a.RangeSorted(compare, func(string, *int) bool { return true })
+	})
+	if avg > 0 {
+		t.Errorf("RangeSorted allocates %.3f/op after warmup, want 0", avg)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/state"
 	"briskstream/internal/tuple"
@@ -32,6 +33,11 @@ type SessionOp[A any] struct {
 	Merge func(dst, src *A)
 	// Emit publishes one closed session; w.End is last event + Gap.
 	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+	// Save and Load (de)serialize one accumulator for checkpointing
+	// (see Op.Save/Op.Load: optional, required together under
+	// checkpointing, and must round-trip).
+	Save func(enc *checkpoint.Encoder, acc *A)
+	Load func(dec *checkpoint.Decoder, acc *A) error
 }
 
 // session is one open session window.
@@ -96,7 +102,7 @@ func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 		if op.cfg.KeyField >= len(t.Values) {
 			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
 		}
-		key = t.Values[op.cfg.KeyField]
+		key = normKey(t.Values[op.cfg.KeyField])
 	}
 	if et+op.cfg.Gap+op.cfg.Lateness <= op.watermark() {
 		// Even a session containing only this event would already have
@@ -217,6 +223,68 @@ func (op *sessionOp[A]) FlushOpen(c engine.Collector) error {
 		}
 	}
 	return nil
+}
+
+// ValidateSnapshot implements checkpoint.Validator (see
+// windowOp.ValidateSnapshot).
+func (op *sessionOp[A]) ValidateSnapshot() error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs SessionOp.Save and SessionOp.Load")
+	}
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter: every key's open
+// sessions (sorted by key, and per key by start — the list invariant),
+// plus the late counter. The fire-time index is rebuilt by Restore.
+func (op *sessionOp[A]) Snapshot(enc *checkpoint.Encoder) error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs SessionOp.Save and SessionOp.Load")
+	}
+	enc.Uint64(op.late)
+	enc.Len(op.byKey.Len())
+	op.byKey.RangeSorted(CompareValues, func(key tuple.Value, sl *sessList[A]) bool {
+		enc.Value(key)
+		enc.Len(len(sl.s))
+		for i := range sl.s {
+			enc.Int64(sl.s[i].start)
+			enc.Int64(sl.s[i].end)
+			op.cfg.Save(enc, &sl.s[i].acc)
+		}
+		return true
+	})
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter, replacing the operator's
+// state and re-arming each restored session's fire timer.
+func (op *sessionOp[A]) Restore(dec *checkpoint.Decoder) error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs SessionOp.Save and SessionOp.Load")
+	}
+	op.byKey.Clear()
+	op.byFire.Clear()
+	op.late = dec.Uint64()
+	nk := dec.Len()
+	for i := 0; i < nk && dec.Err() == nil; i++ {
+		key := dec.Value()
+		sl, created := op.byKey.GetOrCreate(key)
+		if !created {
+			return fmt.Errorf("window: duplicate session key in snapshot")
+		}
+		sl.s = sl.s[:0]
+		ns := dec.Len()
+		for j := 0; j < ns && dec.Err() == nil; j++ {
+			s := session[A]{start: dec.Int64(), end: dec.Int64()}
+			op.cfg.Init(&s.acc)
+			if err := op.cfg.Load(dec, &s.acc); err != nil {
+				return err
+			}
+			sl.s = append(sl.s, s)
+			op.scheduleFire(key, s.end+op.cfg.Lateness)
+		}
+	}
+	return dec.Err()
 }
 
 // LateCount reports dropped late tuples.

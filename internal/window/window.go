@@ -36,6 +36,7 @@ import (
 	"slices"
 	"strings"
 
+	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
 	"briskstream/internal/state"
 	"briskstream/internal/tuple"
@@ -72,6 +73,14 @@ type Op[A any] struct {
 	// watermark as their event timestamp unless Emit assigns its own
 	// (stamping the window end is conventional).
 	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+	// Save and Load (de)serialize one accumulator for checkpointing;
+	// both optional, but required together once the topology runs with
+	// checkpointing enabled — the operator's Snapshot fails without
+	// them. Load receives an Init-reset accumulator. The pair must
+	// round-trip: Load(Save(acc)) must rebuild an accumulator that
+	// aggregates identically.
+	Save func(enc *checkpoint.Encoder, acc *A)
+	Load func(dec *checkpoint.Decoder, acc *A) error
 }
 
 // winKey identifies one (key, window start) accumulator.
@@ -139,7 +148,7 @@ func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 		if op.cfg.KeyField >= len(t.Values) {
 			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
 		}
-		key = t.Values[op.cfg.KeyField]
+		key = normKey(t.Values[op.cfg.KeyField])
 	}
 	wm := op.watermark()
 
@@ -224,6 +233,81 @@ func (op *windowOp[A]) FlushOpen(c engine.Collector) error {
 	return nil
 }
 
+// ValidateSnapshot implements checkpoint.Validator: under
+// checkpointing the engine rejects the topology at build time when the
+// codecs are missing, instead of failing at the first barrier.
+func (op *windowOp[A]) ValidateSnapshot() error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs Op.Save and Op.Load")
+	}
+	return nil
+}
+
+// compareWinKeys orders accumulators deterministically for snapshot
+// encoding: by window start, then by key.
+func compareWinKeys(a, b winKey) int {
+	if d := cmp.Compare(a.start, b.start); d != 0 {
+		return d
+	}
+	return CompareValues(a.key, b.key)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the open (key, window)
+// accumulators and the late counter, encoded in (start, key) order so
+// the same state always serializes to the same bytes. The fire-time
+// index is not encoded — Restore rebuilds it (and re-registers the
+// event timers) from the windows themselves.
+func (op *windowOp[A]) Snapshot(enc *checkpoint.Encoder) error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs Op.Save and Op.Load")
+	}
+	enc.Uint64(op.late)
+	enc.Len(op.wins.Len())
+	op.wins.RangeSorted(compareWinKeys, func(wk winKey, acc *A) bool {
+		enc.Value(wk.key)
+		enc.Int64(wk.start)
+		op.cfg.Save(enc, acc)
+		return true
+	})
+	return nil
+}
+
+// Restore implements checkpoint.Snapshotter, replacing the operator's
+// state with the snapshot's and re-arming one event timer per distinct
+// fire time.
+func (op *windowOp[A]) Restore(dec *checkpoint.Decoder) error {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return fmt.Errorf("window: checkpointing needs Op.Save and Op.Load")
+	}
+	op.wins.Clear()
+	op.byFire.Clear()
+	op.late = dec.Uint64()
+	n := dec.Len()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		key := dec.Value()
+		start := dec.Int64()
+		wk := winKey{key: key, start: start}
+		acc, created := op.wins.GetOrCreate(wk)
+		if !created {
+			return fmt.Errorf("window: duplicate (key, start) in snapshot")
+		}
+		op.cfg.Init(acc)
+		if err := op.cfg.Load(dec, acc); err != nil {
+			return err
+		}
+		fireAt := start + op.cfg.Size + op.cfg.Lateness
+		b, fresh := op.byFire.GetOrCreate(fireAt)
+		if fresh {
+			b.keys = b.keys[:0]
+			if op.tm != nil {
+				op.tm.RegisterEvent(fireAt)
+			}
+		}
+		b.keys = append(b.keys, wk)
+	}
+	return dec.Err()
+}
+
 // LateCount reports tuples dropped entirely: every window they were
 // assigned to had already fired. A tuple that still lands in at least
 // one open sliding pane is not counted. (The session operator counts
@@ -276,6 +360,18 @@ func CompareValues(a, b tuple.Value) int {
 		}
 	}
 	return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+}
+
+// normKey canonicalizes a key value: Go ints box as int64, so a key is
+// the same interface value before and after a snapshot round-trip (the
+// checkpoint encoding, like the tuple wire format, has a single integer
+// kind). Without this, restored state would live under int64 keys while
+// replayed tuples still carry int keys — two accumulators per key.
+func normKey(v tuple.Value) tuple.Value {
+	if x, ok := v.(int); ok {
+		return int64(x)
+	}
+	return v
 }
 
 // floorDiv is integer division rounding toward negative infinity, so
