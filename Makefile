@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet check
+.PHONY: all build test race bench vet fmt-check check
 
 all: build test
 
@@ -36,7 +36,7 @@ bench:
 # $(BENCH_JSON), tracking the data-path perf trajectory — including the
 # window/session and fault-tolerance paths — across PRs. CI runs it as
 # a non-gating step.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 BENCH_JSON_DUR ?= 2s
 .PHONY: bench-json
 bench-json:
@@ -46,5 +46,11 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
-check: vet build
+# fmt-check gates on gofmt: an unformatted tree fails check (and CI)
+# with the offending files listed, instead of drifting silently.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: vet fmt-check build
 	$(GO) test -race ./...

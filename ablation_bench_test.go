@@ -106,7 +106,7 @@ func fusionPipeline(b *testing.B, fused bool) {
 			}
 			i++
 			out := c.Borrow()
-			out.Values = append(out.Values, "alpha beta gamma delta epsilon zeta eta theta iota kappa")
+			out.AppendStr("alpha beta gamma delta epsilon zeta eta theta iota kappa")
 			out.Event = int64(i)
 			c.Send(out)
 			if i%64 == 0 {
@@ -167,7 +167,9 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 			}
 			pass := func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					c.Emit(t.Values...)
+					out := c.Borrow()
+					out.CopyValuesFrom(t)
+					c.Send(out)
 					return nil
 				})
 			}

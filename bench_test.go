@@ -172,7 +172,9 @@ func benchPipeline(b *testing.B, cfg engine.Config) {
 		Operators: map[string]func() engine.Operator{
 			"double": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					c.Emit(t.Values...)
+					out := c.Borrow()
+					out.CopyValuesFrom(t)
+					c.Send(out)
 					return nil
 				})
 			},

@@ -61,15 +61,68 @@ import (
 	"briskstream/internal/window"
 )
 
-// Value is a dynamically typed tuple field.
+// Value is a dynamically typed tuple field for the convenience Emit
+// surface; the allocation-free path writes typed slots (AppendInt,
+// AppendStr, ...) and never boxes.
 type Value = tuple.Value
 
-// Tuple is one data item flowing on a stream. Tuples handed to Process
-// are pooled: they are valid until Process returns, and operators that
-// keep one longer must Retain (and later Release) it. Values read out
-// of a tuple are immutable and never need retaining. See the
-// internal/tuple package doc for the full ownership contract.
+// Tuple is one data item flowing on a stream, carrying schema-typed
+// slots (int64/float64/bool plus arena-backed strings and interned
+// symbols). Tuples handed to Process are pooled: they are valid until
+// Process returns, and operators that keep one longer must Retain (and
+// later Release) it. Numeric values read out of a tuple may be kept
+// forever; strings read with Str from ordinary string fields are arena
+// views valid only while the tuple is held (symbol fields return
+// stable interned names). See the internal/tuple package doc for the
+// full ownership contract.
 type Tuple = tuple.Tuple
+
+// Tuple schemas. Streams declare their typed layout at wiring time via
+// Decl.Emits; the engine validates the first tuple of each declared
+// route, so a mis-typed emit fails at its source.
+
+// Schema declares the typed field layout of one output stream.
+type Schema = tuple.Schema
+
+// Field is one schema field (name + kind).
+type Field = tuple.Field
+
+// FieldKind identifies a slot type.
+type FieldKind = tuple.Kind
+
+// Slot kinds.
+const (
+	KindInt   = tuple.KindInt
+	KindFloat = tuple.KindFloat
+	KindBool  = tuple.KindBool
+	KindStr   = tuple.KindStr
+	KindSym   = tuple.KindSym
+)
+
+// NewSchema builds a stream schema from fields (see the field
+// constructors IntField, FloatField, BoolField, StrField, SymField).
+func NewSchema(fields ...Field) *Schema { return tuple.NewSchema(fields...) }
+
+// Field constructors for schema declarations.
+func IntField(name string) Field   { return tuple.IntField(name) }
+func FloatField(name string) Field { return tuple.FloatField(name) }
+func BoolField(name string) Field  { return tuple.BoolField(name) }
+func StrField(name string) Field   { return tuple.StrField(name) }
+func SymField(name string) Field   { return tuple.SymField(name) }
+
+// Sym is an interned symbol id: the representation for low-cardinality
+// hot strings (words, device ids). Symbol fields compare as integers,
+// and their Str/Name text is stable for the process lifetime.
+type Sym = tuple.Sym
+
+// InternSym interns a symbol name (process-global, never evicted — use
+// only for bounded sets, never unbounded per-tuple data).
+func InternSym(name string) Sym { return tuple.InternSym(name) }
+
+// Key is a typed grouping key extracted from a tuple field
+// (Tuple.Key); window operators receive it in their Emit callbacks and
+// re-emit it with Tuple.AppendKey.
+type Key = tuple.Key
 
 // StreamID is an interned stream identifier; resolve names once with
 // Stream and assign the id to Tuple.Stream for allocation-free emission
@@ -264,6 +317,7 @@ type Topology struct {
 	spouts    map[string]func() Spout
 	operators map[string]func() Operator
 	repl      map[string]int
+	schemas   map[string]map[string]*Schema
 	errs      []error
 }
 
@@ -275,6 +329,7 @@ func NewTopology(name string) *Topology {
 		spouts:    map[string]func() Spout{},
 		operators: map[string]func() Operator{},
 		repl:      map[string]int{},
+		schemas:   map[string]map[string]*Schema{},
 	}
 }
 
@@ -340,6 +395,21 @@ func (d *Decl) Subscribe(producer string, g Grouping) *Decl {
 	return d
 }
 
+// Emits declares the schema of this operator's output on the given
+// stream (DefaultStream for single-output operators): field names and
+// kinds, fixed at wiring time. The engine validates the first tuple
+// emitted on each declared route against it.
+func (d *Decl) Emits(stream string, fields ...Field) *Decl {
+	if stream == "" {
+		stream = DefaultStream
+	}
+	if d.t.schemas[d.name] == nil {
+		d.t.schemas[d.name] = map[string]*Schema{}
+	}
+	d.t.schemas[d.name][stream] = NewSchema(fields...)
+	return d
+}
+
 // Parallelism sets the replica count used by Run when no optimized plan
 // is supplied (Optimize chooses its own replication).
 func (d *Decl) Parallelism(n int) *Decl {
@@ -395,6 +465,13 @@ type RunConfig struct {
 	// completed checkpoint — and replays sources from their recorded
 	// offsets — before processing begins. Requires Checkpoint.
 	Resume bool
+	// AlignTimeout bounds how long a barrier alignment may park input
+	// from already-aligned edges while slower edges catch up: past it,
+	// the task abandons that checkpoint attempt and replays the parked
+	// batches, so pathological skew cannot park unbounded memory. Zero
+	// disables the bound. Abandoning never drops data — only the
+	// checkpoint attempt.
+	AlignTimeout time.Duration
 }
 
 // RunResult reports a real-engine execution.
@@ -409,6 +486,9 @@ type RunResult struct {
 	LatencyP50, LatencyP99 float64
 	// Processed counts processed tuples per operator.
 	Processed map[string]uint64
+	// AlignTimeouts counts checkpoint alignment attempts abandoned by
+	// RunConfig.AlignTimeout (dropped checkpoint attempts, never data).
+	AlignTimeouts uint64
 	// Errors aggregates operator failures.
 	Errors []error
 }
@@ -438,6 +518,7 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	}
 	ecfg.Checkpoint = cfg.Checkpoint
 	ecfg.CheckpointInterval = cfg.CheckpointInterval
+	ecfg.AlignTimeout = cfg.AlignTimeout
 	repl := t.repl
 	if cfg.Replication != nil {
 		repl = cfg.Replication
@@ -447,6 +528,7 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 		Spouts:      t.spouts,
 		Operators:   t.operators,
 		Replication: repl,
+		Schemas:     t.schemas,
 	}, ecfg)
 	if err != nil {
 		return nil, err
@@ -461,13 +543,14 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 	return &RunResult{
-		Duration:   res.Duration,
-		SinkTuples: res.SinkTuples,
-		Throughput: res.Throughput,
-		LatencyP50: res.Latency.Quantile(0.5) / 1e6,
-		LatencyP99: res.Latency.Quantile(0.99) / 1e6,
-		Processed:  res.Processed,
-		Errors:     res.Errors,
+		Duration:      res.Duration,
+		SinkTuples:    res.SinkTuples,
+		Throughput:    res.Throughput,
+		LatencyP50:    res.Latency.Quantile(0.5) / 1e6,
+		LatencyP99:    res.Latency.Quantile(0.99) / 1e6,
+		Processed:     res.Processed,
+		AlignTimeouts: res.AlignTimeouts,
+		Errors:        res.Errors,
 	}, nil
 }
 

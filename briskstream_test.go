@@ -23,7 +23,7 @@ func buildWC(limit int64) *Topology {
 	})
 	t.Operator("split", func() Operator {
 		return OperatorFunc(func(c Collector, tp *Tuple) error {
-			for _, w := range strings.Fields(tp.String(0)) {
+			for _, w := range strings.Fields(tp.Str(0)) {
 				c.Emit(w)
 			}
 			return nil
@@ -32,7 +32,12 @@ func buildWC(limit int64) *Topology {
 	t.Operator("count", func() Operator {
 		counts := map[string]int64{}
 		return OperatorFunc(func(c Collector, tp *Tuple) error {
-			w := tp.String(0)
+			w := tp.Str(0)
+			if _, ok := counts[w]; !ok {
+				// The Str view dies with the tuple; own the key bytes the
+				// first time a word is seen.
+				w = strings.Clone(w)
+			}
 			counts[w]++
 			c.Emit(w, counts[w])
 			return nil

@@ -202,7 +202,7 @@ func engineMicrobench(d time.Duration, rate float64, linger time.Duration) error
 				return engine.SpoutFunc(func(c engine.Collector) error {
 					i++
 					out := c.Borrow()
-					out.Values = append(out.Values, i)
+					out.AppendInt(i)
 					c.Send(out)
 					return nil
 				})
@@ -211,7 +211,7 @@ func engineMicrobench(d time.Duration, rate float64, linger time.Duration) error
 				"double": func() engine.Operator {
 					return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 						out := c.Borrow()
-						out.Values = append(out.Values, t.Values...)
+						out.CopyValuesFrom(t)
 						c.Send(out)
 						return nil
 					})
@@ -293,7 +293,7 @@ func killRecoverDemo(appName string, killAfter, interval time.Duration, dir stri
 	cfg := engine.DefaultConfig()
 	cfg.Checkpoint = co
 	cfg.CheckpointInterval = interval
-	e, err := engine.New(engine.Topology{App: a.Graph, Spouts: a.Spouts, Operators: a.Operators}, cfg)
+	e, err := engine.New(a.Topology(nil), cfg)
 	if err != nil {
 		return err
 	}
@@ -382,12 +382,9 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 			for _, n := range a.Graph.Nodes() {
 				replication[n.Name] = repl
 			}
-			e, err := engine.New(engine.Topology{
-				App:         a.Graph,
-				Spouts:      throttleSpouts(a.Spouts, rate),
-				Operators:   a.Operators,
-				Replication: replication,
-			}, cfg)
+			topo := a.Topology(replication)
+			topo.Spouts = throttleSpouts(a.Spouts, rate)
+			e, err := engine.New(topo, cfg)
 			if err != nil {
 				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
 			}
@@ -432,12 +429,9 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 			ccfg := cfg
 			ccfg.Checkpoint = co
 			ccfg.CheckpointInterval = time.Second
-			ec, err := engine.New(engine.Topology{
-				App:         a.Graph,
-				Spouts:      throttleSpouts(a.Spouts, rate),
-				Operators:   a.Operators,
-				Replication: replication,
-			}, ccfg)
+			ctopo := a.Topology(replication)
+			ctopo.Spouts = throttleSpouts(a.Spouts, rate)
+			ec, err := engine.New(ctopo, ccfg)
 			if err != nil {
 				return fmt.Errorf("%s x%d ckpt: %w", a.Name, repl, err)
 			}

@@ -60,7 +60,7 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 					words[j] = fmt.Sprintf("w%d", (i+j)%64)
 				}
 				out := c.Borrow()
-				out.Values = append(out.Values, strings.Join(words, " "))
+				out.AppendStr(strings.Join(words, " "))
 				c.Send(out)
 				return nil
 			})
@@ -69,9 +69,9 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 	ops := map[string]func() engine.Operator{
 		"splitter": func() engine.Operator {
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				for _, w := range strings.Fields(t.String(0)) {
+				for _, w := range strings.Fields(t.Str(0)) {
 					out := c.Borrow()
-					out.Values = append(out.Values, w)
+					out.AppendSym(tuple.InternSym(w))
 					c.Send(out)
 				}
 				return nil
@@ -80,10 +80,11 @@ func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func()
 		"counter": func() engine.Operator {
 			counts := map[string]int64{}
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				w := t.String(0)
+				w := t.Str(0) // symbol name: a stable map key
 				counts[w]++
 				out := c.Borrow()
-				out.Values = append(out.Values, t.Values[0], counts[w])
+				out.AppendSym(t.Sym(0))
+				out.AppendInt(counts[w])
 				c.Send(out)
 				return nil
 			})

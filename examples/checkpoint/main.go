@@ -45,7 +45,7 @@ func (s *source) Next(c briskstream.Collector) error {
 	}
 	s.i++
 	out := c.Borrow()
-	out.Values = append(out.Values, sentences[s.i%int64(len(sentences))])
+	out.AppendStr(sentences[s.i%int64(len(sentences))])
 	out.Event = s.i
 	c.Send(out)
 	if s.i%64 == 0 {
@@ -65,7 +65,7 @@ type collectSink struct {
 }
 
 func (s *collectSink) Process(c briskstream.Collector, t *briskstream.Tuple) error {
-	s.got[fmt.Sprintf("%s=%d@%d", t.String(0), t.Int(1), t.Event)]++
+	s.got[fmt.Sprintf("%s=%d@%d", t.Str(0), t.Int(1), t.Event)]++
 	return nil
 }
 
@@ -90,13 +90,15 @@ func build() (*briskstream.Topology, *collectSink) {
 	t.Spout("source", func() briskstream.Spout { return &source{} })
 	t.Operator("split", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
-			line := tp.String(0)
+			// tp.Str returns a view into the tuple arena; interning each
+			// word gives the counter a stable symbol key with no copy.
+			line := tp.Str(0)
 			start := 0
 			for i := 0; i <= len(line); i++ {
 				if i == len(line) || line[i] == ' ' {
 					if i > start {
 						out := c.Borrow()
-						out.Values = append(out.Values, line[start:i])
+						out.AppendSym(briskstream.InternSym(line[start:i]))
 						c.Send(out)
 					}
 					start = i + 1
@@ -112,9 +114,10 @@ func build() (*briskstream.Topology, *collectSink) {
 			Size:     window,
 			Init:     func(a *acc) { a.n = 0 },
 			Add:      func(a *acc, tp *briskstream.Tuple) { a.n++ },
-			Emit: func(c briskstream.Collector, key briskstream.Value, w briskstream.WindowSpan, a *acc) {
+			Emit: func(c briskstream.Collector, key briskstream.Key, w briskstream.WindowSpan, a *acc) {
 				out := c.Borrow()
-				out.Values = append(out.Values, key, a.n)
+				out.AppendKey(key)
+				out.AppendInt(a.n)
 				out.Event = w.End
 				c.Send(out)
 			},

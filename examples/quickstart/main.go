@@ -17,43 +17,52 @@ func main() {
 	t := briskstream.NewTopology("quickstart")
 
 	// A spout producing sentences forever; the run is time-bounded. The
-	// Borrow/Send surface reuses pooled tuples, so the only per-event
-	// allocation is the sentence itself.
+	// Borrow/Send surface reuses pooled tuples (typed slots + string
+	// arena), so the only per-event allocation is formatting the
+	// sentence itself. Emits declares the stream's typed schema.
 	t.Spout("sentences", func() briskstream.Spout {
 		i := 0
 		return briskstream.SpoutFunc(func(c briskstream.Collector) error {
 			i++
 			out := c.Borrow()
-			out.Values = append(out.Values, fmt.Sprintf("event %d from the quickstart stream pipeline", i))
+			out.AppendStr(fmt.Sprintf("event %d from the quickstart stream pipeline", i))
 			c.Send(out)
 			return nil
 		})
-	})
+	}).Emits(briskstream.DefaultStream, briskstream.StrField("sentence"))
 
 	// Split sentences into words (selectivity ~6 words per sentence).
+	// Words are a low-cardinality hot set, so they travel as interned
+	// symbols: a 4-byte id, no per-word boxing or copying.
 	t.Operator("split", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
-			for _, w := range strings.Fields(tp.String(0)) {
+			for _, w := range strings.Fields(tp.Str(0)) {
 				out := c.Borrow()
-				out.Values = append(out.Values, w)
+				out.AppendSym(briskstream.InternSym(w))
 				c.Send(out)
 			}
 			return nil
 		})
-	}).Subscribe("sentences", briskstream.Shuffle).Selectivity(briskstream.DefaultStream, 6)
+	}).Subscribe("sentences", briskstream.Shuffle).
+		Selectivity(briskstream.DefaultStream, 6).
+		Emits(briskstream.DefaultStream, briskstream.SymField("word"))
 
 	// Count words; fields grouping pins each word to one replica.
+	// Symbol names are stable interned strings, so they are safe map
+	// keys without cloning.
 	t.Operator("count", func() briskstream.Operator {
 		counts := map[string]int64{}
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
-			w := tp.String(0)
+			w := tp.Str(0)
 			counts[w]++
 			out := c.Borrow()
-			out.Values = append(out.Values, tp.Values[0], counts[w])
+			out.AppendSym(tp.Sym(0))
+			out.AppendInt(counts[w])
 			c.Send(out)
 			return nil
 		})
-	}).Subscribe("split", briskstream.FieldsKey(0)).Parallelism(2)
+	}).Subscribe("split", briskstream.FieldsKey(0)).Parallelism(2).
+		Emits(briskstream.DefaultStream, briskstream.SymField("word"), briskstream.IntField("count"))
 
 	t.Sink("sink", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {

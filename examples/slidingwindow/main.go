@@ -56,9 +56,8 @@ func main() {
 				low++
 			}
 			out := c.Borrow()
-			out.Values = append(out.Values,
-				fmt.Sprintf("sensor-%d", et%3),
-				20+float64(et%17)) // deterministic "temperature"
+			out.AppendSym(briskstream.InternSym(fmt.Sprintf("sensor-%d", et%3)))
+			out.AppendFloat(20 + float64(et%17)) // deterministic "temperature"
 			out.Event = et
 			c.Send(out)
 			if i%32 == 0 && low > 0 {
@@ -83,9 +82,13 @@ func main() {
 				a.sum += tp.Float(1)
 				a.n++
 			},
-			Emit: func(c briskstream.Collector, key briskstream.Value, w briskstream.WindowSpan, a *acc) {
+			Emit: func(c briskstream.Collector, key briskstream.Key, w briskstream.WindowSpan, a *acc) {
 				out := c.Borrow()
-				out.Values = append(out.Values, key, w.Start, w.End, a.sum/float64(a.n), a.n)
+				out.AppendKey(key)
+				out.AppendInt(w.Start)
+				out.AppendInt(w.End)
+				out.AppendFloat(a.sum / float64(a.n))
+				out.AppendInt(a.n)
 				out.Event = w.End
 				c.Send(out)
 			},
@@ -95,7 +98,7 @@ func main() {
 	t.Sink("print", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
 			fmt.Printf("%-9s window [%3d,%3d)  avg %6.2f over %2d readings\n",
-				tp.String(0), tp.Int(1), tp.Int(2), tp.Float(3), tp.Int(4))
+				tp.Str(0), tp.Int(1), tp.Int(2), tp.Float(3), tp.Int(4))
 			return nil
 		})
 	}).Subscribe("avg", briskstream.Shuffle)

@@ -36,11 +36,14 @@ func TestMultiStreamPublicAPI(t *testing.T) {
 	})
 	topo.Operator("route", func() Operator {
 		return OperatorFunc(func(c Collector, tp *Tuple) error {
+			out := c.Borrow()
+			out.CopyValuesFrom(tp)
 			if tp.Int(0)%3 == 0 {
-				c.EmitTo("thirds", tp.Values...)
+				out.Stream = Stream("thirds")
 			} else {
-				c.EmitTo("rest", tp.Values...)
+				out.Stream = Stream("rest")
 			}
+			c.Send(out)
 			return nil
 		})
 	}).Subscribe("events", Shuffle).

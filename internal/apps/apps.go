@@ -28,11 +28,26 @@ type App struct {
 	// engine, keyed by operator name.
 	Spouts    map[string]func() engine.Spout
 	Operators map[string]func() engine.Operator
+	// Schemas declares the typed tuple layout of every operator's
+	// output streams (operator name → stream name → schema); the engine
+	// validates the first tuple per route against it.
+	Schemas map[string]map[string]*tuple.Schema
 	// Stats are the canned per-operator statistics (Te in Server A
 	// reference nanoseconds, N/M in bytes, per-stream selectivity) that
 	// instantiate the performance model, standing in for the paper's
 	// overseer/classmexer profiling runs.
 	Stats profile.Set
+}
+
+// Topology packages the app for the engine (graph, builders, schemas).
+func (a *App) Topology(replication map[string]int) engine.Topology {
+	return engine.Topology{
+		App:         a.Graph,
+		Spouts:      a.Spouts,
+		Operators:   a.Operators,
+		Replication: replication,
+		Schemas:     a.Schemas,
+	}
 }
 
 // All returns the four applications of the paper's evaluation in the
@@ -63,24 +78,13 @@ func ByName(name string) *App {
 // spouts must not emit identical streams, and runs must be reproducible.
 func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// emit sends vals on the given stream through the pooled Borrow/Send
-// surface — the shared emission idiom of every app operator. Forwarding
-// already-boxed input fields (t.Values[i]) avoids re-boxing; the
-// variadic slice itself stays on the caller's stack (Send copies the
-// values into the pooled tuple's reusable backing array).
-func emit(c engine.Collector, stream tuple.StreamID, vals ...tuple.Value) {
-	out := c.Borrow()
-	out.Stream = stream
-	out.Values = append(out.Values, vals...)
-	c.Send(out)
-}
-
-// forward re-emits all of t's fields on the given stream: the
-// pass-through/dispatcher shape.
+// forward re-emits all of t's typed fields on the given stream: the
+// pass-through/dispatcher shape (slot array copy plus arena byte copy,
+// no boxing, no allocation).
 func forward(c engine.Collector, t *tuple.Tuple, stream tuple.StreamID) {
 	out := c.Borrow()
 	out.Stream = stream
-	out.Values = append(out.Values, t.Values...)
+	out.CopyValuesFrom(t)
 	c.Send(out)
 }
 

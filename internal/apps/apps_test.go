@@ -335,5 +335,5 @@ func (c *captureCollector) Borrow() *tuple.Tuple { return tuple.New() }
 func (c *captureCollector) EmitWatermark(wm int64) {}
 
 func (c *captureCollector) Send(t *tuple.Tuple) {
-	*c.out = append(*c.out, t.Values[0].(string))
+	*c.out = append(*c.out, t.Str(0))
 }

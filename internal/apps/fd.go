@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 
 	"briskstream/internal/checkpoint"
@@ -14,13 +15,27 @@ import (
 
 var fdSpoutSeq atomic.Int64
 
+// fdEntitySyms pre-interns the 10000 customer ids (a bounded entity
+// population): the entity field travels as a symbol, so Predict's
+// per-entity state keys on a stable interned name and the emit path
+// never formats or copies the id.
+var fdEntitySyms = func() []tuple.Sym {
+	names := make([]string, 10000)
+	for i := range names {
+		names[i] = fmt.Sprintf("cust-%05d", i)
+	}
+	return tuple.InternSyms(names...)
+}()
+
 // fdSpout generates transaction records; replayable like wcSpout (the
-// stream is a pure function of (seed, offset)).
+// stream is a pure function of (seed, offset)). The multi-hundred-byte
+// record is composed into a reusable buffer and carried as an arena
+// string, so generation allocates nothing in steady state.
 type fdSpout struct {
 	seed   int64
 	r      *rand.Rand
-	entity string
-	record string
+	entity tuple.Sym
+	record []byte
 	n      int64
 }
 
@@ -29,17 +44,26 @@ func newFDSpout(seed int64) *fdSpout {
 }
 
 func (s *fdSpout) draw() {
-	s.entity = fmt.Sprintf("cust-%05d", s.r.Intn(10000))
-	s.record = fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d",
-		s.entity, s.r.Intn(100000), s.r.Intn(9999), s.r.Intn(100),
-		s.r.Intn(24), s.r.Intn(60), s.r.Intn(2), s.r.Int63())
+	s.entity = fdEntitySyms[s.r.Intn(len(fdEntitySyms))]
+	b := append(s.record[:0], s.entity.Name()...)
+	for _, v := range [...]int64{
+		int64(s.r.Intn(100000)), int64(s.r.Intn(9999)), int64(s.r.Intn(100)),
+		int64(s.r.Intn(24)), int64(s.r.Intn(60)), int64(s.r.Intn(2)), s.r.Int63(),
+	} {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, v, 10)
+	}
+	s.record = b
 	s.n++
 }
 
 // Next implements engine.Spout.
 func (s *fdSpout) Next(c engine.Collector) error {
 	s.draw()
-	emit(c, tuple.DefaultStreamID, s.entity, s.record)
+	out := c.Borrow()
+	out.AppendSym(s.entity)
+	out.AppendStrBytes(s.record)
+	c.Send(out)
 	return nil
 }
 
@@ -68,8 +92,11 @@ type fdPredict struct {
 
 // Process implements engine.Operator.
 func (p *fdPredict) Process(c engine.Collector, t *tuple.Tuple) error {
-	entity := t.String(0)
-	record := t.String(1)
+	// The entity is a symbol: Str returns the stable interned name, so
+	// it is a safe map key without cloning. The record is an arena view,
+	// only read within this call.
+	entity := t.Str(0)
+	record := t.Str(1)
 	// Score: a cheap stand-in for a Markov-model probability lookup —
 	// bucket the record hash and compare with the entity's previous
 	// bucket.
@@ -83,7 +110,10 @@ func (p *fdPredict) Process(c engine.Collector, t *tuple.Tuple) error {
 	fraud := seen && (bucket-prev) > 80
 	// A signal is emitted for every input tuple regardless of the
 	// detection outcome.
-	emit(c, tuple.DefaultStreamID, t.Values[0], fraud)
+	out := c.Borrow()
+	out.AppendSym(t.Sym(0))
+	out.AppendBool(fraud)
+	c.Send(out)
 	return nil
 }
 
@@ -131,7 +161,7 @@ func FraudDetection() *App {
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if len(t.Values) < 2 {
+					if t.Len() < 2 {
 						return nil // drop malformed records
 					}
 					forward(c, t, tuple.DefaultStreamID)
@@ -144,6 +174,11 @@ func FraudDetection() *App {
 			"sink": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
 			},
+		},
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout":   {"default": tuple.NewSchema(tuple.SymField("entity"), tuple.StrField("record"))},
+			"parser":  {"default": tuple.NewSchema(tuple.SymField("entity"), tuple.StrField("record"))},
+			"predict": {"default": tuple.NewSchema(tuple.SymField("entity"), tuple.BoolField("fraud"))},
 		},
 		// Transaction records are ~250 B (4 cache lines); Predict pays a
 		// model-lookup-dominated Te. Calibrated to land near the paper's

@@ -115,11 +115,33 @@ func LinearRoad() *App {
 	mustEdge(g, graph.Edge{From: "daily_expen", To: "sink", Stream: "default"})
 	mustEdge(g, graph.Edge{From: "account_balance", To: "sink", Stream: "default"})
 
+	// The input record schema: (type, vehicle, speed, xway, lane,
+	// segment, position), all integers (Table 8's position report shape
+	// with the record type prefixed).
+	record := tuple.NewSchema(
+		tuple.IntField("type"), tuple.IntField("vehicle"), tuple.IntField("speed"),
+		tuple.IntField("xway"), tuple.IntField("lane"), tuple.IntField("segment"),
+		tuple.IntField("position"))
 	return &App{
 		Name:      "LR",
 		Graph:     mustValid(g),
 		Spouts:    map[string]func() engine.Spout{"spout": lrSpout},
 		Operators: lrOperators(),
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout":  {"default": record},
+			"parser": {"default": record},
+			"dispatcher": {
+				lrPosition: record, lrBalance: record, lrDaily: record,
+			},
+			"avg_speed":       {lrAvg: tuple.NewSchema(tuple.IntField("segment"), tuple.FloatField("avg_speed"))},
+			"las_avg_speed":   {lrLas: tuple.NewSchema(tuple.IntField("segment"), tuple.FloatField("las_speed"))},
+			"accident_detect": {lrDetect: tuple.NewSchema(tuple.IntField("segment"), tuple.IntField("position"))},
+			"count_vehicle":   {lrCounts: tuple.NewSchema(tuple.IntField("segment"), tuple.IntField("vehicles"))},
+			"toll_notify":     {lrToll: tuple.NewSchema(tuple.IntField("id"), tuple.FloatField("toll"))},
+			"accident_notify": {lrNotify: tuple.NewSchema(tuple.IntField("vehicle"), tuple.IntField("segment"))},
+			"daily_expen":     {"default": tuple.NewSchema(tuple.IntField("vehicle"), tuple.FloatField("expenditure"))},
+			"account_balance": {"default": tuple.NewSchema(tuple.IntField("vehicle"), tuple.FloatField("balance"))},
+		},
 		// Position reports are ~120 B; toll notification is the hot
 		// operator (three input streams). Calibrated to land near the
 		// paper's 8.7M events/s on Server A (Table 4).
@@ -183,7 +205,13 @@ func (s *lrSpoutT) draw() {
 func (s *lrSpoutT) Next(c engine.Collector) error {
 	s.draw()
 	out := c.Borrow()
-	out.Values = append(out.Values, s.typ, s.vehicle, s.speed, s.xway, s.lane, s.segment, s.position)
+	out.AppendInt(s.typ)
+	out.AppendInt(s.vehicle)
+	out.AppendInt(s.speed)
+	out.AppendInt(s.xway)
+	out.AppendInt(s.lane)
+	out.AppendInt(s.segment)
+	out.AppendInt(s.position)
 	out.Event = s.et
 	c.Send(out)
 	if s.et%lrWatermarkEvery == 0 {
@@ -231,7 +259,11 @@ func (o *lrLasAvg) Process(c engine.Collector, t *tuple.Tuple) error {
 	}
 	cur := 0.8*prev + 0.2*avg
 	o.lav[seg] = cur
-	emit(c, lrLasID, t.Values[0], cur)
+	out := c.Borrow()
+	out.Stream = lrLasID
+	out.AppendInt(seg)
+	out.AppendFloat(cur)
+	c.Send(out)
 	return nil
 }
 
@@ -270,7 +302,11 @@ func (o *lrAccidentDetect) Process(c engine.Collector, t *tuple.Tuple) error {
 	if speed == 0 && s.pos == pos {
 		s.stopped++
 		if s.stopped == 4 {
-			emit(c, lrDetectID, seg, pos)
+			out := c.Borrow()
+			out.Stream = lrDetectID
+			out.AppendInt(seg)
+			out.AppendInt(pos)
+			c.Send(out)
 		}
 	} else {
 		s.stopped = 0
@@ -307,13 +343,20 @@ type lrTollNotify struct {
 }
 
 func (o *lrTollNotify) Process(c engine.Collector, t *tuple.Tuple) error {
+	notify := func(id int64, toll float64) {
+		out := c.Borrow()
+		out.Stream = lrTollID
+		out.AppendInt(id)
+		out.AppendFloat(toll)
+		c.Send(out)
+	}
 	switch t.Stream {
 	case lrLasID:
 		o.lav[t.Int(0)] = t.Float(1)
-		emit(c, lrTollID, t.Values[0], 0.0) // statistics update notification
+		notify(t.Int(0), 0.0) // statistics update notification
 	case lrCountsID:
 		o.cnt[t.Int(0)] = t.Int(1)
-		emit(c, lrTollID, t.Values[0], 0.0)
+		notify(t.Int(0), 0.0)
 	case lrDetectID:
 		o.accident[t.Int(0)] = true
 		// No toll is charged in accident segments; no notification is
@@ -325,7 +368,7 @@ func (o *lrTollNotify) Process(c engine.Collector, t *tuple.Tuple) error {
 			base := float64(o.cnt[seg] - 50)
 			toll = 2 * base * base / 100
 		}
-		emit(c, lrTollID, t.Values[1], toll)
+		notify(t.Int(1), toll)
 	}
 	return nil
 }
@@ -370,7 +413,11 @@ func (o *lrAccidentNotify) Process(c engine.Collector, t *tuple.Tuple) error {
 	// Position report: notify vehicles entering a segment with a known
 	// accident (rare).
 	if seg := t.Int(5); o.accidents[seg] {
-		emit(c, lrNotifyID, t.Values[1], seg)
+		out := c.Borrow()
+		out.Stream = lrNotifyID
+		out.AppendInt(t.Int(1))
+		out.AppendInt(seg)
+		c.Send(out)
 	}
 	return nil
 }
@@ -396,7 +443,10 @@ type lrAccountBalance struct {
 func (o *lrAccountBalance) Process(c engine.Collector, t *tuple.Tuple) error {
 	v := t.Int(1)
 	o.balances[v] += 0.5
-	emit(c, tuple.DefaultStreamID, t.Values[1], o.balances[v])
+	out := c.Borrow()
+	out.AppendInt(v)
+	out.AppendFloat(o.balances[v])
+	c.Send(out)
 	return nil
 }
 
@@ -454,10 +504,11 @@ func lrOperators() map[string]func() engine.Operator {
 					a.sum += t.Int(2)
 					a.count++
 				},
-				Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *segStat) {
+				Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *segStat) {
 					out := c.Borrow()
 					out.Stream = lrAvgID
-					out.Values = append(out.Values, key, float64(a.sum)/float64(a.count))
+					out.AppendKey(key)
+					out.AppendFloat(float64(a.sum) / float64(a.count))
 					out.Event = w.End
 					c.Send(out)
 				},
@@ -496,10 +547,11 @@ func lrOperators() map[string]func() engine.Operator {
 					}
 				},
 				Add: func(a *distinct, t *tuple.Tuple) { a.seen[t.Int(1)] = true },
-				Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *distinct) {
+				Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *distinct) {
 					out := c.Borrow()
 					out.Stream = lrCountsID
-					out.Values = append(out.Values, key, int64(len(a.seen)))
+					out.AppendKey(key)
+					out.AppendInt(int64(len(a.seen)))
 					out.Event = w.End
 					c.Send(out)
 				},
@@ -536,7 +588,10 @@ func lrOperators() map[string]func() engine.Operator {
 			// pseudo-history keyed by vehicle.
 			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
 				v := t.Int(1)
-				emit(c, tuple.DefaultStreamID, t.Values[1], float64((v*7919)%500)/10)
+				out := c.Borrow()
+				out.AppendInt(v)
+				out.AppendFloat(float64((v*7919)%500) / 10)
+				c.Send(out)
 				return nil
 			})
 		},

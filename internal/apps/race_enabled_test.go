@@ -1,0 +1,8 @@
+//go:build race
+
+package apps
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates, so the exact-zero
+// allocation guards are meaningless under it and skip themselves.
+const raceEnabled = true

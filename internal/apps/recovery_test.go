@@ -47,7 +47,7 @@ type recordingSink struct {
 func newRecordingSink() *recordingSink { return &recordingSink{got: map[string]int64{}} }
 
 func (s *recordingSink) Process(c engine.Collector, t *tuple.Tuple) error {
-	s.got[fmt.Sprintf("%v@%d", t.Values, t.Event)]++
+	s.got[fmt.Sprintf("%v@%d", t, t.Event)]++
 	return nil
 }
 

@@ -30,12 +30,23 @@ const (
 // average by this factor.
 const sdThreshold = 1.03
 
+// sdDeviceSyms pre-interns the 512 device ids: device ids are the
+// textbook low-cardinality key, so readings carry a symbol and the
+// per-device window state never copies or hashes the id text.
+var sdDeviceSyms = func() []tuple.Sym {
+	names := make([]string, 512)
+	for i := range names {
+		names[i] = fmt.Sprintf("mote-%03d", i)
+	}
+	return tuple.InternSyms(names...)
+}()
+
 // sdSpout generates sensor readings; replayable like wcSpout (the
 // stream is a pure function of (seed, offset)).
 type sdSpout struct {
 	seed   int64
 	r      *rand.Rand
-	device string
+	device tuple.Sym
 	value  float64
 	et     int64
 }
@@ -45,7 +56,7 @@ func newSDSpout(seed int64) *sdSpout {
 }
 
 func (s *sdSpout) draw() {
-	s.device = fmt.Sprintf("mote-%03d", s.r.Intn(512))
+	s.device = sdDeviceSyms[s.r.Intn(len(sdDeviceSyms))]
 	s.value = 20 + s.r.Float64()*5 // temperature-like signal
 	if s.r.Intn(100) == 0 {
 		s.value *= 1.5 // occasional genuine spike
@@ -57,7 +68,8 @@ func (s *sdSpout) draw() {
 func (s *sdSpout) Next(c engine.Collector) error {
 	s.draw()
 	out := c.Borrow()
-	out.Values = append(out.Values, s.device, s.value)
+	out.AppendSym(s.device)
+	out.AppendFloat(s.value)
 	out.Event = s.et
 	c.Send(out)
 	if s.et%sdWatermarkEvery == 0 {
@@ -112,7 +124,7 @@ func SpikeDetection() *App {
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if len(t.Values) < 2 {
+					if t.Len() < 2 {
 						return nil
 					}
 					forward(c, t, tuple.DefaultStreamID)
@@ -138,9 +150,11 @@ func SpikeDetection() *App {
 							a.peak = v
 						}
 					},
-					Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *stats) {
+					Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *stats) {
 						out := c.Borrow()
-						out.Values = append(out.Values, key, a.peak, a.sum/float64(a.n))
+						out.AppendKey(key)
+						out.AppendFloat(a.peak)
+						out.AppendFloat(a.sum / float64(a.n))
 						out.Event = w.End
 						c.Send(out)
 					},
@@ -162,13 +176,23 @@ func SpikeDetection() *App {
 					peak, avg := t.Float(1), t.Float(2)
 					// Signal emitted per window whether or not a spike
 					// triggered.
-					emit(c, tuple.DefaultStreamID, t.Values[0], t.Values[1], peak > sdThreshold*avg)
+					out := c.Borrow()
+					out.AppendSym(t.Sym(0))
+					out.AppendFloat(peak)
+					out.AppendBool(peak > sdThreshold*avg)
+					c.Send(out)
 					return nil
 				})
 			},
 			"sink": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
 			},
+		},
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout":        {"default": tuple.NewSchema(tuple.SymField("device"), tuple.FloatField("value"))},
+			"parser":       {"default": tuple.NewSchema(tuple.SymField("device"), tuple.FloatField("value"))},
+			"moving_avg":   {"default": tuple.NewSchema(tuple.SymField("device"), tuple.FloatField("peak"), tuple.FloatField("avg"))},
+			"spike_detect": {"default": tuple.NewSchema(tuple.SymField("device"), tuple.FloatField("peak"), tuple.BoolField("spike"))},
 		},
 		// Sensor readings are small (~40 B); the window maintenance in
 		// MovingAverage dominates. Calibrated to land near the paper's

@@ -42,24 +42,25 @@ var twRankedID = tuple.Intern("ranked")
 
 // twSpout generates bursty word mentions; replayable like wcSpout (the
 // hot-set rotation is part of the deterministic draw sequence, so
-// SeekTo rebuilds it along with the random state).
+// SeekTo rebuilds it along with the random state). Words travel as
+// pre-interned symbols.
 type twSpout struct {
 	seed int64
 	r    *rand.Rand
-	hot  []string
-	word string
+	hot  []tuple.Sym
+	word tuple.Sym
 	et   int64
 }
 
 func newTWSpout(seed int64) *twSpout {
-	s := &twSpout{seed: seed, r: rng(seed), hot: make([]string, twHotSet)}
+	s := &twSpout{seed: seed, r: rng(seed), hot: make([]tuple.Sym, twHotSet)}
 	s.rotate()
 	return s
 }
 
 func (s *twSpout) rotate() {
 	for i := range s.hot {
-		s.hot[i] = wcVocabulary[s.r.Intn(len(wcVocabulary))]
+		s.hot[i] = wcVocabSyms[s.r.Intn(len(wcVocabSyms))]
 	}
 }
 
@@ -70,7 +71,7 @@ func (s *twSpout) draw() {
 	if s.r.Intn(100) < 80 {
 		s.word = s.hot[s.r.Intn(len(s.hot))] // bursty mention
 	} else {
-		s.word = wcVocabulary[s.r.Intn(len(wcVocabulary))]
+		s.word = wcVocabSyms[s.r.Intn(len(wcVocabSyms))]
 	}
 	s.et++
 }
@@ -79,7 +80,7 @@ func (s *twSpout) draw() {
 func (s *twSpout) Next(c engine.Collector) error {
 	s.draw()
 	out := c.Borrow()
-	out.Values = append(out.Values, s.word)
+	out.AppendSym(s.word)
 	out.Event = s.et
 	c.Send(out)
 	if s.et%twWatermarkEvery == 0 {
@@ -143,9 +144,12 @@ func TrendingWords() *App {
 					Init:     func(a *mentions) { a.n = 0 },
 					Add:      func(a *mentions, t *tuple.Tuple) { a.n++ },
 					Merge:    func(dst, src *mentions) { dst.n += src.n },
-					Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *mentions) {
+					Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *mentions) {
 						out := c.Borrow()
-						out.Values = append(out.Values, key, a.n, w.Start, w.End)
+						out.AppendKey(key)
+						out.AppendInt(a.n)
+						out.AppendInt(w.Start)
+						out.AppendInt(w.End)
 						out.Event = w.End
 						c.Send(out)
 					},
@@ -164,7 +168,10 @@ func TrendingWords() *App {
 					Size:     twRankWindow,
 					Init:     func(a *board) { a.items = a.items[:0] },
 					Add: func(a *board, t *tuple.Tuple) {
-						a.items = append(a.items, entry{word: t.String(0), mentions: t.Int(1)})
+						// The word is a symbol, so Str returns the stable
+						// interned name — safe to keep in the accumulator
+						// without cloning.
+						a.items = append(a.items, entry{word: t.Str(0), mentions: t.Int(1)})
 					},
 					Save: func(enc *checkpoint.Encoder, a *board) {
 						// Board entries are encoded in arrival order; the
@@ -191,7 +198,7 @@ func TrendingWords() *App {
 						}
 						return dec.Err()
 					},
-					Emit: func(c engine.Collector, _ tuple.Value, w window.Span, a *board) {
+					Emit: func(c engine.Collector, _ tuple.Key, w window.Span, a *board) {
 						// Sum a word's sessions within the span, then
 						// rank by total mentions (ties by word).
 						slices.SortFunc(a.items, func(x, y entry) int {
@@ -230,7 +237,9 @@ func TrendingWords() *App {
 							}
 							out := c.Borrow()
 							out.Stream = twRankedID
-							out.Values = append(out.Values, int64(i+1), it.word, it.mentions)
+							out.AppendInt(int64(i + 1))
+							out.AppendSym(tuple.InternSym(it.word))
+							out.AppendInt(it.mentions)
 							out.Event = w.End
 							c.Send(out)
 						}
@@ -240,6 +249,14 @@ func TrendingWords() *App {
 			"sink": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
 			},
+		},
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout": {"default": tuple.NewSchema(tuple.SymField("word"))},
+			"sessionize": {"default": tuple.NewSchema(
+				tuple.SymField("word"), tuple.IntField("mentions"),
+				tuple.IntField("start"), tuple.IntField("end"))},
+			"rank": {"ranked": tuple.NewSchema(
+				tuple.IntField("rank"), tuple.SymField("word"), tuple.IntField("mentions"))},
 		},
 		// Session maintenance dominates; calibration is indicative (TW
 		// has no paper reference row).

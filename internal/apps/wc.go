@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"sync/atomic"
 
 	"briskstream/internal/checkpoint"
@@ -26,6 +25,11 @@ var wcVocabulary = []string{
 	"vertex", "edge", "cache", "line",
 }
 
+// wcVocabSyms pre-interns the vocabulary: words are the canonical
+// low-cardinality hot strings, so WC and TW route and count them as
+// symbols — a 4-byte compare, no copy, no boxing.
+var wcVocabSyms = tuple.InternSyms(wcVocabulary...)
+
 // wcSpoutSeq gives each WC spout replica a distinct deterministic seed.
 var wcSpoutSeq atomic.Int64
 
@@ -46,6 +50,7 @@ type wcSpout struct {
 	seed  int64
 	r     *rand.Rand
 	words []string
+	buf   []byte // reusable sentence buffer: Next emits without allocating
 	et    int64
 }
 
@@ -65,8 +70,15 @@ func (s *wcSpout) draw() {
 // Next implements engine.Spout.
 func (s *wcSpout) Next(c engine.Collector) error {
 	s.draw()
+	s.buf = s.buf[:0]
+	for i, w := range s.words {
+		if i > 0 {
+			s.buf = append(s.buf, ' ')
+		}
+		s.buf = append(s.buf, w...)
+	}
 	out := c.Borrow()
-	out.Values = append(out.Values, strings.Join(s.words, " "))
+	out.AppendStrBytes(s.buf)
 	out.Event = s.et
 	c.Send(out)
 	if s.et%wcWatermarkEvery == 0 {
@@ -129,18 +141,34 @@ func WordCount() *App {
 		Operators: map[string]func() engine.Operator{
 			"parser": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if len(t.String(0)) == 0 {
+					if len(t.Str(0)) == 0 {
 						return nil // drop invalid tuples
 					}
-					// Forward the already-boxed field: no re-boxing.
-					emit(c, tuple.DefaultStreamID, t.Values[0])
+					forward(c, t, tuple.DefaultStreamID)
 					return nil
 				})
 			},
 			"splitter": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					for _, w := range strings.Fields(t.String(0)) {
-						emit(c, tuple.DefaultStreamID, w)
+					// Tokenize the sentence view in place and emit each word
+					// as an interned symbol: no strings.Fields slice, no
+					// per-word boxing — the whole split path is
+					// allocation-free.
+					sentence := t.Str(0)
+					for i := 0; i < len(sentence); {
+						for i < len(sentence) && sentence[i] == ' ' {
+							i++
+						}
+						start := i
+						for i < len(sentence) && sentence[i] != ' ' {
+							i++
+						}
+						if i == start {
+							continue
+						}
+						out := c.Borrow()
+						out.AppendSym(tuple.InternSym(sentence[start:i]))
+						c.Send(out)
 					}
 					return nil
 				})
@@ -152,9 +180,10 @@ func WordCount() *App {
 					Size:     wcWindow,
 					Init:     func(a *count) { a.n = 0 },
 					Add:      func(a *count, t *tuple.Tuple) { a.n++ },
-					Emit: func(c engine.Collector, key tuple.Value, w window.Span, a *count) {
+					Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *count) {
 						out := c.Borrow()
-						out.Values = append(out.Values, key, a.n)
+						out.AppendKey(key)
+						out.AppendInt(a.n)
 						out.Event = w.End
 						c.Send(out)
 					},
@@ -165,6 +194,12 @@ func WordCount() *App {
 			"sink": func() engine.Operator {
 				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
 			},
+		},
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout":    {"default": tuple.NewSchema(tuple.StrField("sentence"))},
+			"parser":   {"default": tuple.NewSchema(tuple.StrField("sentence"))},
+			"splitter": {"default": tuple.NewSchema(tuple.SymField("word"))},
+			"counter":  {"default": tuple.NewSchema(tuple.SymField("word"), tuple.IntField("count"))},
 		},
 		// Calibration: Splitter and Counter Te are the paper's measured
 		// local values (Table 3: 1612.8 and 612.3 ns/tuple). Sentence

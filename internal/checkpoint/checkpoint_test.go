@@ -20,12 +20,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	enc.String("")
 	enc.Len(7)
 	enc.Bytes64([]byte{1, 2, 3})
-	enc.Value(nil)
-	enc.Value(int64(9))
-	enc.Value(12) // plain int boxes as int64
-	enc.Value(2.5)
-	enc.Value("word")
-	enc.Value(true)
+	enc.Key(tuple.Key{})
+	enc.Key(tuple.IntKey(9))
+	enc.Key(tuple.FloatKey(2.5))
+	enc.Key(tuple.StrKey("word"))
+	enc.Key(tuple.BoolKey(true))
 
 	dec := NewDecoder(enc.Bytes())
 	if got := dec.Int64(); got != -42 {
@@ -52,23 +51,20 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got := dec.Bytes64(); !bytes.Equal(got, []byte{1, 2, 3}) {
 		t.Fatalf("Bytes64 = %v", got)
 	}
-	if got := dec.Value(); got != nil {
-		t.Fatalf("nil Value = %v", got)
+	if got := dec.Key(); got != (tuple.Key{}) {
+		t.Fatalf("empty Key = %v", got)
 	}
-	if got := dec.Value(); got != int64(9) {
-		t.Fatalf("int Value = %v", got)
+	if got := dec.Key(); got != tuple.IntKey(9) {
+		t.Fatalf("int Key = %v", got)
 	}
-	if got := dec.Value(); got != int64(12) {
-		t.Fatalf("boxed int Value = %v (%T)", got, got)
+	if got := dec.Key(); got != tuple.FloatKey(2.5) {
+		t.Fatalf("float Key = %v", got)
 	}
-	if got := dec.Value(); got != 2.5 {
-		t.Fatalf("float Value = %v", got)
+	if got := dec.Key(); got != tuple.StrKey("word") {
+		t.Fatalf("string Key = %v", got)
 	}
-	if got := dec.Value(); got != "word" {
-		t.Fatalf("string Value = %v", got)
-	}
-	if got := dec.Value(); got != true {
-		t.Fatalf("bool Value = %v", got)
+	if got := dec.Key(); got != tuple.BoolKey(true) {
+		t.Fatalf("bool Key = %v", got)
 	}
 	if err := dec.Err(); err != nil {
 		t.Fatal(err)
@@ -85,7 +81,7 @@ func TestDecoderStickyError(t *testing.T) {
 		t.Fatal("want error on truncated payload")
 	}
 	// Every further read is a safe zero, not a panic.
-	if dec.String() != "" || dec.Int64() != 0 || dec.Value() != nil || dec.Len() != 0 {
+	if dec.String() != "" || dec.Int64() != 0 || dec.Key() != (tuple.Key{}) || dec.Len() != 0 {
 		t.Fatal("reads after error must return zero values")
 	}
 }
@@ -241,17 +237,22 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	}
 }
 
-// Engine snapshots may legally contain any tuple.Value a key can hold.
-func TestValueEncodingMatchesTupleKinds(t *testing.T) {
-	vals := []tuple.Value{nil, int64(-1), 0.5, "k", false}
+// Engine snapshots may legally contain any key kind a tuple field can
+// hold — including interned symbols, which encode by name and
+// re-intern on decode so the restored key equals the replayed one.
+func TestKeyEncodingMatchesTupleKinds(t *testing.T) {
+	keys := []tuple.Key{
+		{}, tuple.IntKey(-1), tuple.FloatKey(0.5), tuple.StrKey("k"),
+		tuple.BoolKey(false), tuple.SymKey(tuple.InternSym("ckpt-sym")),
+	}
 	enc := NewEncoder()
-	for _, v := range vals {
-		enc.Value(v)
+	for _, k := range keys {
+		enc.Key(k)
 	}
 	dec := NewDecoder(enc.Bytes())
-	for i, want := range vals {
-		if got := dec.Value(); got != want {
-			t.Fatalf("value %d: got %v want %v", i, got, want)
+	for i, want := range keys {
+		if got := dec.Key(); got != want {
+			t.Fatalf("key %d: got %v want %v", i, got, want)
 		}
 	}
 	if dec.Err() != nil {

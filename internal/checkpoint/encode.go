@@ -60,43 +60,43 @@ func (e *Encoder) Bytes64(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
-// Tags for Value encodings. They deliberately mirror the dynamic types
-// tuple fields may hold; vNil covers the nil key of global (unkeyed)
-// windows.
+// Tags for Key encodings. They mirror the slot kinds tuple fields may
+// hold; vNone covers the empty key of global (unkeyed) windows. Symbol
+// keys encode as their interned name (vSym + string) — symbol ids are
+// process-local and must never be persisted — and are re-interned on
+// decode, so a restored key equals the key a replayed tuple produces
+// while the encoding stays byte-stable across processes.
 const (
-	vNil byte = iota
+	vNone byte = iota
 	vInt
 	vFloat
 	vString
 	vBool
+	vSym
 )
 
-// Value appends one dynamically typed tuple field (int64/int, float64,
-// string, bool, or nil). Go ints normalize to int64 — the encoding has
-// one integer kind, exactly like the tuple wire format — so decoders
-// always see int64; state keyed by tuple values must canonicalize the
-// same way (the window operators do).
-func (e *Encoder) Value(v tuple.Value) {
-	switch x := v.(type) {
-	case nil:
-		e.buf = append(e.buf, vNil)
-	case int64:
+// Key appends one typed grouping key.
+func (e *Encoder) Key(k tuple.Key) {
+	switch k.Kind() {
+	case tuple.KindNone:
+		e.buf = append(e.buf, vNone)
+	case tuple.KindInt:
 		e.buf = append(e.buf, vInt)
-		e.Int64(x)
-	case int:
-		e.buf = append(e.buf, vInt)
-		e.Int64(int64(x))
-	case float64:
+		e.Int64(k.Int())
+	case tuple.KindFloat:
 		e.buf = append(e.buf, vFloat)
-		e.Float64(x)
-	case string:
+		e.Float64(k.Float())
+	case tuple.KindStr:
 		e.buf = append(e.buf, vString)
-		e.String(x)
-	case bool:
+		e.String(k.Str())
+	case tuple.KindBool:
 		e.buf = append(e.buf, vBool)
-		e.Bool(x)
+		e.Bool(k.Bool())
+	case tuple.KindSym:
+		e.buf = append(e.buf, vSym)
+		e.String(k.Str())
 	default:
-		panic(fmt.Sprintf("checkpoint: cannot encode %T as a tuple value", v))
+		panic(fmt.Sprintf("checkpoint: cannot encode key of kind %v", k.Kind()))
 	}
 }
 
@@ -195,27 +195,29 @@ func (d *Decoder) Bytes64() []byte {
 	return b
 }
 
-// Value reads one dynamically typed tuple field.
-func (d *Decoder) Value() tuple.Value {
+// Key reads one typed grouping key (symbol keys are re-interned).
+func (d *Decoder) Key() tuple.Key {
 	if d.err != nil || d.off >= len(d.buf) {
 		d.fail()
-		return nil
+		return tuple.Key{}
 	}
 	tag := d.buf[d.off]
 	d.off++
 	switch tag {
-	case vNil:
-		return nil
+	case vNone:
+		return tuple.Key{}
 	case vInt:
-		return d.Int64()
+		return tuple.IntKey(d.Int64())
 	case vFloat:
-		return d.Float64()
+		return tuple.FloatKey(d.Float64())
 	case vString:
-		return d.String()
+		return tuple.StrKey(d.String())
 	case vBool:
-		return d.Bool()
+		return tuple.BoolKey(d.Bool())
+	case vSym:
+		return tuple.SymKey(tuple.InternSym(d.String()))
 	default:
 		d.fail()
-		return nil
+		return tuple.Key{}
 	}
 }

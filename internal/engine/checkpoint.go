@@ -220,6 +220,14 @@ func (e *Engine) handleBarrier(t *task, c *collector, id uint64, producer int) e
 				t.alignLeft++
 			}
 		}
+		// Arm the skew bound: if the slowest edges have not delivered
+		// their barrier by the deadline, the attempt is abandoned and the
+		// parked input replayed (alignTimedOut). A completed alignment
+		// leaves the timer stale via alignSeq.
+		t.alignSeq++
+		if e.cfg.AlignTimeout > 0 && t.alignLeft > 1 {
+			t.tm.registerAlignTimeout(t.alignSeq, time.Now().Add(e.cfg.AlignTimeout))
+		}
 	}
 	if id != t.alignID {
 		return nil // older than the alignment in progress: obsolete
@@ -292,6 +300,22 @@ func (e *Engine) completeAlignment(t *task, c *collector) error {
 	buf := t.alignBuf
 	t.alignBuf = nil
 	return e.replayParked(t, c, buf)
+}
+
+// alignTimedOut fires when an alignment attempt outlives
+// Config.AlignTimeout: the checkpoint attempt is dropped at this task
+// (the laggard barriers become stale on arrival) and the parked jumbos
+// replay, so pathological producer skew bounds parked memory by the
+// timeout instead of by the skew.
+func (e *Engine) alignTimedOut(t *task, c *collector, seq uint32) error {
+	if t.alignID == 0 || seq != t.alignSeq {
+		return nil // stale: that alignment completed or was superseded
+	}
+	e.alignTimeouts.Add(1)
+	if t.alignID > t.lastCkpt {
+		t.lastCkpt = t.alignID
+	}
+	return e.abandonAlignment(t, c)
 }
 
 // abandonAlignment gives up on the checkpoint being aligned (it will

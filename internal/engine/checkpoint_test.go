@@ -32,7 +32,8 @@ func (s *seqSpout) Next(c Collector) error {
 	}
 	s.i++
 	out := c.Borrow()
-	out.Values = append(out.Values, s.replica, s.i)
+	out.AppendInt(s.replica)
+	out.AppendInt(s.i)
 	out.Event = s.i
 	c.Send(out)
 	if s.i%16 == 0 {
@@ -411,7 +412,7 @@ func (o *orderCheckOp) Process(c Collector, t *tuple.Tuple) error {
 	}
 	o.lastSeq[origin] = seq
 	o.total.Add(1)
-	c.Emit(t.Values...)
+	forwardTuple(c, t)
 	return nil
 }
 

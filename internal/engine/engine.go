@@ -16,10 +16,10 @@
 // # Tuple ownership
 //
 // The steady-state emit→dispatch→process path allocates nothing: tuples
-// come from per-task pools, stream routing compares interned integer
-// ids, fields-grouping hashes inline without a heap hasher, and jumbo
-// batch headers are recycled. The ownership contract that makes this
-// safe:
+// come from per-task pools and carry typed slots (no boxing), stream
+// routing compares interned integer ids, fields-grouping hashes slots
+// inline without a heap hasher, and jumbo batch headers are recycled.
+// The ownership contract that makes this safe:
 //
 //   - Collector.Borrow hands the operator a pooled tuple; Collector.Send
 //     (and the Emit/EmitTo convenience paths, which Borrow internally)
@@ -39,7 +39,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,13 +53,14 @@ import (
 
 // Collector receives the tuples an operator emits during one invocation.
 //
-// Emit and EmitTo are the convenience surface: they copy the variadic
-// values into a pooled tuple. The allocation-free surface is
-// Borrow+Send: Borrow returns a pooled tuple whose Values backing array
-// is reused across emissions, the caller fills Values (and Stream, for
-// named streams — pre-intern with tuple.Intern), and Send transfers
-// ownership back to the engine. After Send the caller must not touch
-// the tuple.
+// Emit and EmitTo are the convenience surface: they box the variadic
+// values into a pooled tuple's typed slots. The allocation-free surface
+// is Borrow+Send: Borrow returns a pooled tuple whose slot arrays and
+// string arena are reused across emissions, the caller fills fields
+// with the typed AppendInt/AppendFloat/AppendBool/AppendStr/AppendSym
+// methods (and Stream, for named streams — pre-intern with
+// tuple.Intern), and Send transfers ownership back to the engine. After
+// Send the caller must not touch the tuple.
 type Collector interface {
 	// Emit sends values on the default stream.
 	Emit(values ...tuple.Value)
@@ -158,6 +158,13 @@ type Config struct {
 	// executes. Zero means no automatic triggering — checkpoints then
 	// happen only through explicit TriggerCheckpoint calls.
 	CheckpointInterval time.Duration
+	// AlignTimeout bounds how long a barrier alignment may park input
+	// from already-aligned edges while slower edges catch up. When a
+	// task's alignment is still incomplete after this much wall time,
+	// the task abandons the checkpoint attempt (it will never complete)
+	// and replays the parked jumbos, so pathological producer skew
+	// cannot park unbounded memory. Zero disables the bound.
+	AlignTimeout time.Duration
 
 	// Machine and RMAScale emulate the NUMA fetch penalty: when a task
 	// is placed on a different socket than the producing task, the
@@ -206,6 +213,12 @@ type Topology struct {
 	Spouts      map[string]func() Spout
 	Operators   map[string]func() Operator
 	Replication map[string]int
+	// Schemas declares, per operator and output stream name, the typed
+	// layout of the tuples that operator emits on that stream (optional;
+	// wired through to routes). The engine validates the first tuple of
+	// every declared route against its schema, so a mis-typed emit fails
+	// at its source instead of as a kind panic in a downstream consumer.
+	Schemas map[string]map[string]*tuple.Schema
 }
 
 // Result reports one run.
@@ -224,6 +237,10 @@ type Result struct {
 	// removals across all task inboxes, read from the queues' atomic
 	// counters (Section 5.2's amortization is QueuePuts vs SinkTuples).
 	QueuePuts, QueueGets uint64
+	// AlignTimeouts counts barrier alignments abandoned because they
+	// exceeded Config.AlignTimeout (each one is a dropped checkpoint
+	// attempt at that task, never a dropped tuple).
+	AlignTimeouts uint64
 	// Errors aggregates operator failures (panics are recovered and
 	// reported here; the rest of the pipeline is shut down cleanly).
 	Errors []error
@@ -285,6 +302,11 @@ type task struct {
 	alignSeen []bool
 	alignLeft int
 	alignBuf  []*tuple.Jumbo
+	// alignSeq numbers this task's alignment attempts; the align-timeout
+	// timer records the attempt it was armed for, so a timer whose
+	// alignment already completed (or was superseded) is recognized as
+	// stale and skipped.
+	alignSeq uint32
 	// doneIn marks producer tasks that finished (EOF) and so will never
 	// emit another barrier: alignment skips them — the barrier analogue
 	// of the watermark path's idle-source exclusion — or a checkpoint
@@ -316,6 +338,11 @@ type route struct {
 	keyField  int
 	consumers []*task
 	rr        int // round-robin cursor for shuffle
+	// schema is the declared layout of tuples emitted on this route's
+	// stream (nil when undeclared); checked flips after the first tuple
+	// is validated, so conformance costs one boolean branch per tuple.
+	schema  *tuple.Schema
+	checked bool
 }
 
 // dest is one resolved delivery of an emitted tuple: the consumer task
@@ -388,6 +415,10 @@ type Engine struct {
 	ckptSeq   atomic.Uint64 // checkpoint id allocator (engine lifetime)
 	ckptReq   atomic.Uint64
 	restoreCp *checkpoint.Checkpoint
+
+	// alignTimeouts counts alignment attempts abandoned by the
+	// AlignTimeout bound (reset per run, reported in Result).
+	alignTimeouts atomic.Uint64
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -483,12 +514,17 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 	for _, n := range topo.App.Nodes() {
 		for _, edge := range topo.App.Out(n.Name) {
 			consumers := e.byOp[edge.To]
+			var schema *tuple.Schema
+			if topo.Schemas != nil {
+				schema = topo.Schemas[n.Name][edge.Stream]
+			}
 			for _, pt := range e.byOp[n.Name] {
 				pt.routes = append(pt.routes, route{
 					stream:    tuple.Intern(edge.Stream),
 					part:      edge.Partitioning,
 					keyField:  edge.KeyField,
 					consumers: consumers,
+					schema:    schema,
 					// Offset cursors so replicas of one producer start
 					// on different consumers; each cursor still visits
 					// every consumer uniformly (index before increment).
@@ -573,7 +609,9 @@ func (c *collector) Emit(values ...tuple.Value) {
 		return
 	}
 	out := c.t.pool.Get()
-	out.Values = append(out.Values, values...)
+	for _, v := range values {
+		out.Append(v)
+	}
 	c.Send(out)
 }
 
@@ -584,7 +622,9 @@ func (c *collector) EmitTo(stream string, values ...tuple.Value) {
 	}
 	out := c.t.pool.Get()
 	out.Stream = c.streamID(stream)
-	out.Values = append(out.Values, values...)
+	for _, v := range values {
+		out.Append(v)
+	}
 	c.Send(out)
 }
 
@@ -706,6 +746,16 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 		if r.stream != out.Stream {
 			continue
 		}
+		if r.schema != nil && !r.checked {
+			// First tuple on a declared route: validate the slot layout
+			// against the wiring-time schema, then trust the operator.
+			r.checked = true
+			if err := r.schema.Check(out); err != nil {
+				t.scratch = dests[:0]
+				out.Release()
+				return fmt.Errorf("engine: task %s stream %q: %w", t.label, r.stream.String(), err)
+			}
+		}
 		switch r.part {
 		case graph.Broadcast:
 			fan := len(r.consumers) > 1
@@ -715,13 +765,13 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 		case graph.Global:
 			dests = append(dests, dest{r.consumers[0], false})
 		case graph.Fields:
-			if r.keyField < 0 || r.keyField >= len(out.Values) {
+			if r.keyField < 0 || r.keyField >= out.Len() {
 				t.scratch = dests[:0]
-				err := &RouteError{Task: t.label, Stream: r.stream.String(), KeyField: r.keyField, Width: len(out.Values)}
+				err := &RouteError{Task: t.label, Stream: r.stream.String(), KeyField: r.keyField, Width: out.Len()}
 				out.Release() // nothing enqueued yet; the caller's reference ends here
 				return err
 			}
-			idx := int(hashValue(out.Values[r.keyField]) % uint64(len(r.consumers)))
+			idx := int(out.Hash(r.keyField) % uint64(len(r.consumers)))
 			dests = append(dests, dest{r.consumers[idx], false})
 		default: // Shuffle
 			idx := r.rr
@@ -945,6 +995,9 @@ func (e *Engine) fireProcTimers(t *task, c *collector) error {
 			}
 			return nil
 		}
+		if en.edge == alignTimeoutEdge {
+			return e.alignTimedOut(t, c, en.seq)
+		}
 		if h == nil {
 			return nil
 		}
@@ -1000,6 +1053,7 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	e.sink.Reset()
 	e.lat = metrics.NewHistogram(0)
 	e.errs = nil
+	e.alignTimeouts.Store(0)
 	// A checkpoint requested while no run executes (or left over from a
 	// killed run) must not fire mid-restart: tasks treat everything up
 	// to the current request id as already handled.
@@ -1083,11 +1137,12 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	elapsed := time.Since(start)
 
 	res := &Result{
-		Duration:   elapsed,
-		SinkTuples: e.sink.Value(),
-		Latency:    e.lat,
-		Processed:  map[string]uint64{},
-		Errors:     e.errs,
+		Duration:      elapsed,
+		SinkTuples:    e.sink.Value(),
+		Latency:       e.lat,
+		Processed:     map[string]uint64{},
+		Errors:        e.errs,
+		AlignTimeouts: e.alignTimeouts.Load(),
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(res.SinkTuples) / elapsed.Seconds()
@@ -1378,57 +1433,4 @@ func spin(ns int) {
 	deadline := time.Now().Add(time.Duration(ns))
 	for time.Now().Before(deadline) {
 	}
-}
-
-// FNV-1a parameters for the inline field hash.
-const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
-)
-
-// hashValue hashes a tuple field for Fields partitioning. It is an
-// inline allocation-free FNV-1a — hash/fnv heap-allocates a hasher per
-// call through its interface, which was one of the per-tuple taxes on
-// the emit path. Byte order matches the previous hash/fnv encoding
-// (strings as their bytes, integers little-endian), so key→replica
-// assignments are unchanged.
-func hashValue(v tuple.Value) uint64 {
-	switch x := v.(type) {
-	case string:
-		h := fnvOffset64
-		for i := 0; i < len(x); i++ {
-			h ^= uint64(x[i])
-			h *= fnvPrime64
-		}
-		return h
-	case int64:
-		return hashUint64(uint64(x))
-	case int:
-		return hashUint64(uint64(int64(x)))
-	case float64:
-		return hashUint64(math.Float64bits(x))
-	case bool:
-		h := fnvOffset64
-		if x {
-			h ^= 1
-		}
-		return h * fnvPrime64
-	default:
-		h := fnvOffset64
-		for _, b := range []byte(fmt.Sprint(x)) {
-			h ^= uint64(b)
-			h *= fnvPrime64
-		}
-		return h
-	}
-}
-
-// hashUint64 FNV-1a-hashes the eight little-endian bytes of u.
-func hashUint64(u uint64) uint64 {
-	h := fnvOffset64
-	for i := 0; i < 8; i++ {
-		h ^= (u >> (8 * i)) & 0xff
-		h *= fnvPrime64
-	}
-	return h
 }

@@ -2,17 +2,19 @@ package engine
 
 // Allocation guards for the emit→dispatch hot path: the BriskStream
 // mode (pass-by-reference, jumbo tuples) must not allocate per emitted
-// tuple in steady state — tuples, Values backing arrays and jumbo
-// headers are pooled, routing compares interned stream ids, and fields
-// hashing is inline. The Storm-like emulation mode is exempt: paying
-// per-tuple copy and serialization costs is exactly what it models.
+// tuple in steady state — tuples carry typed slots (string payloads in
+// pooled arenas, no boxing), jumbo headers are pooled, routing compares
+// interned stream ids, and fields hashing is inline over slots. The
+// bound is exactly zero: the typed slot representation removed the
+// historical ≤1 boxing exemption. The Storm-like emulation mode is
+// exempt: paying per-tuple copy and serialization costs is exactly
+// what it models.
 
 import (
 	"io"
 	"testing"
 
 	"briskstream/internal/graph"
-	"briskstream/internal/tuple"
 )
 
 // allocHarness builds a spout->sink edge with `consumers` sink replicas
@@ -65,13 +67,10 @@ func TestEmitDispatchAllocFreeBriskMode(t *testing.T) {
 	cfg.LatencySampleEvery = 0 // time.Now stamping is not the measured path
 	for _, part := range []graph.Partitioning{graph.Shuffle, graph.Fields} {
 		c, drain := allocHarness(t, cfg, 4, part)
-		// Pre-boxed values: boxing fresh payloads is the operator's cost
-		// (and unavoidable with dynamic fields); the engine path itself
-		// must add nothing.
-		vals := []tuple.Value{"the quick brown fox", int64(100042)}
 		emit := func() {
 			out := c.Borrow()
-			out.Values = append(out.Values, vals...)
+			out.AppendStr("the quick brown fox")
+			out.AppendInt(100042)
 			c.Send(out)
 			drain()
 		}
@@ -79,8 +78,8 @@ func TestEmitDispatchAllocFreeBriskMode(t *testing.T) {
 			emit() // warm the pools
 		}
 		avg := testing.AllocsPerRun(5000, emit)
-		if avg > 1 {
-			t.Errorf("%v: emit->dispatch allocates %.2f/op in BriskStream mode, want <= 1", part, avg)
+		if avg > 0 {
+			t.Errorf("%v: emit->dispatch allocates %.2f/op in BriskStream mode, want 0", part, avg)
 		}
 	}
 }
@@ -90,10 +89,10 @@ func TestEmitDispatchAllocsStormModeExempt(t *testing.T) {
 	// (de)serializes per tuple, so it must allocate. If this ever drops
 	// to zero the emulation stopped emulating.
 	c, drain := allocHarness(t, StormLikeConfig(), 4, graph.Shuffle)
-	vals := []tuple.Value{"the quick brown fox", int64(100042)}
 	emit := func() {
 		out := c.Borrow()
-		out.Values = append(out.Values, vals...)
+		out.AppendStr("the quick brown fox")
+		out.AppendInt(100042)
 		c.Send(out)
 		drain()
 	}

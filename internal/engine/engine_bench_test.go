@@ -13,7 +13,6 @@ import (
 	"testing"
 
 	"briskstream/internal/graph"
-	"briskstream/internal/tuple"
 )
 
 // benchDispatch pushes b.N tuples through one producer task's dispatch
@@ -57,15 +56,14 @@ func benchDispatch(b *testing.B, consumers int, part graph.Partitioning) {
 			}
 		}(ct)
 	}
-	// One pre-boxed value, reused every emission: the measured loop is
-	// the pooled emit→dispatch path itself (borrow, route, batch,
-	// enqueue), which must not allocate in steady state.
-	val := tuple.Value(int64(1042))
+	// The measured loop is the pooled emit→dispatch path itself (borrow,
+	// fill typed slots, route, batch, enqueue), which must not allocate
+	// in steady state.
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := producer.pool.Get()
-		out.Values = append(out.Values, val)
+		out.AppendInt(1042)
 		if err := e.dispatch(producer, out); err != nil {
 			b.Fatal(err)
 		}

@@ -36,7 +36,7 @@ func lingerTopology(t *testing.T, emit int, cfg Config) *Engine {
 				if emitted < emit {
 					emitted++
 					out := c.Borrow()
-					out.Values = append(out.Values, int64(emitted))
+					out.AppendInt(int64(emitted))
 					c.Send(out)
 				}
 				return nil
@@ -45,9 +45,7 @@ func lingerTopology(t *testing.T, emit int, cfg Config) *Engine {
 		Operators: map[string]func() Operator{
 			"fwd": func() Operator {
 				return OperatorFunc(func(c Collector, in *tuple.Tuple) error {
-					out := c.Borrow()
-					out.Values = append(out.Values, in.Values...)
-					c.Send(out)
+					forwardTuple(c, in)
 					return nil
 				})
 			},

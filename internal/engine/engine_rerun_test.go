@@ -114,7 +114,7 @@ func (s *rerunSpout) Next(c Collector) error {
 	s.i++
 	if a.tup {
 		out := c.Borrow()
-		out.Values = append(out.Values, a.emit)
+		out.AppendInt(a.emit)
 		out.Event = a.emit
 		c.Send(out)
 	} else {

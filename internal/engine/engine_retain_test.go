@@ -100,7 +100,7 @@ func TestSharedFanoutTupleSurvivesAllConsumers(t *testing.T) {
 			if v := tp.Int(0); v < 0 || v >= n {
 				t.Errorf("clobbered payload %d", v)
 			}
-			c.Emit(tp.Values...)
+			forwardTuple(c, tp)
 			return nil
 		})
 	}

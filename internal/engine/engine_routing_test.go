@@ -43,7 +43,7 @@ func runShuffle(t *testing.T, replicas, n int) []uint64 {
 		idx := int(replicaSeq.Add(1)) - 1
 		return OperatorFunc(func(c Collector, tp *tuple.Tuple) error {
 			counts[idx].Add(1)
-			c.Emit(tp.Values...)
+			forwardTuple(c, tp)
 			return nil
 		})
 	}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"strings"
 	"sync/atomic"
@@ -35,17 +34,25 @@ func pipelineGraph(t *testing.T) *graph.Graph {
 
 var ioEOF = io.EOF
 
+// forwardTuple re-emits t's typed payload on the default stream (the
+// test-operator forwarding shape).
+func forwardTuple(c Collector, t *tuple.Tuple) {
+	out := c.Borrow()
+	out.CopyValuesFrom(t)
+	c.Send(out)
+}
+
 func doubler() Operator {
 	return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
-		c.Emit(t.Values...)
-		c.Emit(t.Values...)
+		forwardTuple(c, t)
+		forwardTuple(c, t)
 		return nil
 	})
 }
 
 func passthrough() Operator {
 	return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
-		c.Emit(t.Values...)
+		forwardTuple(c, t)
 		return nil
 	})
 }
@@ -137,8 +144,9 @@ func TestFieldsPartitioningRoutesByKey(t *testing.T) {
 		p := &seen
 		mu[idx].Store(p)
 		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
-			seen[t.String(0)] = true
-			c.Emit(t.Values...)
+			// Str views die with the pooled tuple; own the key bytes.
+			seen[strings.Clone(t.Str(0))] = true
+			forwardTuple(c, t)
 			return nil
 		})
 	}
@@ -287,7 +295,7 @@ func TestOperatorErrorStopsPipeline(t *testing.T) {
 			if n > 10 {
 				return errors.New("synthetic failure")
 			}
-			c.Emit(t.Values...)
+			forwardTuple(c, t)
 			return nil
 		})
 	}
@@ -323,7 +331,7 @@ func TestOperatorPanicIsIsolated(t *testing.T) {
 			if n > 5 {
 				panic("boom")
 			}
-			c.Emit(t.Values...)
+			forwardTuple(c, t)
 			return nil
 		})
 	}
@@ -414,11 +422,14 @@ func TestMultiStreamRouting(t *testing.T) {
 	}
 	splitter := func() Operator {
 		return OperatorFunc(func(c Collector, t *tuple.Tuple) error {
+			out := c.Borrow()
+			out.CopyValuesFrom(t)
 			if t.Int(0)%2 == 0 {
-				c.EmitTo("even", t.Values...)
+				out.Stream = tuple.Intern("even")
 			} else {
-				c.EmitTo("odd", t.Values...)
+				out.Stream = tuple.Intern("odd")
 			}
+			c.Send(out)
 			return nil
 		})
 	}
@@ -440,16 +451,17 @@ func TestMultiStreamRouting(t *testing.T) {
 	}
 }
 
-func TestHashValueStability(t *testing.T) {
-	if hashValue("word") != hashValue("word") {
+func TestFieldHashStability(t *testing.T) {
+	// Fields routing hashes slots through tuple.Tuple.Hash; the
+	// assignments must be stable per value and distinct across values.
+	if tuple.New("word").Hash(0) != tuple.New("word").Hash(0) {
 		t.Error("string hash unstable")
 	}
-	if hashValue(int64(7)) != hashValue(7) {
+	if tuple.New(int64(7)).Hash(0) != tuple.New(7).Hash(0) {
 		t.Error("int and int64 hash differently")
 	}
-	if hashValue(true) == hashValue(false) {
+	if tuple.New(true).Hash(0) == tuple.New(false).Hash(0) {
 		t.Error("bool hash collision")
 	}
-	_ = hashValue(3.14)
-	_ = hashValue(fmt.Stringer(nil)) // default path must not panic
+	_ = tuple.New(3.14).Hash(0)
 }

@@ -46,7 +46,7 @@ func (s *scriptedSpout) Next(c Collector) error {
 	s.i++
 	if a.tup {
 		out := c.Borrow()
-		out.Values = append(out.Values, a.emit)
+		out.AppendInt(a.emit)
 		out.Event = a.emit
 		c.Send(out)
 	} else {
@@ -281,7 +281,7 @@ func (s *timedSpout) Next(c Collector) error {
 		s.tm.RegisterEvent(25)
 		s.tm.RegisterEvent(75)
 		out := c.Borrow()
-		out.Values = append(out.Values, int64(1))
+		out.AppendInt(1)
 		out.Event = 1
 		c.Send(out)
 	case 1:

@@ -60,15 +60,23 @@ type WatermarkHandler interface {
 	OnWatermark(c Collector, wm int64) error
 }
 
-// wheelEntry is one pending timer. Operator timers carry edge == -1;
-// the engine's jumbo linger-flush timers carry the index of the output
-// edge whose partial batch should flush, plus the batch's sequence
-// number (a stale entry whose batch already flushed full is skipped).
+// wheelEntry is one pending timer. Operator timers carry edge ==
+// operatorEdge; the engine's jumbo linger-flush timers carry the index
+// of the output edge whose partial batch should flush, plus the batch's
+// sequence number (a stale entry whose batch already flushed full is
+// skipped); barrier-alignment timeout timers carry alignTimeoutEdge
+// plus the alignment attempt they were armed for.
 type wheelEntry struct {
 	at   int64
 	edge int32
 	seq  uint32
 }
+
+// Sentinel edge values for engine-internal processing-time timers.
+const (
+	operatorEdge     int32 = -1
+	alignTimeoutEdge int32 = -2
+)
 
 // wheel is a hashed timer wheel: pending timers hash into
 // power-of-two slots by timestamp/tick, and advancing from time a to
@@ -222,13 +230,13 @@ func (tm *Timers) Watermark() int64 { return tm.wm }
 // fires once the task's watermark reaches at. Registrations are not
 // deduplicated; a timestamp registered twice fires twice.
 func (tm *Timers) RegisterEvent(at int64) {
-	tm.event.add(wheelEntry{at: at, edge: -1})
+	tm.event.add(wheelEntry{at: at, edge: operatorEdge})
 }
 
 // RegisterProcAt schedules a processing-time timer:
 // OnTimer(ProcTimer, at.UnixNano()) fires once the wall clock passes at.
 func (tm *Timers) RegisterProcAt(at time.Time) {
-	tm.proc.add(wheelEntry{at: at.UnixNano(), edge: -1})
+	tm.proc.add(wheelEntry{at: at.UnixNano(), edge: operatorEdge})
 }
 
 // registerLinger schedules the engine-internal flush timer for a
@@ -236,6 +244,12 @@ func (tm *Timers) RegisterProcAt(at time.Time) {
 // timer belongs to.
 func (tm *Timers) registerLinger(edge int, seq uint32, at time.Time) {
 	tm.proc.add(wheelEntry{at: at.UnixNano(), edge: int32(edge), seq: seq})
+}
+
+// registerAlignTimeout schedules the engine-internal barrier-alignment
+// deadline for alignment attempt seq (see Config.AlignTimeout).
+func (tm *Timers) registerAlignTimeout(seq uint32, at time.Time) {
+	tm.proc.add(wheelEntry{at: at.UnixNano(), edge: alignTimeoutEdge, seq: seq})
 }
 
 // AdvanceWatermark advances the service to wm and invokes fire for

@@ -322,7 +322,9 @@ func (c *chainCollector) Emit(values ...tuple.Value) {
 		return
 	}
 	t := c.out.Borrow()
-	t.Values = append(t.Values, values...)
+	for _, v := range values {
+		t.Append(v)
+	}
 	c.Send(t)
 }
 
@@ -336,7 +338,9 @@ func (c *chainCollector) EmitTo(stream string, values ...tuple.Value) {
 	}
 	t := c.out.Borrow()
 	t.Stream = c.lastID
-	t.Values = append(t.Values, values...)
+	for _, v := range values {
+		t.Append(v)
+	}
 	c.Send(t)
 }
 

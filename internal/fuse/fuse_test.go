@@ -186,7 +186,9 @@ func TestFusionTradeOff(t *testing.T) {
 		}
 		pass := func() engine.Operator {
 			return engine.OperatorFunc(func(c engine.Collector, tp *tuple.Tuple) error {
-				c.Emit(tp.Values...)
+				out := c.Borrow()
+				out.CopyValuesFrom(tp)
+				c.Send(out)
 				return nil
 			})
 		}
@@ -223,7 +225,9 @@ type statefulCounter struct {
 
 func (s *statefulCounter) Process(c engine.Collector, t *tuple.Tuple) error {
 	s.n++
-	c.Emit(t.Values...)
+	out := c.Borrow()
+	out.CopyValuesFrom(t)
+	c.Send(out)
 	return nil
 }
 
@@ -243,7 +247,9 @@ func (s *statefulCounter) Restore(dec *checkpoint.Decoder) error {
 func TestFusedOpForwardsSnapshotter(t *testing.T) {
 	stateless := func() engine.Operator {
 		return engine.OperatorFunc(func(c engine.Collector, tp *tuple.Tuple) error {
-			c.Emit(tp.Values...)
+			out := c.Borrow()
+			out.CopyValuesFrom(tp)
+			c.Send(out)
 			return nil
 		})
 	}

@@ -1,0 +1,172 @@
+package tuple
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Key is a typed grouping key extracted from one tuple field: the value
+// the window operators and keyed stores index state by. Key is a small
+// comparable struct — usable directly as a Go map key — and preserves
+// the field's kind, so an int64 key restored from a snapshot equals the
+// key a replayed tuple produces (no boxing, no int canonicalization).
+//
+// Float keys compare and hash by their IEEE-754 bits, so NaN keys are
+// well-behaved map keys. A key of kind KindStr taken from a pooled
+// tuple borrows the tuple's arena: call Canon before storing it beyond
+// the tuple's lifetime. Symbol keys carry only the id and are always
+// safe to store.
+type Key struct {
+	kind Kind
+	num  uint64
+	str  string
+}
+
+// IntKey builds an int64 key.
+func IntKey(v int64) Key { return Key{kind: KindInt, num: uint64(v)} }
+
+// FloatKey builds a float64 key (indexed by bits).
+func FloatKey(v float64) Key { return Key{kind: KindFloat, num: math.Float64bits(v)} }
+
+// BoolKey builds a boolean key.
+func BoolKey(v bool) Key {
+	k := Key{kind: KindBool}
+	if v {
+		k.num = 1
+	}
+	return k
+}
+
+// StrKey builds a string key. The key aliases s; it is stable if s is.
+func StrKey(s string) Key { return Key{kind: KindStr, str: s} }
+
+// SymKey builds an interned-symbol key.
+func SymKey(s Sym) Key { return Key{kind: KindSym, num: uint64(s)} }
+
+// Kind returns the key's kind (KindNone for the empty key of global,
+// unkeyed windows).
+func (k Key) Kind() Kind { return k.kind }
+
+// Int returns an int64 key's value.
+func (k Key) Int() int64 {
+	if k.kind != KindInt {
+		panic(fmt.Sprintf("tuple: key is %v, not int64", k.kind))
+	}
+	return int64(k.num)
+}
+
+// Float returns a float64 key's value.
+func (k Key) Float() float64 {
+	if k.kind != KindFloat {
+		panic(fmt.Sprintf("tuple: key is %v, not float64", k.kind))
+	}
+	return math.Float64frombits(k.num)
+}
+
+// Bool returns a boolean key's value.
+func (k Key) Bool() bool {
+	if k.kind != KindBool {
+		panic(fmt.Sprintf("tuple: key is %v, not bool", k.kind))
+	}
+	return k.num != 0
+}
+
+// Str returns a string or symbol key's text.
+func (k Key) Str() string {
+	switch k.kind {
+	case KindStr:
+		return k.str
+	case KindSym:
+		return Sym(k.num).Name()
+	default:
+		panic(fmt.Sprintf("tuple: key is %v, not string", k.kind))
+	}
+}
+
+// Sym returns a symbol key's id.
+func (k Key) Sym() Sym {
+	if k.kind != KindSym {
+		panic(fmt.Sprintf("tuple: key is %v, not symbol", k.kind))
+	}
+	return Sym(k.num)
+}
+
+// Canon returns a key safe to store beyond the source tuple's lifetime:
+// a string key's arena view is cloned; every other kind is returned
+// unchanged (and allocation-free).
+func (k Key) Canon() Key {
+	if k.kind == KindStr {
+		k.str = strings.Clone(k.str)
+	}
+	return k
+}
+
+// Compare orders keys deterministically: by kind first, then by value —
+// integers and booleans numerically, floats by numeric order with a
+// bit-pattern tiebreak (so -0.0/0.0 and distinct NaN payloads still
+// order totally), strings and symbols by their text. The order is
+// stable across processes, which is what makes snapshot encodings of
+// keyed state byte-stable.
+func (k Key) Compare(o Key) int {
+	if k.kind != o.kind {
+		return cmp.Compare(k.kind, o.kind)
+	}
+	switch k.kind {
+	case KindInt:
+		return cmp.Compare(int64(k.num), int64(o.num))
+	case KindFloat:
+		if d := cmp.Compare(math.Float64frombits(k.num), math.Float64frombits(o.num)); d != 0 {
+			return d
+		}
+		return cmp.Compare(k.num, o.num)
+	case KindBool:
+		return cmp.Compare(k.num, o.num)
+	case KindStr:
+		return strings.Compare(k.str, o.str)
+	case KindSym:
+		return strings.Compare(Sym(k.num).Name(), Sym(o.num).Name())
+	default:
+		return 0
+	}
+}
+
+// Hash hashes the key with the same byte encodings as Tuple.Hash, so a
+// key routes identically however it was extracted.
+func (k Key) Hash() uint64 {
+	switch k.kind {
+	case KindInt, KindFloat:
+		return hashUint64(k.num)
+	case KindBool:
+		h := fnvOffset64
+		if k.num != 0 {
+			h ^= 1
+		}
+		return h * fnvPrime64
+	case KindStr:
+		return hashString(k.str)
+	case KindSym:
+		return hashString(Sym(k.num).Name())
+	default:
+		return fnvOffset64
+	}
+}
+
+// String formats the key for debugging.
+func (k Key) String() string {
+	switch k.kind {
+	case KindInt:
+		return fmt.Sprintf("%d", int64(k.num))
+	case KindFloat:
+		return fmt.Sprintf("%v", math.Float64frombits(k.num))
+	case KindBool:
+		return fmt.Sprintf("%t", k.num != 0)
+	case KindStr:
+		return k.str
+	case KindSym:
+		return Sym(k.num).Name()
+	default:
+		return "<nil>"
+	}
+}

@@ -21,9 +21,10 @@ import (
 //     operator's Process returns. An operator that keeps the *Tuple*
 //     beyond Process (windows, joins, side goroutines) must call Retain
 //     before Process returns and Release when done.
-//   - Field values read out of a tuple (strings, ints, ...) are
-//     immutable boxed values; keeping them needs no Retain. Only the
-//     *Tuple pointer and its Values slice are recycled.
+//   - Numeric/boolean field values read out of a tuple may be kept
+//     forever. Strings read from ordinary (arena) string fields are
+//     views into the recycled arena and die with the tuple — clone
+//     them to keep them; interned symbol names are stable and exempt.
 //
 // Pool is backed by sync.Pool: Get and Put are safe from any goroutine
 // and the per-P caches keep the common (same-core) recycle path free of
@@ -41,8 +42,8 @@ func NewPool() *Pool {
 }
 
 // Get returns an empty tuple on the default stream holding one
-// reference. The Values slice is empty but keeps the capacity of its
-// previous life, so appending up to that arity allocates nothing.
+// reference. The tuple's string arena keeps the capacity of its
+// previous life, so appending similar payloads allocates nothing.
 func (p *Pool) Get() *Tuple {
 	t := p.p.Get().(*Tuple)
 	t.pool = p
@@ -90,12 +91,11 @@ func (t *Tuple) Release() {
 	}
 }
 
-// recycle resets the tuple and returns it to its pool. Values elements
-// are cleared so the pooled backing array does not pin released
-// payloads; the capacity is kept for reuse.
+// recycle resets the tuple and returns it to its pool. The slot array
+// holds no pointers and the arena keeps its capacity for reuse; arena
+// string views handed out from this life are dead from here on.
 func (t *Tuple) recycle() {
-	clear(t.Values)
-	t.Values = t.Values[:0]
+	t.Reset()
 	t.Stream = DefaultStreamID
 	t.Ts = time.Time{}
 	t.Event = 0

@@ -9,14 +9,15 @@ import (
 func TestPoolGetResetsTuple(t *testing.T) {
 	p := NewPool()
 	tp := p.Get()
-	tp.Values = append(tp.Values, "payload", int64(7))
+	tp.AppendStr("payload")
+	tp.AppendInt(7)
 	tp.Stream = Intern("pool-test-stream")
 	tp.Ts = time.Now()
 	tp.Release()
 
 	got := p.Get()
-	if len(got.Values) != 0 {
-		t.Errorf("recycled tuple has %d values", len(got.Values))
+	if got.Len() != 0 {
+		t.Errorf("recycled tuple has %d values", got.Len())
 	}
 	if got.Stream != DefaultStreamID {
 		t.Errorf("recycled tuple stream = %v", got.Stream)
@@ -26,10 +27,10 @@ func TestPoolGetResetsTuple(t *testing.T) {
 	}
 }
 
-func TestPoolReusesBackingArray(t *testing.T) {
+func TestPoolReusesArena(t *testing.T) {
 	p := NewPool()
 	tp := p.Get()
-	tp.Values = append(tp.Values, int64(1), int64(2), int64(3))
+	tp.AppendStr("a payload long enough to need arena capacity")
 	tp.Release()
 	// sync.Pool keeps per-P caches; with no GC in between the same
 	// tuple comes back with its capacity intact.
@@ -37,19 +38,19 @@ func TestPoolReusesBackingArray(t *testing.T) {
 	if got != tp {
 		t.Skip("pool returned a different tuple (unlucky scheduling); nothing to assert")
 	}
-	if cap(got.Values) < 3 {
-		t.Errorf("recycled capacity = %d, want >= 3", cap(got.Values))
+	if cap(got.arena) == 0 {
+		t.Error("recycled arena lost its capacity")
 	}
 }
 
 func TestRetainKeepsTupleAlive(t *testing.T) {
 	p := NewPool()
 	tp := p.Get()
-	tp.Values = append(tp.Values, "keep")
+	tp.AppendStr("keep")
 	tp.Retain() // second reference
 
 	tp.Release() // engine's reference ends
-	if tp.String(0) != "keep" {
+	if tp.Str(0) != "keep" {
 		t.Error("retained tuple was recycled")
 	}
 	tp.Release() // holder's reference ends; now recycled
@@ -58,7 +59,7 @@ func TestRetainKeepsTupleAlive(t *testing.T) {
 func TestRetainNMatchesNReleases(t *testing.T) {
 	p := NewPool()
 	tp := p.Get()
-	tp.Values = append(tp.Values, int64(9))
+	tp.AppendInt(9)
 	tp.RetainN(3) // refs: 1 + 3
 	for i := 0; i < 3; i++ {
 		tp.Release()
@@ -79,28 +80,30 @@ func TestNonPooledTupleIgnoresRetainRelease(t *testing.T) {
 	}
 }
 
-func TestCopyFromReusesCapacity(t *testing.T) {
+func TestCopyFromReusesArena(t *testing.T) {
 	p := NewPool()
 	src := OnStream("copy-test-stream", "a", int64(1))
 	src.Ts = time.Unix(0, 42)
 	dst := p.Get()
-	dst.Values = append(dst.Values, int64(1), int64(2), int64(3))
-	dst.Values = dst.Values[:0]
-	before := cap(dst.Values)
+	dst.AppendStr("warm the destination arena")
+	dst.Reset()
+	before := cap(dst.arena)
 	dst.CopyFrom(src)
-	if dst.String(0) != "a" || dst.Int(1) != 1 {
-		t.Errorf("copy lost values: %v", dst.Values)
+	if dst.Str(0) != "a" || dst.Int(1) != 1 {
+		t.Errorf("copy lost values: %v", dst)
 	}
 	if dst.Stream != src.Stream || !dst.Ts.Equal(src.Ts) {
 		t.Error("copy lost metadata")
 	}
-	if before >= 2 && cap(dst.Values) != before {
-		t.Errorf("CopyFrom reallocated: cap %d -> %d", before, cap(dst.Values))
+	if cap(dst.arena) != before {
+		t.Errorf("CopyFrom reallocated: cap %d -> %d", before, cap(dst.arena))
 	}
-	// The copy must be deep at the slice level.
-	dst.Values[0] = "mutated"
-	if src.String(0) != "a" {
-		t.Error("CopyFrom aliased the source slice")
+	// The copy must be deep: refilling the destination leaves the
+	// source untouched.
+	dst.Reset()
+	dst.AppendStr("mutated")
+	if src.Str(0) != "a" {
+		t.Error("CopyFrom aliased the source arena")
 	}
 }
 
@@ -117,7 +120,7 @@ func TestPoolConcurrentRecycle(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
 			tp := p.Get()
-			tp.Values = append(tp.Values, int64(i))
+			tp.AppendInt(int64(i))
 			tp.Retain()
 			ch <- tp
 			tp.Release() // producer's own reference

@@ -7,6 +7,22 @@
 // the Storm-like baseline mode can pay the cost a distributed DSPS pays,
 // which is what the factor analysis (Figure 16) measures.
 //
+// # Typed slot representation
+//
+// A tuple's payload is schema-typed, not boxed: every field lives in a
+// fixed inline slot array (one uint64 per field plus a kind tag), and
+// string fields are byte ranges in a small per-tuple arena that is
+// recycled with the tuple. Nothing on the emit path allocates — writing
+// an int is a slot store, writing a string is a byte copy into the
+// pooled arena — and nothing on the read path type-switches on
+// interfaces. Streams declare a Schema (field names + kinds) at wiring
+// time; the engine checks emitted tuples against it.
+//
+// Low-cardinality hot strings (words, device ids) should be interned as
+// symbols (Sym, InternSym): a symbol field stores a 4-byte id, compares
+// and hashes without touching the text, and Str returns the interned
+// name, which is stable for the life of the process.
+//
 // # Ownership and recycling
 //
 // Tuples on the BriskStream path are pooled (see Pool): a producer
@@ -18,9 +34,12 @@
 //     To keep the *Tuple itself longer (windows, joins, handing it to
 //     another goroutine), call Retain before returning and Release when
 //     done.
-//   - Field values read from a tuple (String, Int, ...) are immutable
-//     boxed values and may be kept forever without Retain; recycling
-//     only reuses the Tuple struct and its Values backing array.
+//   - Numeric and boolean field values read from a tuple may be kept
+//     forever. A string read with Str from an ordinary string field is a
+//     view into the tuple's arena and is valid only while the caller
+//     holds the tuple — clone it (strings.Clone, or Key(i).Canon() for
+//     keys) to keep it past Process. Symbol fields are exempt: their Str
+//     result is the interned name, stable for the process lifetime.
 //   - A tuple obtained from Collector.Borrow is owned by the caller
 //     until passed to Collector.Send, which consumes that ownership.
 //
@@ -33,22 +52,67 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
+	"unsafe"
 )
 
-// Value is a single field of a tuple. Supported dynamic types are
-// int64, float64, string and bool; this mirrors the field model of
-// Storm/Heron whose APIs BriskStream adopts.
-type Value any
+// Value is a dynamically typed field for the convenience surfaces
+// (Collector.Emit, New). The hot path writes typed slots directly via
+// the Append* methods and never boxes.
+type Value = any
+
+// Kind identifies the type of one tuple field slot.
+type Kind uint8
+
+const (
+	// KindNone marks an unset slot (and the empty Key of global windows).
+	KindNone Kind = iota
+	// KindInt is a 64-bit signed integer field.
+	KindInt
+	// KindFloat is a float64 field.
+	KindFloat
+	// KindBool is a boolean field.
+	KindBool
+	// KindStr is a string field stored in the tuple's byte arena.
+	KindStr
+	// KindSym is an interned symbol field (see InternSym): the slot
+	// holds the 4-byte symbol id, the text lives in the process-global
+	// symbol table.
+	KindSym
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindInt:
+		return "int64"
+	case KindFloat:
+		return "float64"
+	case KindBool:
+		return "bool"
+	case KindStr:
+		return "string"
+	case KindSym:
+		return "symbol"
+	default:
+		return fmt.Sprintf("kind#%d", uint8(k))
+	}
+}
+
+// MaxFields is the fixed slot capacity of a tuple. The evaluation
+// workloads top out at seven fields (LR's input records); a wider record
+// should be split or nested rather than grown past the inline array —
+// the fixed layout is what keeps the tuple allocation-free.
+const MaxFields = 8
 
 // Tuple is one data item flowing along a stream. Tuples are passed by
 // reference between operators in the same process; an output tuple is
 // exclusively accessible by its targeted consumer, so no defensive copy
 // is made (Section 5.1).
 type Tuple struct {
-	// Values are the payload fields, positionally matching the stream's
-	// declared schema.
-	Values []Value
 	// Stream is the interned id of the output stream this tuple was
 	// emitted on. Operators with a single output use DefaultStreamID
 	// (the zero value).
@@ -64,6 +128,17 @@ type Tuple struct {
 	// by it. Zero means "unset" (no event-time semantics on this path).
 	Event int64
 
+	// n counts the filled slots; kinds tags each slot's type; slots
+	// holds the payload: integer bits, float bits, 0/1 booleans, symbol
+	// ids, or (offset<<32 | length) ranges into arena for strings.
+	n     uint8
+	kinds [MaxFields]Kind
+	slots [MaxFields]uint64
+	// arena backs the tuple's string fields; it is recycled with the
+	// tuple, keeping its capacity, so steady-state string fields cost a
+	// byte copy and no allocation.
+	arena []byte
+
 	// pool and refs implement recycling: pool points back to the Pool
 	// the tuple came from (nil for ordinary GC-managed tuples), refs
 	// counts the outstanding references (accessed atomically).
@@ -74,103 +149,354 @@ type Tuple struct {
 // DefaultStream is the stream name used by operators with one output.
 const DefaultStream = "default"
 
-// New builds a non-pooled tuple on the default stream.
+// New builds a non-pooled tuple on the default stream from dynamically
+// typed values (a convenience for tests and wiring-time construction;
+// hot paths use a Pool and the typed Append* methods).
 func New(values ...Value) *Tuple {
-	return &Tuple{Values: values}
+	t := &Tuple{}
+	for _, v := range values {
+		t.Append(v)
+	}
+	return t
 }
 
 // OnStream builds a non-pooled tuple on a named stream (interning the
 // name; hot paths should pre-intern and set Stream directly).
 func OnStream(stream string, values ...Value) *Tuple {
-	return &Tuple{Values: values, Stream: Intern(stream)}
+	t := New(values...)
+	t.Stream = Intern(stream)
+	return t
 }
 
 // StreamName returns the name of the tuple's stream.
 func (t *Tuple) StreamName() string { return t.Stream.String() }
 
+// Len returns the number of filled fields.
+func (t *Tuple) Len() int { return int(t.n) }
+
+// Kind returns the kind of field i.
+func (t *Tuple) Kind(i int) Kind {
+	t.check(i)
+	return t.kinds[i]
+}
+
+// Reset clears the payload (fields and arena, keeping capacity) so the
+// tuple can be refilled. Stream, Ts and Event are untouched.
+func (t *Tuple) Reset() {
+	t.n = 0
+	t.arena = t.arena[:0]
+}
+
+// check panics on an out-of-range field index.
+func (t *Tuple) check(i int) {
+	if i < 0 || i >= int(t.n) {
+		panic(fmt.Sprintf("tuple: field %d out of range (tuple has %d)", i, t.n))
+	}
+}
+
+// grow reserves the next slot.
+func (t *Tuple) grow() int {
+	if int(t.n) >= MaxFields {
+		panic(fmt.Sprintf("tuple: too many fields (max %d)", MaxFields))
+	}
+	i := int(t.n)
+	t.n++
+	return i
+}
+
+// AppendInt appends an int64 field.
+func (t *Tuple) AppendInt(v int64) {
+	i := t.grow()
+	t.kinds[i] = KindInt
+	t.slots[i] = uint64(v)
+}
+
+// AppendFloat appends a float64 field.
+func (t *Tuple) AppendFloat(v float64) {
+	i := t.grow()
+	t.kinds[i] = KindFloat
+	t.slots[i] = math.Float64bits(v)
+}
+
+// AppendBool appends a boolean field.
+func (t *Tuple) AppendBool(v bool) {
+	i := t.grow()
+	t.kinds[i] = KindBool
+	if v {
+		t.slots[i] = 1
+	} else {
+		t.slots[i] = 0
+	}
+}
+
+// AppendStr appends a string field, copying the bytes into the tuple's
+// arena (no allocation once the arena capacity is warm).
+func (t *Tuple) AppendStr(s string) {
+	i := t.grow()
+	t.kinds[i] = KindStr
+	off := len(t.arena)
+	t.arena = append(t.arena, s...)
+	t.slots[i] = uint64(off)<<32 | uint64(len(s))
+}
+
+// AppendStrBytes appends a string field from a byte slice, copying into
+// the arena (sources building records in reusable buffers use it to
+// avoid the string conversion).
+func (t *Tuple) AppendStrBytes(b []byte) {
+	i := t.grow()
+	t.kinds[i] = KindStr
+	off := len(t.arena)
+	t.arena = append(t.arena, b...)
+	t.slots[i] = uint64(off)<<32 | uint64(len(b))
+}
+
+// AppendSym appends an interned symbol field.
+func (t *Tuple) AppendSym(s Sym) {
+	i := t.grow()
+	t.kinds[i] = KindSym
+	t.slots[i] = uint64(s)
+}
+
+// AppendKey appends a key extracted from another tuple with its kind
+// preserved (window operators emit their group key this way). Appending
+// the empty key panics.
+func (t *Tuple) AppendKey(k Key) {
+	switch k.kind {
+	case KindInt:
+		t.AppendInt(int64(k.num))
+	case KindFloat:
+		i := t.grow()
+		t.kinds[i] = KindFloat
+		t.slots[i] = k.num
+	case KindBool:
+		t.AppendBool(k.num != 0)
+	case KindStr:
+		t.AppendStr(k.str)
+	case KindSym:
+		t.AppendSym(Sym(k.num))
+	default:
+		panic("tuple: cannot append an empty key")
+	}
+}
+
+// Append appends one dynamically typed value (the boxing compat surface
+// behind Collector.Emit). Supported types: int64, int, float64, string,
+// bool, Sym and Key.
+func (t *Tuple) Append(v Value) {
+	switch x := v.(type) {
+	case int64:
+		t.AppendInt(x)
+	case int:
+		t.AppendInt(int64(x))
+	case float64:
+		t.AppendFloat(x)
+	case string:
+		t.AppendStr(x)
+	case bool:
+		t.AppendBool(x)
+	case Sym:
+		t.AppendSym(x)
+	case Key:
+		t.AppendKey(x)
+	default:
+		panic(fmt.Sprintf("tuple: unsupported field type %T", v))
+	}
+}
+
 // Int returns field i as an int64.
 func (t *Tuple) Int(i int) int64 {
-	switch v := t.Values[i].(type) {
-	case int64:
-		return v
-	case int:
-		return int64(v)
-	default:
-		panic(fmt.Sprintf("tuple: field %d is %T, not integer", i, t.Values[i]))
+	t.check(i)
+	if t.kinds[i] != KindInt {
+		panic(fmt.Sprintf("tuple: field %d is %v, not int64", i, t.kinds[i]))
 	}
+	return int64(t.slots[i])
 }
 
-// Float returns field i as a float64.
+// Float returns field i as a float64 (an integer field is converted).
 func (t *Tuple) Float(i int) float64 {
-	switch v := t.Values[i].(type) {
-	case float64:
-		return v
-	case int64:
-		return float64(v)
-	case int:
-		return float64(v)
+	t.check(i)
+	switch t.kinds[i] {
+	case KindFloat:
+		return math.Float64frombits(t.slots[i])
+	case KindInt:
+		return float64(int64(t.slots[i]))
 	default:
-		panic(fmt.Sprintf("tuple: field %d is %T, not float", i, t.Values[i]))
+		panic(fmt.Sprintf("tuple: field %d is %v, not float64", i, t.kinds[i]))
 	}
-}
-
-// String returns field i as a string.
-func (t *Tuple) String(i int) string {
-	if s, ok := t.Values[i].(string); ok {
-		return s
-	}
-	panic(fmt.Sprintf("tuple: field %d is %T, not string", i, t.Values[i]))
 }
 
 // Bool returns field i as a bool.
 func (t *Tuple) Bool(i int) bool {
-	if b, ok := t.Values[i].(bool); ok {
-		return b
+	t.check(i)
+	if t.kinds[i] != KindBool {
+		panic(fmt.Sprintf("tuple: field %d is %v, not bool", i, t.kinds[i]))
 	}
-	panic(fmt.Sprintf("tuple: field %d is %T, not bool", i, t.Values[i]))
+	return t.slots[i] != 0
+}
+
+// Str returns field i as a string. For an ordinary string field the
+// result is a zero-copy view into the tuple's arena, valid only while
+// the caller holds the tuple (clone to keep it past Process). For a
+// symbol field the result is the interned name, stable for the life of
+// the process.
+func (t *Tuple) Str(i int) string {
+	t.check(i)
+	switch t.kinds[i] {
+	case KindStr:
+		return t.strAt(i)
+	case KindSym:
+		return Sym(t.slots[i]).Name()
+	default:
+		panic(fmt.Sprintf("tuple: field %d is %v, not string", i, t.kinds[i]))
+	}
+}
+
+// strAt returns the arena view of string slot i (which must be KindStr).
+// The view aliases the arena: it stays valid while the tuple is held
+// (a grown arena's old backing array is kept alive by the view itself)
+// and dies when the tuple is recycled.
+func (t *Tuple) strAt(i int) string {
+	off := int(t.slots[i] >> 32)
+	ln := int(t.slots[i] & 0xffffffff)
+	if ln == 0 {
+		return ""
+	}
+	return unsafe.String(&t.arena[off], ln)
+}
+
+// Sym returns field i as an interned symbol.
+func (t *Tuple) Sym(i int) Sym {
+	t.check(i)
+	if t.kinds[i] != KindSym {
+		panic(fmt.Sprintf("tuple: field %d is %v, not symbol", i, t.kinds[i]))
+	}
+	return Sym(t.slots[i])
+}
+
+// Key returns field i as a grouping key. A string field's key borrows
+// the arena view — call Canon before storing it beyond the tuple's
+// lifetime (the window operators do, only when creating new state).
+func (t *Tuple) Key(i int) Key {
+	t.check(i)
+	k := Key{kind: t.kinds[i], num: t.slots[i]}
+	if k.kind == KindStr {
+		k.num = 0
+		k.str = t.strAt(i)
+	}
+	return k
+}
+
+// Value returns field i boxed as a dynamic value (debug/capture
+// surface; allocates for strings and large numbers). Symbol fields box
+// their interned name, so captured output is representation-agnostic.
+func (t *Tuple) Value(i int) Value {
+	t.check(i)
+	switch t.kinds[i] {
+	case KindInt:
+		return int64(t.slots[i])
+	case KindFloat:
+		return math.Float64frombits(t.slots[i])
+	case KindBool:
+		return t.slots[i] != 0
+	case KindStr:
+		return strings.Clone(t.strAt(i))
+	case KindSym:
+		return Sym(t.slots[i]).Name()
+	default:
+		return nil
+	}
+}
+
+// Hash hashes field i for fields-grouping (inline FNV-1a, no heap
+// hasher). String and symbol fields hash their text bytes — so a key
+// routes identically whether it travels interned or not — integers
+// hash their eight little-endian bytes, matching the historical
+// encoding so key→replica assignments are unchanged.
+func (t *Tuple) Hash(i int) uint64 {
+	t.check(i)
+	switch t.kinds[i] {
+	case KindInt:
+		return hashUint64(t.slots[i])
+	case KindFloat:
+		return hashUint64(t.slots[i])
+	case KindBool:
+		h := fnvOffset64
+		if t.slots[i] != 0 {
+			h ^= 1
+		}
+		return h * fnvPrime64
+	case KindStr:
+		return hashString(t.strAt(i))
+	case KindSym:
+		return hashString(Sym(t.slots[i]).Name())
+	default:
+		return fnvOffset64
+	}
+}
+
+// String formats the tuple's payload for debugging, like a value slice:
+// "[a 1 2.5]".
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < int(t.n); i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kinds[i] {
+		case KindInt:
+			fmt.Fprintf(&b, "%d", int64(t.slots[i]))
+		case KindFloat:
+			fmt.Fprintf(&b, "%v", math.Float64frombits(t.slots[i]))
+		case KindBool:
+			fmt.Fprintf(&b, "%t", t.slots[i] != 0)
+		case KindStr:
+			b.WriteString(t.strAt(i))
+		case KindSym:
+			b.WriteString(Sym(t.slots[i]).Name())
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // Size estimates the in-memory footprint of the tuple in bytes. This is
 // the N statistic of the performance model (average size per tuple); the
 // paper measures it with the classmexer agent, we compute it directly.
 func (t *Tuple) Size() int {
-	const header = 48 // struct + slice header + stream pointer + timestamp
-	n := header
-	for _, v := range t.Values {
-		n += 16 // interface header
-		switch x := v.(type) {
-		case string:
-			n += len(x)
-		case int64, float64:
-			n += 8
-		case int:
-			n += 8
-		case bool:
-			n++
-		default:
-			n += 8
-		}
-	}
-	return n
+	const header = 48 // struct header + stream id + timestamps
+	return header + 16*int(t.n) + len(t.arena)
 }
 
 // Clone deep-copies the tuple into a fresh non-pooled allocation. The
 // BriskStream path never calls this on the hot path; defensive-copy
 // emulation uses pooled copies via CopyFrom instead.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{Values: make([]Value, len(t.Values)), Stream: t.Stream, Ts: t.Ts, Event: t.Event}
-	copy(c.Values, t.Values)
+	c := &Tuple{Stream: t.Stream, Ts: t.Ts, Event: t.Event}
+	c.copyPayload(t)
 	return c
 }
 
-// CopyFrom overwrites this tuple's payload, stream and timestamp with
-// src's, reusing the Values backing array. It is the allocation-free
+// CopyFrom overwrites this tuple's payload, stream and timestamps with
+// src's, reusing the arena backing array. It is the allocation-free
 // deep copy used for fan-out and defensive-copy paths on pooled tuples.
 func (t *Tuple) CopyFrom(src *Tuple) {
-	t.Values = append(t.Values[:0], src.Values...)
+	t.copyPayload(src)
 	t.Stream = src.Stream
 	t.Ts = src.Ts
 	t.Event = src.Event
+}
+
+// CopyValuesFrom overwrites this tuple's payload with src's, leaving
+// Stream, Ts and Event alone — the forwarding shape of pass-through
+// operators.
+func (t *Tuple) CopyValuesFrom(src *Tuple) { t.copyPayload(src) }
+
+func (t *Tuple) copyPayload(src *Tuple) {
+	t.n = src.n
+	t.kinds = src.kinds
+	t.slots = src.slots
+	t.arena = append(t.arena[:0], src.arena...)
 }
 
 // Jumbo is a jumbo tuple: a batch of tuples from one producer to one
@@ -189,18 +515,21 @@ type Jumbo struct {
 // Len returns the number of tuples in the batch.
 func (j *Jumbo) Len() int { return len(j.Tuples) }
 
-type kind byte
-
+// Wire kind tags. They survive from the boxed era (int=1, float=2,
+// string=3, bool=4) so old traces stay readable; symbols are a new tag
+// and carry their text, re-interned on decode.
 const (
-	kindInt kind = iota + 1
-	kindFloat
-	kindString
-	kindBool
+	wireInt byte = iota + 1
+	wireFloat
+	wireString
+	wireBool
+	wireSym
 )
 
 // Marshal serializes the tuple into a compact binary frame. Only the
 // baseline (Storm-like) engine mode uses this; BriskStream passes
-// references.
+// references. The encoding is deterministic: equal tuples marshal to
+// identical bytes.
 func Marshal(t *Tuple, buf []byte) []byte {
 	buf = appendString(buf, t.Stream.String())
 	// A zero timestamp (no latency sample) is encoded as 0; calling
@@ -211,30 +540,30 @@ func Marshal(t *Tuple, buf []byte) []byte {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, ts)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Event))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.Values)))
-	for _, v := range t.Values {
-		switch x := v.(type) {
-		case int64:
-			buf = append(buf, byte(kindInt))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(x))
-		case int:
-			buf = append(buf, byte(kindInt))
-			buf = binary.BigEndian.AppendUint64(buf, uint64(x))
-		case float64:
-			buf = append(buf, byte(kindFloat))
-			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
-		case string:
-			buf = append(buf, byte(kindString))
-			buf = appendString(buf, x)
-		case bool:
-			buf = append(buf, byte(kindBool))
-			if x {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t.n))
+	for i := 0; i < int(t.n); i++ {
+		switch t.kinds[i] {
+		case KindInt:
+			buf = append(buf, wireInt)
+			buf = binary.BigEndian.AppendUint64(buf, t.slots[i])
+		case KindFloat:
+			buf = append(buf, wireFloat)
+			buf = binary.BigEndian.AppendUint64(buf, t.slots[i])
+		case KindStr:
+			buf = append(buf, wireString)
+			buf = appendString(buf, t.strAt(i))
+		case KindBool:
+			buf = append(buf, wireBool)
+			if t.slots[i] != 0 {
 				buf = append(buf, 1)
 			} else {
 				buf = append(buf, 0)
 			}
+		case KindSym:
+			buf = append(buf, wireSym)
+			buf = appendString(buf, Sym(t.slots[i]).Name())
 		default:
-			panic(fmt.Sprintf("tuple: cannot marshal %T", v))
+			panic(fmt.Sprintf("tuple: cannot marshal %v field", t.kinds[i]))
 		}
 	}
 	return buf
@@ -244,7 +573,9 @@ func Marshal(t *Tuple, buf []byte) []byte {
 var ErrCorrupt = errors.New("tuple: corrupt frame")
 
 // Unmarshal decodes a frame produced by Marshal and returns the decoded
-// tuple along with the number of bytes consumed.
+// tuple along with the number of bytes consumed. Symbol fields are
+// re-interned, so a decoded symbol key equals the key the original
+// tuple carried.
 func Unmarshal(buf []byte) (*Tuple, int, error) {
 	stream, off, err := readString(buf, 0)
 	if err != nil {
@@ -259,7 +590,10 @@ func Unmarshal(buf []byte) (*Tuple, int, error) {
 	off += 8
 	n := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
-	t := &Tuple{Stream: Intern(stream), Values: make([]Value, 0, n), Event: event}
+	if n > MaxFields {
+		return nil, 0, ErrCorrupt
+	}
+	t := &Tuple{Stream: Intern(stream), Event: event}
 	if ts != 0 {
 		t.Ts = time.Unix(0, ts)
 	}
@@ -267,34 +601,41 @@ func Unmarshal(buf []byte) (*Tuple, int, error) {
 		if off >= len(buf) {
 			return nil, 0, ErrCorrupt
 		}
-		k := kind(buf[off])
+		k := buf[off]
 		off++
 		switch k {
-		case kindInt:
+		case wireInt, wireFloat:
 			if off+8 > len(buf) {
 				return nil, 0, ErrCorrupt
 			}
-			t.Values = append(t.Values, int64(binary.BigEndian.Uint64(buf[off:])))
-			off += 8
-		case kindFloat:
-			if off+8 > len(buf) {
-				return nil, 0, ErrCorrupt
+			j := t.grow()
+			if k == wireInt {
+				t.kinds[j] = KindInt
+			} else {
+				t.kinds[j] = KindFloat
 			}
-			t.Values = append(t.Values, math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
+			t.slots[j] = binary.BigEndian.Uint64(buf[off:])
 			off += 8
-		case kindString:
+		case wireString:
 			s, o, err := readString(buf, off)
 			if err != nil {
 				return nil, 0, err
 			}
-			t.Values = append(t.Values, s)
+			t.AppendStr(s)
 			off = o
-		case kindBool:
+		case wireBool:
 			if off >= len(buf) {
 				return nil, 0, ErrCorrupt
 			}
-			t.Values = append(t.Values, buf[off] == 1)
+			t.AppendBool(buf[off] == 1)
 			off++
+		case wireSym:
+			s, o, err := readString(buf, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			t.AppendSym(InternSym(s))
+			off = o
 		default:
 			return nil, 0, ErrCorrupt
 		}
@@ -313,8 +654,34 @@ func readString(buf []byte, off int) (string, int, error) {
 	}
 	n := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
-	if off+n > len(buf) {
+	if n < 0 || off+n > len(buf) {
 		return "", 0, ErrCorrupt
 	}
 	return string(buf[off : off+n]), off + n, nil
+}
+
+// FNV-1a parameters for the inline field hash.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashString FNV-1a-hashes the bytes of s.
+func hashString(s string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashUint64 FNV-1a-hashes the eight little-endian bytes of u.
+func hashUint64(u uint64) uint64 {
+	h := fnvOffset64
+	for i := 0; i < 8; i++ {
+		h ^= (u >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
 }

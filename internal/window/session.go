@@ -31,8 +31,9 @@ type SessionOp[A any] struct {
 	// Merge folds src into dst when a bridging event fuses two
 	// sessions. src is recycled afterward.
 	Merge func(dst, src *A)
-	// Emit publishes one closed session; w.End is last event + Gap.
-	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+	// Emit publishes one closed session; w.End is last event + Gap. The
+	// key is the typed group key (KindNone when unkeyed).
+	Emit func(c engine.Collector, key tuple.Key, w Span, acc *A)
 	// Save and Load (de)serialize one accumulator for checkpointing
 	// (see Op.Save/Op.Load: optional, required together under
 	// checkpointing, and must round-trip).
@@ -48,18 +49,21 @@ type session[A any] struct {
 
 // sessList is the per-key list of open sessions, sorted by start.
 // Sessions per key are few (gap merging collapses them), so linear
-// scans beat any index.
+// scans beat any index. key is the canonical (owned) copy of the map
+// key — the stable key every fire-bucket registration uses, so borrowed
+// arena-view keys never outlive their tuple.
 type sessList[A any] struct {
-	s []session[A]
+	s   []session[A]
+	key tuple.Key
 }
 
 // skBucket lists keys with a session scheduled to fire at one instant.
-type skBucket struct{ keys []tuple.Value }
+type skBucket struct{ keys []tuple.Key }
 
 type sessionOp[A any] struct {
 	cfg    SessionOp[A]
 	tm     *engine.Timers
-	byKey  *state.Map[tuple.Value, sessList[A]]
+	byKey  *state.Map[tuple.Key, sessList[A]]
 	byFire *state.Map[int64, skBucket]
 	late   uint64
 }
@@ -78,7 +82,7 @@ func NewSession[A any](cfg SessionOp[A]) engine.Operator {
 	}
 	return &sessionOp[A]{
 		cfg:    cfg,
-		byKey:  state.NewMap[tuple.Value, sessList[A]](),
+		byKey:  state.NewMap[tuple.Key, sessList[A]](),
 		byFire: state.NewMap[int64, skBucket](),
 	}
 }
@@ -97,12 +101,12 @@ func (op *sessionOp[A]) watermark() int64 {
 // et+Gap) proto-session, merging every open session it overlaps.
 func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 	et := t.Event
-	var key tuple.Value
+	var key tuple.Key
 	if op.cfg.KeyField >= 0 {
-		if op.cfg.KeyField >= len(t.Values) {
-			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
+		if op.cfg.KeyField >= t.Len() {
+			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, t.Len())
 		}
-		key = normKey(t.Values[op.cfg.KeyField])
+		key = t.Key(op.cfg.KeyField)
 	}
 	if et+op.cfg.Gap+op.cfg.Lateness <= op.watermark() {
 		// Even a session containing only this event would already have
@@ -111,19 +115,37 @@ func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 		return nil
 	}
 
-	sl, created := op.byKey.GetOrCreate(key)
-	if created {
+	sl := op.byKey.Get(key)
+	if sl == nil {
+		// New key: canonicalize the borrowed key before it is stored (a
+		// no-op, and allocation-free, for every non-string kind).
+		key = key.Canon()
+		sl, _ = op.byKey.GetOrCreate(key)
 		sl.s = sl.s[:0]
+		sl.key = key
 	}
-	ns := session[A]{start: et, end: et + op.cfg.Gap}
+	// Build the event's [et, et+Gap) proto-session in a claimed slot at
+	// the end of the key's list — not in a local, which would escape to
+	// the heap through the Init/Add calls. Reviving recycled capacity
+	// (rather than appending a zero value) hands Init an accumulator
+	// with its previous life's internals, per the pooling contract.
+	n := len(sl.s)
+	if cap(sl.s) > n {
+		sl.s = sl.s[:n+1]
+	} else {
+		sl.s = append(sl.s, session[A]{})
+	}
+	ns := &sl.s[n]
+	ns.start, ns.end = et, et+op.cfg.Gap
 	op.cfg.Init(&ns.acc)
 	op.cfg.Add(&ns.acc, t)
 
 	// Merge overlapping sessions (at most a contiguous run, list is
-	// sorted by start). Accumulators merge in start order so the result
-	// is permutation-independent for commutative aggregates.
+	// sorted by start), compacting the kept prefix in place.
+	// Accumulators merge in start order so the result is
+	// permutation-independent for commutative aggregates.
 	kept := sl.s[:0]
-	for i := range sl.s {
+	for i := 0; i < n; i++ {
 		s := &sl.s[i]
 		if s.start < ns.end && ns.start < s.end {
 			if s.start < ns.start {
@@ -141,7 +163,8 @@ func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 			kept = append(kept, *s)
 		}
 	}
-	sl.s = append(kept, ns)
+	merged := *ns
+	sl.s = append(kept, merged)
 	slices.SortFunc(sl.s, func(a, b session[A]) int {
 		switch {
 		case a.start < b.start:
@@ -151,14 +174,15 @@ func (op *sessionOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 		}
 		return 0
 	})
-	op.scheduleFire(key, ns.end+op.cfg.Lateness)
+	op.scheduleFire(sl.key, merged.end+op.cfg.Lateness)
 	return nil
 }
 
 // scheduleFire registers the (possibly updated) fire time for a key's
-// session. Superseded registrations for earlier ends become stale; the
-// fire path validates the end before emitting.
-func (op *sessionOp[A]) scheduleFire(key tuple.Value, at int64) {
+// session (callers pass the canonical stored key, never a borrowed
+// arena view). Superseded registrations for earlier ends become stale;
+// the fire path validates the end before emitting.
+func (op *sessionOp[A]) scheduleFire(key tuple.Key, at int64) {
 	b, fresh := op.byFire.GetOrCreate(at)
 	if fresh {
 		b.keys = b.keys[:0]
@@ -180,8 +204,8 @@ func (op *sessionOp[A]) OnTimer(c engine.Collector, kind engine.TimerKind, at in
 	if b == nil {
 		return nil
 	}
-	slices.SortFunc(b.keys, CompareValues)
-	var prev tuple.Value
+	slices.SortFunc(b.keys, tuple.Key.Compare)
+	var prev tuple.Key
 	for i, key := range b.keys {
 		if i > 0 && key == prev {
 			continue // duplicate registration for the same key
@@ -243,8 +267,8 @@ func (op *sessionOp[A]) Snapshot(enc *checkpoint.Encoder) error {
 	}
 	enc.Uint64(op.late)
 	enc.Len(op.byKey.Len())
-	op.byKey.RangeSorted(CompareValues, func(key tuple.Value, sl *sessList[A]) bool {
-		enc.Value(key)
+	op.byKey.RangeSorted(tuple.Key.Compare, func(key tuple.Key, sl *sessList[A]) bool {
+		enc.Key(key)
 		enc.Len(len(sl.s))
 		for i := range sl.s {
 			enc.Int64(sl.s[i].start)
@@ -267,12 +291,13 @@ func (op *sessionOp[A]) Restore(dec *checkpoint.Decoder) error {
 	op.late = dec.Uint64()
 	nk := dec.Len()
 	for i := 0; i < nk && dec.Err() == nil; i++ {
-		key := dec.Value()
+		key := dec.Key()
 		sl, created := op.byKey.GetOrCreate(key)
 		if !created {
 			return fmt.Errorf("window: duplicate session key in snapshot")
 		}
 		sl.s = sl.s[:0]
+		sl.key = key
 		ns := dec.Len()
 		for j := 0; j < ns && dec.Err() == nil; j++ {
 			s := session[A]{start: dec.Int64(), end: dec.Int64()}
@@ -293,7 +318,7 @@ func (op *sessionOp[A]) LateCount() uint64 { return op.late }
 // OpenSessions reports the number of open sessions across keys.
 func (op *sessionOp[A]) OpenSessions() int {
 	n := 0
-	op.byKey.Range(func(_ tuple.Value, sl *sessList[A]) bool {
+	op.byKey.Range(func(_ tuple.Key, sl *sessList[A]) bool {
 		n += len(sl.s)
 		return true
 	})

@@ -24,7 +24,7 @@ func sessionCountOp(gap, lateness int64, out *[]emission) engine.Operator {
 			dst.count += src.count
 			dst.sum += src.sum
 		},
-		Emit: func(c engine.Collector, key tuple.Value, w Span, a *countAcc) {
+		Emit: func(c engine.Collector, key tuple.Key, w Span, a *countAcc) {
 			*out = append(*out, emission{key: key, w: w, count: a.count, sum: a.sum})
 		},
 	})
@@ -65,7 +65,9 @@ func TestSessionMergesBridgingEvents(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(key string, et int64) {
-		in.Values = append(in.Values[:0], key, int64(1))
+		in.Reset()
+		in.AppendStr(key)
+		in.AppendInt(1)
 		in.Event = et
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
@@ -103,7 +105,9 @@ func TestSessionFiresOnGapNotAtEnd(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(et int64) {
-		in.Values = append(in.Values[:0], "k", int64(1))
+		in.Reset()
+		in.AppendStr("k")
+		in.AppendInt(1)
 		in.Event = et
 		op.Process(nil, in)
 	}
@@ -135,7 +139,9 @@ func TestSessionLateDrop(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(et int64) {
-		in.Values = append(in.Values[:0], "k", int64(1))
+		in.Reset()
+		in.AppendStr("k")
+		in.AppendInt(1)
 		in.Event = et
 		op.Process(nil, in)
 	}
@@ -184,7 +190,9 @@ func TestSessionPropertyDeterministic(t *testing.T) {
 			th := op.(engine.TimerHandler)
 			in := &tuple.Tuple{}
 			for _, ev := range events {
-				in.Values = append(in.Values[:0], ev.key, int64(1))
+				in.Reset()
+				in.AppendStr(ev.key)
+				in.AppendInt(1)
 				in.Event = ev.et
 				if err := op.Process(nil, in); err != nil {
 					t.Fatal(err)

@@ -28,7 +28,7 @@ func snapCountOp(size, slide, lateness int64, out *[]emission) engine.Operator {
 			a.count++
 			a.sum += t.Int(1)
 		},
-		Emit: func(c engine.Collector, key tuple.Value, w Span, a *countAcc) {
+		Emit: func(c engine.Collector, key tuple.Key, w Span, a *countAcc) {
 			*out = append(*out, emission{key: key, w: w, count: a.count, sum: a.sum})
 		},
 		Save: func(enc *checkpoint.Encoder, a *countAcc) {
@@ -52,7 +52,9 @@ func drive(t *testing.T, op engine.Operator, tm *engine.Timers, events []event, 
 	in := &tuple.Tuple{}
 	maxEt := int64(-1 << 62)
 	for i, ev := range events {
-		in.Values = append(in.Values[:0], ev.key, int64(1))
+		in.Reset()
+		in.AppendStr(ev.key)
+		in.AppendInt(1)
 		in.Event = ev.et
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
@@ -170,7 +172,7 @@ func TestWindowSnapshotWithoutCodecFails(t *testing.T) {
 
 // sessEmission records one closed session.
 type sessEmission struct {
-	key tuple.Value
+	key tuple.Key
 	w   Span
 	n   int64
 }
@@ -184,7 +186,7 @@ func snapSessionOp(gap, lateness int64, out *[]sessEmission) engine.Operator {
 		Init:     func(a *acc) { a.n = 0 },
 		Add:      func(a *acc, t *tuple.Tuple) { a.n++ },
 		Merge:    func(dst, src *acc) { dst.n += src.n },
-		Emit: func(c engine.Collector, key tuple.Value, w Span, a *acc) {
+		Emit: func(c engine.Collector, key tuple.Key, w Span, a *acc) {
 			*out = append(*out, sessEmission{key: key, w: w, n: a.n})
 		},
 		Save: func(enc *checkpoint.Encoder, a *acc) { enc.Int64(a.n) },
@@ -254,48 +256,73 @@ func TestSessionSnapshotRestoreContinues(t *testing.T) {
 	}
 }
 
-// Go int keys must behave identically across a snapshot round-trip:
-// the encoding has one integer kind (int -> int64, like the tuple wire
-// format), so the operator canonicalizes keys at Process time — without
-// that, restored state (int64 keys) and replayed tuples (int keys)
-// would each get their own accumulator and every key would double-fire.
-func TestWindowSnapshotIntKeysRoundTrip(t *testing.T) {
-	var got []emission
-	op := snapCountOp(64, 0, 0, &got)
-	tm := engine.NewTimers()
-	op.(engine.TimerAware).SetTimers(tm)
-	in := &tuple.Tuple{}
-	feedOne := func(k int, et int64) {
-		in.Values = append(in.Values[:0], k, int64(1)) // plain Go int key
-		in.Event = et
-		if err := op.Process(nil, in); err != nil {
-			t.Fatal(err)
-		}
+// Typed keys must be byte-stable and identity-preserving across a
+// snapshot round-trip: for every key kind, a restored operator's keys
+// must equal the keys replayed tuples produce (one accumulator per
+// key, no splitting — the old int→int64 canonicalization hack is gone
+// because the slot representation has exactly one integer kind), and
+// re-snapshotting the restored state must reproduce the original bytes
+// exactly.
+func TestWindowSnapshotTypedKeysByteStableRoundTrip(t *testing.T) {
+	fill := map[string]func(in *tuple.Tuple){
+		"int":    func(in *tuple.Tuple) { in.AppendInt(7) },
+		"float":  func(in *tuple.Tuple) { in.AppendFloat(2.5) },
+		"bool":   func(in *tuple.Tuple) { in.AppendBool(true) },
+		"string": func(in *tuple.Tuple) { in.AppendStr("typed-key") },
+		"symbol": func(in *tuple.Tuple) { in.AppendSym(tuple.InternSym("typed-key-sym")) },
 	}
-	feedOne(7, 10)
-	feedOne(7, 11)
-	enc := checkpoint.NewEncoder()
-	if err := op.(checkpoint.Snapshotter).Snapshot(enc); err != nil {
-		t.Fatal(err)
-	}
-	restored := append([]emission(nil), got...)
-	op2 := snapCountOp(64, 0, 0, &restored)
-	tm2 := engine.NewTimers()
-	op2.(engine.TimerAware).SetTimers(tm2)
-	if err := op2.(checkpoint.Snapshotter).Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
-		t.Fatal(err)
-	}
-	in2 := &tuple.Tuple{Values: []tuple.Value{7, int64(1)}, Event: 12} // replayed int key
-	if err := op2.Process(nil, in2); err != nil {
-		t.Fatal(err)
-	}
-	if err := tm2.AdvanceWatermark(engine.WatermarkMax, func(at int64) error {
-		return op2.(engine.TimerHandler).OnTimer(nil, engine.EventTimer, at)
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if len(restored) != 1 || restored[0].count != 3 {
-		t.Fatalf("int key split across the round-trip: emissions %v, want one window with count 3", restored)
+	for name, appendKey := range fill {
+		t.Run(name, func(t *testing.T) {
+			var got []emission
+			op := snapCountOp(64, 0, 0, &got)
+			tm := engine.NewTimers()
+			op.(engine.TimerAware).SetTimers(tm)
+			in := &tuple.Tuple{}
+			feedOne := func(et int64, target engine.Operator) {
+				in.Reset()
+				appendKey(in)
+				in.AppendInt(1)
+				in.Event = et
+				if err := target.Process(nil, in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			feedOne(10, op)
+			feedOne(11, op)
+			enc := checkpoint.NewEncoder()
+			if err := op.(checkpoint.Snapshotter).Snapshot(enc); err != nil {
+				t.Fatal(err)
+			}
+			snap := append([]byte(nil), enc.Bytes()...)
+
+			restored := append([]emission(nil), got...)
+			op2 := snapCountOp(64, 0, 0, &restored)
+			tm2 := engine.NewTimers()
+			op2.(engine.TimerAware).SetTimers(tm2)
+			if err := op2.(checkpoint.Snapshotter).Restore(checkpoint.NewDecoder(snap)); err != nil {
+				t.Fatal(err)
+			}
+			// Byte stability: the restored state re-encodes to the exact
+			// original bytes.
+			enc2 := checkpoint.NewEncoder()
+			if err := op2.(checkpoint.Snapshotter).Snapshot(enc2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap, enc2.Bytes()) {
+				t.Fatalf("restored state re-encodes differently:\n %x\n %x", snap, enc2.Bytes())
+			}
+			// Key identity: a replayed tuple folds into the restored
+			// accumulator instead of opening a second one.
+			feedOne(12, op2)
+			if err := tm2.AdvanceWatermark(engine.WatermarkMax, func(at int64) error {
+				return op2.(engine.TimerHandler).OnTimer(nil, engine.EventTimer, at)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(restored) != 1 || restored[0].count != 3 {
+				t.Fatalf("%s key split across the round-trip: emissions %v, want one window with count 3", name, restored)
+			}
+		})
 	}
 }
 
@@ -315,7 +342,7 @@ func TestValidateSnapshotReportsMissingCodecs(t *testing.T) {
 		Init:  func(a *struct{ n int64 }) {},
 		Add:   func(a *struct{ n int64 }, t *tuple.Tuple) {},
 		Merge: func(dst, src *struct{ n int64 }) {},
-		Emit:  func(c engine.Collector, key tuple.Value, w Span, a *struct{ n int64 }) {},
+		Emit:  func(c engine.Collector, key tuple.Key, w Span, a *struct{ n int64 }) {},
 	})
 	if err := badS.(checkpoint.Validator).ValidateSnapshot(); err == nil {
 		t.Fatal("session without codecs must fail validation")

@@ -34,7 +34,6 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
-	"strings"
 
 	"briskstream/internal/checkpoint"
 	"briskstream/internal/engine"
@@ -69,10 +68,12 @@ type Op[A any] struct {
 	// during the call (the engine recycles it); values read out of it
 	// are immutable and may be kept.
 	Add func(acc *A, t *tuple.Tuple)
-	// Emit publishes one completed window. Emissions inherit the firing
-	// watermark as their event timestamp unless Emit assigns its own
-	// (stamping the window end is conventional).
-	Emit func(c engine.Collector, key tuple.Value, w Span, acc *A)
+	// Emit publishes one completed window. The key is the typed group
+	// key (KindNone for global windows); re-emit it with
+	// Tuple.AppendKey. Emissions inherit the firing watermark as their
+	// event timestamp unless Emit assigns its own (stamping the window
+	// end is conventional).
+	Emit func(c engine.Collector, key tuple.Key, w Span, acc *A)
 	// Save and Load (de)serialize one accumulator for checkpointing;
 	// both optional, but required together once the topology runs with
 	// checkpointing enabled — the operator's Snapshot fails without
@@ -85,7 +86,7 @@ type Op[A any] struct {
 
 // winKey identifies one (key, window start) accumulator.
 type winKey struct {
-	key   tuple.Value
+	key   tuple.Key
 	start int64
 }
 
@@ -143,12 +144,12 @@ func (op *windowOp[A]) watermark() int64 {
 // Process implements engine.Operator.
 func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 	et := t.Event
-	var key tuple.Value
+	var key tuple.Key
 	if op.cfg.KeyField >= 0 {
-		if op.cfg.KeyField >= len(t.Values) {
-			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, len(t.Values))
+		if op.cfg.KeyField >= t.Len() {
+			return fmt.Errorf("window: key field %d but tuple has %d values", op.cfg.KeyField, t.Len())
 		}
-		key = normKey(t.Values[op.cfg.KeyField])
+		key = t.Key(op.cfg.KeyField)
 	}
 	wm := op.watermark()
 
@@ -159,6 +160,7 @@ func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 	}
 
 	accepted := false
+	canonical := false
 	for _, sp := range op.spans {
 		fireAt := sp.End + op.cfg.Lateness
 		if fireAt <= wm {
@@ -166,8 +168,18 @@ func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 		}
 		accepted = true
 		wk := winKey{key: key, start: sp.Start}
-		acc, created := op.wins.GetOrCreate(wk)
-		if created {
+		acc := op.wins.Get(wk)
+		if acc == nil {
+			// New window: the stored key must outlive this tuple, so the
+			// borrowed arena-view key is canonicalized once per tuple (a
+			// no-op — and no allocation — for every non-string kind;
+			// intern hot string keys as symbols to avoid the clone).
+			if !canonical {
+				key = key.Canon()
+				wk.key = key
+				canonical = true
+			}
+			acc, _ = op.wins.GetOrCreate(wk)
 			op.cfg.Init(acc)
 			b, fresh := op.byFire.GetOrCreate(fireAt)
 			if fresh {
@@ -201,7 +213,7 @@ func (op *windowOp[A]) OnTimer(c engine.Collector, kind engine.TimerKind, at int
 		if d := cmp.Compare(x.start, y.start); d != 0 {
 			return d
 		}
-		return CompareValues(x.key, y.key)
+		return x.key.Compare(y.key)
 	})
 	for _, wk := range b.keys {
 		acc := op.wins.Get(wk)
@@ -249,7 +261,7 @@ func compareWinKeys(a, b winKey) int {
 	if d := cmp.Compare(a.start, b.start); d != 0 {
 		return d
 	}
-	return CompareValues(a.key, b.key)
+	return a.key.Compare(b.key)
 }
 
 // Snapshot implements checkpoint.Snapshotter: the open (key, window)
@@ -264,7 +276,7 @@ func (op *windowOp[A]) Snapshot(enc *checkpoint.Encoder) error {
 	enc.Uint64(op.late)
 	enc.Len(op.wins.Len())
 	op.wins.RangeSorted(compareWinKeys, func(wk winKey, acc *A) bool {
-		enc.Value(wk.key)
+		enc.Key(wk.key)
 		enc.Int64(wk.start)
 		op.cfg.Save(enc, acc)
 		return true
@@ -284,7 +296,7 @@ func (op *windowOp[A]) Restore(dec *checkpoint.Decoder) error {
 	op.late = dec.Uint64()
 	n := dec.Len()
 	for i := 0; i < n && dec.Err() == nil; i++ {
-		key := dec.Value()
+		key := dec.Key()
 		start := dec.Int64()
 		wk := winKey{key: key, start: start}
 		acc, created := op.wins.GetOrCreate(wk)
@@ -327,51 +339,6 @@ type Flusher interface {
 // LateCounter exposes the late-drop counter of a window operator.
 type LateCounter interface {
 	LateCount() uint64
-}
-
-// CompareValues orders two tuple field values deterministically:
-// same-typed values by their natural order, mixed types by formatted
-// representation (a stable fallback; keyed streams are same-typed in
-// practice).
-func CompareValues(a, b tuple.Value) int {
-	switch x := a.(type) {
-	case string:
-		if y, ok := b.(string); ok {
-			return strings.Compare(x, y)
-		}
-	case int64:
-		if y, ok := b.(int64); ok {
-			return cmp.Compare(x, y)
-		}
-	case float64:
-		if y, ok := b.(float64); ok {
-			return cmp.Compare(x, y)
-		}
-	case bool:
-		if y, ok := b.(bool); ok {
-			switch {
-			case x == y:
-				return 0
-			case y:
-				return -1
-			default:
-				return 1
-			}
-		}
-	}
-	return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
-}
-
-// normKey canonicalizes a key value: Go ints box as int64, so a key is
-// the same interface value before and after a snapshot round-trip (the
-// checkpoint encoding, like the tuple wire format, has a single integer
-// kind). Without this, restored state would live under int64 keys while
-// replayed tuples still carry int keys — two accumulators per key.
-func normKey(v tuple.Value) tuple.Value {
-	if x, ok := v.(int); ok {
-		return int64(x)
-	}
-	return v
 }
 
 // floorDiv is integer division rounding toward negative infinity, so

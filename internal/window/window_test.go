@@ -21,7 +21,7 @@ type event struct {
 
 // emission records one fired window.
 type emission struct {
-	key   tuple.Value
+	key   tuple.Key
 	w     Span
 	count int64
 	sum   int64
@@ -45,7 +45,7 @@ func countOp(size, slide, lateness int64, out *[]emission) engine.Operator {
 			a.count++
 			a.sum += t.Int(1)
 		},
-		Emit: func(c engine.Collector, key tuple.Value, w Span, a *countAcc) {
+		Emit: func(c engine.Collector, key tuple.Key, w Span, a *countAcc) {
 			*out = append(*out, emission{key: key, w: w, count: a.count, sum: a.sum})
 		},
 	})
@@ -64,7 +64,9 @@ func feed(t *testing.T, op engine.Operator, events []event, wmEvery int, lag int
 	maxEt := int64(-1 << 62)
 	in := &tuple.Tuple{}
 	for i, ev := range events {
-		in.Values = append(in.Values[:0], ev.key, int64(1))
+		in.Reset()
+		in.AppendStr(ev.key)
+		in.AppendInt(1)
 		in.Event = ev.et
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
@@ -137,7 +139,7 @@ func assertOrdered(t *testing.T, got []emission) {
 		if p.w.End > q.w.End {
 			t.Fatalf("emissions %d,%d out of window order: %+v then %+v", i-1, i, p, q)
 		}
-		if p.w.End == q.w.End && CompareValues(p.key, q.key) >= 0 {
+		if p.w.End == q.w.End && p.key.Compare(q.key) >= 0 {
 			t.Fatalf("emissions %d,%d out of key order: %+v then %+v", i-1, i, p, q)
 		}
 	}
@@ -213,7 +215,9 @@ func TestLateTuplesDroppedNotResurrected(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(key string, et int64) {
-		in.Values = append(in.Values[:0], key, int64(1))
+		in.Reset()
+		in.AppendStr(key)
+		in.AppendInt(1)
 		in.Event = et
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
@@ -249,7 +253,9 @@ func TestPartiallyLateTupleKeepsOpenPanes(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(et int64) {
-		in.Values = append(in.Values[:0], "k", int64(1))
+		in.Reset()
+		in.AppendStr("k")
+		in.AppendInt(1)
 		in.Event = et
 		op.Process(nil, in)
 	}
@@ -285,7 +291,9 @@ func TestLatenessExtendsFireTime(t *testing.T) {
 
 	in := &tuple.Tuple{}
 	add := func(et int64) {
-		in.Values = append(in.Values[:0], "k", int64(1))
+		in.Reset()
+		in.AppendStr("k")
+		in.AppendInt(1)
 		in.Event = et
 		op.Process(nil, in)
 	}
@@ -310,7 +318,9 @@ func TestFlushOpenDrainsWithoutWatermarks(t *testing.T) {
 	op := countOp(100, 0, 0, &out)
 	in := &tuple.Tuple{}
 	for i := 0; i < 10; i++ {
-		in.Values = append(in.Values[:0], fmt.Sprintf("k%d", i%3), int64(1))
+		in.Reset()
+		in.AppendStr(fmt.Sprintf("k%d", i%3))
+		in.AppendInt(1)
 		in.Event = int64(i * 40)
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
@@ -338,11 +348,13 @@ func TestWindowedAddPathAllocFree(t *testing.T) {
 	tm := engine.NewTimers()
 	op.(engine.TimerAware).SetTimers(tm)
 
-	keys := []tuple.Value{"alpha", "beta", "gamma", "delta"}
+	keys := []string{"alpha", "beta", "gamma", "delta"}
 	in := &tuple.Tuple{}
 	i := 0
 	emitOne := func() {
-		in.Values = append(in.Values[:0], keys[i%len(keys)], int64(1))
+		in.Reset()
+		in.AppendStr(keys[i%len(keys)])
+		in.AppendInt(1)
 		in.Event = int64(i % 1000)
 		if err := op.Process(nil, in); err != nil {
 			t.Fatal(err)
