@@ -15,14 +15,18 @@ test:
 
 # race focuses on the concurrent hot path (queue + engine) plus the
 # window/state/checkpoint subsystems and the windowed apps (including
-# the end-to-end kill/restore/replay recovery test); `make race-all`
-# covers every package and takes correspondingly longer.
+# the end-to-end kill/restore/replay recovery and rescale tests);
+# `make race-all` covers every package and takes correspondingly
+# longer. Both run with BRISK_VALIDATE_EVERY=1: every tuple is checked
+# against its route's declared schema (engine Config.ValidateEvery), so
+# an operator whose layout drifts after its first emit fails the race
+# suite instead of corrupting state silently.
 race:
-	$(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/apps/
+	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/apps/ .
 
 .PHONY: race-all
 race-all:
-	$(GO) test -race ./...
+	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./...
 
 # bench runs the queue/dispatch microbenchmarks that gate the SPSC
 # rework (mutex ring vs per-edge SPSC fan-in, and the dispatch path).
@@ -34,9 +38,11 @@ bench:
 # (throughput in and out, latency p50/p99, allocs/tuple, and the
 # checkpoint-on vs. checkpoint-off ingest overhead at 1s intervals) to
 # $(BENCH_JSON), tracking the data-path perf trajectory — including the
-# window/session and fault-tolerance paths — across PRs. CI runs it as
-# a non-gating step.
-BENCH_JSON ?= BENCH_PR5.json
+# window/session and fault-tolerance paths — across PRs. The report
+# also carries an "adaptive" comparison: static stale plan vs. the
+# autoscaler draining the same skew-shifting stream. CI runs it as a
+# non-gating step.
+BENCH_JSON ?= BENCH_PR6.json
 BENCH_JSON_DUR ?= 2s
 .PHONY: bench-json
 bench-json:
@@ -53,4 +59,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: vet fmt-check build
-	$(GO) test -race ./...
+	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./...

@@ -1,0 +1,348 @@
+package briskstream
+
+// The autoscaler: the closed profile → plan → rescale loop. Run with
+// RunConfig.Adaptive periodically snapshots the engine's live profiling
+// counters, reduces them into the statistics RLAS consumes, and asks
+// the adaptive Advisor whether a re-optimized plan beats the running
+// one by more than the configured gain. When it does, the engine is
+// rolled over online: an aligned checkpoint is triggered, its keyed
+// state re-sharded onto the recommended replication, and a fresh engine
+// restores the cut and replays the sources — so the rescaled run's
+// output is exactly the output of a static run.
+
+import (
+	"fmt"
+	"time"
+
+	"briskstream/internal/adaptive"
+	"briskstream/internal/checkpoint"
+	"briskstream/internal/engine"
+)
+
+// AdaptiveConfig enables and tunes the autoscaler.
+type AdaptiveConfig struct {
+	// Machine is the optimization target (required).
+	Machine *Machine
+	// Stats supplies the baseline operator statistics the initial plan
+	// is optimized with (required); live profiling refines them.
+	Stats map[string]OperatorStats
+	// Interval is the profiling/evaluation period (default 200ms).
+	Interval time.Duration
+	// SampleEvery times every k-th operator invocation for live
+	// profiling (default 64).
+	SampleEvery int
+	// Drift is the relative statistics change that counts as stale
+	// (default 0.2); Gain the minimum predicted relative improvement
+	// that justifies a rescale (default 0.1).
+	Drift, Gain float64
+	// MaxRescales bounds online rollovers (default 2).
+	MaxRescales int
+	// OnDecision observes every advisor verdict (optional; called on
+	// the autoscaler's control goroutine).
+	OnDecision func(AdaptiveDecision)
+}
+
+// AdaptiveDecision reports one advisor evaluation.
+type AdaptiveDecision struct {
+	// Rescaled reports whether the engine was rolled onto Replication.
+	Rescaled bool
+	// Replication is the recommended replica count per operator (nil
+	// when the advisor saw no drift).
+	Replication map[string]int
+	// CurrentPredicted and NewPredicted are modelled throughputs of the
+	// running and recommended plans under the observed statistics.
+	CurrentPredicted, NewPredicted float64
+	// Drifted lists the operators whose statistics moved.
+	Drifted []string
+	// Err reports a failed rescale attempt (the run continues).
+	Err error
+}
+
+// runAdaptive executes the topology under the autoscaler.
+func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
+	ac := cfg.Adaptive
+	if ac.Machine == nil || ac.Stats == nil {
+		return nil, fmt.Errorf("briskstream: Adaptive requires Machine and Stats")
+	}
+	interval := ac.Interval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	maxRescales := ac.MaxRescales
+	if maxRescales <= 0 {
+		maxRescales = 2
+	}
+
+	// Initial plan: RLAS under the baseline statistics, with ingress
+	// points pinned (a live source cannot be split or merged).
+	p, err := t.Optimize(OptimizeConfig{Machine: ac.Machine, Stats: ac.Stats, FixedSpouts: true})
+	if err != nil {
+		return nil, err
+	}
+	repl := t.pinnedReplication(p.Replication, cfg)
+	advisor, err := adaptive.New(t.g, p.stats, p.inner, adaptive.Config{
+		Machine: ac.Machine, Drift: ac.Drift, Gain: ac.Gain,
+		Optimizer: adaptive.OptimizerConfig{FixedSpouts: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	co := cfg.Checkpoint
+	if co == nil {
+		// Unlike plain checkpointed runs, the autoscaler itself consumes
+		// the checkpoints (they are the migration vehicle), so an
+		// internal coordinator is not dead weight.
+		co = checkpoint.NewCoordinator(nil)
+	}
+	ecfg := engine.DefaultConfig()
+	if cfg.BatchSize > 0 {
+		ecfg.BatchSize = cfg.BatchSize
+	}
+	if cfg.QueueCapacity > 0 {
+		ecfg.QueueCapacity = cfg.QueueCapacity
+	}
+	if cfg.Linger != 0 {
+		ecfg.Linger = max(cfg.Linger, 0)
+	}
+	ecfg.Checkpoint = co
+	ecfg.CheckpointInterval = cfg.CheckpointInterval
+	ecfg.AlignTimeout = cfg.AlignTimeout
+	ecfg.ProfileSampleEvery = ac.SampleEvery
+	if ecfg.ProfileSampleEvery <= 0 {
+		ecfg.ProfileSampleEvery = 64
+	}
+
+	total := &RunResult{Processed: map[string]uint64{}}
+	start := time.Now()
+	var restore *Checkpoint
+	resume := cfg.Resume
+	for {
+		segDur := time.Duration(0)
+		if cfg.Duration > 0 {
+			segDur = cfg.Duration - time.Since(start)
+			if segDur <= 0 {
+				break
+			}
+		}
+		e, err := engine.New(engine.Topology{
+			App: t.g, Spouts: t.spouts, Operators: t.operators,
+			Replication: repl, Schemas: t.schemas,
+		}, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		if restore != nil {
+			if err := e.RestoreFrom(restore); err != nil {
+				return nil, err
+			}
+			restore = nil
+		} else if resume {
+			if _, err := e.Restore(); err != nil {
+				return nil, err
+			}
+			resume = false
+		}
+		res, rescaled, err := t.superviseSegment(e, co, advisor, ac, interval, segDur, &repl, &restore, total.Rescales < maxRescales)
+		if err != nil {
+			return nil, err
+		}
+		total.Duration = time.Since(start)
+		total.SinkTuples += res.SinkTuples
+		total.AlignTimeouts += res.AlignTimeouts
+		total.Errors = append(total.Errors, res.Errors...)
+		for op, n := range res.Processed {
+			total.Processed[op] += n
+		}
+		total.LatencyP50 = res.Latency.Quantile(0.5) / 1e6
+		total.LatencyP99 = res.Latency.Quantile(0.99) / 1e6
+		if !rescaled {
+			break
+		}
+		total.Rescales++
+	}
+	if total.Duration > 0 {
+		total.Throughput = float64(total.SinkTuples) / total.Duration.Seconds()
+	}
+	return total, nil
+}
+
+// superviseSegment runs one engine segment under the profiling ticker.
+// It returns the segment result and whether the segment ended in a
+// rescale (repl and restore are then updated for the next segment).
+func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator, advisor *adaptive.Advisor, ac *AdaptiveConfig, interval, segDur time.Duration, repl *map[string]int, restore **Checkpoint, mayRescale bool) (*engine.Result, bool, error) {
+	resCh := make(chan *engine.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := e.Run(segDur)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- r
+	}()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-errCh:
+			return nil, false, err
+		case res := <-resCh:
+			return res, false, nil
+		case <-tick.C:
+		}
+		if err := advisor.RecordEngine(e.ProfileSnapshot()); err != nil {
+			continue // e.g. a zero-duration tick; just skip this sample
+		}
+		if !mayRescale {
+			continue
+		}
+		rec, err := advisor.Evaluate()
+		if err != nil {
+			continue // not enough history yet
+		}
+		dec := AdaptiveDecision{
+			CurrentPredicted: rec.CurrentPredicted,
+			NewPredicted:     rec.NewPredicted,
+			Drifted:          rec.DriftedOperators,
+		}
+		if !rec.Reoptimize {
+			if ac.OnDecision != nil {
+				ac.OnDecision(dec)
+			}
+			continue
+		}
+		observed, _ := advisor.ObservedStats()
+		newCfg, err := rec.Plan.Apply()
+		if err != nil {
+			dec.Err = err
+			if ac.OnDecision != nil {
+				ac.OnDecision(dec)
+			}
+			continue
+		}
+		newRepl := t.pinnedReplication(newCfg.Replication, RunConfig{Replication: *repl})
+		dec.Replication = newRepl
+		if sameReplication(newRepl, *repl) {
+			// Same shape, fresher statistics: adopt the baseline so the
+			// advisor stops re-recommending, but keep the engine running.
+			advisor.Adopt(rec.Plan, observed)
+			if ac.OnDecision != nil {
+				ac.OnDecision(dec)
+			}
+			continue
+		}
+		// Roll over: checkpoint the running engine, re-shard the cut
+		// onto the new replication, and only then kill — a failed
+		// re-shard leaves the run untouched.
+		cp2, err := t.migrateState(e, co, resCh, errCh, newRepl)
+		if err != nil {
+			dec.Err = err
+			if ac.OnDecision != nil {
+				ac.OnDecision(dec)
+			}
+			if cp2 == nil {
+				continue // checkpoint never completed; keep running
+			}
+			return nil, false, err
+		}
+		e.Kill()
+		select {
+		case err := <-errCh:
+			return nil, false, err
+		case res := <-resCh:
+			advisor.Adopt(rec.Plan, observed)
+			*repl = newRepl
+			*restore = cp2
+			dec.Rescaled = true
+			if ac.OnDecision != nil {
+				ac.OnDecision(dec)
+			}
+			return res, true, nil
+		}
+	}
+}
+
+// migrateState triggers an aligned checkpoint on the running engine,
+// waits for it to complete, and re-shards it onto newRepl. A nil
+// checkpoint with an error means the cut never completed (the caller
+// should keep running); a non-nil error after completion means the
+// migration itself failed.
+func (t *Topology) migrateState(e *engine.Engine, co *CheckpointCoordinator, resCh chan *engine.Result, errCh chan error, newRepl map[string]int) (*Checkpoint, error) {
+	id := e.TriggerCheckpoint()
+	if id == 0 {
+		return nil, fmt.Errorf("briskstream: checkpointing unavailable for rescale")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for co.LatestID() < id {
+		select {
+		case err := <-errCh:
+			errCh <- err
+			return nil, fmt.Errorf("briskstream: run failed while awaiting rescale checkpoint")
+		case res := <-resCh:
+			// The stream ended under us; no rescale needed.
+			resCh <- res
+			return nil, fmt.Errorf("briskstream: run finished before rescale checkpoint %d", id)
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("briskstream: rescale checkpoint %d did not complete", id)
+		}
+	}
+	cp, err := co.Latest()
+	if err != nil {
+		return nil, err
+	}
+	cp2, err := engine.ReshardCheckpoint(cp, engine.Topology{
+		App: t.g, Spouts: t.spouts, Operators: t.operators,
+	}, newRepl)
+	if err != nil {
+		return nil, err
+	}
+	return cp2, nil
+}
+
+// pinnedReplication adapts an optimizer replication to what the running
+// engine can adopt online: spout counts stay at their current values (a
+// replayable source's offsets are per-replica and cannot be split or
+// merged) and so do sink counts (sinks often hold non-keyed state, e.g.
+// received multisets, that has no re-sharding rule).
+func (t *Topology) pinnedReplication(planned map[string]int, cfg RunConfig) map[string]int {
+	cur := t.repl
+	if cfg.Replication != nil {
+		cur = cfg.Replication
+	}
+	out := make(map[string]int, len(planned))
+	for op, n := range planned {
+		out[op] = n
+	}
+	for _, n := range t.g.Nodes() {
+		if n.IsSpout || n.IsSink {
+			c := cur[n.Name]
+			if c <= 0 {
+				c = 1
+			}
+			out[n.Name] = c
+		}
+	}
+	return out
+}
+
+func sameReplication(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for op, n := range a {
+		bn := b[op]
+		if bn <= 0 {
+			bn = 1
+		}
+		if n <= 0 {
+			n = 1
+		}
+		if n != bn {
+			return false
+		}
+	}
+	return true
+}

@@ -472,6 +472,11 @@ type RunConfig struct {
 	// disables the bound. Abandoning never drops data — only the
 	// checkpoint attempt.
 	AlignTimeout time.Duration
+	// Adaptive enables the autoscaler: the run is planned by RLAS,
+	// profiled live, and elastically rescaled online when the advisor
+	// predicts a sufficiently better plan (see AdaptiveConfig).
+	// Replication is then chosen by the optimizer, not this config.
+	Adaptive *AdaptiveConfig
 }
 
 // RunResult reports a real-engine execution.
@@ -489,6 +494,9 @@ type RunResult struct {
 	// AlignTimeouts counts checkpoint alignment attempts abandoned by
 	// RunConfig.AlignTimeout (dropped checkpoint attempts, never data).
 	AlignTimeouts uint64
+	// Rescales counts online rollovers performed by the autoscaler
+	// (always 0 without RunConfig.Adaptive).
+	Rescales int
 	// Errors aggregates operator failures.
 	Errors []error
 }
@@ -497,6 +505,9 @@ type RunResult struct {
 func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Adaptive != nil {
+		return t.runAdaptive(cfg)
 	}
 	ecfg := engine.DefaultConfig()
 	if cfg.BatchSize > 0 {

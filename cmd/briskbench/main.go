@@ -361,6 +361,9 @@ type appBenchReport struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	PerRunDur  string        `json:"per_run_duration"`
 	Rows       []appBenchRow `json:"rows"`
+	// Adaptive compares a static stale plan against the autoscaler on
+	// the skew-shift word-count (see adaptive.go).
+	Adaptive *adaptiveBenchRow `json:"adaptive,omitempty"`
 }
 
 // appBenchJSON runs the benchmark applications (the paper's four plus
@@ -460,6 +463,12 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 				row.InputTPSCkpt, row.CkptOverheadPct, row.CkptCompleted)
 		}
 	}
+	ad, err := adaptiveBench()
+	if err != nil {
+		return err
+	}
+	report.Adaptive = ad
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

@@ -1,0 +1,113 @@
+package main
+
+// -live closes the loop the optimizer otherwise only predicts: the
+// optimized plan is translated into an engine configuration
+// (plan.Apply), executed on the real engine with live profiling on, and
+// the observed statistics are fed back through the adaptive advisor,
+// which reports how far the calibrated baseline drifted from this
+// machine's measured behaviour and whether re-optimization would pay.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"briskstream/internal/adaptive"
+	"briskstream/internal/apps"
+	"briskstream/internal/engine"
+	"briskstream/internal/numa"
+	"briskstream/internal/plan"
+	"briskstream/internal/rlas"
+)
+
+func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration) error {
+	ec, err := plan.Apply(r.Graph, r.Placement)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nengine config (plan.Apply):")
+	var labels []string
+	for label := range ec.Placement {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Printf("  %-22s socket %d\n", label, ec.Placement[label])
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.ProfileSampleEvery = 64
+	e, err := engine.New(a.Topology(ec.Replication), cfg)
+	if err != nil {
+		return err
+	}
+	adv, err := adaptive.New(a.Graph, a.Stats, r, adaptive.Config{Machine: m})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrunning live for %v (profile sampling every %d tuples)...\n", d, cfg.ProfileSampleEvery)
+	done := make(chan *engine.Result, 1)
+	go func() {
+		res, _ := e.Run(d)
+		done <- res
+	}()
+	tick := time.NewTicker(d / 4)
+	defer tick.Stop()
+	var res *engine.Result
+	for res == nil {
+		select {
+		case res = <-done:
+		case <-tick.C:
+			if err := adv.RecordEngine(e.ProfileSnapshot()); err != nil {
+				return err
+			}
+		}
+	}
+	if len(res.Errors) != 0 {
+		return res.Errors[0]
+	}
+	fmt.Printf("measured: %.1f K in-tuples/s over %v\n", ingestRate(a, res)/1000, res.Duration.Round(time.Millisecond))
+
+	observed, err := adv.ObservedStats()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nlive-profiled statistics (observed vs. calibrated baseline):")
+	var ops []string
+	for op := range observed {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st, base := observed[op], a.Stats[op]
+		fmt.Printf("  %-12s Te %8.1f ns (base %8.1f)   selectivity %6.2f (base %6.2f)\n",
+			op, st.Te, base.Te, st.TotalSelectivity(), base.TotalSelectivity())
+	}
+
+	rec, err := adv.Evaluate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nadvisor: drifted=%v  current plan predicts %.1f K/s under observed stats",
+		rec.DriftedOperators, rec.CurrentPredicted/1000)
+	if rec.Reoptimize {
+		fmt.Printf("\n  -> re-optimize: fresh plan predicts %.1f K/s (replication %v)\n",
+			rec.NewPredicted/1000, rec.Plan.Replication)
+	} else {
+		fmt.Println("\n  -> keep the current plan")
+	}
+	return nil
+}
+
+// ingestRate sums the spout processing rate of one run.
+func ingestRate(a *apps.App, res *engine.Result) float64 {
+	var ingested uint64
+	for _, n := range a.Graph.Spouts() {
+		ingested += res.Processed[n.Name]
+	}
+	if s := res.Duration.Seconds(); s > 0 {
+		return float64(ingested) / s
+	}
+	return 0
+}

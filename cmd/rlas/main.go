@@ -4,6 +4,14 @@
 //
 //	rlas -app WC -machine A
 //	rlas -app LR -machine B -sockets 4 -ratio 1
+//
+// -live closes the loop on the real engine: the plan is translated to
+// an engine configuration (replication + placement labels), run with
+// live profiling for the given duration, and the observed statistics
+// are fed back through the adaptive advisor, which prints the drift
+// against the calibrated baseline and its re-optimization verdict:
+//
+//	rlas -app WC -machine A -live 2s
 package main
 
 import (
@@ -30,6 +38,7 @@ func main() {
 		nodes   = flag.Int("nodes", 1500, "branch-and-bound node limit per round")
 		iters   = flag.Int("iters", 40, "max scaling iterations")
 		trace   = flag.Bool("trace", false, "print the per-iteration scaling trace")
+		live    = flag.Duration("live", 0, "run the plan on the real engine for this duration, live-profile it, and print the advisor's drift/re-optimization verdict")
 	)
 	flag.Parse()
 
@@ -102,6 +111,13 @@ func main() {
 		for i, tr := range r.Trace {
 			fmt.Printf("  iter %2d: %8.1f K/s  grew %-16s %v\n",
 				i, tr.Throughput/1000, tr.Bottleneck, tr.Replication)
+		}
+	}
+
+	if *live > 0 {
+		if err := runLive(a, m, r, *live); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

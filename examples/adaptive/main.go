@@ -1,174 +1,171 @@
-// Adaptive: online plan maintenance (the dynamic scenario of Section
-// 5.3). A word-count variant runs on the real engine while an Advisor
-// polls live rate snapshots; halfway through, the workload changes
-// (sentences shrink from 10 words to 2), the splitter's observed
-// selectivity drifts from its profile, and the advisor recommends a
-// re-optimized plan for the new workload.
+// Adaptive: the closed loop of online plan maintenance (the dynamic
+// scenario of Section 5.3), end to end on the public API. A word-count
+// variant runs under RunConfig.Adaptive: the engine live-profiles
+// itself, the advisor watches the measured statistics, and when the
+// workload changes a quarter of the way in (sentences grow from 2 words
+// to 10, so the splitter's selectivity drifts 5x from its profile) the
+// autoscaler re-optimizes and rolls the running engine onto the new
+// plan — aligned barrier, state re-shard, source replay — without
+// dropping or duplicating a single tuple.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
-	"strings"
-	"sync/atomic"
 	"time"
 
-	"briskstream/internal/adaptive"
-	"briskstream/internal/bnb"
-	"briskstream/internal/engine"
-	"briskstream/internal/graph"
-	"briskstream/internal/model"
-	"briskstream/internal/numa"
-	"briskstream/internal/profile"
-	"briskstream/internal/rlas"
-	"briskstream/internal/tuple"
+	briskstream "briskstream"
 )
 
-// wordsPerSentence is flipped by the workload-change event.
-var wordsPerSentence atomic.Int64
+const (
+	streamTuples = 400_000 // bounded stream: the run ends at EOF
+	pivot        = 100_000 // where the workload changes
+)
 
-func buildApp() (*graph.Graph, map[string]func() engine.Spout, map[string]func() engine.Operator, profile.Set) {
-	g := graph.New("adaptive-wc")
-	must := func(err error) {
-		if err != nil {
-			log.Fatal(err)
+var vocabulary = []string{
+	"stream", "process", "socket", "memory", "tuple", "operator",
+	"plan", "latency", "remote", "local", "numa", "core",
+	"thread", "queue", "batch", "window",
+}
+
+// spout emits 2-word sentences before the pivot and 10-word sentences
+// after. The stream is a pure function of the offset — the property
+// that makes it replayable through a rescale.
+type spout struct {
+	off int64
+	buf []byte
+}
+
+func (s *spout) Next(c briskstream.Collector) error {
+	if s.off >= streamTuples {
+		return io.EOF
+	}
+	off := s.off
+	s.off++
+	words := 2
+	if off >= pivot {
+		words = 10
+	}
+	s.buf = s.buf[:0]
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			s.buf = append(s.buf, ' ')
 		}
+		s.buf = append(s.buf, vocabulary[(off*7+int64(i)*13)%int64(len(vocabulary))]...)
 	}
-	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
-	must(g.AddNode(&graph.Node{Name: "splitter", Selectivity: map[string]float64{"default": 10}}))
-	must(g.AddNode(&graph.Node{Name: "counter", Selectivity: map[string]float64{"default": 1}}))
-	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
-	must(g.AddEdge(graph.Edge{From: "spout", To: "splitter", Stream: "default"}))
-	must(g.AddEdge(graph.Edge{From: "splitter", To: "counter", Stream: "default", Partitioning: graph.Fields}))
-	must(g.AddEdge(graph.Edge{From: "counter", To: "sink", Stream: "default"}))
-	must(g.Validate())
+	out := c.Borrow()
+	out.AppendStrBytes(s.buf)
+	out.Event = off + 1
+	c.Send(out)
+	if (off+1)%64 == 0 {
+		c.EmitWatermark(off + 1)
+	}
+	return nil
+}
 
-	spouts := map[string]func() engine.Spout{
-		"spout": func() engine.Spout {
-			i := 0
-			var words []string
-			return engine.SpoutFunc(func(c engine.Collector) error {
-				i++
-				n := int(wordsPerSentence.Load())
-				if cap(words) < n {
-					words = make([]string, n)
+func (s *spout) Offset() int64 { return s.off }
+
+func (s *spout) SeekTo(off int64) error {
+	s.off = off
+	return nil
+}
+
+func buildTopology() *briskstream.Topology {
+	t := briskstream.NewTopology("adaptive-wc")
+	t.Spout("spout", func() briskstream.Spout { return &spout{} }).
+		Emits(briskstream.DefaultStream, briskstream.StrField("sentence"))
+	t.Operator("splitter", func() briskstream.Operator {
+		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
+			sentence := tp.Str(0)
+			for i := 0; i < len(sentence); {
+				for i < len(sentence) && sentence[i] == ' ' {
+					i++
 				}
-				words = words[:n]
-				for j := range words {
-					words[j] = fmt.Sprintf("w%d", (i+j)%64)
+				start := i
+				for i < len(sentence) && sentence[i] != ' ' {
+					i++
 				}
-				out := c.Borrow()
-				out.AppendStr(strings.Join(words, " "))
-				c.Send(out)
-				return nil
-			})
-		},
-	}
-	ops := map[string]func() engine.Operator{
-		"splitter": func() engine.Operator {
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				for _, w := range strings.Fields(t.Str(0)) {
+				if i > start {
 					out := c.Borrow()
-					out.AppendSym(tuple.InternSym(w))
+					out.AppendStr(sentence[start:i])
 					c.Send(out)
 				}
-				return nil
-			})
-		},
-		"counter": func() engine.Operator {
-			counts := map[string]int64{}
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				w := t.Str(0) // symbol name: a stable map key
-				counts[w]++
+			}
+			return nil
+		})
+	}).Subscribe("spout", briskstream.Shuffle).
+		Selectivity(briskstream.DefaultStream, 2).
+		Emits(briskstream.DefaultStream, briskstream.StrField("word"))
+	t.Operator("counter", func() briskstream.Operator {
+		type cnt struct{ n int64 }
+		return briskstream.NewWindow(briskstream.WindowOp[cnt]{
+			KeyField: 0,
+			Size:     512,
+			Init:     func(a *cnt) { a.n = 0 },
+			Add:      func(a *cnt, tp *briskstream.Tuple) { a.n++ },
+			Emit: func(c briskstream.Collector, key briskstream.Key, w briskstream.WindowSpan, a *cnt) {
 				out := c.Borrow()
-				out.AppendSym(t.Sym(0))
-				out.AppendInt(counts[w])
+				out.AppendKey(key)
+				out.AppendInt(a.n)
+				out.Event = w.End
 				c.Send(out)
-				return nil
-			})
-		},
-		"sink": func() engine.Operator {
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-		},
-	}
-	stats := profile.Set{
-		"spout":    {Te: 450, M: 140, N: 70, Selectivity: map[string]float64{"default": 1}},
-		"splitter": {Te: 1600, M: 300, N: 70, Selectivity: map[string]float64{"default": 10}},
-		"counter":  {Te: 612, M: 80, N: 16, Selectivity: map[string]float64{"default": 1}},
-		"sink":     {Te: 100, M: 48, N: 24, Selectivity: map[string]float64{}},
-	}
-	return g, spouts, ops, stats
+			},
+			// Save/Load make the counter snapshottable — and therefore
+			// re-shardable when the autoscaler changes its replication.
+			Save: func(enc *briskstream.SnapshotEncoder, a *cnt) { enc.Int64(a.n) },
+			Load: func(dec *briskstream.SnapshotDecoder, a *cnt) error { a.n = dec.Int64(); return nil },
+		})
+	}).Subscribe("splitter", briskstream.FieldsKey(0)).
+		Emits(briskstream.DefaultStream, briskstream.StrField("word"), briskstream.IntField("count"))
+	t.Sink("sink", func() briskstream.Operator {
+		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error { return nil })
+	}).Subscribe("counter", briskstream.Shuffle)
+	return t
 }
 
 func main() {
-	wordsPerSentence.Store(10)
-	g, spouts, ops, stats := buildApp()
-	m := numa.ServerA()
+	topo := buildTopology()
 
-	fmt.Println("optimizing the initial plan (profiled selectivity 10)...")
-	seed, err := rlas.SeedReplication(g, stats, m.TotalCores(), 0.7)
+	// The baseline statistics describe the pre-pivot workload (short
+	// sentences, cheap counter); the pivot makes them stale mid-run.
+	stats := map[string]briskstream.OperatorStats{
+		"spout":    {ExecNs: 450, MemoryBytes: 140, TupleBytes: 24},
+		"splitter": {ExecNs: 400, MemoryBytes: 300, TupleBytes: 24},
+		"counter":  {ExecNs: 300, MemoryBytes: 80, TupleBytes: 12},
+		"sink":     {ExecNs: 100, MemoryBytes: 48, TupleBytes: 20, Selectivity: map[string]float64{}},
+	}
+
+	fmt.Println("running under the autoscaler (workload shifts 2 -> 10 words/sentence)...")
+	res, err := topo.Run(briskstream.RunConfig{Adaptive: &briskstream.AdaptiveConfig{
+		Machine:     briskstream.SyntheticMachine("demo", 2, 8),
+		Stats:       stats,
+		Interval:    50 * time.Millisecond,
+		SampleEvery: 32,
+		MaxRescales: 2,
+		OnDecision: func(d briskstream.AdaptiveDecision) {
+			switch {
+			case d.Err != nil:
+				fmt.Printf("  advisor: rescale attempt failed: %v\n", d.Err)
+			case d.Rescaled:
+				fmt.Printf("  advisor: drift %v -> RESCALE to %v (predicted %.1f -> %.1f K/s)\n",
+					d.Drifted, d.Replication, d.CurrentPredicted/1000, d.NewPredicted/1000)
+			case d.Replication != nil:
+				fmt.Printf("  advisor: drift %v, plan unchanged after pinning (%v)\n", d.Drifted, d.Replication)
+			default:
+				fmt.Printf("  advisor: drift %v, keeping the current plan (%.1f K/s predicted)\n",
+					d.Drifted, d.CurrentPredicted/1000)
+			}
+		},
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	current, err := rlas.Optimize(g, rlas.Config{
-		Model:         &model.Config{Machine: m, Stats: stats, Ingress: model.Saturated},
-		BnB:           bnb.Config{NodeLimit: 800},
-		Initial:       seed,
-		MaxIterations: 15,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if len(res.Errors) != 0 {
+		log.Fatal(res.Errors[0])
 	}
-	fmt.Printf("  predicted %.1f K events/s with replication %v\n\n",
-		current.Eval.Throughput/1000, current.Replication)
-
-	advisor, err := adaptive.New(g, stats, current, adaptive.Config{Machine: m, Gain: 0.05})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	e, err := engine.New(engine.Topology{App: g, Spouts: spouts, Operators: ops}, engine.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if _, err := e.Run(2 * time.Second); err != nil {
-			log.Fatal(err)
-		}
-	}()
-
-	poll := func(label string) {
-		advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
-		rec, err := advisor.Evaluate()
-		if err != nil {
-			fmt.Printf("  [%s] %v\n", label, err)
-			return
-		}
-		fmt.Printf("  [%s] drift=%v reoptimize=%v (current %.1f K/s, new %.1f K/s)\n",
-			label, rec.DriftedOperators, rec.Reoptimize,
-			rec.CurrentPredicted/1000, rec.NewPredicted/1000)
-		if rec.Reoptimize {
-			fmt.Printf("        recommended replication: %v\n", rec.Plan.Replication)
-		}
-	}
-
-	time.Sleep(300 * time.Millisecond)
-	advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
-	time.Sleep(500 * time.Millisecond)
-	fmt.Println("steady workload (10 words per sentence):")
-	poll("t=0.8s")
-
-	fmt.Println("\nworkload change: sentences shrink to 2 words")
-	wordsPerSentence.Store(2)
-	time.Sleep(700 * time.Millisecond)
-	advisor.Record(adaptive.Observation{Processed: e.Snapshot(), At: time.Now()})
-	time.Sleep(400 * time.Millisecond)
-	poll("t=1.9s")
-
-	<-done
-	fmt.Println("\nengine run complete.")
+	fmt.Printf("\ndrained %d sentences in %v (%d online rescale(s), %d sink tuples)\n",
+		streamTuples, res.Duration.Round(time.Millisecond), res.Rescales, res.SinkTuples)
 }

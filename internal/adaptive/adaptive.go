@@ -44,11 +44,18 @@ type Config struct {
 	// that justifies re-optimization (default 0.1 = 10%).
 	Gain float64
 	// Optimizer tunes the RLAS run used for recommendations.
-	Optimizer struct {
-		Compress      int
-		NodeLimit     int
-		MaxIterations int
-	}
+	Optimizer OptimizerConfig
+}
+
+// OptimizerConfig tunes the RLAS search inside Evaluate.
+type OptimizerConfig struct {
+	Compress      int
+	NodeLimit     int
+	MaxIterations int
+	// FixedSpouts pins spout replication during the scaling loop — set
+	// it when recommendations must be adoptable by a live engine, whose
+	// source replica count (and replay offsets) cannot change online.
+	FixedSpouts bool
 }
 
 // Advisor watches one application.
@@ -58,7 +65,8 @@ type Advisor struct {
 	current *rlas.Result
 	cfg     Config
 
-	history []Observation
+	history    []Observation
+	engHistory []profile.EngineSnapshot
 }
 
 // New creates an advisor for an application running under the given
@@ -118,13 +126,21 @@ func (a *Advisor) Rates() (map[string]float64, error) {
 	return rates, nil
 }
 
-// ObservedStats re-estimates operator statistics from live rates: for
-// every operator whose consumers each have it as their only producer,
-// the observed total selectivity is the ratio of consumer arrival rate
-// to its own processing rate, redistributed over its output streams in
-// the proportions of the original profile. Te/M/N are retained (they
-// would come from hardware counters in a production deployment).
+// ObservedStats re-estimates operator statistics from live data. When
+// the advisor has engine profile snapshots (RecordEngine), the measured
+// deltas win: Te, N, and selectivity come straight from the engine's
+// sampled counters via profile.FromEngine. Otherwise it falls back to
+// the rate heuristic: for every operator whose consumers each have it
+// as their only producer, the observed total selectivity is the ratio
+// of consumer arrival rate to its own processing rate, redistributed
+// over its output streams in the proportions of the original profile;
+// Te/M/N are retained.
 func (a *Advisor) ObservedStats() (profile.Set, error) {
+	if set, ok, err := a.engineStats(); err != nil {
+		return nil, err
+	} else if ok {
+		return set, nil
+	}
 	rates, err := a.Rates()
 	if err != nil {
 		return nil, err
@@ -171,8 +187,10 @@ func (a *Advisor) ObservedStats() (profile.Set, error) {
 	return out, nil
 }
 
-// Drifted lists operators whose observed total selectivity deviates from
-// the profiled one by more than the configured drift threshold, sorted.
+// Drifted lists operators whose observed statistics deviate from the
+// profiled baseline by more than the configured drift threshold —
+// total selectivity always, per-tuple execution time when it was
+// live-measured (engine snapshots) — sorted by name.
 func (a *Advisor) Drifted() ([]string, error) {
 	observed, err := a.ObservedStats()
 	if err != nil {
@@ -180,11 +198,11 @@ func (a *Advisor) Drifted() ([]string, error) {
 	}
 	var out []string
 	for op, st := range observed {
-		old := a.stats[op].TotalSelectivity()
-		if old <= 0 {
-			continue
-		}
-		if math.Abs(st.TotalSelectivity()-old)/old > a.cfg.Drift {
+		base := a.stats[op]
+		old := base.TotalSelectivity()
+		selDrift := old > 0 && math.Abs(st.TotalSelectivity()-old)/old > a.cfg.Drift
+		teDrift := base.Te > 0 && math.Abs(st.Te-base.Te)/base.Te > a.cfg.Drift
+		if selDrift || teDrift {
 			out = append(out, op)
 		}
 	}
@@ -242,6 +260,7 @@ func (a *Advisor) Evaluate() (*Recommendation, error) {
 		BnB:           bnb.Config{NodeLimit: a.cfg.Optimizer.NodeLimit},
 		Initial:       seed,
 		MaxIterations: a.cfg.Optimizer.MaxIterations,
+		FixedSpouts:   a.cfg.Optimizer.FixedSpouts,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,157 @@
+package apps
+
+// End-to-end elastic rescale: kill a checkpointed WC run mid-flight,
+// re-shard the completed checkpoint's keyed state onto a different
+// replication, restore it on a freshly built engine with the new
+// replica counts, replay the sources, and require the final output to
+// equal a static failure-free run's output exactly. This is the
+// execution half of the adaptive loop: checkpoint/restore as the
+// state-migration mechanism for online re-planning.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"briskstream/internal/checkpoint"
+	"briskstream/internal/engine"
+)
+
+// buildRescaleEngine wires WC with the given replication, a bounded
+// deterministic spout, and a recording sink.
+func buildRescaleEngine(t *testing.T, repl map[string]int, co *checkpoint.Coordinator, limit int64) (*engine.Engine, *recordingSink, engine.Topology) {
+	t.Helper()
+	app := WordCount()
+	sink := newRecordingSink()
+	ops := make(map[string]func() engine.Operator, len(app.Operators))
+	for name, mk := range app.Operators {
+		ops[name] = mk
+	}
+	ops["sink"] = func() engine.Operator { return sink }
+	r := map[string]int{"spout": 1}
+	for op, n := range repl {
+		r[op] = n
+	}
+	topo := engine.Topology{
+		App:         app.Graph,
+		Spouts:      map[string]func() engine.Spout{"spout": func() engine.Spout { return &limitSpout{inner: newWCSpout(424242), limit: limit} }},
+		Operators:   ops,
+		Replication: r,
+	}
+	cfg := engine.DefaultConfig()
+	if co != nil {
+		cfg.Checkpoint = co
+		cfg.CheckpointInterval = 2 * time.Millisecond
+	}
+	e, err := engine.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sink, topo
+}
+
+func TestRescaleOutputEqualsStatic(t *testing.T) {
+	const limit = 80000
+	oldRepl := map[string]int{"parser": 1, "splitter": 2, "counter": 2, "sink": 1}
+
+	// Static failure-free reference at the original replication.
+	refEngine, refSink, _ := buildRescaleEngine(t, oldRepl, nil, limit)
+	res, err := refEngine.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("reference run errors: %v", res.Errors)
+	}
+	if len(refSink.got) == 0 {
+		t.Fatal("reference run produced no sink output")
+	}
+
+	for _, tc := range []struct {
+		name    string
+		newRepl map[string]int
+	}{
+		{"counter_up_2_to_4", map[string]int{"parser": 1, "splitter": 2, "counter": 4, "sink": 1}},
+		{"counter_down_2_to_1", map[string]int{"parser": 1, "splitter": 2, "counter": 1, "sink": 1}},
+		{"counter_and_stateless_splitter", map[string]int{"parser": 2, "splitter": 3, "counter": 3, "sink": 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Checkpointed run at the old replication, killed mid-flight.
+			co := checkpoint.NewCoordinator(nil)
+			e, _, topo := buildRescaleEngine(t, oldRepl, co, limit)
+			done := make(chan *engine.Result, 1)
+			go func() {
+				r, _ := e.Run(0)
+				done <- r
+			}()
+			deadline := time.Now().Add(30 * time.Second)
+			for co.Completed() < 2 && time.Now().Before(deadline) {
+				select {
+				case r := <-done:
+					done <- r
+					deadline = time.Now()
+				default:
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+			e.Kill()
+			killRes := <-done
+			if len(killRes.Errors) != 0 {
+				t.Fatalf("killed run errors: %v", killRes.Errors)
+			}
+			cp, err := co.Latest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp == nil {
+				t.Fatal("no checkpoint completed before the kill — nothing to rescale from")
+			}
+
+			// Re-shard the cut onto the new replication and restore it on
+			// a freshly built engine.
+			cp2, err := engine.ReshardCheckpoint(cp, topo, tc.newRepl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, sink2, _ := buildRescaleEngine(t, tc.newRepl, nil, limit)
+			if err := e2.RestoreFrom(cp2); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: killed at sink=%d tuples, rescaling from checkpoint %d", tc.name, killRes.SinkTuples, cp.ID)
+			res2, err := e2.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res2.Errors) != 0 {
+				t.Fatalf("rescaled run errors: %v", res2.Errors)
+			}
+			if d := diffMultisets(refSink.got, sink2.got); d != "" {
+				t.Fatalf("rescaled output differs from static output: %s\n(static %d distinct keys, rescaled %d)",
+					d, len(refSink.got), len(sink2.got))
+			}
+		})
+	}
+}
+
+func TestReshardCheckpointRejectsSpoutRescale(t *testing.T) {
+	cp := &checkpoint.Checkpoint{ID: 1, Tasks: map[string][]byte{}}
+	app := WordCount()
+	topo := engine.Topology{App: app.Graph, Operators: app.Operators}
+	// Frame a minimal fake checkpoint: one spout replica, one of each op.
+	enc := checkpoint.NewEncoder()
+	enc.Bool(false)
+	enc.Bool(false)
+	cp.Tasks["spout#0"] = enc.Bytes()
+	for _, op := range []string{"parser", "splitter", "counter", "sink"} {
+		e := checkpoint.NewEncoder()
+		e.Int64(0)
+		e.Bool(false)
+		cp.Tasks[fmt.Sprintf("%s#0", op)] = e.Bytes()
+	}
+	if _, err := engine.ReshardCheckpoint(cp, topo, map[string]int{"spout": 2}); err == nil {
+		t.Fatal("rescaling a spout must be rejected")
+	}
+	if _, err := engine.ReshardCheckpoint(cp, topo, map[string]int{"splitter": 2}); err != nil {
+		t.Fatalf("stateless operator rescale: %v", err)
+	}
+}

@@ -53,6 +53,19 @@ type Snapshotter interface {
 	Restore(dec *Decoder) error
 }
 
+// Resharder is implemented by Snapshotters whose state is keyed and can
+// be re-partitioned across a different replica count. Reshard receives
+// the Snapshot payloads of every old replica of the operator and
+// returns exactly n payloads, one per new replica, such that every
+// (key, value) pair of the input appears in exactly one output shard —
+// the shard of its new owner, hash(key) % n, matching the engine's
+// fields routing. Each output payload must be a valid Restore input and
+// deterministic (encode keys in sorted order). Elastic rescaling
+// requires every stateful operator being rescaled to implement this.
+type Resharder interface {
+	Reshard(old [][]byte, n int) ([][]byte, error)
+}
+
 // Validator is implemented by Snapshotters whose ability to snapshot
 // depends on configuration (the window operators need Save/Load
 // codecs). The engine calls ValidateSnapshot at construction when

@@ -60,6 +60,11 @@ func (e *Encoder) Bytes64(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Raw appends bytes verbatim, with no length prefix: splicing an
+// encoding produced by another Encoder into this one (state resharding
+// recomposes snapshot payloads this way).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
 // Tags for Key encodings. They mirror the slot kinds tuple fields may
 // hold; vNone covers the empty key of global (unkeyed) windows. Symbol
 // keys encode as their interned name (vSym + string) — symbol ids are

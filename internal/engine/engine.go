@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"briskstream/internal/graph"
 	"briskstream/internal/metrics"
 	"briskstream/internal/numa"
+	"briskstream/internal/profile"
 	"briskstream/internal/queue"
 	"briskstream/internal/tuple"
 )
@@ -166,6 +168,19 @@ type Config struct {
 	// cannot park unbounded memory. Zero disables the bound.
 	AlignTimeout time.Duration
 
+	// ProfileSampleEvery times every k-th operator invocation (service
+	// time and input tuple size) for live profiling; ProfileSnapshot
+	// exposes the counters. Default 0 (off — the only data-path cost is
+	// one predictable branch per tuple).
+	ProfileSampleEvery int
+	// ValidateEvery checks every tuple against its route's declared
+	// schema instead of only the first per route — the debug mode the
+	// race test suite runs under, catching operators whose layout drifts
+	// after their first emit. DefaultConfig turns it on when the
+	// BRISK_VALIDATE_EVERY environment variable is non-empty (how `make
+	// race`/`make check` enable it suite-wide).
+	ValidateEvery bool
+
 	// Machine and RMAScale emulate the NUMA fetch penalty: when a task
 	// is placed on a different socket than the producing task, the
 	// consumer busy-waits FetchCost(N)*RMAScale nanoseconds per tuple
@@ -177,6 +192,11 @@ type Config struct {
 	Placement map[string]numa.SocketID
 }
 
+// validateEveryEnv reads the suite-wide schema debug switch once.
+var validateEveryEnv = sync.OnceValue(func() bool {
+	return os.Getenv("BRISK_VALIDATE_EVERY") != ""
+})
+
 // DefaultConfig returns the BriskStream-mode configuration.
 func DefaultConfig() Config {
 	return Config{
@@ -186,6 +206,7 @@ func DefaultConfig() Config {
 		Linger:             5 * time.Millisecond,
 		JumboTuples:        true,
 		PassByReference:    true,
+		ValidateEvery:      validateEveryEnv(),
 	}
 }
 
@@ -315,6 +336,15 @@ type task struct {
 	doneIn []bool
 
 	processed uint64
+	// Live-profiling counters (all atomically updated, read by
+	// ProfileSnapshot while the task runs). emitted counts output tuples
+	// handed to dispatch; serviceNs/serviceSamples/inBytes accumulate
+	// the sampled operator invocations (every Config.ProfileSampleEvery
+	// input tuples).
+	emitted        uint64
+	serviceNs      uint64
+	serviceSamples uint64
+	inBytes        uint64
 }
 
 // outEdge is one (producer, consumer) communication edge: the
@@ -592,6 +622,7 @@ type collector struct {
 	e        *Engine
 	t        *task
 	seq      uint64
+	pseq     uint64    // input-tuple counter driving profile sampling
 	curTs    time.Time // latency timestamp of the input tuple being processed
 	curEvent int64     // event time of the input tuple (or the advancing watermark)
 	fail     error
@@ -643,6 +674,7 @@ func (c *collector) Send(out *tuple.Tuple) {
 		// throttled or idle source returning without emitting produced
 		// nothing, and rate metrics divide by this counter).
 		atomic.AddUint64(&c.t.processed, 1)
+		atomic.AddUint64(&c.t.emitted, 1)
 		// Latency sampling: spouts stamp every k-th tuple.
 		if c.e.cfg.LatencySampleEvery > 0 {
 			c.seq++
@@ -651,6 +683,7 @@ func (c *collector) Send(out *tuple.Tuple) {
 			}
 		}
 	} else {
+		atomic.AddUint64(&c.t.emitted, 1)
 		// The latency timestamp propagates downstream so sinks can
 		// measure end-to-end latency; the event timestamp propagates
 		// input→output unless the operator assigned its own (windows
@@ -746,9 +779,10 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 		if r.stream != out.Stream {
 			continue
 		}
-		if r.schema != nil && !r.checked {
+		if r.schema != nil && (!r.checked || e.cfg.ValidateEvery) {
 			// First tuple on a declared route: validate the slot layout
-			// against the wiring-time schema, then trust the operator.
+			// against the wiring-time schema, then trust the operator
+			// (every tuple when the ValidateEvery debug mode is on).
 			r.checked = true
 			if err := r.schema.Check(out); err != nil {
 				t.scratch = dests[:0]
@@ -1060,6 +1094,10 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	req := e.ckptReq.Load()
 	for _, t := range e.tasks {
 		atomic.StoreUint64(&t.processed, 0)
+		atomic.StoreUint64(&t.emitted, 0)
+		atomic.StoreUint64(&t.serviceNs, 0)
+		atomic.StoreUint64(&t.serviceSamples, 0)
+		atomic.StoreUint64(&t.inBytes, 0)
 		t.tm.reset()
 		for i := range t.wmIn {
 			t.wmIn[i] = WatermarkMin
@@ -1342,8 +1380,24 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 			}
 		}
 		if t.operator != nil {
+			// Profile sampling: time every k-th invocation and record the
+			// input tuple's size, so a running engine yields the Te/N the
+			// performance model consumes without instrumenting every tuple.
+			var started time.Time
+			sampled := false
+			if e.cfg.ProfileSampleEvery > 0 {
+				if c.pseq++; c.pseq%uint64(e.cfg.ProfileSampleEvery) == 0 {
+					sampled = true
+					atomic.AddUint64(&t.inBytes, uint64(in.Size()))
+					started = time.Now()
+				}
+			}
 			if err := t.operator.Process(c, in); err != nil {
 				return fmt.Errorf("engine: operator %s: %w", t.label, err)
+			}
+			if sampled {
+				atomic.AddUint64(&t.serviceNs, uint64(time.Since(started)))
+				atomic.AddUint64(&t.serviceSamples, 1)
 			}
 			if c.fail != nil {
 				return c.fail
@@ -1418,6 +1472,32 @@ func (e *Engine) Snapshot() map[string]uint64 {
 
 // SinkCount returns the tuples received by sinks so far.
 func (e *Engine) SinkCount() uint64 { return e.sink.Value() }
+
+// ProfileSnapshot captures every task's live-profiling counters at this
+// instant: processed/emitted tuple counts, the sampled service-time and
+// input-size accumulators (populated when Config.ProfileSampleEvery is
+// set), and the live inbox depth. It is safe to call while the engine
+// runs; profile.FromEngine differences two snapshots into the Set the
+// optimizer consumes.
+func (e *Engine) ProfileSnapshot() profile.EngineSnapshot {
+	s := profile.EngineSnapshot{At: time.Now(), Tasks: make([]profile.TaskSnapshot, 0, len(e.tasks))}
+	for _, t := range e.tasks {
+		ts := profile.TaskSnapshot{
+			Op:             t.op,
+			Replica:        t.replica,
+			Processed:      atomic.LoadUint64(&t.processed),
+			Emitted:        atomic.LoadUint64(&t.emitted),
+			ServiceNs:      atomic.LoadUint64(&t.serviceNs),
+			ServiceSamples: atomic.LoadUint64(&t.serviceSamples),
+			InBytes:        atomic.LoadUint64(&t.inBytes),
+		}
+		if t.in != nil {
+			ts.QueueDepth = t.in.Len()
+		}
+		s.Tasks = append(s.Tasks, ts)
+	}
+	return s
+}
 
 func (e *Engine) recordErr(err error) {
 	e.errsMu.Lock()

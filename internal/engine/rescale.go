@@ -1,0 +1,136 @@
+package engine
+
+// Elastic rescale: checkpoint/restore doubling as the state-migration
+// mechanism for online re-planning. A completed aligned checkpoint is a
+// consistent cut whose keyed operator snapshots are key-addressable
+// (the window codecs encode per-(key, window) entries, tuple.Key hashes
+// byte-stably), so a checkpoint taken at one replication can be
+// re-sharded into an equivalent checkpoint for another: decode every
+// keyed entry, route it to its new hash(key) % replicas owner, and
+// re-frame per new task label. Restoring the re-sharded checkpoint on
+// an engine built with the new replication — sources sought back to the
+// recorded offsets — replays the exact post-cut stream into the
+// re-partitioned state, which is what makes a rescaled run's output
+// equal a static run's byte for byte.
+
+import (
+	"errors"
+	"fmt"
+
+	"briskstream/internal/checkpoint"
+)
+
+// ReshardCheckpoint translates a completed checkpoint of topo at its
+// old replication into an equivalent checkpoint for newRepl (operator
+// name -> replica count; absent means 1). Operators whose count is
+// unchanged keep their snapshots verbatim. A rescaled stateful operator
+// must implement checkpoint.Resharder (an instance is built from its
+// topology factory just to re-shard); its new replicas all restart from
+// the minimum of the old replicas' watermarks, which under-fires
+// nothing — replayed punctuations re-advance it. Spout and sink counts
+// must not change: replay offsets cannot be split or merged, and sinks
+// observe the output being compared.
+func ReshardCheckpoint(cp *checkpoint.Checkpoint, topo Topology, newRepl map[string]int) (*checkpoint.Checkpoint, error) {
+	if cp == nil {
+		return nil, errors.New("engine: ReshardCheckpoint needs a checkpoint")
+	}
+	out := &checkpoint.Checkpoint{ID: cp.ID, Tasks: make(map[string][]byte, len(cp.Tasks))}
+	for _, n := range topo.App.Nodes() {
+		oldCount := 0
+		for {
+			if _, ok := cp.Tasks[fmt.Sprintf("%s#%d", n.Name, oldCount)]; !ok {
+				break
+			}
+			oldCount++
+		}
+		if oldCount == 0 {
+			return nil, fmt.Errorf("engine: checkpoint %d has no snapshot for operator %q (topology changed?)", cp.ID, n.Name)
+		}
+		newCount := newRepl[n.Name]
+		if newCount <= 0 {
+			newCount = 1
+		}
+		if newCount == oldCount {
+			for i := 0; i < oldCount; i++ {
+				label := fmt.Sprintf("%s#%d", n.Name, i)
+				out.Tasks[label] = cp.Tasks[label]
+			}
+			continue
+		}
+		if n.IsSpout {
+			return nil, fmt.Errorf("engine: cannot rescale spout %q from %d to %d replicas (replay offsets are per-replica)", n.Name, oldCount, newCount)
+		}
+		// Unframe the old replicas: watermark, state flag, inner payload.
+		minWm := int64(0)
+		stateful := 0
+		inners := make([][]byte, 0, oldCount)
+		for i := 0; i < oldCount; i++ {
+			label := fmt.Sprintf("%s#%d", n.Name, i)
+			data := cp.Tasks[label]
+			dec := checkpoint.NewDecoder(data)
+			wm := dec.Int64()
+			hasState := dec.Bool()
+			if err := dec.Err(); err != nil {
+				return nil, fmt.Errorf("engine: checkpoint %d task %s: %w", cp.ID, label, err)
+			}
+			if i == 0 || wm < minWm {
+				minWm = wm
+			}
+			if hasState {
+				stateful++
+				inners = append(inners, data[len(data)-dec.Remaining():])
+			}
+		}
+		if stateful != 0 && stateful != oldCount {
+			return nil, fmt.Errorf("engine: operator %q has %d of %d stateful snapshots — cannot reshard a mixed checkpoint", n.Name, stateful, oldCount)
+		}
+		var shards [][]byte
+		if stateful > 0 {
+			factory, ok := topo.Operators[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("engine: no operator factory for %q", n.Name)
+			}
+			rs, ok := factory().(checkpoint.Resharder)
+			if !ok {
+				return nil, fmt.Errorf("engine: operator %q holds state but does not implement checkpoint.Resharder — cannot rescale it", n.Name)
+			}
+			var err error
+			if shards, err = rs.Reshard(inners, newCount); err != nil {
+				return nil, fmt.Errorf("engine: reshard %q: %w", n.Name, err)
+			}
+			if len(shards) != newCount {
+				return nil, fmt.Errorf("engine: reshard %q returned %d shards, want %d", n.Name, len(shards), newCount)
+			}
+		}
+		for i := 0; i < newCount; i++ {
+			enc := checkpoint.NewEncoder()
+			enc.Int64(minWm)
+			if stateful > 0 {
+				enc.Bool(true)
+				enc.Raw(shards[i])
+			} else {
+				enc.Bool(false)
+			}
+			out.Tasks[fmt.Sprintf("%s#%d", n.Name, i)] = enc.Bytes()
+		}
+	}
+	return out, nil
+}
+
+// RestoreFrom arranges for the next Run to rebuild every task from the
+// given checkpoint — typically one produced by ReshardCheckpoint, which
+// exists only in memory and not in any coordinator store. The
+// checkpoint's task labels must match this engine's topology exactly.
+// Like Restore, it must not be called while a run is in progress.
+func (e *Engine) RestoreFrom(cp *checkpoint.Checkpoint) error {
+	if cp == nil {
+		return errors.New("engine: RestoreFrom needs a checkpoint")
+	}
+	for _, t := range e.tasks {
+		if _, ok := cp.Tasks[t.label]; !ok {
+			return fmt.Errorf("engine: checkpoint %d has no snapshot for task %s", cp.ID, t.label)
+		}
+	}
+	e.restoreCp = cp
+	return nil
+}

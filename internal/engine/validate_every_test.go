@@ -1,0 +1,92 @@
+package engine
+
+// Config.ValidateEvery is the schema debug mode: every tuple is checked
+// against its route's declared schema, not just the first per route, so
+// an operator whose tuple layout drifts after its first emit fails
+// loudly instead of corrupting downstream state.
+
+import (
+	"io"
+	"testing"
+
+	"briskstream/internal/graph"
+	"briskstream/internal/tuple"
+)
+
+// driftingSpout emits a schema-correct (int) tuple first, then switches
+// to a wrong layout (str) — the drift only ValidateEvery catches.
+func driftingSpout(n int64) func() Spout {
+	return func() Spout {
+		var emitted int64
+		return SpoutFunc(func(c Collector) error {
+			if emitted >= n {
+				return io.EOF
+			}
+			emitted++
+			out := c.Borrow()
+			if emitted == 1 {
+				out.AppendInt(emitted)
+			} else {
+				out.AppendStr("drift")
+			}
+			c.Send(out)
+			return nil
+		})
+	}
+}
+
+func validateTopology(t *testing.T, n int64) Topology {
+	t.Helper()
+	g := graph.New("drift")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddNode(&graph.Node{Name: "spout", IsSpout: true, Selectivity: map[string]float64{"default": 1}}))
+	must(g.AddNode(&graph.Node{Name: "sink", IsSink: true}))
+	must(g.AddEdge(graph.Edge{From: "spout", To: "sink", Stream: "default"}))
+	must(g.Validate())
+	return Topology{
+		App:       g,
+		Spouts:    map[string]func() Spout{"spout": driftingSpout(n)},
+		Operators: map[string]func() Operator{"sink": sinkOp},
+		Schemas: map[string]map[string]*tuple.Schema{
+			"spout": {"default": tuple.NewSchema(tuple.IntField("v"))},
+		},
+	}
+}
+
+func TestValidateEveryCatchesSchemaDrift(t *testing.T) {
+	// First-tuple mode: only the first tuple is checked, the drift
+	// passes. Pinned off explicitly — DefaultConfig honours
+	// BRISK_VALIDATE_EVERY, which the race suites set.
+	cfg := DefaultConfig()
+	cfg.ValidateEvery = false
+	e, err := New(validateTopology(t, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("first-tuple mode flagged the drift: %v", res.Errors)
+	}
+
+	// Debug mode: every tuple is checked, the second one fails.
+	cfg.ValidateEvery = true
+	e, err = New(validateTopology(t, 100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("ValidateEvery missed a post-first-tuple schema drift")
+	}
+}

@@ -1,0 +1,55 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"briskstream/internal/numa"
+)
+
+// EngineConfig is an execution plan translated into the engine's terms:
+// the replica count per logical operator and the socket of every
+// "op#replica" task label. Apply produces it from an optimized
+// (ExecGraph, Placement) pair; the engine's Config consumes it
+// verbatim (Replication on the topology, Placement on the config).
+type EngineConfig struct {
+	Replication map[string]int
+	Placement   map[string]numa.SocketID
+}
+
+// Apply flattens an execution graph and its placement into an
+// EngineConfig. Fused vertices expand back to individual replicas: the
+// replicas of one operator are numbered 0..n-1 in vertex-index order,
+// each inheriting its vertex's socket. Every vertex must be placed.
+func Apply(eg *ExecGraph, p *Placement) (*EngineConfig, error) {
+	if eg == nil || p == nil {
+		return nil, fmt.Errorf("plan: Apply requires a graph and a placement")
+	}
+	if !p.Complete(eg) {
+		return nil, fmt.Errorf("plan: placement covers %d of %d vertices", p.Placed(), len(eg.Vertices))
+	}
+	cfg := &EngineConfig{
+		Replication: make(map[string]int, len(eg.byOp)),
+		Placement:   make(map[string]numa.SocketID, eg.TotalReplicas()),
+	}
+	ops := make([]string, 0, len(eg.byOp))
+	for op := range eg.byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		replica := 0
+		for _, v := range eg.OfOp(op) {
+			s, ok := p.SocketOf(v.ID)
+			if !ok {
+				return nil, fmt.Errorf("plan: vertex %s is unplaced", v.Label())
+			}
+			for i := 0; i < v.Count; i++ {
+				cfg.Placement[fmt.Sprintf("%s#%d", op, replica)] = s
+				replica++
+			}
+		}
+		cfg.Replication[op] = replica
+	}
+	return cfg, nil
+}

@@ -383,3 +383,11 @@ func ReEvaluate(r *Result, cfg *model.Config, policy model.TfPolicy) (*model.Res
 	c.Policy = policy
 	return model.Evaluate(r.Graph, r.Placement, &c, model.Options{})
 }
+
+// Apply flattens the optimized plan into engine configuration: the
+// replication map and the "op#replica" → socket placement the engine's
+// Config consumes. This is the planning-to-execution seam — callers no
+// longer hand-translate vertex labels.
+func (r *Result) Apply() (*plan.EngineConfig, error) {
+	return plan.Apply(r.Graph, r.Placement)
+}

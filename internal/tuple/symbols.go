@@ -35,6 +35,7 @@ type Sym uint32
 type symTable struct {
 	byName map[string]Sym
 	names  []string
+	bytes  int // total interned name bytes (capacity accounting)
 }
 
 var (
@@ -65,6 +66,7 @@ func InternSym(name string) Sym {
 	next := &symTable{
 		byName: make(map[string]Sym, len(cur.byName)+1),
 		names:  make([]string, len(cur.names), len(cur.names)+1),
+		bytes:  cur.bytes + len(name),
 	}
 	for k, v := range cur.byName {
 		next.byName[k] = v
@@ -74,6 +76,7 @@ func InternSym(name string) Sym {
 	next.byName[name] = s
 	next.names = append(next.names, name)
 	syms.Store(next)
+	checkSymWatermark(next)
 	return s
 }
 
@@ -101,6 +104,7 @@ func InternSyms(names ...string) []Sym {
 	next := &symTable{
 		byName: make(map[string]Sym, len(cur.byName)+missing),
 		names:  make([]string, len(cur.names), len(cur.names)+missing),
+		bytes:  cur.bytes,
 	}
 	for k, v := range cur.byName {
 		next.byName[k] = v
@@ -113,10 +117,12 @@ func InternSyms(names ...string) []Sym {
 			s = Sym(len(next.names))
 			next.byName[name] = s
 			next.names = append(next.names, name)
+			next.bytes += len(name)
 		}
 		out[i] = s
 	}
 	syms.Store(next)
+	checkSymWatermark(next)
 	return out
 }
 
@@ -150,3 +156,43 @@ func (s Sym) Name() string {
 // SymCount reports the number of interned symbols (bounded-cardinality
 // monitoring).
 func SymCount() int { return len(syms.Load().names) }
+
+// SymBytes reports the total bytes of interned symbol names (retained
+// for the life of the process).
+func SymBytes() int { return syms.Load().bytes }
+
+// symWatcher is one armed capacity watermark. fired makes it warn-once:
+// a runaway tokenizer interning per-tuple data would otherwise turn the
+// warning itself into per-tuple overhead.
+type symWatcher struct {
+	limit int
+	fn    func(count, bytes int)
+	fired atomic.Bool
+}
+
+var symWatch atomic.Pointer[symWatcher]
+
+// SetSymWatermark arms a warn-once callback invoked the first time the
+// intern table grows past limit symbols — the guard rail for the "never
+// intern unbounded per-tuple data" contract. The callback receives the
+// table's size and retained name bytes; it runs under the intern lock,
+// so it must only record or log — never intern. Re-arming replaces the
+// previous watermark (and its fired state); limit <= 0 or a nil fn
+// disarms.
+func SetSymWatermark(limit int, fn func(count, bytes int)) {
+	if limit <= 0 || fn == nil {
+		symWatch.Store(nil)
+		return
+	}
+	symWatch.Store(&symWatcher{limit: limit, fn: fn})
+}
+
+func checkSymWatermark(t *symTable) {
+	w := symWatch.Load()
+	if w == nil || len(t.names) <= w.limit {
+		return
+	}
+	if w.fired.CompareAndSwap(false, true) {
+		w.fn(len(t.names), t.bytes)
+	}
+}

@@ -320,6 +320,68 @@ func (op *windowOp[A]) Restore(dec *checkpoint.Decoder) error {
 	return dec.Err()
 }
 
+// Reshard implements checkpoint.Resharder: it re-partitions the union
+// of the old replicas' snapshot payloads across n new replicas, routing
+// every (key, window) accumulator to shard key.Hash() % n — the owner
+// the engine's fields partitioning will route that key's tuples to
+// after the rescale. Each output shard is a valid Restore payload with
+// its entries in the canonical (start, key) order; the late counter
+// (global, not keyed) is carried on shard 0.
+func (op *windowOp[A]) Reshard(old [][]byte, n int) ([][]byte, error) {
+	if op.cfg.Save == nil || op.cfg.Load == nil {
+		return nil, fmt.Errorf("window: resharding needs Op.Save and Op.Load")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("window: reshard to %d replicas", n)
+	}
+	type entry struct {
+		wk  winKey
+		acc []byte
+	}
+	shards := make([][]entry, n)
+	var late uint64
+	var acc A
+	ebuf := checkpoint.NewEncoder()
+	for _, payload := range old {
+		dec := checkpoint.NewDecoder(payload)
+		late += dec.Uint64()
+		cnt := dec.Len()
+		for i := 0; i < cnt && dec.Err() == nil; i++ {
+			key := dec.Key()
+			start := dec.Int64()
+			op.cfg.Init(&acc)
+			if err := op.cfg.Load(dec, &acc); err != nil {
+				return nil, err
+			}
+			ebuf.Reset()
+			op.cfg.Save(ebuf, &acc)
+			s := int(key.Hash() % uint64(n))
+			shards[s] = append(shards[s], entry{winKey{key: key, start: start}, slices.Clone(ebuf.Bytes())})
+		}
+		if err := dec.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, n)
+	for s := range shards {
+		slices.SortFunc(shards[s], func(a, b entry) int { return compareWinKeys(a.wk, b.wk) })
+		enc := checkpoint.NewEncoder()
+		if s == 0 {
+			enc.Uint64(late)
+		} else {
+			enc.Uint64(0)
+		}
+		enc.Len(len(shards[s]))
+		for _, e := range shards[s] {
+			enc.Key(e.wk.key)
+			enc.Int64(e.wk.start)
+			enc.Raw(e.acc)
+		}
+		out[s] = enc.Bytes()
+	}
+	return out, nil
+}
+
 // LateCount reports tuples dropped entirely: every window they were
 // assigned to had already fired. A tuple that still lands in at least
 // one open sliding pane is not counted. (The session operator counts

@@ -59,6 +59,10 @@ type OptimizeConfig struct {
 	SearchNodeLimit int
 	// MaxIterations caps scaling rounds (default 40).
 	MaxIterations int
+	// FixedSpouts pins spout replication during bottleneck scaling —
+	// required when the plan must be adoptable by a running engine
+	// (replay offsets are per-replica, so live sources cannot be split).
+	FixedSpouts bool
 }
 
 // Plan is an optimized execution plan.
@@ -109,6 +113,7 @@ func (t *Topology) Optimize(cfg OptimizeConfig) (*Plan, error) {
 		BnB:           bnb.Config{NodeLimit: nodeLimit},
 		MaxIterations: cfg.MaxIterations,
 		Initial:       seed,
+		FixedSpouts:   cfg.FixedSpouts,
 	}
 	r, err := rlas.Optimize(t.g, rcfg)
 	if err == bnb.ErrNoFeasiblePlacement && ingress == model.Saturated {
