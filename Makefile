@@ -34,20 +34,39 @@ bench:
 	$(GO) test -bench 'PutGet|EngineDispatch' -benchtime 1s -run xxx ./internal/queue/ ./internal/engine/
 
 # bench-json runs the benchmark apps (the paper's four plus the
-# windowed TW) on the real engine and writes machine-readable rows
-# (throughput in and out, latency p50/p99, allocs/tuple, and the
-# checkpoint-on vs. checkpoint-off ingest overhead at 1s intervals) to
-# $(BENCH_JSON), tracking the data-path perf trajectory — including the
-# window/session and fault-tolerance paths — across PRs. The report
-# also carries an "adaptive" comparison: static stale plan vs. the
-# autoscaler draining the same skew-shifting stream. CI runs it as a
-# non-gating step.
-BENCH_JSON ?= BENCH_PR6.json
+# windowed TW) on the real engine across the GOMAXPROCS x replication
+# x pinned/unpinned matrix and writes machine-readable rows
+# (throughput in and out, latency p50/p99, allocs/tuple, and — on the
+# single-core rows — the checkpoint-on vs. checkpoint-off ingest
+# overhead at 1s intervals) to $(BENCH_JSON), tracking the data-path
+# perf trajectory — including the multicore replication scaling the
+# paper is about — across PRs. The report also carries an "adaptive"
+# comparison: static stale plan vs. the autoscaler draining the same
+# skew-shifting stream. CI runs it as a non-gating step.
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_JSON_DUR ?= 2s
 .PHONY: bench-json
 bench-json:
-	$(GO) run ./cmd/briskbench -bench-json $(BENCH_JSON_DUR) > $(BENCH_JSON).tmp
+	$(GO) run ./cmd/briskbench -bench-json $(BENCH_JSON_DUR) -pin > $(BENCH_JSON).tmp
 	mv $(BENCH_JSON).tmp $(BENCH_JSON)
+
+# bench-multicore runs the parallel-sensitive microbenchmarks (SPSC
+# ring + reverse recycling ring + engine dispatch) at GOMAXPROCS=4,
+# the setting the multicore bench matrix rows use.
+.PHONY: bench-multicore
+bench-multicore:
+	GOMAXPROCS=4 $(GO) test -bench 'PutGet|FreeRing|EngineDispatch' -benchtime 1s -run xxx ./internal/queue/ ./internal/engine/
+
+# race-multicore re-runs the concurrent hot path with real parallelism
+# and pinned executors (BRISK_PIN; a no-op where affinity is
+# unsupported), the configuration CI's multicore step gates on. -short
+# drops the timing-comparative tests (and the duration-windowed app
+# suites are excluded entirely): with GOMAXPROCS above the core count
+# plus race-detector overhead, wall-clock comparisons flake while the
+# interleavings — what this target exists for — only get richer.
+.PHONY: race-multicore
+race-multicore:
+	GOMAXPROCS=4 BRISK_VALIDATE_EVERY=1 BRISK_PIN=1 $(GO) test -race -short ./internal/queue/ ./internal/engine/
 
 vet:
 	$(GO) vet ./...

@@ -21,7 +21,9 @@ import (
 
 // AdaptiveConfig enables and tunes the autoscaler.
 type AdaptiveConfig struct {
-	// Machine is the optimization target (required).
+	// Machine is the optimization target. Nil defaults to a model of
+	// the machine under us, built from the detected NUMA topology
+	// (HostMachine) — the right target when the plan will execute here.
 	Machine *Machine
 	// Stats supplies the baseline operator statistics the initial plan
 	// is optimized with (required); live profiling refines them.
@@ -61,8 +63,12 @@ type AdaptiveDecision struct {
 // runAdaptive executes the topology under the autoscaler.
 func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 	ac := cfg.Adaptive
-	if ac.Machine == nil || ac.Stats == nil {
-		return nil, fmt.Errorf("briskstream: Adaptive requires Machine and Stats")
+	if ac.Stats == nil {
+		return nil, fmt.Errorf("briskstream: Adaptive requires Stats")
+	}
+	machine := ac.Machine
+	if machine == nil {
+		machine = HostMachine()
 	}
 	interval := ac.Interval
 	if interval <= 0 {
@@ -75,13 +81,13 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 
 	// Initial plan: RLAS under the baseline statistics, with ingress
 	// points pinned (a live source cannot be split or merged).
-	p, err := t.Optimize(OptimizeConfig{Machine: ac.Machine, Stats: ac.Stats, FixedSpouts: true})
+	p, err := t.Optimize(OptimizeConfig{Machine: machine, Stats: ac.Stats, FixedSpouts: true})
 	if err != nil {
 		return nil, err
 	}
 	repl := t.pinnedReplication(p.Replication, cfg)
 	advisor, err := adaptive.New(t.g, p.stats, p.inner, adaptive.Config{
-		Machine: ac.Machine, Drift: ac.Drift, Gain: ac.Gain,
+		Machine: machine, Drift: ac.Drift, Gain: ac.Gain,
 		Optimizer: adaptive.OptimizerConfig{FixedSpouts: true},
 	})
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 	"briskstream/internal/experiments"
 	"briskstream/internal/graph"
 	"briskstream/internal/metrics"
+	"briskstream/internal/numa"
 	"briskstream/internal/tuple"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced fidelity (faster, same shapes)")
 		engineDur = flag.Duration("engine", 0, "run the real-engine queue/dispatch microbenchmark for this duration")
 		benchJSON = flag.Duration("bench-json", 0, "run the benchmark apps on the real engine for this duration each and print JSON perf rows")
+		pin       = flag.Bool("pin", false, "bench-json: add pinned-executor variants to the GOMAXPROCS x replication matrix (threads bound to their socket's CPUs; skipped where unsupported)")
 		rate      = flag.Float64("rate", 0, "token-bucket cap on spout output (tuples/sec across an app's spout replicas); 0 = unthrottled")
 		linger    = flag.Duration("linger", engine.DefaultConfig().Linger, "partial jumbo-batch flush timeout (0 disables)")
 		killAfter = flag.Duration("kill-after", 0, "fault-tolerance demo: kill the engine after this duration, then restore from the latest checkpoint and resume")
@@ -87,7 +89,7 @@ func main() {
 	}
 
 	if *benchJSON > 0 {
-		if err := appBenchJSON(*benchJSON, *rate, *linger, os.Stdout); err != nil {
+		if err := appBenchJSON(*benchJSON, *rate, *linger, *pin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -333,8 +335,14 @@ func killRecoverDemo(appName string, killAfter, interval time.Duration, dir stri
 // real-engine data path, serialized into the BENCH_PR*.json trajectory
 // files the Makefile's bench-json target maintains.
 type appBenchRow struct {
-	App         string  `json:"app"`
-	Replication int     `json:"replication"`
+	App         string `json:"app"`
+	Replication int    `json:"replication"`
+	// GOMAXPROCS and Pinned identify the row's point in the multicore
+	// matrix: the scheduler parallelism the row ran under, and whether
+	// task threads were bound to their socket's CPUs. Rows before PR 7
+	// were all {gomaxprocs: 1, pinned: false}.
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Pinned      bool    `json:"pinned"`
 	DurationSec float64 `json:"duration_sec"`
 	SinkTuples  uint64  `json:"sink_tuples"`
 	// ThroughputTPS is the sink-output rate; for windowed apps (WC, SD,
@@ -350,7 +358,8 @@ type appBenchRow struct {
 	// aligned checkpoints at a 1s interval; CkptOverheadPct is the
 	// relative throughput cost ((off-on)/off, percent — the subsystem
 	// targets <5%), and CkptCompleted counts the checkpoints that
-	// completed during the measurement.
+	// completed during the measurement. Measured on the GOMAXPROCS=1
+	// unpinned rows only (the cross-PR trajectory); zero elsewhere.
 	InputTPSCkpt    float64 `json:"input_tps_ckpt"`
 	CkptOverheadPct float64 `json:"ckpt_overhead_pct"`
 	CkptCompleted   uint64  `json:"ckpt_completed"`
@@ -366,41 +375,65 @@ type appBenchReport struct {
 	Adaptive *adaptiveBenchRow `json:"adaptive,omitempty"`
 }
 
+// benchVariant is one point of the multicore matrix bench-json sweeps
+// per application: scheduler parallelism x replication x pinning.
+type benchVariant struct {
+	gm     int
+	repl   int
+	pinned bool
+}
+
 // appBenchJSON runs the benchmark applications (the paper's four plus
-// the windowed TW) on the real engine at replication 1 and 4 and writes
-// machine-readable throughput, latency and allocation rows, so the perf
-// trajectory of the data path — including the window/session path — is
-// tracked across PRs (`make bench-json`).
-func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.File) error {
+// the windowed TW) on the real engine across a GOMAXPROCS x
+// replication (x pinned, with -pin) matrix and writes machine-readable
+// throughput, latency and allocation rows, so the perf trajectory of
+// the data path — including the multicore replication scaling the
+// paper is about — is tracked across PRs (`make bench-json`).
+func appBenchJSON(d time.Duration, rate float64, linger time.Duration, pin bool, w *os.File) error {
 	report := appBenchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		PerRunDur:  d.String(),
 	}
-	cfg := engine.DefaultConfig()
-	cfg.Linger = linger
+	variants := []benchVariant{
+		{gm: 1, repl: 1}, {gm: 1, repl: 4},
+		{gm: 4, repl: 1}, {gm: 4, repl: 4},
+	}
+	if pin {
+		if numa.PinSupported() {
+			variants = append(variants, benchVariant{gm: 4, repl: 1, pinned: true}, benchVariant{gm: 4, repl: 4, pinned: true})
+		} else {
+			fmt.Fprintln(os.Stderr, "-pin: thread affinity unsupported on this platform, skipping pinned rows")
+		}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	for _, a := range apps.Benchmarks() {
-		for _, repl := range []int{1, 4} {
+		for _, v := range variants {
+			runtime.GOMAXPROCS(v.gm)
+			cfg := engine.DefaultConfig()
+			cfg.Linger = linger
+			cfg.Pin = v.pinned // overrides BRISK_PIN either way: the row label must be honest
 			replication := map[string]int{}
 			for _, n := range a.Graph.Nodes() {
-				replication[n.Name] = repl
+				replication[n.Name] = v.repl
 			}
 			topo := a.Topology(replication)
 			topo.Spouts = throttleSpouts(a.Spouts, rate)
 			e, err := engine.New(topo, cfg)
 			if err != nil {
-				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
+				return fmt.Errorf("%s x%d: %w", a.Name, v.repl, err)
 			}
 			var m0, m1 runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&m0)
 			res, err := e.Run(d)
 			if err != nil {
-				return fmt.Errorf("%s x%d: %w", a.Name, repl, err)
+				return fmt.Errorf("%s x%d: %w", a.Name, v.repl, err)
 			}
 			runtime.ReadMemStats(&m1)
 			if len(res.Errors) != 0 {
-				return fmt.Errorf("%s x%d: %v", a.Name, repl, res.Errors[0])
+				return fmt.Errorf("%s x%d: %v", a.Name, v.repl, res.Errors[0])
 			}
 			var processed, ingested uint64
 			for _, n := range res.Processed {
@@ -411,7 +444,9 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 			}
 			row := appBenchRow{
 				App:           a.Name,
-				Replication:   repl,
+				Replication:   v.repl,
+				GOMAXPROCS:    v.gm,
+				Pinned:        v.pinned,
 				DurationSec:   res.Duration.Seconds(),
 				SinkTuples:    res.SinkTuples,
 				ThroughputTPS: res.Throughput,
@@ -428,41 +463,50 @@ func appBenchJSON(d time.Duration, rate float64, linger time.Duration, w *os.Fil
 
 			// Same configuration with aligned checkpoints at a 1s
 			// interval: the overhead column the subsystem is gated on.
-			co := checkpoint.NewCoordinator(nil)
-			ccfg := cfg
-			ccfg.Checkpoint = co
-			ccfg.CheckpointInterval = time.Second
-			ctopo := a.Topology(replication)
-			ctopo.Spouts = throttleSpouts(a.Spouts, rate)
-			ec, err := engine.New(ctopo, ccfg)
-			if err != nil {
-				return fmt.Errorf("%s x%d ckpt: %w", a.Name, repl, err)
-			}
-			resC, err := ec.Run(d)
-			if err != nil {
-				return fmt.Errorf("%s x%d ckpt: %w", a.Name, repl, err)
-			}
-			if len(resC.Errors) != 0 {
-				return fmt.Errorf("%s x%d ckpt: %v", a.Name, repl, resC.Errors[0])
-			}
-			var ingestedC uint64
-			for _, n := range a.Graph.Spouts() {
-				ingestedC += resC.Processed[n.Name]
-			}
-			if s := resC.Duration.Seconds(); s > 0 {
-				row.InputTPSCkpt = float64(ingestedC) / s
-			}
-			row.CkptCompleted = co.Completed()
-			if row.InputTPS > 0 {
-				row.CkptOverheadPct = (row.InputTPS - row.InputTPSCkpt) / row.InputTPS * 100
+			// Only on the single-core unpinned rows — the cross-PR
+			// trajectory — so the matrix growth doesn't double the wall
+			// time of every new row.
+			if v.gm == 1 && !v.pinned {
+				co := checkpoint.NewCoordinator(nil)
+				ccfg := cfg
+				ccfg.Checkpoint = co
+				ccfg.CheckpointInterval = time.Second
+				ctopo := a.Topology(replication)
+				ctopo.Spouts = throttleSpouts(a.Spouts, rate)
+				ec, err := engine.New(ctopo, ccfg)
+				if err != nil {
+					return fmt.Errorf("%s x%d ckpt: %w", a.Name, v.repl, err)
+				}
+				resC, err := ec.Run(d)
+				if err != nil {
+					return fmt.Errorf("%s x%d ckpt: %w", a.Name, v.repl, err)
+				}
+				if len(resC.Errors) != 0 {
+					return fmt.Errorf("%s x%d ckpt: %v", a.Name, v.repl, resC.Errors[0])
+				}
+				var ingestedC uint64
+				for _, n := range a.Graph.Spouts() {
+					ingestedC += resC.Processed[n.Name]
+				}
+				if s := resC.Duration.Seconds(); s > 0 {
+					row.InputTPSCkpt = float64(ingestedC) / s
+				}
+				row.CkptCompleted = co.Completed()
+				if row.InputTPS > 0 {
+					row.CkptOverheadPct = (row.InputTPS - row.InputTPSCkpt) / row.InputTPS * 100
+				}
 			}
 
 			report.Rows = append(report.Rows, row)
-			fmt.Fprintf(os.Stderr, "%-3s x%d: %12.0f in-tuples/s %10.0f out/s  %.3f allocs/tuple  ckpt %.0f/s (%+.1f%%, %d completed)\n",
-				a.Name, repl, row.InputTPS, row.ThroughputTPS, row.AllocsPerTuple,
-				row.InputTPSCkpt, row.CkptOverheadPct, row.CkptCompleted)
+			pinTag := ""
+			if v.pinned {
+				pinTag = " pinned"
+			}
+			fmt.Fprintf(os.Stderr, "%-3s x%d p%d%s: %12.0f in-tuples/s %10.0f out/s  %.3f allocs/tuple\n",
+				a.Name, v.repl, v.gm, pinTag, row.InputTPS, row.ThroughputTPS, row.AllocsPerTuple)
 		}
 	}
+	runtime.GOMAXPROCS(prev)
 	ad, err := adaptiveBench()
 	if err != nil {
 		return err

@@ -35,8 +35,22 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration) erro
 		fmt.Printf("  %-22s socket %d\n", label, ec.Placement[label])
 	}
 
+	// Execute the placement on the machine actually under us: fold the
+	// model's sockets onto the detected host topology and let the engine
+	// pin each task thread to its socket (where the OS supports it).
+	host := numa.DetectHost()
+	if n := len(host.Sockets); n < m.Sockets {
+		ec.FoldOnto(n)
+		fmt.Printf("  (placement folded onto the %d-socket host)\n", n)
+	}
+
 	cfg := engine.DefaultConfig()
 	cfg.ProfileSampleEvery = 64
+	cfg.Placement = ec.Placement
+	cfg.Host = host
+	if numa.PinSupported() {
+		fmt.Printf("pinning task threads to their sockets on %s\n", host)
+	}
 	e, err := engine.New(a.Topology(ec.Replication), cfg)
 	if err != nil {
 		return err

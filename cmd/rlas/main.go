@@ -2,8 +2,13 @@
 // and prints the resulting execution plan: replication levels, socket
 // placement, predicted throughput and the bottleneck trace.
 //
-//	rlas -app WC -machine A
+//	rlas -app WC
 //	rlas -app LR -machine B -sockets 4 -ratio 1
+//
+// The default target is the machine under us: the NUMA topology probed
+// from sysfs (numa.DetectHost), turned into a calibrated model. The
+// paper's Table 2 servers remain available as -machine A (KunLun) and
+// -machine B (DL980).
 //
 // -live closes the loop on the real engine: the plan is translated to
 // an engine configuration (replication + placement labels), run with
@@ -32,7 +37,7 @@ import (
 func main() {
 	var (
 		appName = flag.String("app", "WC", "application: WC, FD, SD or LR")
-		machine = flag.String("machine", "A", "target machine: A (KunLun) or B (DL980)")
+		machine = flag.String("machine", "host", "target machine: host (detected topology), A (KunLun) or B (DL980)")
 		sockets = flag.Int("sockets", 8, "number of sockets to enable (1-8)")
 		ratio   = flag.Int("ratio", 5, "execution-graph compress ratio r")
 		nodes   = flag.Int("nodes", 1500, "branch-and-bound node limit per round")
@@ -49,12 +54,14 @@ func main() {
 	}
 	var m *numa.Machine
 	switch *machine {
+	case "host", "HOST":
+		m = numa.DetectHost().Machine()
 	case "A", "a":
 		m = numa.ServerA()
 	case "B", "b":
 		m = numa.ServerB()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown machine %q (use A or B)\n", *machine)
+		fmt.Fprintf(os.Stderr, "unknown machine %q (use host, A or B)\n", *machine)
 		os.Exit(2)
 	}
 	if *sockets < m.Sockets {

@@ -187,14 +187,46 @@ type Config struct {
 	// before processing. Zero scale or nil machine disables emulation.
 	Machine  *numa.Machine
 	RMAScale float64
-	// Placement maps "op#replica" labels to sockets (only used when
-	// Machine is set).
+	// Placement maps "op#replica" labels to sockets. With Machine set it
+	// drives the RMA emulation; on platforms with affinity support a
+	// placement is also physical — each placed task thread is bound to
+	// its socket's CPUs, exactly as if Pin were on.
 	Placement map[string]numa.SocketID
+
+	// Pin executes every task goroutine on a locked OS thread bound to
+	// its socket's CPU set (sched_setaffinity on Linux; a no-op where
+	// unsupported). The socket comes from Placement; without a placement
+	// tasks spread round-robin across the host's sockets. Affinity is
+	// restored and the thread unlocked when the task exits, so Run stays
+	// reusable and threads return clean to the runtime's pool.
+	// DefaultConfig turns it on when the BRISK_PIN environment variable
+	// is non-empty (how CI's multicore race step enables it suite-wide).
+	Pin bool
+	// Host is the physical topology Pin binds against and per-socket
+	// memory shards by; nil probes it via numa.DetectHost(). Placement
+	// sockets beyond the host's range wrap around, so plans computed
+	// for the paper's 8-socket servers run anywhere.
+	Host *numa.Host
+	// RecycleRingCap is the capacity of the per-(producer, consumer)
+	// reverse recycling ring: released tuples flow back producer-ward
+	// through it so steady-state recycling never crosses sockets via
+	// sync.Pool. 0 defaults to 4x BatchSize; negative disables the
+	// rings (releases ride sync.Pool as before).
+	RecycleRingCap int
+	// TrackPools counts every task pool's tuple gets and puts
+	// (Engine.PoolStats), the accounting the leak/double-free property
+	// tests balance. Off the hot path when false (the default).
+	TrackPools bool
 }
 
 // validateEveryEnv reads the suite-wide schema debug switch once.
 var validateEveryEnv = sync.OnceValue(func() bool {
 	return os.Getenv("BRISK_VALIDATE_EVERY") != ""
+})
+
+// pinEnv reads the suite-wide thread-pinning switch once.
+var pinEnv = sync.OnceValue(func() bool {
+	return os.Getenv("BRISK_PIN") != ""
 })
 
 // DefaultConfig returns the BriskStream-mode configuration.
@@ -207,6 +239,7 @@ func DefaultConfig() Config {
 		JumboTuples:        true,
 		PassByReference:    true,
 		ValidateEvery:      validateEveryEnv(),
+		Pin:                pinEnv(),
 	}
 }
 
@@ -262,6 +295,10 @@ type Result struct {
 	// exceeded Config.AlignTimeout (each one is a dropped checkpoint
 	// attempt at that task, never a dropped tuple).
 	AlignTimeouts uint64
+	// PinnedTasks counts the tasks whose goroutine ran bound to its
+	// socket's CPU set this run (0 unless Config.Pin is on and the
+	// platform supports thread affinity).
+	PinnedTasks int
 	// Errors aggregates operator failures (panics are recovered and
 	// reported here; the rest of the pipeline is shut down cleanly).
 	Errors []error
@@ -277,10 +314,18 @@ type task struct {
 	isSink   bool
 	in       *queue.Inbox[*tuple.Jumbo]
 	socket   numa.SocketID
+	// pinCPUs is the CPU set this task's thread binds to (empty: run
+	// unpinned); set at New when Config.Pin is on and supported.
+	pinCPUs []int
 
 	// pool recycles this task's output tuples: consumers release each
 	// processed tuple back here once every reference is dropped.
 	pool *tuple.Pool
+	// rev holds, indexed by producer task id, the reverse recycling ring
+	// back to that producer's pool (nil for non-producers or when the
+	// rings are disabled). Only this task's goroutine feeds a ring (via
+	// ReleaseTo after Process); only the producer drains it (in Get).
+	rev []*tuple.RecycleRing
 	// mbuf is the reusable marshal buffer for the serialization-emulation
 	// mode (one per task; tasks are single-goroutine).
 	mbuf []byte
@@ -430,11 +475,17 @@ type Engine struct {
 	// hand consumers a separate object.
 	ptrSend bool
 
-	// jumboPool recycles jumbo tuples (header + batch slice with cap =
+	// jumboPools recycle jumbo tuples (header + batch slice with cap =
 	// BatchSize) between the producer that fills one and the consumer
 	// that drains it, so the steady-state hot path allocates neither
-	// headers nor slices per flush.
-	jumboPool sync.Pool
+	// headers nor slices per flush. One pool per socket in use, indexed
+	// by the acting task's socket, so header memory stays NUMA-local
+	// under a placement.
+	jumboPools []sync.Pool
+
+	// pinned counts successfully pinned task threads (reset per run,
+	// reported in Result.PinnedTasks).
+	pinned atomic.Int32
 
 	// coord receives checkpoint acks (nil disables checkpointing);
 	// ckptReq is the id of the most recently triggered checkpoint, read
@@ -477,11 +528,6 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 		e.ckptSeq.Store(e.coord.LatestID())
 		e.ckptReq.Store(e.coord.LatestID())
 	}
-	batch := cfg.BatchSize
-	e.jumboPool.New = func() any {
-		return &tuple.Jumbo{Tuples: make([]*tuple.Tuple, 0, batch)}
-	}
-
 	for _, n := range topo.App.Nodes() {
 		repl := 1
 		if topo.Replication != nil && topo.Replication[n.Name] > 0 {
@@ -514,8 +560,51 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 			if cfg.Placement != nil {
 				t.socket = cfg.Placement[t.label]
 			}
+			if cfg.TrackPools {
+				t.pool.EnableStats()
+			}
 			e.tasks = append(e.tasks, t)
 			e.byOp[n.Name] = append(e.byOp[n.Name], t)
+		}
+	}
+
+	// Make the placement physical: with Pin on — or any Placement given,
+	// since a socket assignment the threads ignore is decorative — every
+	// task thread binds to its socket's CPU set. Tasks without a
+	// placement spread round-robin over the host sockets, so plain
+	// `Pin: true` on a multi-socket box already separates replicas.
+	if (cfg.Pin || cfg.Placement != nil) && numa.PinSupported() {
+		host := cfg.Host
+		if host == nil {
+			host = numa.DetectHost()
+		}
+		if len(host.Sockets) > 0 {
+			for _, t := range e.tasks {
+				if cfg.Placement == nil {
+					t.socket = numa.SocketID(t.id % len(host.Sockets))
+				}
+				t.pinCPUs = host.CPUsOf(t.socket)
+			}
+		}
+	}
+
+	// Shard the jumbo header pool by socket so batch headers allocate
+	// and recycle on the socket of the task touching them. Unplaced
+	// topologies collapse to one pool — the previous behaviour.
+	nsock := 1
+	for _, t := range e.tasks {
+		if t.socket < 0 {
+			t.socket = 0 // a malformed placement must not break pool indexing
+		}
+		if s := int(t.socket) + 1; s > nsock {
+			nsock = s
+		}
+	}
+	batch := cfg.BatchSize
+	e.jumboPools = make([]sync.Pool, nsock)
+	for i := range e.jumboPools {
+		e.jumboPools[i].New = func() any {
+			return &tuple.Jumbo{Tuples: make([]*tuple.Tuple, 0, batch)}
 		}
 	}
 
@@ -540,7 +629,13 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 	// Wire routes and per-edge SPSC rings. One ring per distinct
 	// (producer task, consumer task) pair: an operator pair may be
 	// connected by several streams, but all of them share the edge's
-	// ring, and the producing task closes its rings exactly once.
+	// ring, and the producing task closes its rings exactly once. Each
+	// edge also gets a reverse recycling ring (consumer → producer's
+	// pool) unless disabled.
+	revCap := cfg.RecycleRingCap
+	if revCap == 0 {
+		revCap = 4 * cfg.BatchSize
+	}
 	for _, n := range topo.App.Nodes() {
 		for _, edge := range topo.App.Out(n.Name) {
 			consumers := e.byOp[edge.To]
@@ -568,6 +663,12 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 						oe := &outEdge{consumer: ct, ring: ct.in.Bind(), idx: len(pt.outList)}
 						pt.out[ct.id] = oe
 						pt.outList = append(pt.outList, oe)
+						if revCap > 0 {
+							for len(ct.rev) <= pt.id {
+								ct.rev = append(ct.rev, nil)
+							}
+							ct.rev[pt.id] = pt.pool.NewRecycleRing(revCap)
+						}
 					}
 				}
 			}
@@ -839,9 +940,10 @@ func (e *Engine) dispatch(t *task, out *tuple.Tuple) error {
 		}
 		if err := e.buffer(t, d.c, out, false); err != nil {
 			// Consumers already holding the tuple release their own
-			// references; drop the ones for this and the undelivered
-			// sends so the tuple still recycles (shutdown/abort path).
-			for ; shares > 0; shares-- {
+			// references, and the failing send released the reference it
+			// carried; drop the remaining undelivered shares so the
+			// tuple still recycles (shutdown/abort path).
+			for shares--; shares > 0; shares-- {
 				out.Release()
 			}
 			return err
@@ -876,7 +978,7 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 	}
 	oe := t.out[consumer.id]
 	if oe.jumbo == nil {
-		oe.jumbo = e.jumboPool.Get().(*tuple.Jumbo)
+		oe.jumbo = e.getJumbo(t)
 		oe.seq++
 		if e.cfg.Linger > 0 {
 			// Bound how long this fresh batch may stay partial. The
@@ -897,6 +999,14 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 	j.Producer, j.Consumer = t.id, oe.consumer.id
 	if err := oe.ring.Put(j); err != nil {
+		// The batch was never enqueued (ring closed during shutdown):
+		// nobody downstream will ever see these tuples, so their
+		// references end here — a killed run must not strand pooled
+		// tuples (the leak-accounting property tests balance on this).
+		for _, in := range j.Tuples {
+			in.Release()
+		}
+		e.recycleJumbo(t, j)
 		return ErrStopped
 	}
 	return nil
@@ -927,7 +1037,9 @@ func (e *Engine) broadcastPunct(t *task, stream tuple.StreamID, ev int64, ts tim
 		p.RetainN(remaining - 1)
 		for _, oe := range t.outList {
 			if err := e.buffer(t, oe.consumer, p, false); err != nil {
-				for ; remaining > 0; remaining-- {
+				// The failing send released the share it carried; drop
+				// only the undelivered remainder.
+				for remaining--; remaining > 0; remaining-- {
 					p.Release()
 				}
 				return err
@@ -1043,15 +1155,22 @@ func (e *Engine) fireProcTimers(t *task, c *collector) error {
 	return c.fail
 }
 
-// recycleJumbo returns a drained jumbo to the pool. Slots are cleared
-// first so the pool does not pin consumed tuples.
-func (e *Engine) recycleJumbo(j *tuple.Jumbo) {
+// getJumbo takes a fresh jumbo header from the acting task's socket
+// pool.
+func (e *Engine) getJumbo(t *task) *tuple.Jumbo {
+	return e.jumboPools[int(t.socket)%len(e.jumboPools)].Get().(*tuple.Jumbo)
+}
+
+// recycleJumbo returns a drained jumbo to the acting task's socket
+// pool. Slots are cleared first so the pool does not pin consumed
+// tuples.
+func (e *Engine) recycleJumbo(t *task, j *tuple.Jumbo) {
 	if cap(j.Tuples) != e.cfg.BatchSize {
 		return // foreign or resized batch; let the GC take it
 	}
 	clear(j.Tuples)
 	j.Tuples = j.Tuples[:0]
-	e.jumboPool.Put(j)
+	e.jumboPools[int(t.socket)%len(e.jumboPools)].Put(j)
 }
 
 // flushAll flushes all pending buffers of a task.
@@ -1088,6 +1207,7 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	e.lat = metrics.NewHistogram(0)
 	e.errs = nil
 	e.alignTimeouts.Store(0)
+	e.pinned.Store(0)
 	// A checkpoint requested while no run executes (or left over from a
 	// killed run) must not fire mid-restart: tasks treat everything up
 	// to the current request id as already handled.
@@ -1124,6 +1244,19 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 			r.rr = t.replica % max(len(r.consumers), 1)
 		}
 		if t.in != nil {
+			// Jumbos stranded in a killed run's rings: release their
+			// tuples before reopening discards the batch, so a dropped
+			// run leaves no pooled tuple unaccounted.
+			for {
+				j, ok, _ := t.in.TryGet()
+				if !ok {
+					break
+				}
+				for _, in := range j.Tuples {
+					in.Release()
+				}
+				e.recycleJumbo(t, j)
+			}
 			t.in.Reopen()
 		}
 	}
@@ -1181,6 +1314,7 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 		Processed:     map[string]uint64{},
 		Errors:        e.errs,
 		AlignTimeouts: e.alignTimeouts.Load(),
+		PinnedTasks:   int(e.pinned.Load()),
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(res.SinkTuples) / elapsed.Seconds()
@@ -1209,7 +1343,28 @@ func (e *Engine) QueueStats() (puts, gets uint64) {
 	return puts, gets
 }
 
+// PoolStats sums the tuple-pool get/put accounting across all task
+// pools. It only reports non-zero values when Config.TrackPools was
+// set. With no run in flight and every retained tuple released,
+// gets == puts; any difference is a leaked (or double-freed) tuple.
+func (e *Engine) PoolStats() (gets, puts uint64) {
+	for _, t := range e.tasks {
+		g, p := t.pool.Stats()
+		gets += g
+		puts += p
+	}
+	return gets, puts
+}
+
 func (e *Engine) runTask(t *task) {
+	// Pinning first, so its deferred undo runs last: the final flush
+	// still happens on the pinned thread, and the thread returns to the
+	// runtime's pool with its original mask however the task exits
+	// (EOF, kill, panic) — which is what keeps Run re-runnable.
+	if unpin := pinThread(t.pinCPUs); unpin != nil {
+		e.pinned.Add(1)
+		defer unpin()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			e.recordErr(fmt.Errorf("engine: operator %s panicked: %v", t.label, r))
@@ -1331,12 +1486,20 @@ func (e *Engine) runTask(t *task) {
 // released, the header recycled).
 func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 	e.chargeRMA(t, j)
+	// rev is this edge's reverse recycling ring: releases on this (the
+	// consuming) goroutine flow back to the producer's pool through it,
+	// staying NUMA-local instead of riding sync.Pool. Releases from any
+	// other goroutine (retained tuples) keep using plain Release.
+	var rev *tuple.RecycleRing
+	if j.Producer < len(t.rev) {
+		rev = t.rev[j.Producer]
+	}
 	for i, in := range j.Tuples {
 		if in.Stream == punctStreamID {
 			// Watermark punctuation: consumed by the engine, not
 			// the operator, and excluded from every data counter.
 			err := e.handlePunct(t, c, in, j.Producer)
-			in.Release()
+			in.ReleaseTo(rev)
 			if err != nil {
 				return err
 			}
@@ -1347,7 +1510,7 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 			// park the batch remainder (barriers are flushed as the last
 			// tuple of their batch, so the remainder is normally empty).
 			ev := in.Event
-			in.Release()
+			in.ReleaseTo(rev)
 			if ev == barrierDone {
 				if err := e.handleDoneBarrier(t, c, j.Producer); err != nil {
 					return err
@@ -1358,7 +1521,7 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 				return err
 			}
 			if t.alignID != 0 && t.alignSeen[j.Producer] && i+1 < len(j.Tuples) {
-				rest := e.jumboPool.Get().(*tuple.Jumbo)
+				rest := e.getJumbo(t)
 				rest.Producer, rest.Consumer = j.Producer, j.Consumer
 				rest.Tuples = append(rest.Tuples, j.Tuples[i+1:]...)
 				t.alignBuf = append(t.alignBuf, rest)
@@ -1405,10 +1568,11 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 		}
 		atomic.AddUint64(&t.processed, 1)
 		// The consumer's reference ends here; unless the operator
-		// retained it, the tuple returns to its producer's pool.
-		in.Release()
+		// retained it, the tuple returns to its producer's pool —
+		// through the edge's reverse ring when one is wired.
+		in.ReleaseTo(rev)
 	}
-	e.recycleJumbo(j)
+	e.recycleJumbo(t, j)
 	return nil
 }
 

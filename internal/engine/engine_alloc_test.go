@@ -55,7 +55,7 @@ func allocHarness(t *testing.T, cfg Config, consumers int, part graph.Partitioni
 				for _, in := range j.Tuples {
 					in.Release()
 				}
-				e.recycleJumbo(j)
+				e.recycleJumbo(ct, j)
 			}
 		}
 	}

@@ -52,7 +52,7 @@ func benchDispatch(b *testing.B, consumers int, part graph.Partitioning) {
 				for _, in := range j.Tuples {
 					in.Release()
 				}
-				e.recycleJumbo(j)
+				e.recycleJumbo(ct, j)
 			}
 		}(ct)
 	}

@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"runtime"
+
+	"briskstream/internal/numa"
+)
+
+// pinThread locks the calling goroutine to its OS thread and binds the
+// thread to the given CPU set. It returns the undo function — restore
+// the original affinity mask, then unlock — or nil if pinning failed
+// (the task then runs unpinned; never half-pinned). Restoring the mask
+// before UnlockOSThread matters for Run reusability: the runtime reuses
+// the thread for arbitrary goroutines afterwards, and a leaked narrow
+// mask would silently serialize unrelated work.
+func pinThread(cpus []int) func() {
+	if len(cpus) == 0 {
+		return nil
+	}
+	runtime.LockOSThread()
+	prev, err := numa.Affinity()
+	if err != nil || len(prev) == 0 {
+		runtime.UnlockOSThread()
+		return nil
+	}
+	if err := numa.SetAffinity(cpus); err != nil {
+		runtime.UnlockOSThread()
+		return nil
+	}
+	return func() {
+		_ = numa.SetAffinity(prev)
+		runtime.UnlockOSThread()
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+// Tests for pinned executors: every task thread gets bound to its
+// socket's CPU set for the duration of the run, and Run stays reusable
+// afterwards — the OS threads are unlocked and their affinity masks
+// restored, so a rerun pins cleanly again and unrelated goroutines are
+// never trapped on a narrowed mask.
+
+import (
+	"runtime"
+	"testing"
+
+	"briskstream/internal/numa"
+)
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPinnedRunAndRerunHygiene runs a pinned topology three times on
+// one Engine. Every run must pin every task afresh (PinnedTasks is
+// per-run, not cumulative), and the test goroutine's own thread
+// affinity must come out of the runs untouched.
+func TestPinnedRunAndRerunHygiene(t *testing.T) {
+	if !numa.PinSupported() {
+		t.Skip("thread affinity not supported on this platform")
+	}
+	// Pin the test goroutine to its thread so the affinity reads below
+	// observe one fixed thread across the engine runs.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	before, err := numa.Affinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": rewindingSpout(1000)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.Pin = true
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 3; run++ {
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Errors) != 0 {
+			t.Fatalf("run %d errors: %v", run, res.Errors)
+		}
+		if res.SinkTuples != 2000 {
+			t.Fatalf("run %d: sink tuples = %d, want 2000", run, res.SinkTuples)
+		}
+		if res.PinnedTasks != 3 {
+			t.Fatalf("run %d: pinned %d tasks, want 3 (spout, double, sink): pinning must repeat on rerun, not accumulate or decay", run, res.PinnedTasks)
+		}
+	}
+
+	after, err := numa.Affinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(sortedCopy(before), sortedCopy(after)) {
+		t.Fatalf("test thread affinity changed across pinned runs: %v -> %v (task unpin leaked onto a reused thread)", before, after)
+	}
+}
+
+// TestUnpinnedRunReportsZeroPinnedTasks: with Pin off (and no BRISK_PIN
+// in the test environment), no task may touch thread affinity.
+func TestUnpinnedRunReportsZeroPinnedTasks(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": rewindingSpout(500)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.Pin = false
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PinnedTasks != 0 {
+		t.Fatalf("pinned %d tasks with Pin disabled, want 0", res.PinnedTasks)
+	}
+}
+
+// TestPinWithPlacementUsesPlacedSockets: with an explicit Placement the
+// pin CPU sets follow the plan's socket assignment (wrapped onto the
+// host's real sockets) instead of the round-robin default.
+func TestPinWithPlacementUsesPlacedSockets(t *testing.T) {
+	if !numa.PinSupported() {
+		t.Skip("thread affinity not supported on this platform")
+	}
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": rewindingSpout(500)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.Pin = true
+	cfg.Placement = map[string]numa.SocketID{
+		"spout#0":  0,
+		"double#0": 1, // wraps onto socket 0 on a single-socket host
+		"sink#0":   0,
+	}
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.PinnedTasks != 3 {
+		t.Fatalf("pinned %d tasks, want 3", res.PinnedTasks)
+	}
+}

@@ -1,0 +1,71 @@
+//go:build linux
+
+package numa
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSetWords sizes the affinity mask at 1024 CPUs (the kernel's
+// conventional CPU_SETSIZE), in 64-bit words.
+const cpuSetWords = 1024 / 64
+
+type cpuSet [cpuSetWords]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < cpuSetWords*64 {
+		s[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+}
+
+func (s *cpuSet) list() []int {
+	var cpus []int
+	for w, word := range s {
+		for b := 0; word != 0; b++ {
+			if word&1 != 0 {
+				cpus = append(cpus, w*64+b)
+			}
+			word >>= 1
+		}
+	}
+	return cpus
+}
+
+// PinSupported reports whether thread CPU affinity works here.
+func PinSupported() bool { return true }
+
+// Affinity returns the CPU set the calling thread may run on. Callers
+// that pin must be on a locked OS thread (runtime.LockOSThread), or the
+// result describes an arbitrary thread.
+func Affinity() ([]int, error) {
+	var s cpuSet
+	// tid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(s)), uintptr(unsafe.Pointer(&s)))
+	if errno != 0 {
+		return nil, fmt.Errorf("numa: sched_getaffinity: %w", errno)
+	}
+	return s.list(), nil
+}
+
+// SetAffinity binds the calling thread to the given CPU set. The caller
+// must hold runtime.LockOSThread for the binding to stay with its
+// goroutine, and should restore the previous mask (from Affinity)
+// before unlocking, so the thread returns clean to the runtime's pool.
+func SetAffinity(cpus []int) error {
+	if len(cpus) == 0 {
+		return fmt.Errorf("numa: empty CPU set")
+	}
+	var s cpuSet
+	for _, c := range cpus {
+		s.set(c)
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(s)), uintptr(unsafe.Pointer(&s)))
+	if errno != 0 {
+		return fmt.Errorf("numa: sched_setaffinity(%v): %w", cpus, errno)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package numa
+
+import "fmt"
+
+// PinSupported reports whether thread CPU affinity works here. Off
+// Linux the engine runs unpinned: Config.Pin degrades to a no-op.
+func PinSupported() bool { return false }
+
+// Affinity is unsupported off Linux.
+func Affinity() ([]int, error) {
+	return nil, fmt.Errorf("numa: thread affinity not supported on this platform")
+}
+
+// SetAffinity is unsupported off Linux.
+func SetAffinity(cpus []int) error {
+	return fmt.Errorf("numa: thread affinity not supported on this platform")
+}

@@ -1,0 +1,48 @@
+package numa
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestPinAndRestore binds the test's locked thread to one CPU and back,
+// verifying both syscall directions and that a restored mask equals the
+// original — the invariant the engine's task teardown depends on.
+func TestPinAndRestore(t *testing.T) {
+	if !PinSupported() {
+		t.Skip("thread affinity unsupported on this platform")
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	orig, err := Affinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) == 0 {
+		t.Fatal("empty original affinity")
+	}
+	if err := SetAffinity(orig[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Affinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig[:1]) {
+		t.Fatalf("pinned affinity = %v, want %v", got, orig[:1])
+	}
+	if err := SetAffinity(orig); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = Affinity(); !reflect.DeepEqual(got, orig) {
+		t.Fatalf("restored affinity = %v, want %v", got, orig)
+	}
+}
+
+func TestSetAffinityRejectsEmpty(t *testing.T) {
+	if err := SetAffinity(nil); err == nil {
+		t.Fatal("SetAffinity(nil) did not fail")
+	}
+}

@@ -1,0 +1,281 @@
+package numa
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Host is the physical NUMA topology of the machine the process runs
+// on, as opposed to Machine, which is the performance model's abstract
+// descriptor. Host knows which CPUs belong to which socket — what
+// thread pinning needs — and can derive a Machine for the optimizer
+// when none of the paper's calibrated servers applies.
+type Host struct {
+	// Name labels the probe source ("sysfs" or "fallback").
+	Name string
+	// Sockets lists the NUMA nodes in node-id order.
+	Sockets []HostSocket
+	// distance holds one sysfs distance row per entry of Sockets (nil
+	// when the probe found none). Row columns are indexed by kernel
+	// node id — nodeIDs maps a socket index back to its node id, since
+	// memory-only nodes are skipped but still occupy a column.
+	distance [][]int
+	nodeIDs  []int
+}
+
+// HostSocket is one NUMA node: its socket id and the CPUs it owns.
+type HostSocket struct {
+	ID   SocketID
+	CPUs []int
+}
+
+// NumCPU is the total CPU count across all sockets.
+func (h *Host) NumCPU() int {
+	n := 0
+	for _, s := range h.Sockets {
+		n += len(s.CPUs)
+	}
+	return n
+}
+
+// CPUsOf returns the CPU set of a socket; socket ids beyond the host's
+// range wrap around, so placements computed for a larger machine map
+// onto whatever hardware is present.
+func (h *Host) CPUsOf(s SocketID) []int {
+	if len(h.Sockets) == 0 {
+		return nil
+	}
+	i := int(s) % len(h.Sockets)
+	if i < 0 {
+		i = 0
+	}
+	return h.Sockets[i].CPUs
+}
+
+// String renders a short human-readable summary.
+func (h *Host) String() string {
+	return fmt.Sprintf("host (%s): %d sockets, %d CPUs", h.Name, len(h.Sockets), h.NumCPU())
+}
+
+// detectOnce caches the sysfs probe: topology cannot change while the
+// process runs, and DetectHost is called on engine construction.
+var detectOnce = sync.OnceValue(detectHost)
+
+// DetectHost probes the NUMA topology of this machine from
+// /sys/devices/system/node (Linux). Where that is unreadable — other
+// OSes, restricted containers — it falls back to a single synthetic
+// socket owning all CPUs, so callers never need a platform branch. The
+// result is cached for the process lifetime.
+func DetectHost() *Host {
+	return detectOnce()
+}
+
+const sysNodePath = "/sys/devices/system/node"
+
+func detectHost() *Host {
+	entries, err := os.ReadDir(sysNodePath)
+	if err != nil {
+		return fallbackHost()
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return fallbackHost()
+	}
+	sort.Ints(ids)
+	h := &Host{Name: "sysfs"}
+	for _, id := range ids {
+		dir := filepath.Join(sysNodePath, fmt.Sprintf("node%d", id))
+		raw, err := os.ReadFile(filepath.Join(dir, "cpulist"))
+		if err != nil {
+			return fallbackHost()
+		}
+		cpus, err := ParseCPUList(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return fallbackHost()
+		}
+		if len(cpus) == 0 {
+			continue // memory-only node: nothing to pin to
+		}
+		sock := HostSocket{ID: SocketID(len(h.Sockets)), CPUs: cpus}
+		h.Sockets = append(h.Sockets, sock)
+		h.nodeIDs = append(h.nodeIDs, id)
+		if row, err := parseDistance(filepath.Join(dir, "distance")); err == nil {
+			h.distance = append(h.distance, row)
+		}
+	}
+	if len(h.Sockets) == 0 {
+		return fallbackHost()
+	}
+	// The distance matrix is only usable if every populated node
+	// contributed a row wide enough to cover every populated node's
+	// column (columns are in kernel node-id space).
+	maxID := h.nodeIDs[len(h.nodeIDs)-1]
+	if len(h.distance) != len(h.Sockets) {
+		h.distance = nil
+	} else {
+		for _, row := range h.distance {
+			if len(row) <= maxID {
+				h.distance = nil
+				break
+			}
+		}
+	}
+	return h
+}
+
+// fallbackHost is the portable single-socket topology: all CPUs on one
+// synthetic node.
+func fallbackHost() *Host {
+	cpus := make([]int, runtime.NumCPU())
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return &Host{
+		Name:     "fallback",
+		Sockets:  []HostSocket{{ID: 0, CPUs: cpus}},
+		distance: [][]int{{10}},
+		nodeIDs:  []int{0},
+	}
+}
+
+// ParseCPUList parses the kernel's cpulist format: comma-separated
+// entries that are either single CPU numbers or inclusive ranges, e.g.
+// "0-3,8-11" or "0,2,4". An empty string is an empty (memory-only) set.
+func ParseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("numa: bad cpulist entry %q", part)
+		}
+		b := a
+		if found {
+			if b, err = strconv.Atoi(hi); err != nil || b < a {
+				return nil, fmt.Errorf("numa: bad cpulist range %q", part)
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus, nil
+}
+
+// parseDistance parses one node's sysfs distance row ("10 21 21 ...").
+func parseDistance(path string) ([]int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(string(raw))
+	row := make([]int, 0, len(fields))
+	for _, f := range fields {
+		d, err := strconv.Atoi(f)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("numa: bad distance %q in %s", f, path)
+		}
+		row = append(row, d)
+	}
+	return row, nil
+}
+
+// nsPerDistanceUnit scales a sysfs distance (local = 10 by convention)
+// into the model's nanosecond latency: distance 10 maps to the 50 ns
+// local latency both paper servers report.
+const nsPerDistanceUnit = 5.0
+
+// Machine derives a performance-model descriptor for this host: compute
+// capacity from the CPU counts, latencies scaled from the sysfs
+// distance matrix when present, and bandwidths degrading with the same
+// ratios. It is the optimization target rlas/the autoscaler use when no
+// calibrated paper server is requested; the result always passes
+// Validate.
+// minModelCores floors the modeled CoresPerSocket. The optimizer
+// treats CoresPerSocket as placement slots — one executor each — so a
+// small host (a 1-CPU container, say) would make every multi-vertex
+// graph infeasible, when in reality the Go runtime timeshares
+// goroutines over however many CPUs exist. The paper's calibrated
+// servers carry 24–36 slots per socket; flooring keeps plans from
+// tiny hosts feasible, and over-provisioning relative to the physical
+// box is already the status quo when targeting those models.
+const minModelCores = 16
+
+func (h *Host) Machine() *Machine {
+	n := len(h.Sockets)
+	if n == 0 {
+		return Uniform("host", 1, max(runtime.NumCPU(), minModelCores))
+	}
+	phys := 0
+	for _, s := range h.Sockets {
+		phys = max(phys, len(s.CPUs))
+	}
+	cores := max(phys, minModelCores)
+	const localBW = 20 * GB
+	m := &Machine{
+		Name:            fmt.Sprintf("host (%d sockets x %d cpus)", n, max(phys, 1)),
+		Sockets:         n,
+		CoresPerSocket:  cores,
+		ClockGHz:        2.0,
+		CyclesPerSocket: float64(cores) * 1e9,
+		LocalBandwidth:  localBW,
+		Latency:         make([][]float64, n),
+		Bandwidth:       make([][]float64, n),
+		TrayOf:          twoTrays(n),
+	}
+	for i := 0; i < n; i++ {
+		m.Latency[i] = make([]float64, n)
+		m.Bandwidth[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := h.distanceOf(i, j)
+			m.Latency[i][j] = float64(d) * nsPerDistanceUnit
+			// Bandwidth degrades inversely with distance relative to local.
+			m.Bandwidth[i][j] = localBW * 10 / float64(d)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		// A malformed sysfs matrix (asymmetric, remote < local) falls
+		// back to the no-NUMA-effect model rather than failing callers.
+		u := Uniform(m.Name, n, cores)
+		return u
+	}
+	return m
+}
+
+// distanceOf reads the symmetrized sysfs distance for a socket pair,
+// defaulting to the 10/21 local/remote convention without a matrix.
+func (h *Host) distanceOf(i, j int) int {
+	if i == j {
+		return 10
+	}
+	if h.distance != nil {
+		// Symmetrize with the max so Validate's symmetric-latency check
+		// holds even if the kernel reports lopsided distances.
+		return max(h.distance[i][h.nodeIDs[j]], h.distance[j][h.nodeIDs[i]])
+	}
+	return 21
+}

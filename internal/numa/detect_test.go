@@ -1,0 +1,114 @@
+package numa
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-1,4-5", []int{0, 1, 4, 5}},
+		{"0,2,4", []int{0, 2, 4}},
+		{"", nil},
+		{"7-7", []int{7}},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if err != nil {
+			t.Fatalf("ParseCPUList(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "-1", "1-"} {
+		if _, err := ParseCPUList(bad); err == nil {
+			t.Fatalf("ParseCPUList(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestDetectHost(t *testing.T) {
+	h := DetectHost()
+	if len(h.Sockets) == 0 {
+		t.Fatal("DetectHost returned no sockets")
+	}
+	if h.NumCPU() <= 0 {
+		t.Fatalf("DetectHost reports %d CPUs", h.NumCPU())
+	}
+	seen := map[int]bool{}
+	for _, s := range h.Sockets {
+		if len(s.CPUs) == 0 {
+			t.Fatalf("socket %d has no CPUs", s.ID)
+		}
+		for _, c := range s.CPUs {
+			if seen[c] {
+				t.Fatalf("CPU %d appears on two sockets", c)
+			}
+			seen[c] = true
+		}
+	}
+	// Socket ids beyond the host wrap instead of failing: placements
+	// computed for the paper's 8-socket servers must map onto any box.
+	for s := SocketID(0); s < 16; s++ {
+		if len(h.CPUsOf(s)) == 0 {
+			t.Fatalf("CPUsOf(%d) is empty", s)
+		}
+	}
+}
+
+func TestHostMachineValidates(t *testing.T) {
+	m := DetectHost().Machine()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("host machine invalid: %v", err)
+	}
+	if m.TotalCores() <= 0 {
+		t.Fatalf("host machine has %d cores", m.TotalCores())
+	}
+}
+
+func TestFallbackHostMachineValidates(t *testing.T) {
+	h := fallbackHost()
+	if got := h.NumCPU(); got != runtime.NumCPU() {
+		t.Fatalf("fallback host has %d CPUs, want %d", got, runtime.NumCPU())
+	}
+	if err := h.Machine().Validate(); err != nil {
+		t.Fatalf("fallback machine invalid: %v", err)
+	}
+}
+
+func TestSyntheticMultiSocketHostMachine(t *testing.T) {
+	// A hand-built 2-socket host with an asymmetric distance matrix:
+	// Machine() must symmetrize and still validate.
+	h := &Host{
+		Name: "test",
+		Sockets: []HostSocket{
+			{ID: 0, CPUs: []int{0, 1}},
+			{ID: 1, CPUs: []int{2, 3}},
+		},
+		distance: [][]int{{10, 21}, {25, 10}},
+		nodeIDs:  []int{0, 1},
+	}
+	m := h.Machine()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("machine invalid: %v", err)
+	}
+	// CoresPerSocket is floored to the minimum model slot count so
+	// small hosts stay plannable; a 2-CPU socket models as 16 slots.
+	if m.Sockets != 2 || m.CoresPerSocket != 16 {
+		t.Fatalf("machine shape = %dx%d, want 2x16", m.Sockets, m.CoresPerSocket)
+	}
+	// max(21, 25) = 25 units -> 125 ns, both directions.
+	if m.Latency[0][1] != 125 || m.Latency[1][0] != 125 {
+		t.Fatalf("remote latency = %v/%v, want 125", m.Latency[0][1], m.Latency[1][0])
+	}
+	if m.Latency[0][0] != 50 {
+		t.Fatalf("local latency = %v, want 50", m.Latency[0][0])
+	}
+}

@@ -53,3 +53,23 @@ func Apply(eg *ExecGraph, p *Placement) (*EngineConfig, error) {
 	}
 	return cfg, nil
 }
+
+// FoldOnto remaps the placement's sockets onto a host with n sockets,
+// so a plan computed against one machine model (say, the paper's
+// 4-socket servers) can execute — pinned — on the box actually under
+// us. Socket s becomes s mod n; out-of-model (negative) sockets clamp
+// to 0. The relative co-location structure survives where it can: two
+// tasks the optimizer put together stay together, and on a host with
+// fewer sockets the surplus folds round-robin instead of stacking
+// everything on socket 0. A nil config or n <= 0 is a no-op.
+func (c *EngineConfig) FoldOnto(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	for label, s := range c.Placement {
+		if s < 0 {
+			s = 0
+		}
+		c.Placement[label] = numa.SocketID(int(s) % n)
+	}
+}

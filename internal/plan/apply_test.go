@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"testing"
+
+	"briskstream/internal/numa"
+)
+
+func TestFoldOnto(t *testing.T) {
+	cfg := &EngineConfig{Placement: map[string]numa.SocketID{
+		"a#0": 0, "a#1": 1, "b#0": 2, "b#1": 3, "c#0": -1, "d#0": 5,
+	}}
+	cfg.FoldOnto(2)
+	want := map[string]numa.SocketID{
+		"a#0": 0, "a#1": 1, "b#0": 0, "b#1": 1, "c#0": 0, "d#0": 1,
+	}
+	for label, s := range want {
+		if got := cfg.Placement[label]; got != s {
+			t.Errorf("%s folded to socket %d, want %d", label, got, s)
+		}
+	}
+	// Co-location survives folding: a#1 and b#1 shared distance-2
+	// sockets on the model and still share one on the host.
+	if cfg.Placement["a#1"] != cfg.Placement["b#1"] {
+		t.Error("folding separated co-located tasks a#1 and b#1")
+	}
+
+	// Degenerate inputs are no-ops, not panics.
+	cfg.FoldOnto(0)
+	if cfg.Placement["d#0"] != 1 {
+		t.Error("FoldOnto(0) mutated the placement")
+	}
+	var nilCfg *EngineConfig
+	nilCfg.FoldOnto(2)
+}

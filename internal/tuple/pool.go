@@ -29,9 +29,24 @@ import (
 // Pool is backed by sync.Pool: Get and Put are safe from any goroutine
 // and the per-P caches keep the common (same-core) recycle path free of
 // contention, approximating a per-task free list without a cross-thread
-// return queue.
+// return queue. With NewRecycleRing the cross-thread return becomes
+// explicit and NUMA-local: Get prefers tuples parked in the attached
+// reverse rings, and is then restricted to the owning task's goroutine
+// (the rings' single-getter side).
 type Pool struct {
 	p sync.Pool
+
+	// rings are the attached reverse recycling rings; cursor remembers
+	// which ring satisfied the last Get so a hot edge is drained without
+	// re-scanning cold ones. Both are owner-goroutine state.
+	rings  []*RecycleRing
+	cursor int
+
+	// stats gates the get/put accounting the leak/double-free property
+	// tests assert on; off (the default) the hot path pays one
+	// predictable branch.
+	stats      bool
+	gets, puts atomic.Uint64
 }
 
 // NewPool creates an empty tuple pool.
@@ -41,10 +56,38 @@ func NewPool() *Pool {
 	return pl
 }
 
+// EnableStats turns on get/put accounting (before the pool is used).
+func (p *Pool) EnableStats() { p.stats = true }
+
+// Stats returns the cumulative Get count and the count of tuples
+// recycled back (via sync.Pool or a reverse ring). When every reference
+// has been dropped and no tuple is in flight, gets == puts; the
+// difference is the number of live (leaked, if the run is over) tuples.
+func (p *Pool) Stats() (gets, puts uint64) {
+	return p.gets.Load(), p.puts.Load()
+}
+
 // Get returns an empty tuple on the default stream holding one
 // reference. The tuple's string arena keeps the capacity of its
 // previous life, so appending similar payloads allocates nothing.
 func (p *Pool) Get() *Tuple {
+	if p.stats {
+		p.gets.Add(1)
+	}
+	if n := len(p.rings); n > 0 {
+		idx := p.cursor
+		for k := 0; k < n; k++ {
+			if t, ok := p.rings[idx].ring.TryGet(); ok {
+				p.cursor = idx
+				t.pool = p
+				atomic.StoreInt32(&t.refs, 1)
+				return t
+			}
+			if idx++; idx == n {
+				idx = 0
+			}
+		}
+	}
 	t := p.p.Get().(*Tuple)
 	t.pool = p
 	atomic.StoreInt32(&t.refs, 1)
@@ -95,11 +138,20 @@ func (t *Tuple) Release() {
 // holds no pointers and the arena keeps its capacity for reuse; arena
 // string views handed out from this life are dead from here on.
 func (t *Tuple) recycle() {
+	t.resetForPool()
+	p := t.pool
+	t.pool = nil // a stray double Release is a no-op, not a re-pool
+	if p.stats {
+		p.puts.Add(1)
+	}
+	p.p.Put(t)
+}
+
+// resetForPool clears everything a recycled tuple must not carry into
+// its next life (shared by the sync.Pool and reverse-ring paths).
+func (t *Tuple) resetForPool() {
 	t.Reset()
 	t.Stream = DefaultStreamID
 	t.Ts = time.Time{}
 	t.Event = 0
-	p := t.pool
-	t.pool = nil // a stray double Release is a no-op, not a re-pool
-	p.p.Put(t)
 }

@@ -1,0 +1,73 @@
+package tuple
+
+import (
+	"sync/atomic"
+
+	"briskstream/internal/queue"
+)
+
+// RecycleRing is the reverse channel of one (producer, consumer) edge:
+// tuples the consumer finishes with flow back to the producer's pool
+// through a nonblocking SPSC ring instead of sync.Pool, so steady-state
+// recycling stays on the producer's socket (the paper's pass-by-
+// reference design has the producer own tuple memory; NUMA-local
+// recycling is what makes that ownership pay on a multi-socket box).
+//
+// Strict SPSC discipline: exactly one goroutine (the consuming task)
+// may feed a ring via Tuple.ReleaseTo, and exactly one (the producing
+// task, inside Pool.Get) may drain it. Releases from any other
+// goroutine — retained tuples dropped by side goroutines, teardown
+// paths — must use plain Release, which rides the thread-safe
+// sync.Pool instead.
+type RecycleRing struct {
+	pool *Pool
+	ring *queue.FreeRing[*Tuple]
+}
+
+// NewRecycleRing creates a reverse ring feeding this pool and attaches
+// it: subsequent Get calls drain attached rings before falling back to
+// sync.Pool. Attachment is not synchronized — wire rings before the
+// pool's owning task starts, never mid-run. After attachment, Get must
+// only be called from the pool-owning task's goroutine (the engine's
+// Borrow/Emit/clone paths already guarantee this).
+func (p *Pool) NewRecycleRing(capacity int) *RecycleRing {
+	r := &RecycleRing{pool: p, ring: queue.NewFreeRing[*Tuple](capacity)}
+	p.rings = append(p.rings, r)
+	return r
+}
+
+// Len returns the number of tuples parked in the ring.
+func (r *RecycleRing) Len() int { return r.ring.Len() }
+
+// Cap returns the ring capacity.
+func (r *RecycleRing) Cap() int { return r.ring.Cap() }
+
+// ReleaseTo drops one reference like Release, but when this call frees
+// the tuple and the tuple belongs to r's pool, it parks the tuple in
+// the reverse ring for the producer to reuse, falling back to the
+// shared pool only when the ring is full. A nil ring, or a tuple from
+// a different pool (serialize-mode decodes, foreign allocations),
+// degrades to plain Release. Must be called from the ring's single
+// consumer goroutine.
+func (t *Tuple) ReleaseTo(r *RecycleRing) {
+	if r == nil || t.pool != r.pool {
+		t.Release()
+		return
+	}
+	// Same two-phase refcount as Release: single-holder fast path needs
+	// no atomic read-modify-write.
+	if atomic.LoadInt32(&t.refs) == 1 {
+		atomic.StoreInt32(&t.refs, 0)
+	} else if atomic.AddInt32(&t.refs, -1) != 0 {
+		return
+	}
+	t.resetForPool()
+	p := t.pool
+	t.pool = nil
+	if p.stats {
+		p.puts.Add(1)
+	}
+	if !r.ring.TryPut(t) {
+		p.p.Put(t)
+	}
+}

@@ -1,0 +1,138 @@
+package tuple
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReleaseToParksInRing(t *testing.T) {
+	p := NewPool()
+	p.EnableStats()
+	r := p.NewRecycleRing(4)
+
+	tp := p.Get()
+	tp.AppendInt(7)
+	tp.ReleaseTo(r)
+	if r.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1", r.Len())
+	}
+	// The producer's next Get drains the ring, not sync.Pool.
+	got := p.Get()
+	if r.Len() != 0 {
+		t.Fatalf("ring len after Get = %d, want 0", r.Len())
+	}
+	if got != tp {
+		t.Fatal("Get did not return the ring-parked tuple")
+	}
+	if got.Len() != 0 || got.Stream != DefaultStreamID {
+		t.Fatal("ring-parked tuple was not reset")
+	}
+	got.Release()
+	if gets, puts := p.Stats(); gets != 2 || puts != 2 {
+		t.Fatalf("stats = %d gets / %d puts, want 2/2", gets, puts)
+	}
+}
+
+func TestReleaseToFullRingFallsBack(t *testing.T) {
+	p := NewPool()
+	p.EnableStats()
+	r := p.NewRecycleRing(1)
+
+	a, b := p.Get(), p.Get()
+	a.ReleaseTo(r)
+	b.ReleaseTo(r) // ring full: must land in sync.Pool, not leak
+	if r.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1", r.Len())
+	}
+	if gets, puts := p.Stats(); gets != 2 || puts != 2 {
+		t.Fatalf("stats = %d gets / %d puts, want 2/2", gets, puts)
+	}
+	// Both are reachable again: one from the ring, one from sync.Pool.
+	p.Get()
+	p.Get()
+}
+
+func TestReleaseToForeignPoolDegradesToRelease(t *testing.T) {
+	p1, p2 := NewPool(), NewPool()
+	r2 := p2.NewRecycleRing(4)
+
+	tp := p1.Get()
+	tp.ReleaseTo(r2) // wrong pool: plain Release semantics
+	if r2.Len() != 0 {
+		t.Fatalf("foreign tuple parked in ring (len %d)", r2.Len())
+	}
+
+	// Non-pooled tuples (e.g. serialize-mode decodes after their pool
+	// detached) are a no-op either way.
+	var free Tuple
+	free.ReleaseTo(r2)
+	free.ReleaseTo(nil)
+}
+
+func TestReleaseToHonorsRetains(t *testing.T) {
+	p := NewPool()
+	r := p.NewRecycleRing(4)
+
+	tp := p.Get()
+	tp.Retain()
+	tp.ReleaseTo(r) // one reference remains
+	if r.Len() != 0 {
+		t.Fatal("retained tuple was recycled early")
+	}
+	tp.ReleaseTo(r) // last reference: now it parks
+	if r.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1", r.Len())
+	}
+}
+
+// TestRecycleRingSPSCWithSideReleases models the engine's concurrency:
+// the consumer goroutine releases into the ring while the producer
+// goroutine drains it via Get, and a third goroutine drops retained
+// references through the plain (sync.Pool) path. Run under -race.
+func TestRecycleRingSPSCWithSideReleases(t *testing.T) {
+	const n = 50000
+	p := NewPool()
+	p.EnableStats()
+	r := p.NewRecycleRing(64)
+
+	work := make(chan *Tuple, 64)
+	side := make(chan *Tuple, 64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Consumer: releases every tuple into the reverse ring; every 8th is
+	// first retained and handed to the side goroutine.
+	go func() {
+		defer wg.Done()
+		i := 0
+		for tp := range work {
+			if i++; i%8 == 0 {
+				tp.Retain()
+				side <- tp
+			}
+			tp.ReleaseTo(r)
+		}
+		close(side)
+	}()
+	// Side goroutine: plain Release from a foreign goroutine (the
+	// sync.Pool path — never the ring).
+	go func() {
+		defer wg.Done()
+		for tp := range side {
+			_ = tp.Int(0)
+			tp.Release()
+		}
+	}()
+	// Producer: this goroutine owns Get (the ring's single drainer).
+	for i := 0; i < n; i++ {
+		tp := p.Get()
+		tp.AppendInt(int64(i))
+		work <- tp
+	}
+	close(work)
+	wg.Wait()
+
+	gets, puts := p.Stats()
+	if gets != n || puts != n {
+		t.Fatalf("stats = %d gets / %d puts, want %d/%d", gets, puts, n, n)
+	}
+}

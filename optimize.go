@@ -25,6 +25,14 @@ func ServerA() *Machine { return numa.ServerA() }
 // cores, XNC node controller).
 func ServerB() *Machine { return numa.ServerB() }
 
+// HostMachine builds a calibrated descriptor of the machine running
+// this process from the NUMA topology probed out of sysfs (a single
+// socket holding every CPU where the probe is unavailable). It is the
+// default optimization target of the autoscaler: plans meant to
+// execute here should be planned for here, not for the paper's
+// Table 2 servers.
+func HostMachine() *Machine { return numa.DetectHost().Machine() }
+
 // SyntheticMachine builds a two-tray machine for experiments.
 func SyntheticMachine(name string, sockets, coresPerSocket int) *Machine {
 	return numa.Synthetic(name, sockets, coresPerSocket,
