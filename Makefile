@@ -22,7 +22,7 @@ test:
 # an operator whose layout drifts after its first emit fails the race
 # suite instead of corrupting state silently.
 race:
-	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/apps/ .
+	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/obs/ ./internal/apps/ .
 
 .PHONY: race-all
 race-all:
@@ -67,6 +67,14 @@ bench-multicore:
 .PHONY: race-multicore
 race-multicore:
 	GOMAXPROCS=4 BRISK_VALIDATE_EVERY=1 BRISK_PIN=1 $(GO) test -race -short ./internal/queue/ ./internal/engine/
+
+# obs-check is the live-telemetry smoke test CI gates on: it runs the
+# windowed demo app with /metrics served on a loopback port, scrapes
+# /healthz, /metrics and /events mid-run, and validates every
+# exposition line with the same parser the unit tests use.
+.PHONY: obs-check
+obs-check:
+	$(GO) run ./cmd/briskbench -obs-check
 
 vet:
 	$(GO) vet ./...

@@ -12,6 +12,9 @@ package briskstream
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"briskstream/internal/adaptive"
@@ -118,6 +121,24 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 	if ecfg.ProfileSampleEvery <= 0 {
 		ecfg.ProfileSampleEvery = 64
 	}
+	applyObsEngineConfig(&ecfg, cfg)
+
+	sess, err := startObs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.close()
+	ctl := &adaptiveCtl{sess: sess}
+	if sess != nil {
+		ag := sess.reg.Group("adaptive")
+		ag.Counter("brisk_rescales_total", "Online rollovers the autoscaler performed this Run.", nil, ctl.rescales.Load)
+		ag.Gauge("brisk_rescale_predicted_gain", "Model-predicted relative gain of the latest rescale.", nil, func() float64 {
+			return floatFromAtomic(&ctl.lastPredicted)
+		})
+		ag.Gauge("brisk_rescale_realized_gain", "Measured relative gain of the latest settled rescale.", nil, func() float64 {
+			return floatFromAtomic(&ctl.lastRealized)
+		})
+	}
 
 	total := &RunResult{Processed: map[string]uint64{}}
 	start := time.Now()
@@ -138,6 +159,7 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		sess.bindEngine(e)
 		if restore != nil {
 			if err := e.RestoreFrom(restore); err != nil {
 				return nil, err
@@ -149,7 +171,16 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 			}
 			resume = false
 		}
-		res, rescaled, err := t.superviseSegment(e, co, advisor, ac, interval, segDur, &repl, &restore, total.Rescales < maxRescales)
+		if !ctl.killAt.IsZero() {
+			// The previous segment ended in Kill; the rescaled engine is
+			// rebuilt and restored, so processing resumes the moment its
+			// Run starts — the gap is the rescale's observable pause.
+			sess.event("rescale_end", map[string]string{
+				"pause_ms": strconv.FormatInt(time.Since(ctl.killAt).Milliseconds(), 10),
+			})
+			ctl.killAt = time.Time{}
+		}
+		res, rescaled, err := t.superviseSegment(e, co, advisor, ac, interval, segDur, &repl, &restore, total.Rescales < maxRescales, ctl)
 		if err != nil {
 			return nil, err
 		}
@@ -170,13 +201,44 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 	if total.Duration > 0 {
 		total.Throughput = float64(total.SinkTuples) / total.Duration.Seconds()
 	}
+	for _, o := range advisor.Outcomes() {
+		total.RescaleOutcomes = append(total.RescaleOutcomes, RescaleOutcome{
+			At: o.At, PredictedGain: o.PredictedGain, RealizedGain: o.RealizedGain,
+		})
+	}
 	return total, nil
 }
+
+// adaptiveCtl carries the autoscaler's telemetry state across segments:
+// the obs session, the rescale counter the metric pulls from, the
+// kill timestamp the pause measurement spans, and the in-flight
+// predicted-vs-realized gain measurement.
+type adaptiveCtl struct {
+	sess     *obsSession
+	rescales atomic.Uint64
+	killAt   time.Time
+	pending  *pendingOutcome
+	// lastPredicted/lastRealized hold the latest gains as float bits
+	// (gauges read them from the scrape goroutine).
+	lastPredicted, lastRealized atomic.Uint64
+}
+
+// pendingOutcome is a rescale whose realized gain is still being
+// measured: rate0 is the pre-rescale sink rate, and the measurement
+// settles after the rescaled engine has run a few profiling ticks.
+type pendingOutcome struct {
+	predicted float64
+	rate0     float64
+	ticks     int
+}
+
+func floatToAtomic(a *atomic.Uint64, v float64) { a.Store(math.Float64bits(v)) }
+func floatFromAtomic(a *atomic.Uint64) float64  { return math.Float64frombits(a.Load()) }
 
 // superviseSegment runs one engine segment under the profiling ticker.
 // It returns the segment result and whether the segment ended in a
 // rescale (repl and restore are then updated for the next segment).
-func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator, advisor *adaptive.Advisor, ac *AdaptiveConfig, interval, segDur time.Duration, repl *map[string]int, restore **Checkpoint, mayRescale bool) (*engine.Result, bool, error) {
+func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator, advisor *adaptive.Advisor, ac *AdaptiveConfig, interval, segDur time.Duration, repl *map[string]int, restore **Checkpoint, mayRescale bool, ctl *adaptiveCtl) (*engine.Result, bool, error) {
 	resCh := make(chan *engine.Result, 1)
 	errCh := make(chan error, 1)
 	go func() {
@@ -189,6 +251,8 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 	}()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	var lastSink uint64
+	var liveRate float64
 	for {
 		select {
 		case err := <-errCh:
@@ -196,6 +260,32 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 		case res := <-resCh:
 			return res, false, nil
 		case <-tick.C:
+		}
+		// Live sink rate over the last tick: the before/after figure the
+		// realized-gain audit compares (the model predicts steady-state
+		// throughput, so both sides are measured the same way).
+		sink := e.SinkCount()
+		liveRate = float64(sink-lastSink) / interval.Seconds()
+		lastSink = sink
+		if p := ctl.pending; p != nil {
+			// Skip the first post-rescale ticks: they blend restore replay
+			// with steady state and would misattribute the pause to the
+			// plan.
+			if p.ticks++; p.ticks >= 3 {
+				ctl.pending = nil
+				realized := 0.0
+				if p.rate0 > 0 {
+					realized = liveRate/p.rate0 - 1
+				}
+				floatToAtomic(&ctl.lastRealized, realized)
+				advisor.RecordOutcome(adaptive.Outcome{
+					At: time.Now(), PredictedGain: p.predicted, RealizedGain: realized,
+				})
+				ctl.sess.event("rescale_realized", map[string]string{
+					"predicted_gain": formatGain(p.predicted),
+					"realized_gain":  formatGain(realized),
+				})
+			}
 		}
 		if err := advisor.RecordEngine(e.ProfileSnapshot()); err != nil {
 			continue // e.g. a zero-duration tick; just skip this sample
@@ -218,6 +308,16 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 			}
 			continue
 		}
+		predicted := 0.0
+		if rec.CurrentPredicted > 0 {
+			predicted = rec.NewPredicted/rec.CurrentPredicted - 1
+		}
+		ctl.sess.event("advisor_decision", map[string]string{
+			"predicted_gain":    formatGain(predicted),
+			"current_predicted": strconv.FormatFloat(rec.CurrentPredicted, 'f', 1, 64),
+			"new_predicted":     strconv.FormatFloat(rec.NewPredicted, 'f', 1, 64),
+			"drifted":           strconv.Itoa(len(rec.DriftedOperators)),
+		})
 		observed, _ := advisor.ObservedStats()
 		newCfg, err := rec.Plan.Apply()
 		if err != nil {
@@ -241,6 +341,7 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 		// Roll over: checkpoint the running engine, re-shard the cut
 		// onto the new replication, and only then kill — a failed
 		// re-shard leaves the run untouched.
+		ctl.sess.event("rescale_begin", map[string]string{"predicted_gain": formatGain(predicted)})
 		cp2, err := t.migrateState(e, co, resCh, errCh, newRepl)
 		if err != nil {
 			dec.Err = err
@@ -252,6 +353,7 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 			}
 			return nil, false, err
 		}
+		ctl.killAt = time.Now()
 		e.Kill()
 		select {
 		case err := <-errCh:
@@ -261,6 +363,9 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 			*repl = newRepl
 			*restore = cp2
 			dec.Rescaled = true
+			ctl.rescales.Add(1)
+			floatToAtomic(&ctl.lastPredicted, predicted)
+			ctl.pending = &pendingOutcome{predicted: predicted, rate0: liveRate}
 			if ac.OnDecision != nil {
 				ac.OnDecision(dec)
 			}
@@ -333,6 +438,10 @@ func (t *Topology) pinnedReplication(planned map[string]int, cfg RunConfig) map[
 	}
 	return out
 }
+
+// formatGain renders a relative gain for event attributes ("0.137" =
+// +13.7%).
+func formatGain(g float64) string { return strconv.FormatFloat(g, 'f', 3, 64) }
 
 func sameReplication(a, b map[string]int) bool {
 	if len(a) != len(b) {

@@ -477,6 +477,15 @@ type RunConfig struct {
 	// predicts a sufficiently better plan (see AdaptiveConfig).
 	// Replication is then chosen by the optimizer, not this config.
 	Adaptive *AdaptiveConfig
+	// Obs enables live telemetry: rolling-window metrics over the
+	// engine's counters and, with Obs.Addr set, an HTTP server exposing
+	// /metrics (Prometheus text), /statusz, /events, /healthz and
+	// /debug/pprof/.
+	Obs *ObsConfig
+	// OnEvent observes every lifecycle journal event (run start/stop,
+	// checkpoints, rescales) synchronously as it is emitted. Setting it
+	// without Obs still activates the journal.
+	OnEvent func(ObsEvent)
 }
 
 // RunResult reports a real-engine execution.
@@ -497,8 +506,25 @@ type RunResult struct {
 	// Rescales counts online rollovers performed by the autoscaler
 	// (always 0 without RunConfig.Adaptive).
 	Rescales int
+	// RescaleOutcomes audits each rescale the autoscaler performed:
+	// the gain the model predicted against the gain actually measured
+	// once the rescaled engine settled (empty without Adaptive).
+	RescaleOutcomes []RescaleOutcome
 	// Errors aggregates operator failures.
 	Errors []error
+}
+
+// RescaleOutcome compares one online rescale's predicted relative
+// throughput gain with the gain measured after the rollover.
+type RescaleOutcome struct {
+	// At is when the realized gain was measured.
+	At time.Time
+	// PredictedGain is the model's promised relative improvement
+	// (NewPredicted/CurrentPredicted − 1) at decision time.
+	PredictedGain float64
+	// RealizedGain is the measured relative throughput change across
+	// the rollover; negative means the rescale hurt.
+	RealizedGain float64
 }
 
 // Run executes the topology on the in-process engine.
@@ -530,6 +556,7 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	ecfg.Checkpoint = cfg.Checkpoint
 	ecfg.CheckpointInterval = cfg.CheckpointInterval
 	ecfg.AlignTimeout = cfg.AlignTimeout
+	applyObsEngineConfig(&ecfg, cfg)
 	repl := t.repl
 	if cfg.Replication != nil {
 		repl = cfg.Replication
@@ -544,6 +571,12 @@ func (t *Topology) Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sess, err := startObs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.close()
+	sess.bindEngine(e)
 	if cfg.Resume {
 		if _, err := e.Restore(); err != nil {
 			return nil, err

@@ -75,11 +75,14 @@ func (s *adaptiveSpout) SeekTo(off int64) error {
 	return nil
 }
 
-// adaptiveBenchTopology assembles the skew word-count on the public API.
-func adaptiveBenchTopology() *briskstream.Topology {
+// adaptiveBenchTopology assembles the skew word-count on the public
+// API: limit bounds the stream (the obs demo passes an effectively
+// endless one and relies on RunConfig.Duration), pivot is where the
+// sentence length jumps.
+func adaptiveBenchTopology(limit, pivot int64) *briskstream.Topology {
 	t := briskstream.NewTopology("adaptive-wc")
 	t.Spout("src", func() briskstream.Spout {
-		return &adaptiveSpout{limit: adaptiveBenchTuples, pivot: adaptiveBenchPivot}
+		return &adaptiveSpout{limit: limit, pivot: pivot}
 	}).Emits(briskstream.DefaultStream, briskstream.StrField("sentence"))
 	t.Operator("split", func() briskstream.Operator {
 		return briskstream.OperatorFunc(func(c briskstream.Collector, tp *briskstream.Tuple) error {
@@ -169,7 +172,7 @@ func adaptiveBench() (*adaptiveBenchRow, error) {
 
 	// Static: the stale plan held for the whole run (spout/sink pinned
 	// to 1, like the autoscaler's own pinning).
-	static := adaptiveBenchTopology()
+	static := adaptiveBenchTopology(adaptiveBenchTuples, adaptiveBenchPivot)
 	p, err := static.Optimize(briskstream.OptimizeConfig{Machine: machine, Stats: stats, FixedSpouts: true})
 	if err != nil {
 		return nil, fmt.Errorf("adaptive bench optimize: %w", err)
@@ -188,7 +191,7 @@ func adaptiveBench() (*adaptiveBenchRow, error) {
 	}
 
 	// Autoscaled: same topology, same stale statistics, live loop on.
-	auto := adaptiveBenchTopology()
+	auto := adaptiveBenchTopology(adaptiveBenchTuples, adaptiveBenchPivot)
 	resA, err := auto.Run(briskstream.RunConfig{Adaptive: &briskstream.AdaptiveConfig{
 		Machine:     machine,
 		Stats:       stats,

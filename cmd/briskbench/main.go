@@ -7,6 +7,9 @@
 //	briskbench -all -quick      # reduced fidelity, minutes instead
 //	briskbench -engine 3s       # real-engine hot-path microbenchmark
 //	briskbench -bench-json 2s   # benchmark apps on the real engine, JSON rows
+//	briskbench -run 10s -metrics :9090   # windowed demo app with live telemetry
+//	briskbench -obs-check       # scrape+validate own /metrics, exit 0/1
+//	briskbench -check-exposition f.txt   # validate a saved exposition file
 //
 // The real-engine modes accept -rate N (token-bucket cap on each app's
 // total spout output, tuples/sec) and -linger D (partial jumbo batch
@@ -62,8 +65,36 @@ func main() {
 		appName   = flag.String("app", "WC", "application for -kill-after (WC, FD, SD, LR, TW)")
 		ckptEvery = flag.Duration("checkpoint", 200*time.Millisecond, "checkpoint interval for -kill-after")
 		ckptDir   = flag.String("ckpt-dir", "", "persist checkpoints to this directory (default: in-memory)")
+		runFor    = flag.Duration("run", 0, "run the windowed demo app for this duration (combine with -metrics)")
+		metrics   = flag.String("metrics", ":9090", "telemetry listen address for -run (/metrics, /statusz, /events, /healthz, /debug/pprof/)")
+		obsCheck  = flag.Bool("obs-check", false, "self-check: run the demo app on a loopback port, scrape and validate /metrics, exit nonzero on failure")
+		checkExpo = flag.String("check-exposition", "", "validate a Prometheus text-format file (- for stdin) and exit")
 	)
 	flag.Parse()
+
+	if *checkExpo != "" {
+		if err := checkExposition(*checkExpo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsCheck {
+		if err := obsSelfCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runFor > 0 {
+		if err := runObsDemo(*runFor, *metrics, *ckptEvery); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *killAfter > 0 {
 		if err := killRecoverDemo(*appName, *killAfter, *ckptEvery, *ckptDir); err != nil {

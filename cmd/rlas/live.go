@@ -10,17 +10,39 @@ package main
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"briskstream/internal/adaptive"
 	"briskstream/internal/apps"
 	"briskstream/internal/engine"
 	"briskstream/internal/numa"
+	"briskstream/internal/obs"
 	"briskstream/internal/plan"
 	"briskstream/internal/rlas"
 )
 
-func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration) error {
+// liveDrift publishes the advisor's observed-vs-baseline statistics to
+// metric gauges: the supervise tick writes, scrapes read.
+type liveDrift struct {
+	mu  sync.Mutex
+	te  map[string]float64 // observed per-tuple execution ns
+	sel map[string]float64 // observed total selectivity
+}
+
+func (ld *liveDrift) update(op string, te, sel float64) {
+	ld.mu.Lock()
+	ld.te[op], ld.sel[op] = te, sel
+	ld.mu.Unlock()
+}
+
+func (ld *liveDrift) get(m map[string]float64, op string) float64 {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	return m[op]
+}
+
+func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metricsAddr string) error {
 	ec, err := plan.Apply(r.Graph, r.Placement)
 	if err != nil {
 		return err
@@ -60,6 +82,40 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration) erro
 		return err
 	}
 
+	// -metrics: serve the engine's series plus rlas drift gauges — the
+	// live observed statistics against the calibrated baselines the plan
+	// was optimized with — so drift is watchable while the run profiles.
+	var drift *liveDrift
+	if metricsAddr != "" {
+		reg := obs.NewRegistry(0)
+		jr := obs.NewJournal(0)
+		e.RegisterObs(reg.Group("engine"), jr)
+		drift = &liveDrift{te: map[string]float64{}, sel: map[string]float64{}}
+		g := reg.Group("rlas")
+		for op, base := range a.Stats {
+			l := []obs.L{{Key: "op", Value: op}}
+			base := base
+			g.Gauge("rlas_te_observed_ns", "Live-profiled per-tuple execution time.", l, func() float64 {
+				return drift.get(drift.te, op)
+			})
+			g.Gauge("rlas_te_baseline_ns", "Calibrated per-tuple execution time the plan assumed.", l, func() float64 {
+				return base.Te
+			})
+			g.Gauge("rlas_selectivity_observed", "Live-profiled total selectivity.", l, func() float64 {
+				return drift.get(drift.sel, op)
+			})
+			g.Gauge("rlas_selectivity_baseline", "Calibrated total selectivity the plan assumed.", l, func() float64 {
+				return base.TotalSelectivity()
+			})
+		}
+		srv, err := obs.Serve(metricsAddr, reg, jr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+
 	fmt.Printf("\nrunning live for %v (profile sampling every %d tuples)...\n", d, cfg.ProfileSampleEvery)
 	done := make(chan *engine.Result, 1)
 	go func() {
@@ -75,6 +131,13 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration) erro
 		case <-tick.C:
 			if err := adv.RecordEngine(e.ProfileSnapshot()); err != nil {
 				return err
+			}
+			if drift != nil {
+				if observed, err := adv.ObservedStats(); err == nil {
+					for op, st := range observed {
+						drift.update(op, st.Te, st.TotalSelectivity())
+					}
+				}
 			}
 		}
 	}

@@ -44,6 +44,7 @@ func main() {
 		iters   = flag.Int("iters", 40, "max scaling iterations")
 		trace   = flag.Bool("trace", false, "print the per-iteration scaling trace")
 		live    = flag.Duration("live", 0, "run the plan on the real engine for this duration, live-profile it, and print the advisor's drift/re-optimization verdict")
+		metrics = flag.String("metrics", "", "with -live: serve /metrics with engine series plus observed-vs-baseline drift gauges on this address")
 	)
 	flag.Parse()
 
@@ -122,7 +123,7 @@ func main() {
 	}
 
 	if *live > 0 {
-		if err := runLive(a, m, r, *live); err != nil {
+		if err := runLive(a, m, r, *live, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -67,6 +67,7 @@ type Advisor struct {
 
 	history    []Observation
 	engHistory []profile.EngineSnapshot
+	outcomes   outcomeLog // predicted-vs-realized gains of adopted rescales
 }
 
 // New creates an advisor for an application running under the given

@@ -1,0 +1,48 @@
+package adaptive
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome records one online rescale: the relative throughput gain the
+// model predicted when it recommended the rollover, and the gain
+// actually measured once the rescaled engine reached steady state.
+// Comparing the two is how the advisor's performance model is audited —
+// a model that keeps over-promising should have its Gain threshold
+// raised, one that under-promises is leaving rescales on the table.
+type Outcome struct {
+	// At is when the realized gain was measured (not when the rescale
+	// was decided).
+	At time.Time
+	// PredictedGain is NewPredicted/CurrentPredicted - 1 at decision
+	// time.
+	PredictedGain float64
+	// RealizedGain is the measured post-rescale throughput over the
+	// pre-rescale throughput, minus 1. Negative means the rollover made
+	// things worse.
+	RealizedGain float64
+}
+
+// outcomes is guarded separately from the Advisor's single-goroutine
+// history: outcomes are written by the supervise loop but read by
+// metric scrapes on the obs server's goroutine.
+type outcomeLog struct {
+	mu   sync.Mutex
+	list []Outcome
+}
+
+// RecordOutcome appends one realized rescale outcome.
+func (a *Advisor) RecordOutcome(o Outcome) {
+	a.outcomes.mu.Lock()
+	a.outcomes.list = append(a.outcomes.list, o)
+	a.outcomes.mu.Unlock()
+}
+
+// Outcomes returns a copy of every recorded rescale outcome, oldest
+// first.
+func (a *Advisor) Outcomes() []Outcome {
+	a.outcomes.mu.Lock()
+	defer a.outcomes.mu.Unlock()
+	return append([]Outcome(nil), a.outcomes.list...)
+}

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Coordinator tracks in-flight checkpoints across the tasks of one
@@ -25,11 +26,17 @@ type Coordinator struct {
 	completed uint64            // count of completed checkpoints (stats)
 	latestID  uint64            // highest completed id
 	seedErr   error             // store failure while seeding the id floor
+
+	// onComplete observes every persisted checkpoint with its begin and
+	// persist times (the obs layer turns the pair into begin→persist
+	// duration metrics and journal events). Called outside the lock.
+	onComplete func(id uint64, began, done time.Time)
 }
 
 type pendingCkpt struct {
 	expect map[string]bool // task labels still missing
 	tasks  map[string][]byte
+	began  time.Time // when Begin registered the checkpoint
 }
 
 // NewCoordinator builds a coordinator over the given store (nil defaults
@@ -57,6 +64,17 @@ func NewCoordinator(store Store) *Coordinator {
 // Store returns the coordinator's backing store.
 func (co *Coordinator) Store() Store { return co.store }
 
+// SetOnComplete arms an observer invoked (outside the coordinator
+// lock) after each checkpoint persists, with the checkpoint id and its
+// Begin/persist times. Re-arming replaces the previous observer; the
+// engine's obs registration sets it, so a coordinator shared across
+// adaptive segments reports into the live registration.
+func (co *Coordinator) SetOnComplete(fn func(id uint64, began, done time.Time)) {
+	co.mu.Lock()
+	co.onComplete = fn
+	co.mu.Unlock()
+}
+
 // Begin registers checkpoint id as in flight, expecting one Ack from
 // every listed task. Retired (finished) tasks are filled in with their
 // final snapshots immediately — which can complete (and persist) the
@@ -73,7 +91,7 @@ func (co *Coordinator) Begin(id uint64, tasks []string) error {
 		co.mu.Unlock()
 		return nil
 	}
-	p := &pendingCkpt{expect: make(map[string]bool, len(tasks)), tasks: make(map[string][]byte, len(tasks))}
+	p := &pendingCkpt{expect: make(map[string]bool, len(tasks)), tasks: make(map[string][]byte, len(tasks)), began: time.Now()}
 	for _, t := range tasks {
 		p.expect[t] = true
 	}
@@ -186,7 +204,11 @@ func (co *Coordinator) persist(id uint64, p *pendingCkpt) error {
 			delete(co.pending, pid)
 		}
 	}
+	onComplete := co.onComplete
 	co.mu.Unlock()
+	if onComplete != nil {
+		onComplete(id, p.began, time.Now())
+	}
 	return nil
 }
 

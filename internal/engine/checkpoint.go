@@ -22,6 +22,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"briskstream/internal/checkpoint"
@@ -82,6 +84,7 @@ func (e *Engine) TriggerCheckpoint() uint64 {
 			break
 		}
 	}
+	e.event("checkpoint_begin", "", map[string]string{"id": strconv.FormatUint(id, 10)})
 	return id
 }
 
@@ -93,6 +96,7 @@ func (e *Engine) TriggerCheckpoint() uint64 {
 func (e *Engine) Kill() {
 	e.stop.Store(true)
 	e.closeAllQueues()
+	e.event("kill", "", nil)
 }
 
 // Restore arranges for the next Run to rebuild every task from the
@@ -113,6 +117,7 @@ func (e *Engine) Restore() (uint64, error) {
 		return 0, ErrNoCheckpoint
 	}
 	e.restoreCp = cp
+	e.event("restore", "", map[string]string{"id": strconv.FormatUint(cp.ID, 10)})
 	return cp.ID, nil
 }
 
@@ -312,6 +317,7 @@ func (e *Engine) alignTimedOut(t *task, c *collector, seq uint32) error {
 		return nil // stale: that alignment completed or was superseded
 	}
 	e.alignTimeouts.Add(1)
+	e.event("checkpoint_timeout", t.label, map[string]string{"id": strconv.FormatUint(t.alignID, 10)})
 	if t.alignID > t.lastCkpt {
 		t.lastCkpt = t.alignID
 	}
@@ -401,6 +407,7 @@ func (e *Engine) applyRestore(cp *checkpoint.Checkpoint) error {
 			}
 		} else {
 			t.tm.wm = dec.Int64()
+			atomic.StoreInt64(&t.wmLive, t.tm.wm)
 			if dec.Bool() {
 				s, ok := t.operator.(checkpoint.Snapshotter)
 				if !ok {

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,7 @@ import (
 	"briskstream/internal/graph"
 	"briskstream/internal/metrics"
 	"briskstream/internal/numa"
+	"briskstream/internal/obs"
 	"briskstream/internal/profile"
 	"briskstream/internal/queue"
 	"briskstream/internal/tuple"
@@ -390,6 +392,11 @@ type task struct {
 	serviceNs      uint64
 	serviceSamples uint64
 	inBytes        uint64
+	// wmLive mirrors the task's low watermark (tm.wm, task-goroutine
+	// private) atomically, so the obs layer can publish per-task
+	// watermark lag without touching timer state mid-run. Stored only
+	// on watermark advance — rare relative to tuples.
+	wmLive int64
 }
 
 // outEdge is one (producer, consumer) communication edge: the
@@ -500,6 +507,16 @@ type Engine struct {
 	// alignTimeouts counts alignment attempts abandoned by the
 	// AlignTimeout bound (reset per run, reported in Result).
 	alignTimeouts atomic.Uint64
+
+	// Live telemetry (all nil/zero without RegisterObs — the hot path
+	// then pays one predictable nil check at the sampled-latency site
+	// and nothing per tuple). jr receives lifecycle events; obsLat and
+	// obsLatHist receive the sampled sink latencies the run's
+	// end-of-run histogram already observes; runSeq counts Runs.
+	jr         *obs.Journal
+	obsLat     *obs.Window
+	obsLatHist *obs.Histogram
+	runSeq     atomic.Uint64
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -833,6 +850,7 @@ func (c *collector) EmitWatermark(wm int64) {
 		c.fail = err
 		return
 	}
+	atomic.StoreInt64(&c.t.wmLive, wm)
 	// Punctuations are rare, so every one carries a latency timestamp:
 	// it rides through to window aggregates fired by this watermark,
 	// keeping end-to-end latency observable on windowed paths.
@@ -1110,6 +1128,7 @@ func (e *Engine) handlePunct(t *task, c *collector, in *tuple.Tuple, producer in
 	}); err != nil {
 		return err
 	}
+	atomic.StoreInt64(&t.wmLive, merged)
 	if wh, ok := t.operator.(WatermarkHandler); ok {
 		if err := wh.OnWatermark(c, merged); err != nil {
 			return err
@@ -1219,6 +1238,7 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 		atomic.StoreUint64(&t.serviceSamples, 0)
 		atomic.StoreUint64(&t.inBytes, 0)
 		t.tm.reset()
+		atomic.StoreInt64(&t.wmLive, WatermarkMin)
 		for i := range t.wmIn {
 			t.wmIn[i] = WatermarkMin
 			t.idleIn[i] = false
@@ -1272,6 +1292,12 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	// Queue cursors are cumulative across runs; report per-run deltas.
 	puts0, gets0 := e.QueueStats()
 
+	run := e.runSeq.Add(1)
+	e.event("run_start", "", map[string]string{
+		"run":   strconv.FormatUint(run, 10),
+		"tasks": strconv.Itoa(len(e.tasks)),
+	})
+
 	for _, t := range e.tasks {
 		wg.Add(1)
 		go func(t *task) {
@@ -1324,6 +1350,12 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 	}
 	puts, gets := e.QueueStats()
 	res.QueuePuts, res.QueueGets = puts-puts0, gets-gets0
+	e.event("run_stop", "", map[string]string{
+		"run":         strconv.FormatUint(run, 10),
+		"duration_ms": strconv.FormatInt(elapsed.Milliseconds(), 10),
+		"sink_tuples": strconv.FormatUint(res.SinkTuples, 10),
+		"errors":      strconv.Itoa(len(res.Errors)),
+	})
 	return res, nil
 }
 
@@ -1539,7 +1571,12 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 		if t.isSink {
 			e.sink.Inc()
 			if !in.Ts.IsZero() {
-				e.lat.Observe(float64(time.Since(in.Ts).Nanoseconds()))
+				ns := float64(time.Since(in.Ts).Nanoseconds())
+				e.lat.Observe(ns)
+				if e.obsLat != nil {
+					e.obsLat.Observe(ns)
+					e.obsLatHist.Observe(ns)
+				}
 			}
 		}
 		if t.operator != nil {

@@ -12,9 +12,11 @@ package engine
 
 import (
 	"io"
+	"strings"
 	"testing"
 
 	"briskstream/internal/graph"
+	"briskstream/internal/obs"
 )
 
 // allocHarness builds a spout->sink edge with `consumers` sink replicas
@@ -102,5 +104,36 @@ func TestEmitDispatchAllocsStormModeExempt(t *testing.T) {
 	avg := testing.AllocsPerRun(2000, emit)
 	if avg < 1 {
 		t.Errorf("storm-like emit allocates %.2f/op; the defensive-copy emulation should allocate", avg)
+	}
+}
+
+func TestEmitDispatchAllocFreeWithObs(t *testing.T) {
+	// Observability on must not change the zero-alloc bound: RegisterObs
+	// enables pool accounting and registers pull-based series over the
+	// engine's atomics, so the emit->dispatch path pays only predictable
+	// branches. A scrape between warm-up and measurement proves reading
+	// the series does not make the hot path allocate either.
+	cfg := DefaultConfig()
+	cfg.LatencySampleEvery = 0 // time.Now stamping is not the measured path
+	c, drain := allocHarness(t, cfg, 4, graph.Shuffle)
+	reg := obs.NewRegistry(0)
+	c.e.RegisterObs(reg.Group("engine"), obs.NewJournal(0))
+	emit := func() {
+		out := c.Borrow()
+		out.AppendStr("the quick brown fox")
+		out.AppendInt(100042)
+		c.Send(out)
+		drain()
+	}
+	for i := 0; i < 1000; i++ {
+		emit()
+	}
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5000, emit)
+	if avg > 0 {
+		t.Errorf("emit->dispatch allocates %.2f/op with observability registered, want 0", avg)
 	}
 }

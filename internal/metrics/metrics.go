@@ -45,6 +45,13 @@ type Histogram struct {
 	min     float64
 	max     float64
 	rng     uint64 // xorshift state for reservoir sampling
+
+	// sorted caches an ordered copy of samples so repeated quantile reads
+	// (a scrape asks for p50/p90/p99 every second) sort once per sample
+	// mutation instead of once per call. Invalidated by Observe only when
+	// it actually changed the sample set.
+	sorted   []float64
+	sortedOK bool
 }
 
 // NewHistogram creates a histogram retaining at most maxSamples raw
@@ -70,6 +77,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	if len(h.samples) < h.cap {
 		h.samples = append(h.samples, v)
+		h.sortedOK = false
 		return
 	}
 	// Reservoir sampling: replace a random slot with probability cap/count.
@@ -78,6 +86,7 @@ func (h *Histogram) Observe(v float64) {
 	h.rng ^= h.rng << 17
 	if idx := h.rng % h.count; idx < uint64(h.cap) {
 		h.samples[idx] = v
+		h.sortedOK = false
 	}
 }
 
@@ -120,19 +129,33 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) over retained samples
-// using linear interpolation, or 0 when empty.
+// using linear interpolation, or 0 when empty. The sorted view is
+// cached across calls, so asking for several quantiles between
+// observations costs one sort total, not one per call.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return quantileLocked(h.samples, q)
+	return quantileOf(h.sortedLocked(), q)
 }
 
-func quantileLocked(samples []float64, q float64) float64 {
-	if len(samples) == 0 {
+// sortedLocked returns the cached ordered copy of samples, rebuilding
+// it only when an Observe changed the sample set since the last build.
+// The cache reuses its backing array, so steady-state re-sorts (full
+// reservoir) allocate nothing.
+func (h *Histogram) sortedLocked() []float64 {
+	if !h.sortedOK {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Float64s(h.sorted)
+		h.sortedOK = true
+	}
+	return h.sorted
+}
+
+// quantileOf interpolates the q-quantile of an already-sorted slice.
+func quantileOf(s []float64, q float64) float64 {
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
 	if q <= 0 {
 		return s[0]
 	}
@@ -161,18 +184,25 @@ type CDFPoint struct {
 // throughput (Figure 14).
 func (h *Histogram) CDF(points int) []CDFPoint {
 	h.mu.Lock()
-	s := append([]float64(nil), h.samples...)
+	// Copy the cached sorted view: cdfOfSorted runs outside the lock and
+	// the cache's backing array mutates on the next invalidated read.
+	s := append([]float64(nil), h.sortedLocked()...)
 	h.mu.Unlock()
-	return CDFOf(s, points)
+	return cdfOfSorted(s, points)
 }
 
 // CDFOf computes an empirical CDF of the given values.
 func CDFOf(values []float64, points int) []CDFPoint {
-	if len(values) == 0 || points <= 0 {
-		return nil
-	}
 	s := append([]float64(nil), values...)
 	sort.Float64s(s)
+	return cdfOfSorted(s, points)
+}
+
+// cdfOfSorted computes the CDF of an already-sorted slice it may keep.
+func cdfOfSorted(s []float64, points int) []CDFPoint {
+	if len(s) == 0 || points <= 0 {
+		return nil
+	}
 	if points > len(s) {
 		points = len(s)
 	}

@@ -182,3 +182,55 @@ func TestSampleRate(t *testing.T) {
 		t.Error("unchanged sample should give zero rate")
 	}
 }
+
+func TestQuantileCacheStaysCorrect(t *testing.T) {
+	h := NewHistogram(8) // tiny reservoir so replacement paths run
+	for i := 1; i <= 8; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("max quantile = %v, want 8", got)
+	}
+	// Repeated reads between observations must agree (served from cache).
+	if a, b := h.Quantile(0.5), h.Quantile(0.5); a != b {
+		t.Fatalf("cached quantile drifted: %v vs %v", a, b)
+	}
+	// Keep observing past the cap; reservoir replacement must invalidate
+	// the cache so new extremes become visible.
+	for i := 0; i < 10_000; i++ {
+		h.Observe(1e9)
+	}
+	if got := h.Quantile(1); got != 1e9 {
+		t.Fatalf("after reservoir churn max quantile = %v, want 1e9", got)
+	}
+	if got := h.Quantile(0); got < 1 {
+		t.Fatalf("min quantile = %v, want >= 1", got)
+	}
+	// The CDF view must reflect the same (current) sample set.
+	cdf := h.CDF(4)
+	if len(cdf) == 0 || cdf[len(cdf)-1].Value != h.Quantile(1) {
+		t.Fatalf("CDF tail %+v disagrees with max quantile %v", cdf, h.Quantile(1))
+	}
+}
+
+func TestQuantileCacheConcurrent(t *testing.T) {
+	h := NewHistogram(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(i % 997))
+				if i%64 == 0 {
+					_ = h.Quantile(0.99)
+					_ = h.CDF(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if q := h.Quantile(0.99); q <= 0 || q > 996 {
+		t.Fatalf("p99 = %v out of range", q)
+	}
+}

@@ -1,0 +1,165 @@
+// Package obs is BriskStream's live telemetry layer: lock-free
+// instruments (log-bucketed mergeable histograms and rolling-window
+// aggregators) in a labeled registry, a bounded journal of structured
+// lifecycle events, and an HTTP exporter serving hand-rolled Prometheus
+// text exposition plus /statusz, /healthz, /events and net/http/pprof —
+// all on the standard library.
+//
+// The instruments are built for the engine's hot path: Observe is
+// allocation-free and lock-free (atomic bucket counters), and every
+// engine metric is a pull-based view over counters the engine already
+// maintains, so a scrape never touches task-goroutine-private state.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Log-scale bucket layout shared by Histogram and the valued Window
+// slots: bucket 0 collects observations below 1, then four geometric
+// sub-buckets per power of two (±12.5% relative resolution) up to
+// 2^expMax, with one overflow bucket above. The layout is fixed so
+// histograms merge by adding counters — across tasks, across engines,
+// across window slots.
+const (
+	expMax = 47
+	// NumBuckets is the fixed bucket count of every obs histogram.
+	NumBuckets = 2 + expMax*4
+)
+
+// bucketIndex maps an observation to its bucket. NaN and negatives
+// land in the underflow bucket; +Inf and anything ≥ 2^47 in overflow.
+func bucketIndex(v float64) int {
+	if !(v >= 1) {
+		return 0
+	}
+	bits := math.Float64bits(v)
+	exp := int(bits>>52&0x7ff) - 1023
+	if exp >= expMax {
+		return NumBuckets - 1
+	}
+	return 1 + exp*4 + int(bits>>50&3)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the
+// Prometheus `le` value); the overflow bucket's bound is +Inf.
+func BucketBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return 1
+	case i >= NumBuckets-1:
+		return math.Inf(1)
+	}
+	k := i - 1
+	return math.Ldexp(1+float64(k%4+1)/4, k/4)
+}
+
+// Histogram is a fixed-layout log-bucketed histogram safe for
+// concurrent Observe from any goroutine. Observe is allocation-free
+// and lock-free; readers take consistent-enough snapshots by loading
+// the bucket counters (a scrape racing an Observe may see the bucket
+// before the total — quantiles therefore derive the total from the
+// buckets themselves).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one observation. It never allocates and never blocks
+// (the sum accumulation is a CAS loop on one word).
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistSnapshot is a point-in-time copy of a Histogram, the unit of
+// merging, deltas and quantile estimation.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     float64
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot copies the histogram's current counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Delta returns s - prev per counter (the observations recorded
+// between the two snapshots, given prev was taken first).
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// Merge adds o's counters into s (fixed shared layout makes this
+// exact, not approximate).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-quantile from the buckets, reporting the
+// upper bound of the bucket holding the target rank (≤ +25% relative
+// overestimate by construction; the overflow bucket reports its lower
+// bound). The total is derived from the buckets so a snapshot racing
+// an Observe stays internally consistent.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for i := range s.Buckets {
+		total += s.Buckets[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			if i == NumBuckets-1 {
+				return math.Ldexp(1, expMax)
+			}
+			return BucketBound(i)
+		}
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile over all observations so far.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }

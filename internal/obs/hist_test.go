@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []float64{-5, 0, 0.5, 1, 1.1, 1.25, 2, 3, 1000, 1e6, 1e12, math.Ldexp(1, 60), math.Inf(1)}
+	for _, v := range cases {
+		i := bucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of range", v, i)
+		}
+		// Buckets are half-open [lower, upper): a value equal to a
+		// bound belongs to the bucket above it.
+		if i < NumBuckets-1 && v >= BucketBound(i) {
+			t.Errorf("bucketIndex(%g) = %d but bound %g <= value", v, i, BucketBound(i))
+		}
+		if i > 0 && v < BucketBound(i-1) {
+			t.Errorf("bucketIndex(%g) = %d but previous bound %g > value", v, i, BucketBound(i-1))
+		}
+	}
+	if bucketIndex(math.NaN()) != 0 {
+		t.Errorf("NaN must land in the underflow bucket")
+	}
+}
+
+func TestBucketBoundsMonotonic(t *testing.T) {
+	for i := 1; i < NumBuckets; i++ {
+		if !(BucketBound(i) > BucketBound(i-1)) {
+			t.Fatalf("bounds not increasing at %d: %g <= %g", i, BucketBound(i), BucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..10000: quantiles must land within the ±25% bucket
+	// resolution of the true value.
+	for v := 1; v <= 10000; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := q * 10000
+		if got < want*0.95 || got > want*1.30 {
+			t.Errorf("q%.2f = %g, want within [%g, %g]", q, got, want*0.95, want*1.30)
+		}
+	}
+	if s := h.Sum(); math.Abs(s-50005000) > 1 {
+		t.Errorf("sum = %g, want 50005000", s)
+	}
+}
+
+func TestHistogramSnapshotDeltaMerge(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Observe(500)
+	s1 := h.Snapshot()
+	h.Observe(50)
+	s2 := h.Snapshot()
+	d := s2.Delta(s1)
+	if d.Count != 1 || d.Sum != 50 {
+		t.Fatalf("delta = %+v, want count 1 sum 50", d)
+	}
+	m := s1
+	m.Merge(d)
+	if m.Count != s2.Count || m.Sum != s2.Sum || m.Buckets != s2.Buckets {
+		t.Fatalf("merge(s1, delta) != s2")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const G, N = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(float64(g*N + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != G*N {
+		t.Fatalf("count = %d, want %d", h.Count(), G*N)
+	}
+	var bucketTotal uint64
+	s := h.Snapshot()
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != G*N {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, G*N)
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	h := NewHistogram()
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(42) })
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured lifecycle event: run start/stop, checkpoint
+// begin/complete/timeout, advisor decisions, rescale begin/end,
+// intern-table watermark crossings. Events are for humans and
+// harnesses watching a run, not for the data path — emitting one may
+// allocate.
+type Event struct {
+	// Seq is the journal-assigned monotonically increasing sequence
+	// number (the /events?since= cursor).
+	Seq uint64 `json:"seq"`
+	// At is the emission time (stamped by the journal when zero).
+	At time.Time `json:"at"`
+	// Type names the event, e.g. "run_start", "checkpoint_complete",
+	// "rescale_begin".
+	Type string `json:"type"`
+	// Task is the task label the event concerns, when task-scoped.
+	Task string `json:"task,omitempty"`
+	// Attrs carries event-specific details as strings.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Journal is a bounded ring of lifecycle events. Emit overwrites the
+// oldest entry once full; Events returns entries after a cursor, so a
+// poller never misses events that still fit the ring.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	size    int
+	seq     uint64
+	onEvent func(Event)
+}
+
+// NewJournal builds a journal retaining up to size events (default
+// 1024 when size <= 0).
+func NewJournal(size int) *Journal {
+	if size <= 0 {
+		size = 1024
+	}
+	return &Journal{buf: make([]Event, 0, size), size: size}
+}
+
+// SetOnEvent arms a synchronous observer invoked (outside the journal
+// lock) for every event. Set it before emission starts; the hook must
+// be fast and must not block.
+func (j *Journal) SetOnEvent(fn func(Event)) {
+	j.mu.Lock()
+	j.onEvent = fn
+	j.mu.Unlock()
+}
+
+// Emit appends one event, stamping Seq and (when zero) At.
+func (j *Journal) Emit(ev Event) {
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	if len(j.buf) < j.size {
+		j.buf = append(j.buf, ev)
+	} else {
+		j.buf[int((ev.Seq-1)%uint64(j.size))] = ev
+	}
+	fn := j.onEvent
+	j.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Seq returns the sequence number of the most recent event (0 when
+// empty).
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Events returns the retained events with Seq > since, oldest first.
+func (j *Journal) Events(since uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	// The ring holds seqs (seq-len, seq]; walk them in order.
+	lo := uint64(1)
+	if j.seq > uint64(len(j.buf)) {
+		lo = j.seq - uint64(len(j.buf)) + 1
+	}
+	if since+1 > lo {
+		lo = since + 1
+	}
+	for s := lo; s <= j.seq; s++ {
+		out = append(out, j.buf[int((s-1)%uint64(j.size))])
+	}
+	return out
+}

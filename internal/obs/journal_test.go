@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(4)
+	for i := 1; i <= 6; i++ {
+		j.Emit(Event{Type: fmt.Sprintf("e%d", i)})
+	}
+	if j.Seq() != 6 {
+		t.Fatalf("seq = %d, want 6", j.Seq())
+	}
+	evs := j.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4 (ring bound)", len(evs))
+	}
+	if evs[0].Type != "e3" || evs[3].Type != "e6" {
+		t.Fatalf("ring window wrong: %v .. %v", evs[0].Type, evs[3].Type)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seqs not contiguous: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// Cursor semantics: since the last seen seq, only newer events.
+	evs = j.Events(5)
+	if len(evs) != 1 || evs[0].Type != "e6" {
+		t.Fatalf("Events(5) = %v", evs)
+	}
+	if got := j.Events(6); len(got) != 0 {
+		t.Fatalf("Events(at head) = %v, want empty", got)
+	}
+}
+
+func TestJournalOnEvent(t *testing.T) {
+	j := NewJournal(8)
+	var got []Event
+	j.SetOnEvent(func(ev Event) { got = append(got, ev) })
+	j.Emit(Event{Type: "a"})
+	j.Emit(Event{Type: "b", Attrs: map[string]string{"k": "v"}})
+	if len(got) != 2 || got[0].Type != "a" || got[1].Attrs["k"] != "v" {
+		t.Fatalf("hook saw %v", got)
+	}
+	if got[0].At.IsZero() || got[0].Seq != 1 {
+		t.Fatalf("event not stamped: %+v", got[0])
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				j.Emit(Event{Type: "tick"})
+				j.Events(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Seq() != 4000 {
+		t.Fatalf("seq = %d, want 4000", j.Seq())
+	}
+}

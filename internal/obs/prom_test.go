@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP brisk_tuples_total Tuples processed.
+# TYPE brisk_tuples_total counter
+brisk_tuples_total{op="split",task="split#0"} 123
+
+# HELP brisk_latency_ns Latency.
+# TYPE brisk_latency_ns histogram
+brisk_latency_ns_bucket{le="1024"} 10
+brisk_latency_ns_bucket{le="+Inf"} 12
+brisk_latency_ns_sum 4096.5
+brisk_latency_ns_count 12
+
+# HELP brisk_depth Queue depth.
+# TYPE brisk_depth gauge
+brisk_depth 0
+brisk_depth_with_ts{a="b"} 1.5e3 1712345678901
+`
+	// brisk_depth_with_ts needs its own TYPE; patch it in.
+	good = strings.Replace(good, "brisk_depth_with_ts",
+		"brisk_depth2", 1)
+	good = strings.Replace(good, "# TYPE brisk_depth gauge",
+		"# TYPE brisk_depth gauge\n# TYPE brisk_depth2 gauge", 1)
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":  "orphan_metric 1\n",
+		"bad metric name":     "# TYPE 9bad gauge\n9bad 1\n",
+		"bad value":           "# TYPE m gauge\nm not_a_number\n",
+		"unquoted label":      "# TYPE m gauge\nm{a=b} 1\n",
+		"unterminated labels": "# TYPE m gauge\nm{a=\"b\" 1\n",
+		"bad label name":      "# TYPE m gauge\nm{9a=\"b\"} 1\n",
+		"bad escape":          "# TYPE m gauge\nm{a=\"b\\q\"} 1\n",
+		"duplicate TYPE":      "# TYPE m gauge\n# TYPE m counter\nm 1\n",
+		"unknown type":        "# TYPE m funky\nm 1\n",
+		"missing value":       "# TYPE m gauge\nm{a=\"b\"}\n",
+		"bad timestamp":       "# TYPE m gauge\nm 1 soon\n",
+	}
+	for name, data := range cases {
+		if err := ValidateExposition([]byte(data)); err == nil {
+			t.Errorf("%s: malformed exposition accepted:\n%s", name, data)
+		}
+	}
+}
+
+func TestValidateExpositionInfNaN(t *testing.T) {
+	data := "# TYPE m gauge\nm +Inf\nm{x=\"1\"} -Inf\nm{x=\"2\"} NaN\n"
+	if err := ValidateExposition([]byte(data)); err != nil {
+		t.Fatalf("Inf/NaN sample values rejected: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server is the live telemetry exporter: /metrics (Prometheus text
+// exposition), /statusz (JSON snapshot), /healthz, /events (journal
+// tail, ?since= cursor) and net/http/pprof under /debug/pprof/. It
+// also owns the 1 Hz sampler that feeds the registry's rate windows.
+type Server struct {
+	reg  *Registry
+	jr   *Journal
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts the exporter on addr (":0" picks a free port — read it
+// back with Addr). The registry and journal may be nil; the matching
+// endpoints then serve empty documents.
+func Serve(addr string, reg *Registry, jr *Journal) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, jr: jr, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	if reg != nil {
+		go s.sample()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the exporter's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the sampler and the HTTP server.
+func (s *Server) Close() error {
+	close(s.done)
+	return s.srv.Close()
+}
+
+// sample drives the registry's rate windows at 1 Hz until Close.
+func (s *Server) sample() {
+	tk := time.NewTicker(time.Second)
+	defer tk.Stop()
+	for {
+		select {
+		case <-tk.C:
+			s.reg.Tick()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg == nil {
+		return
+	}
+	s.reg.Tick() // fold the freshest counter deltas into the windows
+	_ = s.reg.WriteProm(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := map[string]any{}
+	if s.reg != nil {
+		s.reg.Tick()
+		st = s.reg.Status()
+	}
+	if s.jr != nil {
+		st["events_seq"] = s.jr.Seq()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var events []Event
+	if s.jr != nil {
+		since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+		events = s.jr.Events(since)
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"events": events})
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry(10 * time.Second)
+	g := r.Group("test")
+	g.Gauge("brisk_test_gauge", "A test gauge.", nil, func() float64 { return 1 })
+	j := NewJournal(16)
+	j.Emit(Event{Type: "run_start"})
+
+	s, err := Serve("127.0.0.1:0", r, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "brisk_test_gauge 1") {
+		t.Fatalf("/metrics = %d\n%s", code, body)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("/metrics not well-formed: %v", err)
+	}
+	if ct := func() string {
+		resp, err := http.Get(s.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		return resp.Header.Get("Content-Type")
+	}(); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	code, body = get("/events?since=0")
+	if code != 200 {
+		t.Fatalf("/events = %d", code)
+	}
+	var evs struct{ Events []Event }
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("events json: %v\n%s", err, body)
+	}
+	if len(evs.Events) != 1 || evs.Events[0].Type != "run_start" {
+		t.Fatalf("events = %+v", evs.Events)
+	}
+
+	code, body = get("/statusz")
+	if code != 200 || !strings.Contains(body, "uptime_seconds") {
+		t.Fatalf("/statusz = %d\n%s", code, body)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+}

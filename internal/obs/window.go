@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func floatBitsAdd(bits uint64, v float64) uint64 {
+	return math.Float64bits(math.Float64frombits(bits) + v)
+}
+
+func floatFromBits(bits uint64) float64 { return math.Float64frombits(bits) }
+
+// winSlot is one per-second accumulator of a Window. A slot is claimed
+// for the current second by CAS on its epoch; the winner zeroes the
+// counters. Observations racing the reset may be lost from that one
+// second — rolling telemetry tolerates that, the data path staying
+// lock-free does not tolerate a mutex.
+type winSlot struct {
+	epoch   atomic.Int64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+	buckets []atomic.Uint64
+}
+
+// Window aggregates observations into a ring of per-second slots and
+// answers rate and quantile queries over the trailing span (e.g. the
+// last 10s or 60s). Observe/Add are safe from any goroutine and
+// allocation-free; Sample (the cumulative-counter feed) must come from
+// a single sampler at a time (Registry.Tick serializes it).
+type Window struct {
+	slots  []winSlot
+	span   int64 // maximum queryable span, seconds
+	valued bool
+	now    func() time.Time
+
+	// Sampler state for Sample(cum): guarded by mu, not by the caller.
+	mu     sync.Mutex
+	last   uint64
+	primed bool
+}
+
+// NewWindow builds a window able to answer queries up to span back
+// (minimum 10s). valued windows additionally keep per-slot histogram
+// buckets so they can answer quantiles; count-only windows answer
+// rates.
+func NewWindow(span time.Duration, valued bool) *Window {
+	sec := int64(span / time.Second)
+	if sec < 10 {
+		sec = 10
+	}
+	w := &Window{slots: make([]winSlot, sec+2), span: sec, valued: valued, now: time.Now}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+		if valued {
+			w.slots[i].buckets = make([]atomic.Uint64, NumBuckets)
+		}
+	}
+	return w
+}
+
+// slotFor claims (resetting if stale) and returns the slot for the
+// given epoch second.
+func (w *Window) slotFor(sec int64) *winSlot {
+	s := &w.slots[sec%int64(len(w.slots))]
+	if e := s.epoch.Load(); e != sec && s.epoch.CompareAndSwap(e, sec) {
+		s.count.Store(0)
+		s.sum.Store(0)
+		for i := range s.buckets {
+			s.buckets[i].Store(0)
+		}
+	}
+	return s
+}
+
+// Observe records one observation into the current second.
+func (w *Window) Observe(v float64) {
+	s := w.slotFor(w.now().Unix())
+	s.count.Add(1)
+	for {
+		old := s.sum.Load()
+		if s.sum.CompareAndSwap(old, floatBitsAdd(old, v)) {
+			break
+		}
+	}
+	if w.valued {
+		s.buckets[bucketIndex(v)].Add(1)
+	}
+}
+
+// Add records n events into the current second (count-only feed).
+func (w *Window) Add(n uint64) {
+	if n == 0 {
+		return
+	}
+	w.slotFor(w.now().Unix()).count.Add(n)
+}
+
+// Sample feeds the window from a cumulative counter: the delta since
+// the previous Sample lands in the current second. A counter that went
+// backwards (engine restart) restarts the baseline without recording a
+// wrapped delta.
+func (w *Window) Sample(cum uint64) {
+	w.mu.Lock()
+	primed, last := w.primed, w.last
+	w.primed, w.last = true, cum
+	w.mu.Unlock()
+	if !primed || cum < last {
+		return
+	}
+	w.Add(cum - last)
+}
+
+// reduce folds the slots of the trailing span. Rates use complete
+// seconds only (epochs [now-span, now-1]); quantile merges include the
+// current partial second for freshness.
+func (w *Window) reduce(span time.Duration, includeCurrent bool) (count uint64, sum float64, buckets HistSnapshot) {
+	sec := int64(span / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > w.span {
+		sec = w.span
+	}
+	nowSec := w.now().Unix()
+	lo := nowSec - sec
+	hi := nowSec - 1
+	if includeCurrent {
+		hi = nowSec
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e < lo || e > hi {
+			continue
+		}
+		count += s.count.Load()
+		sum += floatFromBits(s.sum.Load())
+		for b := range s.buckets {
+			buckets.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	buckets.Count, buckets.Sum = count, sum
+	return count, sum, buckets
+}
+
+// Rate returns events/second averaged over the trailing span
+// (complete seconds only, clamped to the window's configured span).
+func (w *Window) Rate(span time.Duration) float64 {
+	sec := int64(span / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > w.span {
+		sec = w.span
+	}
+	count, _, _ := w.reduce(time.Duration(sec)*time.Second, false)
+	return float64(count) / float64(sec)
+}
+
+// Count returns the number of observations in the trailing span
+// (including the current partial second).
+func (w *Window) Count(span time.Duration) uint64 {
+	count, _, _ := w.reduce(span, true)
+	return count
+}
+
+// Quantile estimates the q-quantile over the trailing span. Only
+// valued windows hold the buckets to answer; count-only windows
+// return 0.
+func (w *Window) Quantile(span time.Duration, q float64) float64 {
+	if !w.valued {
+		return 0
+	}
+	_, _, s := w.reduce(span, true)
+	return s.Quantile(q)
+}
+
+// Mean returns the average observation over the trailing span, or 0
+// when empty.
+func (w *Window) Mean(span time.Duration) float64 {
+	count, sum, _ := w.reduce(span, true)
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

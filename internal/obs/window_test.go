@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Window deterministically.
+type fakeClock struct{ sec atomic.Int64 }
+
+func (c *fakeClock) now() time.Time     { return time.Unix(c.sec.Load(), 0) }
+func (c *fakeClock) advance(secs int64) { c.sec.Add(secs) }
+func (c *fakeClock) set(sec int64)      { c.sec.Store(sec) }
+func newFakeClock(sec int64) *fakeClock { c := &fakeClock{}; c.set(sec); return c }
+func withClock(w *Window, c *fakeClock) { w.now = c.now }
+func newTestWindow(valued bool) (*Window, *fakeClock) {
+	w := NewWindow(60*time.Second, valued)
+	c := newFakeClock(1000)
+	withClock(w, c)
+	return w, c
+}
+
+func TestWindowRate(t *testing.T) {
+	w, c := newTestWindow(false)
+	// 100 events/sec for 10 complete seconds.
+	for s := 0; s < 10; s++ {
+		w.Add(100)
+		c.advance(1)
+	}
+	if got := w.Rate(10 * time.Second); got != 100 {
+		t.Fatalf("rate(10s) = %g, want 100", got)
+	}
+	// Over 60s the same 1000 events average down.
+	if got := w.Rate(60 * time.Second); got < 16 || got > 17 {
+		t.Fatalf("rate(60s) = %g, want ~16.7", got)
+	}
+}
+
+func TestWindowSlotExpiry(t *testing.T) {
+	w, c := newTestWindow(false)
+	w.Add(500)
+	c.advance(1)
+	if got := w.Rate(10 * time.Second); got != 50 {
+		t.Fatalf("rate just after = %g, want 50", got)
+	}
+	c.advance(61) // the slot ages out of every span
+	if got := w.Rate(10 * time.Second); got != 0 {
+		t.Fatalf("rate after expiry = %g, want 0", got)
+	}
+	if got := w.Count(60 * time.Second); got != 0 {
+		t.Fatalf("count after expiry = %d, want 0", got)
+	}
+}
+
+func TestWindowSlotReuseResets(t *testing.T) {
+	w, c := newTestWindow(false)
+	w.Add(100)
+	// Advance exactly one ring revolution: the same slot index is
+	// claimed for a new epoch and must restart from zero.
+	c.advance(int64(len(w.slots)))
+	w.Add(7)
+	c.advance(1)
+	if got := w.Rate(10 * time.Second); got*10 != 7 {
+		t.Fatalf("rate after slot reuse = %g, want 0.7", got)
+	}
+}
+
+func TestWindowSampleDeltas(t *testing.T) {
+	w, c := newTestWindow(false)
+	w.Sample(1000) // priming sample records nothing
+	w.Sample(1300)
+	c.advance(1)
+	if got := w.Rate(time.Second); got != 300 {
+		t.Fatalf("rate = %g, want 300", got)
+	}
+	// A counter reset (new engine) re-primes instead of wrapping.
+	w.Sample(50)
+	w.Sample(150)
+	c.advance(1)
+	if got := w.Count(10 * time.Second); got != 400 {
+		t.Fatalf("count = %d, want 400 (300 + 100)", got)
+	}
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	w, c := newTestWindow(true)
+	for s := 0; s < 5; s++ {
+		for v := 1; v <= 1000; v++ {
+			w.Observe(float64(v))
+		}
+		c.advance(1)
+	}
+	p50 := w.Quantile(10*time.Second, 0.5)
+	if p50 < 450 || p50 > 650 {
+		t.Fatalf("p50 = %g, want ~500", p50)
+	}
+	p99 := w.Quantile(10*time.Second, 0.99)
+	if p99 < 950 || p99 > 1250 {
+		t.Fatalf("p99 = %g, want ~990", p99)
+	}
+	if m := w.Mean(10 * time.Second); m < 499 || m > 502 {
+		t.Fatalf("mean = %g, want ~500.5", m)
+	}
+	// Span clamping: a query beyond the configured span must not panic
+	// and answers over the full window.
+	if got := w.Quantile(10*time.Minute, 0.5); got != p50 {
+		t.Fatalf("clamped quantile = %g, want %g", got, p50)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w, c := newTestWindow(true)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					w.Observe(float64(i%1000 + 1))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.advance(1)
+			w.Rate(10 * time.Second)
+			w.Quantile(60*time.Second, 0.99)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestWindowObserveAllocFree(t *testing.T) {
+	w, _ := newTestWindow(true)
+	allocs := testing.AllocsPerRun(1000, func() { w.Observe(42) })
+	if allocs != 0 {
+		t.Fatalf("Window.Observe allocates %.1f/op, want 0", allocs)
+	}
+}

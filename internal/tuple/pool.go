@@ -47,6 +47,10 @@ type Pool struct {
 	// predictable branch.
 	stats      bool
 	gets, puts atomic.Uint64
+	// ringHits counts Gets satisfied from a reverse recycling ring
+	// rather than sync.Pool (stats-gated like gets/puts); the obs layer
+	// exposes the ratio as the NUMA-local recycle hit rate.
+	ringHits atomic.Uint64
 }
 
 // NewPool creates an empty tuple pool.
@@ -67,6 +71,10 @@ func (p *Pool) Stats() (gets, puts uint64) {
 	return p.gets.Load(), p.puts.Load()
 }
 
+// RingHits returns how many Gets were satisfied from a reverse
+// recycling ring (non-zero only with EnableStats and attached rings).
+func (p *Pool) RingHits() uint64 { return p.ringHits.Load() }
+
 // Get returns an empty tuple on the default stream holding one
 // reference. The tuple's string arena keeps the capacity of its
 // previous life, so appending similar payloads allocates nothing.
@@ -78,6 +86,9 @@ func (p *Pool) Get() *Tuple {
 		idx := p.cursor
 		for k := 0; k < n; k++ {
 			if t, ok := p.rings[idx].ring.TryGet(); ok {
+				if p.stats {
+					p.ringHits.Add(1)
+				}
 				p.cursor = idx
 				t.pool = p
 				atomic.StoreInt32(&t.refs, 1)
