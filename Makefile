@@ -71,10 +71,14 @@ race-multicore:
 # obs-check is the live-telemetry smoke test CI gates on: it runs the
 # windowed demo app with /metrics served on a loopback port, scrapes
 # /healthz, /metrics and /events mid-run, and validates every
-# exposition line with the same parser the unit tests use.
+# exposition line with the same parser the unit tests use; the second
+# pass does the same for the tracing surface, validating the /traces
+# invariants (monotonic hop times, topology-only spans, attribution
+# bounded by elapsed time, breakdown summing to the mean e2e).
 .PHONY: obs-check
 obs-check:
 	$(GO) run ./cmd/briskbench -obs-check
+	$(GO) run ./cmd/briskbench -trace-check
 
 vet:
 	$(GO) vet ./...

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -138,6 +139,10 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 		ag.Gauge("brisk_rescale_realized_gain", "Measured relative gain of the latest settled rescale.", nil, func() float64 {
 			return floatFromAtomic(&ctl.lastRealized)
 		})
+		// /statusz carries the full audit trail (predicted vs realized
+		// gain plus measured pause per settled rescale), so pollers get
+		// history, not just the latest-value gauges.
+		sess.status("rescale_outcomes", func() any { return ctl.outcomes() })
 	}
 
 	total := &RunResult{Processed: map[string]uint64{}}
@@ -175,8 +180,12 @@ func (t *Topology) runAdaptive(cfg RunConfig) (*RunResult, error) {
 			// The previous segment ended in Kill; the rescaled engine is
 			// rebuilt and restored, so processing resumes the moment its
 			// Run starts — the gap is the rescale's observable pause.
+			pause := time.Since(ctl.killAt).Milliseconds()
+			ctl.mu.Lock()
+			ctl.lastPause = pause
+			ctl.mu.Unlock()
 			sess.event("rescale_end", map[string]string{
-				"pause_ms": strconv.FormatInt(time.Since(ctl.killAt).Milliseconds(), 10),
+				"pause_ms": strconv.FormatInt(pause, 10),
 			})
 			ctl.killAt = time.Time{}
 		}
@@ -221,6 +230,31 @@ type adaptiveCtl struct {
 	// lastPredicted/lastRealized hold the latest gains as float bits
 	// (gauges read them from the scrape goroutine).
 	lastPredicted, lastRealized atomic.Uint64
+
+	// mu guards the rescale audit trail: supervise appends on the
+	// control goroutine, /statusz reads from scrape goroutines.
+	mu        sync.Mutex
+	audits    []rescaleAudit
+	lastPause int64 // measured pause of the latest rescale (ms)
+}
+
+// rescaleAudit is one settled rescale as /statusz publishes it:
+// what the model promised, what the sink rate delivered, and how long
+// processing stood still during the rollover.
+type rescaleAudit struct {
+	At            time.Time `json:"at"`
+	PredictedGain float64   `json:"predicted_gain"`
+	RealizedGain  float64   `json:"realized_gain"`
+	PauseMs       int64     `json:"pause_ms"`
+}
+
+// outcomes snapshots the audit trail for /statusz.
+func (c *adaptiveCtl) outcomes() []rescaleAudit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]rescaleAudit, len(c.audits))
+	copy(out, c.audits)
+	return out
 }
 
 // pendingOutcome is a rescale whose realized gain is still being
@@ -281,6 +315,12 @@ func (t *Topology) superviseSegment(e *engine.Engine, co *CheckpointCoordinator,
 				advisor.RecordOutcome(adaptive.Outcome{
 					At: time.Now(), PredictedGain: p.predicted, RealizedGain: realized,
 				})
+				ctl.mu.Lock()
+				ctl.audits = append(ctl.audits, rescaleAudit{
+					At: time.Now(), PredictedGain: p.predicted,
+					RealizedGain: realized, PauseMs: ctl.lastPause,
+				})
+				ctl.mu.Unlock()
 				ctl.sess.event("rescale_realized", map[string]string{
 					"predicted_gain": formatGain(p.predicted),
 					"realized_gain":  formatGain(realized),

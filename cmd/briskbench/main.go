@@ -9,6 +9,7 @@
 //	briskbench -bench-json 2s   # benchmark apps on the real engine, JSON rows
 //	briskbench -run 10s -metrics :9090   # windowed demo app with live telemetry
 //	briskbench -obs-check       # scrape+validate own /metrics, exit 0/1
+//	briskbench -trace-check     # run traced, validate /traces invariants
 //	briskbench -check-exposition f.txt   # validate a saved exposition file
 //
 // The real-engine modes accept -rate N (token-bucket cap on each app's
@@ -68,6 +69,7 @@ func main() {
 		runFor    = flag.Duration("run", 0, "run the windowed demo app for this duration (combine with -metrics)")
 		metrics   = flag.String("metrics", ":9090", "telemetry listen address for -run (/metrics, /statusz, /events, /healthz, /debug/pprof/)")
 		obsCheck  = flag.Bool("obs-check", false, "self-check: run the demo app on a loopback port, scrape and validate /metrics, exit nonzero on failure")
+		traceChk  = flag.Bool("trace-check", false, "self-check: run the demo app with tracing on, fetch /traces, and validate the trace invariants, exit nonzero on failure")
 		checkExpo = flag.String("check-exposition", "", "validate a Prometheus text-format file (- for stdin) and exit")
 	)
 	flag.Parse()
@@ -82,6 +84,14 @@ func main() {
 
 	if *obsCheck {
 		if err := obsSelfCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceChk {
+		if err := traceSelfCheck(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -4,6 +4,7 @@ package main
 //
 //	briskbench -run 10s -metrics :9090     # windowed demo app, live /metrics
 //	briskbench -obs-check                  # scrape+validate own endpoints, exit 0/1
+//	briskbench -trace-check                # run traced, validate /traces invariants
 //	briskbench -check-exposition dump.txt  # validate a saved /metrics body
 //
 // -run drives the skew word-count (the adaptive bench topology with an
@@ -12,9 +13,15 @@ package main
 // checkpoint durations, rolling latency quantiles — carries live data.
 // -obs-check is the CI smoke test: it binds to a free port, waits for
 // real traffic, fetches /healthz, /metrics and /events, and validates
-// the exposition with the same parser the unit tests use.
+// the exposition with the same parser the unit tests use. -trace-check
+// does the same for the tracing surface: it runs with TraceEvery on,
+// fetches /traces in both formats, and validates the trace invariants
+// (hop times monotonic, spans on topology operators only, queue-wait +
+// service bounded by elapsed time, breakdown summing to the mean
+// end-to-end latency).
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -42,10 +49,10 @@ func runObsDemo(d time.Duration, addr string, ckptEvery time.Duration) error {
 		Duration:           d,
 		Checkpoint:         co,
 		CheckpointInterval: ckptEvery,
-		Obs:                &briskstream.ObsConfig{Addr: addr},
+		Obs:                &briskstream.ObsConfig{Addr: addr, TraceEvery: 64},
 		OnEvent: func(ev briskstream.ObsEvent) {
 			if ev.Type == "obs_serving" {
-				fmt.Printf("telemetry: http://%s/metrics /statusz /events /debug/pprof/\n", ev.Attrs["addr"])
+				fmt.Printf("telemetry: http://%s/metrics /statusz /events /traces /debug/pprof/\n", ev.Attrs["addr"])
 			}
 		},
 	}
@@ -147,6 +154,162 @@ func obsSelfCheck() error {
 		return fmt.Errorf("obs-check: run failed: %v", err)
 	}
 	fmt.Println("obs-check: ok")
+	return nil
+}
+
+// traceDoc mirrors the /traces JSON document for validation.
+type traceDoc struct {
+	Traces []struct {
+		ID       uint64 `json:"id"`
+		OriginNs int64  `json:"origin_ns"`
+		E2eNs    int64  `json:"e2e_ns"`
+		Spans    []struct {
+			Op          string `json:"op"`
+			Kind        string `json:"kind"`
+			AtNs        int64  `json:"at_ns"`
+			QueueWaitNs int64  `json:"queue_wait_ns"`
+			ServiceNs   int64  `json:"service_ns"`
+		} `json:"spans"`
+	} `json:"traces"`
+	Analysis struct {
+		Traces    int     `json:"traces"`
+		MeanE2eNs float64 `json:"mean_e2e_ns"`
+		Ops       []struct {
+			Op         string  `json:"op"`
+			QueueNs    float64 `json:"queue_ns"`
+			ServiceNs  float64 `json:"service_ns"`
+			TransferNs float64 `json:"transfer_ns"`
+		} `json:"ops"`
+	} `json:"analysis"`
+}
+
+// traceSelfCheck runs the demo app with tracing on, fetches /traces in
+// both formats, and validates the invariants the tracing subsystem
+// guarantees: every span sits on a topology operator, hop times ascend
+// within a trace, per-hop queue-wait + service never exceeds the
+// elapsed end-to-end time, and the analyzer's per-operator breakdown
+// sums to the mean end-to-end latency within 10%. It is the CI gate
+// for the /traces surface.
+func traceSelfCheck() error {
+	t := adaptiveBenchTopology(obsDemoLimit, obsDemoLimit/2)
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := t.Run(briskstream.RunConfig{
+			Duration: 3 * time.Second,
+			Obs:      &briskstream.ObsConfig{Addr: "127.0.0.1:0", TraceEvery: 32},
+			OnEvent: func(ev briskstream.ObsEvent) {
+				if ev.Type == "obs_serving" {
+					addrCh <- ev.Attrs["addr"]
+				}
+			},
+		})
+		errCh <- err
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-errCh:
+		return fmt.Errorf("trace-check: run ended before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("trace-check: telemetry server never came up")
+	}
+
+	// Let traced tuples cross the whole pipeline (including at least one
+	// window flush, so sink spans exist) before judging.
+	time.Sleep(2 * time.Second)
+
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("GET %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		return b, nil
+	}
+
+	body, err := get("/traces")
+	if err != nil {
+		return fmt.Errorf("trace-check: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("trace-check: /traces is not valid JSON: %v", err)
+	}
+	if len(doc.Traces) == 0 {
+		return fmt.Errorf("trace-check: no traces captured")
+	}
+	ops := map[string]bool{"src": true, "split": true, "count": true, "sink": true}
+	propagated := false
+	for _, tr := range doc.Traces {
+		if tr.ID == 0 {
+			return fmt.Errorf("trace-check: trace with zero id")
+		}
+		hops := map[string]bool{}
+		for i, s := range tr.Spans {
+			if !ops[s.Op] {
+				return fmt.Errorf("trace-check: trace %d has a span on unknown operator %q", tr.ID, s.Op)
+			}
+			hops[s.Op] = true
+			if i > 0 && s.AtNs < tr.Spans[i-1].AtNs {
+				return fmt.Errorf("trace-check: trace %d hop times not monotonic", tr.ID)
+			}
+			if s.QueueWaitNs < 0 || s.ServiceNs < 0 {
+				return fmt.Errorf("trace-check: trace %d has negative attribution", tr.ID)
+			}
+			if slack := int64(time.Millisecond); s.QueueWaitNs+s.ServiceNs > s.AtNs-tr.OriginNs+slack {
+				return fmt.Errorf("trace-check: trace %d: queue+service %dns exceeds elapsed %dns",
+					tr.ID, s.QueueWaitNs+s.ServiceNs, s.AtNs-tr.OriginNs)
+			}
+		}
+		if hops["src"] && hops["split"] && hops["count"] {
+			propagated = true
+		}
+	}
+	if !propagated {
+		return fmt.Errorf("trace-check: no trace propagated across src -> split -> count")
+	}
+
+	if doc.Analysis.Traces == 0 {
+		return fmt.Errorf("trace-check: analysis covers no traces")
+	}
+	var attributed float64
+	for _, op := range doc.Analysis.Ops {
+		attributed += op.QueueNs + op.ServiceNs + op.TransferNs
+	}
+	mean := doc.Analysis.MeanE2eNs
+	if mean <= 0 {
+		return fmt.Errorf("trace-check: non-positive mean e2e %f", mean)
+	}
+	if diff := attributed - mean; diff > mean*0.1 || diff < -mean*0.1 {
+		return fmt.Errorf("trace-check: breakdown sums to %.0fns but mean e2e is %.0fns (off by >10%%)", attributed, mean)
+	}
+
+	chrome, err := get("/traces?fmt=chrome")
+	if err != nil {
+		return fmt.Errorf("trace-check: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome, &events); err != nil {
+		return fmt.Errorf("trace-check: chrome output is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace-check: chrome output is empty")
+	}
+
+	if err := <-errCh; err != nil {
+		return fmt.Errorf("trace-check: run failed: %v", err)
+	}
+	fmt.Printf("trace-check: ok (%d traces, mean e2e %.2fms, breakdown within 10%%)\n",
+		len(doc.Traces), mean/1e6)
 	return nil
 }
 

@@ -68,6 +68,7 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metr
 
 	cfg := engine.DefaultConfig()
 	cfg.ProfileSampleEvery = 64
+	cfg.TraceSampleEvery = 64
 	cfg.Placement = ec.Placement
 	cfg.Host = host
 	if numa.PinSupported() {
@@ -77,6 +78,11 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metr
 	if err != nil {
 		return err
 	}
+	// Tracing is always on for -live (every 64th tuple): the critical-path
+	// breakdown at the end attributes the measured latency to queue wait,
+	// operator service, and transfer per operator.
+	tracer := obs.NewTracer()
+	e.RegisterTrace(tracer)
 	adv, err := adaptive.New(a.Graph, a.Stats, r, adaptive.Config{Machine: m})
 	if err != nil {
 		return err
@@ -108,12 +114,12 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metr
 				return base.TotalSelectivity()
 			})
 		}
-		srv, err := obs.Serve(metricsAddr, reg, jr)
+		srv, err := obs.Serve(metricsAddr, reg, jr, tracer)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (traces at /traces)\n", srv.Addr())
 	}
 
 	fmt.Printf("\nrunning live for %v (profile sampling every %d tuples)...\n", d, cfg.ProfileSampleEvery)
@@ -162,6 +168,8 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metr
 			op, st.Te, base.Te, st.TotalSelectivity(), base.TotalSelectivity())
 	}
 
+	printBottlenecks(tracer)
+
 	rec, err := adv.Evaluate()
 	if err != nil {
 		return err
@@ -175,6 +183,24 @@ func runLive(a *apps.App, m *numa.Machine, r *rlas.Result, d time.Duration, metr
 		fmt.Println("\n  -> keep the current plan")
 	}
 	return nil
+}
+
+// printBottlenecks renders the tracer's critical-path analysis: per
+// operator, how much of the traced tuples' end-to-end latency was spent
+// waiting in queues, in the operator itself, and in transfer.
+func printBottlenecks(tr *obs.Tracer) {
+	an := tr.Analyze()
+	if an.Traces == 0 {
+		return
+	}
+	fmt.Printf("\ncritical path (%d traced tuples, mean e2e %.2f ms):\n",
+		an.Traces, float64(an.MeanE2eNs)/1e6)
+	fmt.Printf("  %-12s %10s %10s %10s %7s\n", "op", "queue µs", "service µs", "transfer µs", "share")
+	for _, op := range an.Ops {
+		fmt.Printf("  %-12s %10.1f %10.1f %10.1f %6.1f%%\n",
+			op.Op, float64(op.QueueNs)/1e3, float64(op.ServiceNs)/1e3,
+			float64(op.TransferNs)/1e3, op.Share*100)
+	}
 }
 
 // ingestRate sums the spout processing rate of one run.

@@ -43,6 +43,14 @@ type Config struct {
 	// Gain is the minimum predicted relative throughput improvement
 	// that justifies re-optimization (default 0.1 = 10%).
 	Gain float64
+	// Backpressure is the queue-wait-to-service-time ratio past which an
+	// operator counts as backpressured: when its input batches spent
+	// more than Backpressure times the operator's own processing time
+	// waiting in queues over the last profiling interval, the operator
+	// is treated as drifted even if Te and selectivity still match the
+	// baseline — sustained queueing means the plan under-provisioned it.
+	// Default 4; negative disables the signal.
+	Backpressure float64
 	// Optimizer tunes the RLAS run used for recommendations.
 	Optimizer OptimizerConfig
 }
@@ -84,6 +92,9 @@ func New(app *graph.Graph, stats profile.Set, current *rlas.Result, cfg Config) 
 	}
 	if cfg.Gain <= 0 {
 		cfg.Gain = 0.1
+	}
+	if cfg.Backpressure == 0 {
+		cfg.Backpressure = 4
 	}
 	if cfg.Optimizer.Compress <= 0 {
 		cfg.Optimizer.Compress = 5
@@ -191,12 +202,15 @@ func (a *Advisor) ObservedStats() (profile.Set, error) {
 // Drifted lists operators whose observed statistics deviate from the
 // profiled baseline by more than the configured drift threshold —
 // total selectivity always, per-tuple execution time when it was
-// live-measured (engine snapshots) — sorted by name.
+// live-measured (engine snapshots) — plus any operator the measured
+// queue-wait marks as backpressured (see Config.Backpressure), sorted
+// by name.
 func (a *Advisor) Drifted() ([]string, error) {
 	observed, err := a.ObservedStats()
 	if err != nil {
 		return nil, err
 	}
+	seen := map[string]bool{}
 	var out []string
 	for op, st := range observed {
 		base := a.stats[op]
@@ -204,6 +218,12 @@ func (a *Advisor) Drifted() ([]string, error) {
 		selDrift := old > 0 && math.Abs(st.TotalSelectivity()-old)/old > a.cfg.Drift
 		teDrift := base.Te > 0 && math.Abs(st.Te-base.Te)/base.Te > a.cfg.Drift
 		if selDrift || teDrift {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	for _, op := range a.Backpressured() {
+		if !seen[op] {
 			out = append(out, op)
 		}
 	}

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"fmt"
+	"sort"
 
 	"briskstream/internal/profile"
 	"briskstream/internal/rlas"
@@ -47,6 +48,45 @@ func (a *Advisor) engineStats() (profile.Set, bool, error) {
 		return nil, false, err
 	}
 	return set, true, nil
+}
+
+// Backpressured lists operators whose input batches spent more than
+// Config.Backpressure times the operator's own processing time waiting
+// in communication queues over the last snapshot interval — the
+// queue-wait signal the per-jumbo enqueue/dequeue stamping supplies.
+// Sustained queueing of this magnitude means the operator is
+// under-provisioned regardless of whether its Te or selectivity moved,
+// so Drifted folds these into the re-optimization trigger. Returns nil
+// with fewer than two engine snapshots or a non-positive threshold.
+func (a *Advisor) Backpressured() []string {
+	if a.cfg.Backpressure <= 0 || len(a.engHistory) < 2 {
+		return nil
+	}
+	prev, cur := a.engHistory[len(a.engHistory)-2], a.engHistory[len(a.engHistory)-1]
+	pOps := prev.ByOp()
+	var out []string
+	for op, c := range cur.ByOp() {
+		p := pOps[op]
+		if c.QueueWaitNs <= p.QueueWaitNs || c.Processed <= p.Processed {
+			continue
+		}
+		dWait := float64(c.QueueWaitNs - p.QueueWaitNs)
+		dProc := float64(c.Processed - p.Processed)
+		// Service time per tuple: live-measured when the interval holds
+		// profile samples, the baseline Te otherwise.
+		te := a.stats[op].Te
+		if ds := c.ServiceSamples - p.ServiceSamples; ds > 0 {
+			te = float64(c.ServiceNs-p.ServiceNs) / float64(ds)
+		}
+		if te <= 0 {
+			continue
+		}
+		if dWait > a.cfg.Backpressure*te*dProc {
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Adopt rebases the advisor onto a newly rolled-out plan: the plan

@@ -175,6 +175,13 @@ type Config struct {
 	// exposes the counters. Default 0 (off — the only data-path cost is
 	// one predictable branch per tuple).
 	ProfileSampleEvery int
+	// TraceSampleEvery stamps every k-th spout tuple with a trace id and
+	// origin timestamp; the context propagates input→output like Event,
+	// and every hop a traced tuple crosses appends a span record into
+	// its task's ring (see RegisterTrace). Default 0 (off — untraced
+	// tuples cost one predictable branch at the span site and nothing
+	// else).
+	TraceSampleEvery int
 	// ValidateEvery checks every tuple against its route's declared
 	// schema instead of only the first per route — the debug mode the
 	// race test suite runs under, catching operators whose layout drifts
@@ -392,6 +399,19 @@ type task struct {
 	serviceNs      uint64
 	serviceSamples uint64
 	inBytes        uint64
+	// Queue-wait attribution (atomically updated like the profiling
+	// counters): cumulative nanoseconds the task's input batches spent
+	// in its communication queue, and how many batches that covers. One
+	// clock read per jumbo — every tuple's queueing is attributed
+	// without any per-tuple cost.
+	qwaitNs      uint64
+	qwaitBatches uint64
+	// spans is this task's trace span ring (nil without RegisterTrace);
+	// qwaitWin/svcWin are the rolling queue-wait and service-time
+	// windows (nil without RegisterObs). All written before Run starts.
+	spans    *obs.TraceRing
+	qwaitWin *obs.Window
+	svcWin   *obs.Window
 	// wmLive mirrors the task's low watermark (tm.wm, task-goroutine
 	// private) atomically, so the obs layer can publish per-task
 	// watermark lag without touching timer state mid-run. Stored only
@@ -517,6 +537,9 @@ type Engine struct {
 	obsLat     *obs.Window
 	obsLatHist *obs.Histogram
 	runSeq     atomic.Uint64
+	// traceSeq allocates trace ids for sampled spout tuples (engine
+	// lifetime; id 0 is reserved for "untraced").
+	traceSeq atomic.Uint64
 }
 
 // New builds an engine for the topology. Replication defaults to 1 per
@@ -741,9 +764,14 @@ type collector struct {
 	t        *task
 	seq      uint64
 	pseq     uint64    // input-tuple counter driving profile sampling
+	tseq     uint64    // spout output counter driving trace sampling
 	curTs    time.Time // latency timestamp of the input tuple being processed
 	curEvent int64     // event time of the input tuple (or the advancing watermark)
-	fail     error
+	// curTrace/curOrigin carry the trace context of the input tuple
+	// being processed, so derived output tuples stay on the trace.
+	curTrace  uint64
+	curOrigin int64
+	fail      error
 
 	// lastName/lastID memoize the EmitTo compat path's stream-name
 	// resolution: operators overwhelmingly emit on one stream, so the
@@ -800,16 +828,36 @@ func (c *collector) Send(out *tuple.Tuple) {
 				out.Ts = time.Now()
 			}
 		}
+		// Trace sampling: every k-th spout tuple starts a trace — a
+		// fresh id, an origin timestamp, and a source span in this
+		// task's ring. Off (the default) this is one predictable branch.
+		if c.e.cfg.TraceSampleEvery > 0 && c.t.spans != nil {
+			c.tseq++
+			if c.tseq%uint64(c.e.cfg.TraceSampleEvery) == 0 {
+				out.TraceID = c.e.traceSeq.Add(1)
+				out.TraceOrigin = time.Now().UnixNano()
+				c.t.spans.Append(obs.Span{
+					TraceID:  out.TraceID,
+					OriginNs: out.TraceOrigin,
+					AtNs:     out.TraceOrigin,
+					Emitted:  1,
+					Kind:     obs.SpanSource,
+				})
+			}
+		}
 	} else {
 		atomic.AddUint64(&c.t.emitted, 1)
 		// The latency timestamp propagates downstream so sinks can
 		// measure end-to-end latency; the event timestamp propagates
 		// input→output unless the operator assigned its own (windows
-		// stamp aggregates with the window end, for example).
+		// stamp aggregates with the window end, for example); the trace
+		// context always propagates (operators never stamp their own).
 		out.Ts = c.curTs
 		if out.Event == 0 {
 			out.Event = c.curEvent
 		}
+		out.TraceID = c.curTrace
+		out.TraceOrigin = c.curOrigin
 	}
 	if err := c.e.dispatch(c.t, out); err != nil {
 		c.fail = err
@@ -1016,6 +1064,10 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 
 func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 	j.Producer, j.Consumer = t.id, oe.consumer.id
+	// Queue-wait attribution: stamp the batch once at enqueue; the
+	// consumer diffs at dequeue. One clock read per jumbo, zero
+	// per-tuple cost.
+	j.EnqNs = time.Now().UnixNano()
 	if err := oe.ring.Put(j); err != nil {
 		// The batch was never enqueued (ring closed during shutdown):
 		// nobody downstream will ever see these tuples, so their
@@ -1237,6 +1289,8 @@ func (e *Engine) Run(d time.Duration) (*Result, error) {
 		atomic.StoreUint64(&t.serviceNs, 0)
 		atomic.StoreUint64(&t.serviceSamples, 0)
 		atomic.StoreUint64(&t.inBytes, 0)
+		atomic.StoreUint64(&t.qwaitNs, 0)
+		atomic.StoreUint64(&t.qwaitBatches, 0)
 		t.tm.reset()
 		atomic.StoreInt64(&t.wmLive, WatermarkMin)
 		for i := range t.wmIn {
@@ -1518,6 +1572,22 @@ func (e *Engine) runTask(t *task) {
 // released, the header recycled).
 func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 	e.chargeRMA(t, j)
+	// Queue-wait attribution: diff the producer's enqueue stamp once per
+	// batch. Every tuple's queueing is covered (not just traced ones) at
+	// zero per-tuple cost; a batch replayed after barrier parking counts
+	// its park time too — it really did wait that long.
+	var qwait int64
+	if j.EnqNs != 0 {
+		qwait = time.Now().UnixNano() - j.EnqNs
+		if qwait < 0 {
+			qwait = 0
+		}
+		atomic.AddUint64(&t.qwaitNs, uint64(qwait))
+		atomic.AddUint64(&t.qwaitBatches, 1)
+		if t.qwaitWin != nil {
+			t.qwaitWin.Observe(float64(qwait))
+		}
+	}
 	// rev is this edge's reverse recycling ring: releases on this (the
 	// consuming) goroutine flow back to the producer's pool through it,
 	// staying NUMA-local instead of riding sync.Pool. Releases from any
@@ -1555,6 +1625,7 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 			if t.alignID != 0 && t.alignSeen[j.Producer] && i+1 < len(j.Tuples) {
 				rest := e.getJumbo(t)
 				rest.Producer, rest.Consumer = j.Producer, j.Consumer
+				rest.EnqNs = j.EnqNs
 				rest.Tuples = append(rest.Tuples, j.Tuples[i+1:]...)
 				t.alignBuf = append(t.alignBuf, rest)
 				// The parked remainder owns those tuples now.
@@ -1565,6 +1636,7 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 			continue
 		}
 		c.curTs, c.curEvent = in.Ts, in.Event
+		c.curTrace, c.curOrigin = in.TraceID, in.TraceOrigin
 		if e.cfg.ExtraWorkNs > 0 {
 			spin(e.cfg.ExtraWorkNs)
 		}
@@ -1592,12 +1664,41 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 					started = time.Now()
 				}
 			}
+			// A traced input tuple gets its invocation timed too, and a
+			// span recorded after Process: this hop's queue wait, service
+			// time and output fan-out. Untraced tuples pay exactly one
+			// predictable branch here.
+			traced := in.TraceID != 0 && t.spans != nil
+			var emit0 uint64
+			if traced {
+				emit0 = atomic.LoadUint64(&t.emitted)
+				if started.IsZero() {
+					started = time.Now()
+				}
+			}
 			if err := t.operator.Process(c, in); err != nil {
 				return fmt.Errorf("engine: operator %s: %w", t.label, err)
 			}
-			if sampled {
-				atomic.AddUint64(&t.serviceNs, uint64(time.Since(started)))
-				atomic.AddUint64(&t.serviceSamples, 1)
+			if sampled || traced {
+				dur := time.Since(started)
+				if sampled {
+					atomic.AddUint64(&t.serviceNs, uint64(dur))
+					atomic.AddUint64(&t.serviceSamples, 1)
+				}
+				if t.svcWin != nil {
+					t.svcWin.Observe(float64(dur))
+				}
+				if traced {
+					t.spans.Append(obs.Span{
+						TraceID:     in.TraceID,
+						OriginNs:    in.TraceOrigin,
+						AtNs:        started.UnixNano() + int64(dur),
+						QueueWaitNs: qwait,
+						ServiceNs:   int64(dur),
+						Emitted:     atomic.LoadUint64(&t.emitted) - emit0,
+						Kind:        obs.SpanHop,
+					})
+				}
 			}
 			if c.fail != nil {
 				return c.fail
@@ -1691,6 +1792,8 @@ func (e *Engine) ProfileSnapshot() profile.EngineSnapshot {
 			ServiceNs:      atomic.LoadUint64(&t.serviceNs),
 			ServiceSamples: atomic.LoadUint64(&t.serviceSamples),
 			InBytes:        atomic.LoadUint64(&t.inBytes),
+			QueueWaitNs:    atomic.LoadUint64(&t.qwaitNs),
+			QueueWaitBatch: atomic.LoadUint64(&t.qwaitBatches),
 		}
 		if t.in != nil {
 			ts.QueueDepth = t.in.Len()

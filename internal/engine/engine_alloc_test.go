@@ -137,3 +137,37 @@ func TestEmitDispatchAllocFreeWithObs(t *testing.T) {
 		t.Errorf("emit->dispatch allocates %.2f/op with observability registered, want 0", avg)
 	}
 }
+
+func TestEmitDispatchAllocFreeWithTracing(t *testing.T) {
+	// Tracing registered must keep the bound at exactly zero in both
+	// regimes: the every-k-th sampled tuple writes its source span into a
+	// preallocated ring slot (atomics over fixed words, no boxing), and
+	// the unsampled tuples pay only the stride counter branch. k=1 is
+	// the worst case — every emit stamps a trace context and appends a
+	// span.
+	for _, every := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.LatencySampleEvery = 0 // time.Now stamping is not the measured path
+		cfg.TraceSampleEvery = every
+		c, drain := allocHarness(t, cfg, 4, graph.Shuffle)
+		tracer := obs.NewTracer()
+		c.e.RegisterTrace(tracer)
+		emit := func() {
+			out := c.Borrow()
+			out.AppendStr("the quick brown fox")
+			out.AppendInt(100042)
+			c.Send(out)
+			drain()
+		}
+		for i := 0; i < 1000; i++ {
+			emit()
+		}
+		avg := testing.AllocsPerRun(5000, emit)
+		if avg > 0 {
+			t.Errorf("every=%d: emit->dispatch allocates %.2f/op with tracing registered, want 0", every, avg)
+		}
+		if tracer.Len() == 0 {
+			t.Errorf("every=%d: tracer captured no spans", every)
+		}
+	}
+}

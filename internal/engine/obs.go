@@ -81,6 +81,18 @@ func (e *Engine) RegisterObs(g *obs.Group, jr *obs.Journal) {
 		g.Counter("brisk_task_service_samples_total", "Sampled operator invocations per task (profiling).", tl, func() uint64 {
 			return atomic.LoadUint64(&t.serviceSamples)
 		})
+		g.Counter("brisk_task_queue_wait_ns_total", "Cumulative queue wait of the task's input batches this run (ns).", tl, func() uint64 {
+			return atomic.LoadUint64(&t.qwaitNs)
+		})
+		g.Counter("brisk_task_queue_wait_batches_total", "Input batches covered by the queue-wait accounting this run.", tl, func() uint64 {
+			return atomic.LoadUint64(&t.qwaitBatches)
+		})
+		if t.in != nil {
+			t.qwaitWin = g.ValueWindow("brisk_task_queue_wait_ns", "Rolling per-batch queue wait of the task's input (ns).", tl)
+		}
+		if t.operator != nil {
+			t.svcWin = g.ValueWindow("brisk_task_service_ns", "Rolling measured operator invocation time (ns; fed by profile-sampled and traced invocations).", tl)
+		}
 		g.Counter("brisk_pool_gets_total", "Tuple pool gets per task (engine lifetime).", tl, func() uint64 {
 			gets, _ := t.pool.Stats()
 			return gets
@@ -150,6 +162,26 @@ func (e *Engine) RegisterObs(g *obs.Group, jr *obs.Journal) {
 				"duration_ms": strconv.FormatInt(d.Milliseconds(), 10),
 			})
 		})
+	}
+}
+
+// RegisterTrace attaches a span ring to every task, so sampled tuples
+// (Config.TraceSampleEvery) leave one span per hop for the tracer to
+// assemble into end-to-end traces. Like RegisterObs it resets the
+// tracer first, so the adaptive loop re-registers each segment's fresh
+// engine into the same tracer without mixing span tables. Call it after
+// New and before Run.
+func (e *Engine) RegisterTrace(tr *obs.Tracer) {
+	tr.Reset()
+	for _, t := range e.tasks {
+		t.spans = tr.AddTask(obs.TraceTask{
+			Label:   t.label,
+			Op:      t.op,
+			Replica: t.replica,
+			Socket:  int(t.socket),
+			Source:  t.spout != nil,
+			Sink:    t.isSink,
+		}, 0)
 	}
 }
 

@@ -7,6 +7,8 @@ package engine
 // and properly-locked registry state.
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -30,10 +32,12 @@ func TestObsScrapeRaceAcrossKillRestore(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Checkpoint = co
 	cfg.CheckpointInterval = 2 * time.Millisecond
+	cfg.TraceSampleEvery = 8
 
 	reg := obs.NewRegistry(0)
 	jr := obs.NewJournal(0)
-	srv, err := obs.Serve("127.0.0.1:0", reg, jr)
+	tracer := obs.NewTracer()
+	srv, err := obs.Serve("127.0.0.1:0", reg, jr, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,6 +86,14 @@ func TestObsScrapeRaceAcrossKillRestore(t *testing.T) {
 	}
 	go scraper("/metrics", obs.ValidateExposition)
 	go scraper("/events", nil)
+	validJSON := func(b []byte) error {
+		if !json.Valid(b) {
+			return fmt.Errorf("invalid JSON body: %.120s", b)
+		}
+		return nil
+	}
+	go scraper("/traces", validJSON)
+	go scraper("/traces?fmt=chrome", validJSON)
 
 	// Three engine generations over the same coordinator: run, wait for
 	// a couple of completed checkpoints, kill, restore into the next
@@ -93,6 +105,7 @@ func TestObsScrapeRaceAcrossKillRestore(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.RegisterObs(reg.Group("engine"), jr)
+		e.RegisterTrace(tracer)
 		if cycle > 0 {
 			if _, err := e.Restore(); err != nil {
 				t.Fatal(err)

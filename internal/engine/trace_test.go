@@ -1,0 +1,143 @@
+package engine
+
+// End-to-end tracing coverage: a sampled spout tuple must leave a
+// source span plus one hop span per operator it crosses, the hop times
+// must ascend, the queue-wait counters must account for the batches the
+// run moved, and the analyzer's per-operator attribution must sum to
+// the traced end-to-end latency.
+
+import (
+	"testing"
+	"time"
+
+	"briskstream/internal/obs"
+)
+
+func TestTraceEndToEnd(t *testing.T) {
+	const n = 4000
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(n)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	cfg := DefaultConfig()
+	cfg.TraceSampleEvery = 16
+	cfg.Linger = time.Millisecond // keep queue waits visible but short
+	e, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	e.RegisterTrace(tracer)
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+
+	traces := tracer.Traces(0)
+	if len(traces) == 0 {
+		t.Fatal("no traces captured")
+	}
+	complete := 0
+	for _, tc := range traces {
+		if tc.ID == 0 {
+			t.Fatal("trace with zero id")
+		}
+		for i, s := range tc.Spans {
+			if i > 0 && s.AtNs < tc.Spans[i-1].AtNs {
+				t.Fatalf("trace %d: hop times not monotonic: %+v", tc.ID, tc.Spans)
+			}
+			switch s.Op {
+			case "spout", "double", "sink":
+			default:
+				t.Fatalf("trace %d: span on unknown operator %q", tc.ID, s.Op)
+			}
+		}
+		// A fully-propagated trace crosses spout -> double -> sink; the
+		// doubler emits twice, so such traces carry >= 4 spans (the sink
+		// sees the traced tuple twice).
+		if len(tc.Spans) >= 3 {
+			complete++
+			if tc.Spans[0].Kind != "source" || tc.Spans[0].Op != "spout" {
+				t.Fatalf("trace %d does not start at the spout: %+v", tc.ID, tc.Spans[0])
+			}
+			var attributed int64
+			prev := tc.OriginNs
+			for _, s := range tc.Spans[1:] {
+				if s.QueueWaitNs < 0 || s.ServiceNs < 0 {
+					t.Fatalf("trace %d: negative attribution %+v", tc.ID, s)
+				}
+				// Queue wait plus service of any hop cannot exceed the
+				// elapsed time since the trace origin (small slack for
+				// the sub-clock-resolution stamps).
+				if s.QueueWaitNs+s.ServiceNs > s.AtNs-tc.OriginNs+int64(time.Millisecond) {
+					t.Fatalf("trace %d: queue+service %dns exceeds elapsed %dns", tc.ID, s.QueueWaitNs+s.ServiceNs, s.AtNs-tc.OriginNs)
+				}
+				attributed += s.AtNs - prev
+				prev = s.AtNs
+			}
+			if attributed != tc.E2eNs {
+				t.Fatalf("trace %d: hop intervals sum to %dns, e2e %dns", tc.ID, attributed, tc.E2eNs)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no trace propagated across all three operators")
+	}
+
+	// The per-batch queue-wait accounting must have covered real batches
+	// and must surface through the profile snapshot.
+	snap := e.ProfileSnapshot()
+	byOp := snap.ByOp()
+	var waitBatches uint64
+	for op, tot := range byOp {
+		if op == "spout" {
+			continue
+		}
+		waitBatches += tot.QueueWaitBatch
+	}
+	if waitBatches == 0 {
+		t.Fatal("no queue-wait batches accounted")
+	}
+
+	// Analyzer: the breakdown's per-operator parts sum to the mean e2e
+	// (the acceptance bound is 10%; the construction makes it exact up
+	// to clamping, so assert 10% with headroom for clamped hops).
+	an := tracer.Analyze()
+	if an.Traces == 0 {
+		t.Fatal("analyzer saw no complete traces")
+	}
+	var attributed float64
+	for _, op := range an.Ops {
+		attributed += op.QueueNs + op.ServiceNs + op.TransferNs
+	}
+	if an.MeanE2eNs <= 0 {
+		t.Fatalf("mean e2e = %.0f", an.MeanE2eNs)
+	}
+	if diff := attributed - an.MeanE2eNs; diff > an.MeanE2eNs*0.1 || diff < -an.MeanE2eNs*0.1 {
+		t.Fatalf("attributed %.0fns vs mean e2e %.0fns: off by more than 10%%", attributed, an.MeanE2eNs)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	topo := Topology{
+		App:       pipelineGraph(t),
+		Spouts:    map[string]func() Spout{"spout": boundedSpoutEOF(256)},
+		Operators: map[string]func() Operator{"double": doubler, "sink": sinkOp},
+	}
+	e, err := New(topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	e.RegisterTrace(tracer)
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n := tracer.Len(); n != 0 {
+		t.Fatalf("TraceSampleEvery unset but %d spans captured", n)
+	}
+}

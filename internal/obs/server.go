@@ -1,40 +1,56 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 )
 
 // Server is the live telemetry exporter: /metrics (Prometheus text
 // exposition), /statusz (JSON snapshot), /healthz, /events (journal
-// tail, ?since= cursor) and net/http/pprof under /debug/pprof/. It
-// also owns the 1 Hz sampler that feeds the registry's rate windows.
+// tail, ?since= cursor), /traces (sampled traces as JSON or Chrome
+// trace-event format, ?fmt=chrome) and net/http/pprof under
+// /debug/pprof/. It also owns the 1 Hz sampler that feeds the
+// registry's rate windows.
 type Server struct {
 	reg  *Registry
 	jr   *Journal
+	tr   *Tracer
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
+	// samplerDone closes when the 1 Hz sampler goroutine has exited, so
+	// Close can guarantee no tick races the listener teardown.
+	samplerDone chan struct{}
+
+	// status holds caller-supplied /statusz extensions (e.g. the
+	// adaptive loop's rescale outcomes), evaluated per request.
+	statusMu sync.Mutex
+	status   map[string]func() any
 }
 
 // Serve starts the exporter on addr (":0" picks a free port — read it
-// back with Addr). The registry and journal may be nil; the matching
-// endpoints then serve empty documents.
-func Serve(addr string, reg *Registry, jr *Journal) (*Server, error) {
+// back with Addr). The registry, journal and tracer may be nil; the
+// matching endpoints then serve empty documents.
+func Serve(addr string, reg *Registry, jr *Journal, tr *Tracer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, jr: jr, ln: ln, done: make(chan struct{})}
+	s := &Server{reg: reg, jr: jr, tr: tr, ln: ln,
+		done: make(chan struct{}), samplerDone: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -44,6 +60,8 @@ func Serve(addr string, reg *Registry, jr *Journal) (*Server, error) {
 	go s.srv.Serve(ln)
 	if reg != nil {
 		go s.sample()
+	} else {
+		close(s.samplerDone)
 	}
 	return s, nil
 }
@@ -54,14 +72,39 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the exporter's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the sampler and the HTTP server.
+// SetStatus registers (or, with a nil fn, removes) a caller-supplied
+// /statusz key evaluated per request. Safe to call while serving.
+func (s *Server) SetStatus(key string, fn func() any) {
+	s.statusMu.Lock()
+	if s.status == nil {
+		s.status = map[string]func() any{}
+	}
+	if fn == nil {
+		delete(s.status, key)
+	} else {
+		s.status[key] = fn
+	}
+	s.statusMu.Unlock()
+}
+
+// Close stops the sampler first (waiting for its goroutine, so no last
+// tick races the teardown), then shuts the HTTP server down gracefully:
+// in-flight scrapes get up to two seconds to finish their bodies before
+// the listener is torn down hard.
 func (s *Server) Close() error {
 	close(s.done)
-	return s.srv.Close()
+	<-s.samplerDone
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // sample drives the registry's rate windows at 1 Hz until Close.
 func (s *Server) sample() {
+	defer close(s.samplerDone)
 	tk := time.NewTicker(time.Second)
 	defer tk.Stop()
 	for {
@@ -93,6 +136,23 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	if s.jr != nil {
 		st["events_seq"] = s.jr.Seq()
 	}
+	if s.tr != nil {
+		st["bottlenecks"] = s.tr.Analyze()
+	}
+	s.statusMu.Lock()
+	ext := make(map[string]func() any, len(s.status))
+	for k, fn := range s.status {
+		ext[k] = fn
+	}
+	s.statusMu.Unlock()
+	keys := make([]string, 0, len(ext))
+	for k := range ext {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st[k] = ext[k]()
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(st)
@@ -106,14 +166,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	var events []Event
+	var seq uint64
 	if s.jr != nil {
 		since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
 		events = s.jr.Events(since)
+		// The resume cursor: everything at or below seq is either in
+		// this response or was already consumed, so a poller can pass
+		// ?since=<seq> next time without losing or re-reading events.
+		seq = since
+		for _, ev := range events {
+			if ev.Seq > seq {
+				seq = ev.Seq
+			}
+		}
 	}
 	if events == nil {
 		events = []Event{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]any{"events": events})
+	_ = enc.Encode(map[string]any{"events": events, "seq": seq})
+}
+
+// handleTraces serves the tracer's recent traces. Default is a JSON
+// document {"traces": [...], "analysis": {...}}; ?fmt=chrome emits the
+// Chrome trace-event array (load it at ui.perfetto.dev). ?limit= caps
+// the trace count (default 100, 0 = all).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	if s.tr == nil {
+		if r.URL.Query().Get("fmt") == "chrome" {
+			_, _ = w.Write([]byte("[]\n"))
+			return
+		}
+		_, _ = w.Write([]byte(`{"traces":[]}` + "\n"))
+		return
+	}
+	if r.URL.Query().Get("fmt") == "chrome" {
+		_ = s.tr.WriteChrome(w, limit)
+		return
+	}
+	_ = s.tr.WriteJSON(w, limit)
 }

@@ -16,7 +16,7 @@ func TestServerEndpoints(t *testing.T) {
 	j := NewJournal(16)
 	j.Emit(Event{Type: "run_start"})
 
-	s, err := Serve("127.0.0.1:0", r, j)
+	s, err := Serve("127.0.0.1:0", r, j, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestServerEndpoints(t *testing.T) {
 }
 
 func TestServerNilRegistry(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", nil, nil)
+	s, err := Serve("127.0.0.1:0", nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

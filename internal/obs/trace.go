@@ -1,0 +1,487 @@
+package obs
+
+// Per-tuple distributed tracing for the in-process topology. The engine
+// stamps every k-th spout tuple with a trace id + origin timestamp and
+// each hop appends one fixed-size span record into its task's TraceRing:
+// a lock-free single-writer ring of seqlock-versioned slots. Appending
+// is a handful of atomic word stores (no allocation, no locks), so the
+// hot path stays allocation-free; readers (the /traces endpoint, the
+// bottleneck analyzer) snapshot rings concurrently and simply skip any
+// slot that is mid-overwrite. All slot words are atomics so the race
+// detector agrees with the protocol instead of flagging it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Span kinds. A source span marks the trace origin (the spout stamp);
+// a hop span records one operator invocation downstream.
+const (
+	SpanSource uint8 = iota + 1
+	SpanHop
+)
+
+// Span is one hop of a traced tuple: which task it crossed, how long
+// its batch waited in the communication queue, how long the operator
+// invocation took, and how many output tuples it produced. AtNs is the
+// wall clock (UnixNano) at hop completion; OriginNs the trace's spout
+// stamp, so AtNs-OriginNs is elapsed end-to-end time at this hop.
+type Span struct {
+	TraceID     uint64
+	OriginNs    int64
+	AtNs        int64
+	QueueWaitNs int64
+	ServiceNs   int64
+	Emitted     uint64
+	Kind        uint8
+}
+
+// traceSlot is one ring entry: a seqlock version word plus the span
+// payload. ver is 2*seq+1 while a write is in progress and 2*seq+2 once
+// slot contents for sequence seq are published; a reader that observes
+// an odd or changed version discards the slot.
+type traceSlot struct {
+	ver atomic.Uint64
+	w   [7]atomic.Uint64
+}
+
+// TraceRing is a fixed-capacity single-writer ring of span records.
+// Exactly one goroutine (the owning task) may Append; any number may
+// Snapshot concurrently.
+type TraceRing struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []traceSlot
+}
+
+// DefaultTraceRingCap is the per-task span capacity used when
+// Tracer.AddTask is given a non-positive capacity.
+const DefaultTraceRingCap = 1024
+
+// NewTraceRing creates a ring holding the most recent capacity spans
+// (rounded up to a power of two).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRing{mask: uint64(n - 1), slots: make([]traceSlot, n)}
+}
+
+// Append records a span, overwriting the oldest entry once the ring is
+// full. Owner-goroutine only; allocation-free.
+func (r *TraceRing) Append(s Span) {
+	h := r.head.Add(1) - 1
+	sl := &r.slots[h&r.mask]
+	sl.ver.Store(2*h + 1)
+	sl.w[0].Store(s.TraceID)
+	sl.w[1].Store(uint64(s.OriginNs))
+	sl.w[2].Store(uint64(s.AtNs))
+	sl.w[3].Store(uint64(s.QueueWaitNs))
+	sl.w[4].Store(uint64(s.ServiceNs))
+	sl.w[5].Store(s.Emitted)
+	sl.w[6].Store(uint64(s.Kind))
+	sl.ver.Store(2*h + 2)
+}
+
+// Len returns how many spans have ever been appended (not capped at the
+// ring capacity).
+func (r *TraceRing) Len() uint64 { return r.head.Load() }
+
+// Snapshot appends every currently readable span to out and returns it.
+// Safe to call from any goroutine; slots being overwritten concurrently
+// are skipped, never torn.
+func (r *TraceRing) Snapshot(out []Span) []Span {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if head > n {
+		lo = head - n
+	}
+	for seq := lo; seq < head; seq++ {
+		sl := &r.slots[seq&r.mask]
+		want := 2*seq + 2
+		if sl.ver.Load() != want {
+			continue
+		}
+		s := Span{
+			TraceID:     sl.w[0].Load(),
+			OriginNs:    int64(sl.w[1].Load()),
+			AtNs:        int64(sl.w[2].Load()),
+			QueueWaitNs: int64(sl.w[3].Load()),
+			ServiceNs:   int64(sl.w[4].Load()),
+			Emitted:     sl.w[5].Load(),
+			Kind:        uint8(sl.w[6].Load()),
+		}
+		if sl.ver.Load() != want {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TraceTask describes one engine task to the tracer: display label,
+// logical operator, replica index and socket placement, plus whether
+// the task is a source (spout) or a sink.
+type TraceTask struct {
+	Label   string `json:"task"`
+	Op      string `json:"op"`
+	Replica int    `json:"replica"`
+	Socket  int    `json:"socket"`
+	Source  bool   `json:"source,omitempty"`
+	Sink    bool   `json:"sink,omitempty"`
+}
+
+// Tracer owns the per-task span rings of one running topology and
+// assembles them into traces, Chrome trace-event output and the
+// critical-path breakdown. Engine.RegisterTrace resets it and registers
+// the fresh engine's tasks, mirroring RegisterObs across adaptive
+// segments; scrapes racing a re-registration see either the old or the
+// new task set, never a mix.
+type Tracer struct {
+	mu    sync.Mutex
+	tasks []TraceTask
+	rings []*TraceRing
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Reset drops all registered tasks and their rings (called when a fresh
+// engine re-binds, so a rescaled segment starts from a clean slate).
+func (tr *Tracer) Reset() {
+	tr.mu.Lock()
+	tr.tasks = tr.tasks[:0]
+	tr.rings = tr.rings[:0]
+	tr.mu.Unlock()
+}
+
+// AddTask registers a task and returns its span ring (ringCap <= 0
+// selects DefaultTraceRingCap). The returned ring is the task's to
+// write; the tracer reads it during snapshots.
+func (tr *Tracer) AddTask(meta TraceTask, ringCap int) *TraceRing {
+	if ringCap <= 0 {
+		ringCap = DefaultTraceRingCap
+	}
+	r := NewTraceRing(ringCap)
+	tr.mu.Lock()
+	tr.tasks = append(tr.tasks, meta)
+	tr.rings = append(tr.rings, r)
+	tr.mu.Unlock()
+	return r
+}
+
+// Len reports how many spans were ever appended across all registered
+// rings (not capped at ring capacity).
+func (tr *Tracer) Len() uint64 {
+	tr.mu.Lock()
+	rings := append([]*TraceRing(nil), tr.rings...)
+	tr.mu.Unlock()
+	var n uint64
+	for _, r := range rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// taggedSpan pairs a span with the task it came from.
+type taggedSpan struct {
+	Span
+	task int
+}
+
+// snapshot collects every readable span across all rings along with a
+// copy of the task table.
+func (tr *Tracer) snapshot() ([]TraceTask, []taggedSpan) {
+	tr.mu.Lock()
+	tasks := append([]TraceTask(nil), tr.tasks...)
+	rings := append([]*TraceRing(nil), tr.rings...)
+	tr.mu.Unlock()
+	var all []taggedSpan
+	var buf []Span
+	for i, r := range rings {
+		buf = r.Snapshot(buf[:0])
+		for _, s := range buf {
+			all = append(all, taggedSpan{Span: s, task: i})
+		}
+	}
+	return tasks, all
+}
+
+// TraceSpan is the exported form of one hop, with the task metadata
+// folded in.
+type TraceSpan struct {
+	Task        string `json:"task"`
+	Op          string `json:"op"`
+	Replica     int    `json:"replica"`
+	Socket      int    `json:"socket"`
+	Kind        string `json:"kind"`
+	AtNs        int64  `json:"at_ns"`
+	QueueWaitNs int64  `json:"queue_wait_ns"`
+	ServiceNs   int64  `json:"service_ns"`
+	Emitted     uint64 `json:"emitted"`
+}
+
+// Trace is one assembled end-to-end trace: the sampled root tuple's id,
+// origin, elapsed end-to-end time (last hop minus origin) and its spans
+// in hop-completion order.
+type Trace struct {
+	ID       uint64      `json:"id"`
+	OriginNs int64       `json:"origin_ns"`
+	E2eNs    int64       `json:"e2e_ns"`
+	Spans    []TraceSpan `json:"spans"`
+}
+
+func spanKindName(k uint8) string {
+	if k == SpanSource {
+		return "source"
+	}
+	return "hop"
+}
+
+// Traces assembles the most recent limit traces (newest origin first).
+// limit <= 0 means no cap.
+func (tr *Tracer) Traces(limit int) []Trace {
+	tasks, all := tr.snapshot()
+	byID := make(map[uint64][]taggedSpan)
+	for _, s := range all {
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	traces := make([]Trace, 0, len(byID))
+	for id, spans := range byID {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].AtNs < spans[j].AtNs })
+		t := Trace{ID: id, OriginNs: spans[0].OriginNs}
+		for _, s := range spans {
+			meta := TraceTask{Label: fmt.Sprintf("task#%d", s.task)}
+			if s.task < len(tasks) {
+				meta = tasks[s.task]
+			}
+			t.Spans = append(t.Spans, TraceSpan{
+				Task:        meta.Label,
+				Op:          meta.Op,
+				Replica:     meta.Replica,
+				Socket:      meta.Socket,
+				Kind:        spanKindName(s.Kind),
+				AtNs:        s.AtNs,
+				QueueWaitNs: s.QueueWaitNs,
+				ServiceNs:   s.ServiceNs,
+				Emitted:     s.Emitted,
+			})
+		}
+		if last := spans[len(spans)-1].AtNs; last > t.OriginNs {
+			t.E2eNs = last - t.OriginNs
+		}
+		traces = append(traces, t)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].OriginNs > traces[j].OriginNs })
+	if limit > 0 && len(traces) > limit {
+		traces = traces[:limit]
+	}
+	return traces
+}
+
+// WriteJSON writes the assembled traces plus the current breakdown as a
+// JSON document: {"traces": [...], "analysis": {...}}.
+func (tr *Tracer) WriteJSON(w io.Writer, limit int) error {
+	doc := struct {
+		Traces   []Trace  `json:"traces"`
+		Analysis Analysis `json:"analysis"`
+	}{Traces: tr.Traces(limit), Analysis: tr.Analyze()}
+	if doc.Traces == nil {
+		doc.Traces = []Trace{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// chromeEvent is one Chrome trace-event record. Each trace renders as a
+// "process" (pid = trace id) whose "threads" are the tasks it crossed,
+// so Perfetto's timeline shows queue-wait and service side by side per
+// hop.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the most recent limit traces in Chrome trace-event
+// (Perfetto-loadable) JSON-array format. Timestamps are microseconds
+// relative to the oldest included origin. Each hop emits a "queue-wait"
+// slice and a service slice on its task's track.
+func (tr *Tracer) WriteChrome(w io.Writer, limit int) error {
+	traces := tr.Traces(limit)
+	var base int64
+	for _, t := range traces {
+		if base == 0 || (t.OriginNs != 0 && t.OriginNs < base) {
+			base = t.OriginNs
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+	events := make([]chromeEvent, 0, len(traces)*4)
+	for _, t := range traces {
+		tids := map[string]int{}
+		for _, s := range t.Spans {
+			tid, ok := tids[s.Task]
+			if !ok {
+				tid = len(tids)
+				tids[s.Task] = tid
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: t.ID, Tid: tid,
+					Args: map[string]any{"name": s.Task},
+				})
+			}
+			start := s.AtNs - s.ServiceNs
+			if s.QueueWaitNs > 0 {
+				events = append(events, chromeEvent{
+					Name: "queue-wait", Ph: "X",
+					Ts: us(start - s.QueueWaitNs), Dur: float64(s.QueueWaitNs) / 1e3,
+					Pid: t.ID, Tid: tid,
+				})
+			}
+			name := s.Op
+			if name == "" {
+				name = s.Task
+			}
+			if s.Kind == "source" {
+				name = name + " (source)"
+			}
+			events = append(events, chromeEvent{
+				Name: name, Ph: "X",
+				Ts: us(start), Dur: float64(s.ServiceNs) / 1e3,
+				Pid: t.ID, Tid: tid,
+				Args: map[string]any{
+					"trace":         t.ID,
+					"emitted":       s.Emitted,
+					"queue_wait_us": float64(s.QueueWaitNs) / 1e3,
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// OpBreakdown is one operator's share of the end-to-end latency across
+// the analyzed traces: mean queue-wait, service and transfer (residual:
+// batching linger + handoff) nanoseconds attributed per trace, and the
+// operator's fraction of the total attributed time.
+type OpBreakdown struct {
+	Op         string  `json:"op"`
+	Traces     int     `json:"traces"`
+	QueueNs    float64 `json:"queue_ns"`
+	ServiceNs  float64 `json:"service_ns"`
+	TransferNs float64 `json:"transfer_ns"`
+	Share      float64 `json:"share"`
+}
+
+// Analysis is the critical-path breakdown: how many complete traces it
+// covers, their mean end-to-end latency, and the per-operator
+// attribution ranked by total attributed time (the bottleneck report).
+type Analysis struct {
+	Traces    int           `json:"traces"`
+	MeanE2eNs float64       `json:"mean_e2e_ns"`
+	Ops       []OpBreakdown `json:"ops"`
+}
+
+// Analyze aggregates the current spans into the per-operator critical
+// path breakdown. For each trace, every hop's wall-clock interval since
+// the previous hop (or origin) splits into queue-wait + service +
+// transfer (the clamped residual), so the per-operator parts sum to the
+// trace's end-to-end latency up to clock-skew clamping.
+func (tr *Tracer) Analyze() Analysis {
+	traces := tr.Traces(0)
+	type acc struct {
+		queue, service, transfer float64
+		traces                   int
+	}
+	ops := map[string]*acc{}
+	order := []string{}
+	var e2eSum float64
+	complete := 0
+	for _, t := range traces {
+		if len(t.Spans) < 2 || t.E2eNs <= 0 {
+			continue // origin-only or clockless trace: nothing to attribute
+		}
+		complete++
+		e2eSum += float64(t.E2eNs)
+		seen := map[string]bool{}
+		prev := t.OriginNs
+		for _, s := range t.Spans {
+			if s.Kind == "source" {
+				continue
+			}
+			hop := s.AtNs - prev
+			if hop < 0 {
+				hop = 0
+			}
+			prev = s.AtNs
+			// Clamp the parts into the hop interval: a duplicate delivery
+			// (fan-out re-visiting a task it already crossed) reports the
+			// full batch queue wait again, but only the residual interval
+			// is on the critical path. With the clamp, queue + service +
+			// transfer telescopes to exactly the trace's end-to-end time.
+			queue := min(s.QueueWaitNs, hop)
+			service := min(s.ServiceNs, hop-queue)
+			transfer := hop - queue - service
+			op := s.Op
+			if op == "" {
+				op = s.Task
+			}
+			a := ops[op]
+			if a == nil {
+				a = &acc{}
+				ops[op] = a
+				order = append(order, op)
+			}
+			a.queue += float64(queue)
+			a.service += float64(service)
+			a.transfer += float64(transfer)
+			if !seen[op] {
+				seen[op] = true
+				a.traces++
+			}
+		}
+	}
+	an := Analysis{Traces: complete}
+	if complete == 0 {
+		return an
+	}
+	an.MeanE2eNs = e2eSum / float64(complete)
+	var total float64
+	for _, op := range order {
+		a := ops[op]
+		total += a.queue + a.service + a.transfer
+	}
+	n := float64(complete)
+	for _, op := range order {
+		a := ops[op]
+		b := OpBreakdown{
+			Op:         op,
+			Traces:     a.traces,
+			QueueNs:    a.queue / n,
+			ServiceNs:  a.service / n,
+			TransferNs: a.transfer / n,
+		}
+		if total > 0 {
+			b.Share = (a.queue + a.service + a.transfer) / total
+		}
+		an.Ops = append(an.Ops, b)
+	}
+	sort.Slice(an.Ops, func(i, j int) bool {
+		return an.Ops[i].Share > an.Ops[j].Share
+	})
+	return an
+}

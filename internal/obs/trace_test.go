@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingWrapKeepsNewest(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Append(Span{TraceID: uint64(i), AtNs: int64(i), Kind: SpanHop})
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d spans, want the 4 newest", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(7 + i); s.TraceID != want {
+			t.Fatalf("span %d: trace %d, want %d", i, s.TraceID, want)
+		}
+	}
+}
+
+func TestTraceRingConcurrentSnapshot(t *testing.T) {
+	// One writer, many readers, under -race: readers must only ever see
+	// fully-published spans (AtNs always mirrors TraceID here).
+	r := NewTraceRing(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Span
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				for _, s := range buf {
+					if int64(s.TraceID) != s.AtNs {
+						t.Errorf("torn span: id %d at %d", s.TraceID, s.AtNs)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 100000; i++ {
+		r.Append(Span{TraceID: uint64(i), AtNs: int64(i), Kind: SpanHop})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// sampleTracer builds a tracer with a spout->op->sink trace: origin at
+// 1000ns, op hop at 3000ns (queue 500, service 1000), sink hop at
+// 6000ns (queue 1000, service 1500).
+func sampleTracer() *Tracer {
+	tr := NewTracer()
+	src := tr.AddTask(TraceTask{Label: "spout:0", Op: "spout", Source: true}, 0)
+	mid := tr.AddTask(TraceTask{Label: "work:0", Op: "work"}, 0)
+	snk := tr.AddTask(TraceTask{Label: "sink:0", Op: "sink", Sink: true}, 0)
+	src.Append(Span{TraceID: 7, OriginNs: 1000, AtNs: 1000, Emitted: 1, Kind: SpanSource})
+	mid.Append(Span{TraceID: 7, OriginNs: 1000, AtNs: 3000, QueueWaitNs: 500, ServiceNs: 1000, Emitted: 1, Kind: SpanHop})
+	snk.Append(Span{TraceID: 7, OriginNs: 1000, AtNs: 6000, QueueWaitNs: 1000, ServiceNs: 1500, Kind: SpanHop})
+	return tr
+}
+
+func TestTracerAssemblesTraces(t *testing.T) {
+	tr := sampleTracer()
+	traces := tr.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tc := traces[0]
+	if tc.ID != 7 || tc.OriginNs != 1000 || tc.E2eNs != 5000 {
+		t.Fatalf("trace = %+v, want id 7 origin 1000 e2e 5000", tc)
+	}
+	if len(tc.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tc.Spans))
+	}
+	for i := 1; i < len(tc.Spans); i++ {
+		if tc.Spans[i].AtNs < tc.Spans[i-1].AtNs {
+			t.Fatalf("spans not in hop order: %+v", tc.Spans)
+		}
+	}
+	if tc.Spans[0].Kind != "source" || tc.Spans[0].Op != "spout" {
+		t.Fatalf("first span = %+v, want the source", tc.Spans[0])
+	}
+}
+
+func TestTracerAnalyzeAttribution(t *testing.T) {
+	an := sampleTracer().Analyze()
+	if an.Traces != 1 {
+		t.Fatalf("analysis covers %d traces, want 1", an.Traces)
+	}
+	if an.MeanE2eNs != 5000 {
+		t.Fatalf("mean e2e = %.0f, want 5000", an.MeanE2eNs)
+	}
+	// work hop: interval 2000 = 500 queue + 1000 service + 500 transfer.
+	// sink hop: interval 3000 = 1000 queue + 1500 service + 500 transfer.
+	var total float64
+	byOp := map[string]OpBreakdown{}
+	for _, op := range an.Ops {
+		byOp[op.Op] = op
+		total += op.QueueNs + op.ServiceNs + op.TransferNs
+	}
+	if w := byOp["work"]; w.QueueNs != 500 || w.ServiceNs != 1000 || w.TransferNs != 500 {
+		t.Fatalf("work breakdown = %+v", w)
+	}
+	if s := byOp["sink"]; s.QueueNs != 1000 || s.ServiceNs != 1500 || s.TransferNs != 500 {
+		t.Fatalf("sink breakdown = %+v", s)
+	}
+	// The construction guarantees attribution sums to end-to-end.
+	if total != an.MeanE2eNs {
+		t.Fatalf("attributed %.0f ns, e2e %.0f ns", total, an.MeanE2eNs)
+	}
+	var share float64
+	for _, op := range an.Ops {
+		share += op.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %.4f, want 1", share)
+	}
+}
+
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteChrome(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event without numeric ts: %v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	// 3 thread_name metas, 3 service slices, 2 queue-wait slices.
+	if meta != 3 || complete != 5 {
+		t.Fatalf("got %d meta + %d complete events, want 3 + 5", meta, complete)
+	}
+}
+
+func TestWriteJSONEmptyTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer().WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Traces []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Traces == nil || len(doc.Traces) != 0 {
+		t.Fatalf("want an empty (non-null) traces array, got %s", buf.String())
+	}
+}

@@ -36,6 +36,12 @@ type TaskSnapshot struct {
 	InBytes uint64
 	// QueueDepth is the task inbox's live depth (0 for spouts).
 	QueueDepth int
+	// QueueWaitNs is the cumulative time (ns) the task's input batches
+	// spent waiting in its communication queue, across QueueWaitBatch
+	// dequeued batches — the queueing half of the latency decomposition,
+	// measured per jumbo rather than per tuple.
+	QueueWaitNs    uint64
+	QueueWaitBatch uint64
 }
 
 // Label renders the engine task label.
@@ -55,6 +61,8 @@ type OpTotals struct {
 	ServiceNs      uint64
 	ServiceSamples uint64
 	InBytes        uint64
+	QueueWaitNs    uint64
+	QueueWaitBatch uint64
 	QueueDepth     int
 	Replicas       int
 }
@@ -69,6 +77,8 @@ func (s EngineSnapshot) ByOp() map[string]OpTotals {
 		o.ServiceNs += t.ServiceNs
 		o.ServiceSamples += t.ServiceSamples
 		o.InBytes += t.InBytes
+		o.QueueWaitNs += t.QueueWaitNs
+		o.QueueWaitBatch += t.QueueWaitBatch
 		o.QueueDepth += t.QueueDepth
 		o.Replicas++
 		out[t.Op] = o

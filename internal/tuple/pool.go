@@ -165,4 +165,6 @@ func (t *Tuple) resetForPool() {
 	t.Stream = DefaultStreamID
 	t.Ts = time.Time{}
 	t.Event = 0
+	t.TraceID = 0
+	t.TraceOrigin = 0
 }

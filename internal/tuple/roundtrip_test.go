@@ -58,7 +58,8 @@ func bitsEqual(a, b *Tuple) bool {
 			}
 		}
 	}
-	return a.Stream == b.Stream && a.Ts.Equal(b.Ts) && a.Event == b.Event
+	return a.Stream == b.Stream && a.Ts.Equal(b.Ts) && a.Event == b.Event &&
+		a.TraceID == b.TraceID && a.TraceOrigin == b.TraceOrigin
 }
 
 func roundTrip(t *testing.T, orig *Tuple) {
@@ -98,6 +99,10 @@ func TestMarshalRoundTripRandomTuples(t *testing.T) {
 		}
 		if r.Intn(3) == 0 {
 			tp.Ts = time.Unix(0, 1+r.Int63n(1<<50))
+		}
+		if r.Intn(4) == 0 {
+			tp.TraceID = r.Uint64()
+			tp.TraceOrigin = r.Int63()
 		}
 		for n := r.Intn(MaxFields + 1); n > 0; n-- {
 			edgeValues[r.Intn(len(edgeValues))](tp)

@@ -127,6 +127,16 @@ type Tuple struct {
 	// leaves it zero, and the window operators assign tuples to windows
 	// by it. Zero means "unset" (no event-time semantics on this path).
 	Event int64
+	// TraceID identifies the sampled end-to-end trace this tuple belongs
+	// to; zero means untraced (the overwhelmingly common case). The
+	// engine stamps every k-th spout tuple (Config.TraceSampleEvery) and
+	// propagates the id input→output like Event, so derived tuples stay
+	// on their ancestor's trace.
+	TraceID uint64
+	// TraceOrigin is the wall-clock UnixNano at which the traced root
+	// tuple left its spout; span records diff against it for end-to-end
+	// attribution. Zero whenever TraceID is zero.
+	TraceOrigin int64
 
 	// n counts the filled slots; kinds tags each slot's type; slots
 	// holds the payload: integer bits, float bits, 0/1 booleans, symbol
@@ -472,7 +482,8 @@ func (t *Tuple) Size() int {
 // BriskStream path never calls this on the hot path; defensive-copy
 // emulation uses pooled copies via CopyFrom instead.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{Stream: t.Stream, Ts: t.Ts, Event: t.Event}
+	c := &Tuple{Stream: t.Stream, Ts: t.Ts, Event: t.Event,
+		TraceID: t.TraceID, TraceOrigin: t.TraceOrigin}
 	c.copyPayload(t)
 	return c
 }
@@ -485,6 +496,8 @@ func (t *Tuple) CopyFrom(src *Tuple) {
 	t.Stream = src.Stream
 	t.Ts = src.Ts
 	t.Event = src.Event
+	t.TraceID = src.TraceID
+	t.TraceOrigin = src.TraceOrigin
 }
 
 // CopyValuesFrom overwrites this tuple's payload with src's, leaving
@@ -508,6 +521,11 @@ type Jumbo struct {
 	// Producer and Consumer identify the task pair, replacing a
 	// per-tuple header.
 	Producer, Consumer int
+	// EnqNs is the wall clock (UnixNano) at which the batch was put on
+	// its communication queue. The consumer diffs against it on dequeue,
+	// which attributes queue-wait to every batch — and therefore every
+	// task/edge — at one clock read per jumbo, not per tuple.
+	EnqNs int64
 	// Tuples is the batch payload, passed by reference.
 	Tuples []*Tuple
 }
@@ -540,6 +558,8 @@ func Marshal(t *Tuple, buf []byte) []byte {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, ts)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Event))
+	buf = binary.BigEndian.AppendUint64(buf, t.TraceID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.TraceOrigin))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(t.n))
 	for i := 0; i < int(t.n); i++ {
 		switch t.kinds[i] {
@@ -581,19 +601,24 @@ func Unmarshal(buf []byte) (*Tuple, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if off+18 > len(buf) {
+	if off+34 > len(buf) {
 		return nil, 0, ErrCorrupt
 	}
 	ts := int64(binary.BigEndian.Uint64(buf[off:]))
 	off += 8
 	event := int64(binary.BigEndian.Uint64(buf[off:]))
 	off += 8
+	traceID := binary.BigEndian.Uint64(buf[off:])
+	off += 8
+	traceOrigin := int64(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
 	n := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
 	if n > MaxFields {
 		return nil, 0, ErrCorrupt
 	}
-	t := &Tuple{Stream: Intern(stream), Event: event}
+	t := &Tuple{Stream: Intern(stream), Event: event,
+		TraceID: traceID, TraceOrigin: traceOrigin}
 	if ts != 0 {
 		t.Ts = time.Unix(0, ts)
 	}

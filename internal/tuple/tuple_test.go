@@ -392,8 +392,9 @@ func TestUnmarshalRejectsTruncated(t *testing.T) {
 func TestUnmarshalRejectsGarbageKind(t *testing.T) {
 	buf := Marshal(New(int64(1)), nil)
 	// Flip the kind byte of the first value to an invalid code. Layout:
-	// 4(streamlen)+len("default")+8(ts)+8(event)+2(count) = kind offset.
-	off := 4 + len(DefaultStream) + 8 + 8 + 2
+	// 4(streamlen)+len("default")+8(ts)+8(event)+8(trace id)+
+	// 8(trace origin)+2(count) = kind offset.
+	off := 4 + len(DefaultStream) + 8 + 8 + 8 + 8 + 2
 	buf[off] = 0xEE
 	if _, _, err := Unmarshal(buf); err == nil {
 		t.Error("garbage kind accepted")

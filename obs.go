@@ -3,7 +3,8 @@ package briskstream
 // Live telemetry for running topologies. RunConfig.Obs attaches a
 // metric registry, an event journal, and (with Addr set) an HTTP
 // server to the run: /metrics serves Prometheus text exposition,
-// /statusz a JSON summary, /events the journal, /healthz liveness, and
+// /statusz a JSON summary, /events the journal, /traces the sampled
+// per-tuple traces (with TraceEvery set), /healthz liveness, and
 // /debug/pprof/ the standard profiles. Everything is stdlib-only and
 // reads the counters the engine already maintains — observability
 // costs the data path one predictable branch at the sampled
@@ -37,6 +38,13 @@ type ObsConfig struct {
 	// warning that unbounded key cardinality is being interned
 	// (default 100000; negative disables the watch).
 	SymWatermark int
+	// TraceEvery enables end-to-end tracing: every k-th spout tuple is
+	// stamped with a trace context and leaves one span per hop it
+	// crosses. The server's /traces endpoint serves recent traces as
+	// JSON or Chrome trace-event format (?fmt=chrome, Perfetto-
+	// loadable), and /statusz carries the aggregated per-operator
+	// bottleneck breakdown. Default 0 (tracing off).
+	TraceEvery int
 }
 
 // ObsEvent is one structured lifecycle event (run start/stop,
@@ -49,9 +57,10 @@ type ObsEvent = obs.Event
 // series pull from, the journal events append to, and the optional
 // HTTP server exposing both.
 type obsSession struct {
-	reg *obs.Registry
-	jr  *obs.Journal
-	srv *obs.Server
+	reg    *obs.Registry
+	jr     *obs.Journal
+	tracer *obs.Tracer
+	srv    *obs.Server
 }
 
 // startObs builds the session for one Run call: process-level gauges,
@@ -70,6 +79,9 @@ func startObs(cfg RunConfig) (*obsSession, error) {
 	s := &obsSession{
 		reg: obs.NewRegistry(oc.Window),
 		jr:  obs.NewJournal(0),
+	}
+	if oc.TraceEvery > 0 {
+		s.tracer = obs.NewTracer()
 	}
 	if cfg.OnEvent != nil {
 		s.jr.SetOnEvent(cfg.OnEvent)
@@ -105,7 +117,7 @@ func startObs(cfg RunConfig) (*obsSession, error) {
 	}
 
 	if oc.Addr != "" {
-		srv, err := obs.Serve(oc.Addr, s.reg, s.jr)
+		srv, err := obs.Serve(oc.Addr, s.reg, s.jr, s.tracer)
 		if err != nil {
 			s.close()
 			return nil, err
@@ -126,6 +138,18 @@ func (s *obsSession) bindEngine(e *engine.Engine) {
 		return
 	}
 	e.RegisterObs(s.reg.Group("engine"), s.jr)
+	if s.tracer != nil {
+		e.RegisterTrace(s.tracer)
+	}
+}
+
+// status registers a /statusz extension on the session's server (no-op
+// without a server or on a nil session).
+func (s *obsSession) status(key string, fn func() any) {
+	if s == nil || s.srv == nil {
+		return
+	}
+	s.srv.SetStatus(key, fn)
 }
 
 // event appends one root-level lifecycle event (autoscaler decisions,
@@ -160,5 +184,8 @@ func applyObsEngineConfig(ecfg *engine.Config, cfg RunConfig) {
 	ecfg.TrackPools = true
 	if cfg.Obs != nil && cfg.Obs.SampleEvery > 0 {
 		ecfg.LatencySampleEvery = cfg.Obs.SampleEvery
+	}
+	if cfg.Obs != nil && cfg.Obs.TraceEvery > 0 {
+		ecfg.TraceSampleEvery = cfg.Obs.TraceEvery
 	}
 }

@@ -6,6 +6,7 @@ package briskstream
 // must be byte-identical to an unobserved one.
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -40,7 +41,7 @@ func TestObsServesDuringAdaptiveRescale(t *testing.T) {
 				Gain:        0.05,
 				MaxRescales: 2,
 			},
-			Obs: &ObsConfig{Addr: "127.0.0.1:0", Window: 10 * time.Second},
+			Obs: &ObsConfig{Addr: "127.0.0.1:0", Window: 10 * time.Second, TraceEvery: 16},
 			OnEvent: func(ev ObsEvent) {
 				mu.Lock()
 				events[ev.Type]++
@@ -62,10 +63,10 @@ func TestObsServesDuringAdaptiveRescale(t *testing.T) {
 		t.Fatal("telemetry server never announced itself")
 	}
 
-	// Scrape both endpoints for the whole run — through every segment
+	// Scrape every endpoint for the whole run — through every segment
 	// kill, restore and re-registration — validating each body.
 	var scrapes int
-	var lastMetrics string
+	var lastMetrics, lastTraces string
 	for {
 		select {
 		case <-done:
@@ -86,6 +87,22 @@ func TestObsServesDuringAdaptiveRescale(t *testing.T) {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 			}
+			for _, path := range []string{"/traces", "/traces?fmt=chrome"} {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					if !json.Valid(body) {
+						t.Fatalf("%s served invalid JSON mid-run: %.120s", path, body)
+					}
+					if path == "/traces" {
+						lastTraces = string(body)
+					}
+				}
+			}
 			continue
 		}
 		break
@@ -99,10 +116,13 @@ func TestObsServesDuringAdaptiveRescale(t *testing.T) {
 	if scrapes == 0 {
 		t.Fatal("never completed a scrape during the run")
 	}
-	for _, want := range []string{"brisk_sink_tuples_total", "brisk_task_processed_total", "brisk_rescales_total", "brisk_sym_count"} {
+	for _, want := range []string{"brisk_sink_tuples_total", "brisk_task_processed_total", "brisk_rescales_total", "brisk_sym_count", "brisk_task_queue_wait_ns_total"} {
 		if !strings.Contains(lastMetrics, want) {
 			t.Errorf("final scrape is missing family %s", want)
 		}
+	}
+	if !strings.Contains(lastTraces, `"traces"`) {
+		t.Errorf("/traces never served a traces document: %.120s", lastTraces)
 	}
 
 	mu.Lock()
