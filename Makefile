@@ -20,9 +20,13 @@ test:
 # longer. Both run with BRISK_VALIDATE_EVERY=1: every tuple is checked
 # against its route's declared schema (engine Config.ValidateEvery), so
 # an operator whose layout drifts after its first emit fails the race
-# suite instead of corrupting state silently.
+# suite instead of corrupting state silently. The first pass runs with
+# the columnar batch path on (BRISK_BATCH=1, the default), the second
+# re-races the packages whose execution path the toggle changes with it
+# off, so both the vectorized and the scalar data paths stay race-clean.
 race:
-	BRISK_VALIDATE_EVERY=1 $(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/obs/ ./internal/apps/ .
+	BRISK_VALIDATE_EVERY=1 BRISK_BATCH=1 $(GO) test -race ./internal/queue/ ./internal/engine/ ./internal/window/ ./internal/state/ ./internal/checkpoint/ ./internal/obs/ ./internal/apps/ .
+	BRISK_VALIDATE_EVERY=1 BRISK_BATCH=0 $(GO) test -race ./internal/engine/ ./internal/window/ ./internal/apps/
 
 .PHONY: race-all
 race-all:
@@ -38,13 +42,16 @@ bench:
 # x pinned/unpinned matrix and writes machine-readable rows
 # (throughput in and out, latency p50/p99, allocs/tuple, and — on the
 # single-core rows — the checkpoint-on vs. checkpoint-off ingest
-# overhead at 1s intervals) to $(BENCH_JSON), tracking the data-path
-# perf trajectory — including the multicore replication scaling the
-# paper is about — across PRs. The report also carries an "adaptive"
-# comparison: static stale plan vs. the autoscaler draining the same
-# skew-shifting stream. CI runs it as a non-gating step.
-BENCH_JSON ?= BENCH_PR7.json
-BENCH_JSON_DUR ?= 2s
+# overhead at 1s intervals, and on the repl-4 rows the columnar on/off
+# ablation) to $(BENCH_JSON), tracking the data-path perf trajectory —
+# including the multicore replication scaling the paper is about —
+# across PRs. The report also carries an "adaptive" comparison: static
+# stale plan vs. the autoscaler draining the same skew-shifting stream.
+# CI runs it as a non-gating step.
+BENCH_JSON ?= BENCH_PR10.json
+# 4s per cell: the columnar-vs-scalar ablation decides signs on
+# single-digit margins, and 2s runs swing ±10% on a busy host.
+BENCH_JSON_DUR ?= 4s
 .PHONY: bench-json
 bench-json:
 	$(GO) run ./cmd/briskbench -bench-json $(BENCH_JSON_DUR) -pin > $(BENCH_JSON).tmp

@@ -15,6 +15,7 @@ import (
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
 	"briskstream/internal/tuple"
+	"briskstream/internal/vec"
 )
 
 // App is one runnable benchmark application.
@@ -86,6 +87,54 @@ func forward(c engine.Collector, t *tuple.Tuple, stream tuple.StreamID) {
 	out.Stream = stream
 	out.CopyValuesFrom(t)
 	c.Send(out)
+}
+
+// nopSink is the shared discarding sink: the engine does all sink-side
+// accounting (result counts, end-to-end latency), the operator only
+// absorbs input. Batch-aware so sink input edges go columnar — the
+// engine accounts per row off the batch's own timestamp lane, leaving
+// ProcessBatch nothing to do.
+type nopSink struct{}
+
+func (nopSink) Process(engine.Collector, *tuple.Tuple) error      { return nil }
+func (nopSink) ProcessBatch(engine.Collector, *tuple.Batch) error { return nil }
+
+// arityParser drops records with fewer than min fields and forwards the
+// rest — the validating-parser shape SD and FD share. Batches are
+// layout-homogeneous (the builder splits on layout change), so the
+// batch path decides once for all rows: too few columns drops the whole
+// batch, otherwise every row forwards.
+type arityParser struct{ min int }
+
+func (p arityParser) Process(c engine.Collector, t *tuple.Tuple) error {
+	if t.Len() < p.min {
+		return nil // drop malformed records
+	}
+	forward(c, t, tuple.DefaultStreamID)
+	return nil
+}
+
+func (p arityParser) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	if b.Cols() < p.min {
+		return nil
+	}
+	vec.ForwardAll(c, b, tuple.DefaultStreamID)
+	return nil
+}
+
+// passOp forwards every input on the default stream: the validating
+// pass-through shape, batch-aware — a columnar input re-emits each row
+// with the row's own metadata.
+type passOp struct{}
+
+func (passOp) Process(c engine.Collector, t *tuple.Tuple) error {
+	forward(c, t, tuple.DefaultStreamID)
+	return nil
+}
+
+func (passOp) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	vec.ForwardAll(c, b, tuple.DefaultStreamID)
+	return nil
 }
 
 func mustNode(g *graph.Graph, n *graph.Node) {

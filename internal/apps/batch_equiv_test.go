@@ -1,0 +1,64 @@
+package apps
+
+// Batch/scalar equivalence: one bounded, deterministic topology run
+// three ways — scalar path, columnar path (only batch-aware consumers
+// get batches), and forced-columnar path (every edge carries batches,
+// scalar consumers are fed through the engine's row adapter) — must
+// deliver identical sink multisets. WC covers the vectorized
+// filter/tokenize/window-count chain, TW the session/window operators
+// that opt out of batches, FD the plain stateful path; together they
+// pin the columnar dispatch, consume, punctuation-ordering and
+// row-materialization semantics to the scalar baseline.
+
+import (
+	"testing"
+
+	"briskstream/internal/engine"
+)
+
+func runBatchMode(t *testing.T, rc recoveryCase, mode func(cfg *engine.Config)) map[string]int64 {
+	t.Helper()
+	g, inner, operators, repl := rc.mk()
+	sink := newRecordingSink()
+	ops := make(map[string]func() engine.Operator, len(operators))
+	for name, mk := range operators {
+		ops[name] = mk
+	}
+	ops["sink"] = func() engine.Operator { return sink }
+	repl["spout"] = 1
+	cfg := engine.DefaultConfig()
+	mode(&cfg)
+	e, err := engine.New(engine.Topology{
+		App:         g,
+		Spouts:      map[string]func() engine.Spout{"spout": func() engine.Spout { return &limitSpout{inner: inner, limit: rc.limit} }},
+		Operators:   ops,
+		Replication: repl,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("run errors: %v", res.Errors)
+	}
+	return sink.got
+}
+
+func TestBatchScalarEquivalence(t *testing.T) {
+	for _, rc := range recoveryCases() {
+		t.Run(rc.name, func(t *testing.T) {
+			scalar := runBatchMode(t, rc, func(cfg *engine.Config) { cfg.Columnar = false })
+			columnar := runBatchMode(t, rc, func(cfg *engine.Config) { cfg.Columnar = true })
+			if d := diffMultisets(scalar, columnar); d != "" {
+				t.Fatalf("columnar output differs from scalar: %s", d)
+			}
+			forced := runBatchMode(t, rc, func(cfg *engine.Config) { cfg.Columnar = true; cfg.ColumnarAll = true })
+			if d := diffMultisets(scalar, forced); d != "" {
+				t.Fatalf("forced-columnar output differs from scalar: %s", d)
+			}
+		})
+	}
+}

@@ -159,21 +159,11 @@ func FraudDetection() *App {
 			"spout": func() engine.Spout { return newFDSpout(2000 + fdSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
-			"parser": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if t.Len() < 2 {
-						return nil // drop malformed records
-					}
-					forward(c, t, tuple.DefaultStreamID)
-					return nil
-				})
-			},
+			"parser": func() engine.Operator { return arityParser{min: 2} },
 			"predict": func() engine.Operator {
 				return &fdPredict{last: make(map[string]int64)}
 			},
-			"sink": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-			},
+			"sink": func() engine.Operator { return nopSink{} },
 		},
 		Schemas: map[string]map[string]*tuple.Schema{
 			"spout":   {"default": tuple.NewSchema(tuple.SymField("entity"), tuple.StrField("record"))},

@@ -12,6 +12,7 @@ import (
 	"briskstream/internal/profile"
 	"briskstream/internal/state"
 	"briskstream/internal/tuple"
+	"briskstream/internal/vec"
 	"briskstream/internal/window"
 )
 
@@ -343,32 +344,77 @@ type lrTollNotify struct {
 }
 
 func (o *lrTollNotify) Process(c engine.Collector, t *tuple.Tuple) error {
-	notify := func(id int64, toll float64) {
-		out := c.Borrow()
-		out.Stream = lrTollID
-		out.AppendInt(id)
-		out.AppendFloat(toll)
-		c.Send(out)
-	}
 	switch t.Stream {
 	case lrLasID:
 		o.lav[t.Int(0)] = t.Float(1)
-		notify(t.Int(0), 0.0) // statistics update notification
+		o.notify(c, t.Int(0), 0.0) // statistics update notification
 	case lrCountsID:
 		o.cnt[t.Int(0)] = t.Int(1)
-		notify(t.Int(0), 0.0)
+		o.notify(c, t.Int(0), 0.0)
 	case lrDetectID:
 		o.accident[t.Int(0)] = true
 		// No toll is charged in accident segments; no notification is
 		// emitted for the detect stream.
 	default: // position report
-		seg := t.Int(5)
-		toll := 0.0
-		if !o.accident[seg] && o.lav[seg] < 40 && o.cnt[seg] > 50 {
-			base := float64(o.cnt[seg] - 50)
-			toll = 2 * base * base / 100
+		o.notify(c, t.Int(1), o.toll(t.Int(5)))
+	}
+	return nil
+}
+
+func (o *lrTollNotify) notify(c engine.Collector, id int64, toll float64) {
+	out := c.Borrow()
+	out.Stream = lrTollID
+	out.AppendInt(id)
+	out.AppendFloat(toll)
+	c.Send(out)
+}
+
+// notifyRow is notify for a batch row: the row's own metadata is
+// stamped before the send (ownership passes to Send).
+func (o *lrTollNotify) notifyRow(c engine.Collector, b *tuple.Batch, r int, id int64, toll float64) {
+	out := c.Borrow()
+	out.Stream = lrTollID
+	out.AppendInt(id)
+	out.AppendFloat(toll)
+	b.StampMeta(r, out)
+	c.Send(out)
+}
+
+func (o *lrTollNotify) toll(seg int64) float64 {
+	if !o.accident[seg] && o.lav[seg] < 40 && o.cnt[seg] > 50 {
+		base := float64(o.cnt[seg] - 50)
+		return 2 * base * base / 100
+	}
+	return 0
+}
+
+// ProcessBatch is the columnar twin of Process: one stream check per
+// batch, then tight per-row loops over the integer columns. Output
+// notifications stamp each row's own metadata (the engine does not
+// stamp ambient context during a vectorized invocation).
+func (o *lrTollNotify) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	n := b.Len()
+	switch b.Stream {
+	case lrLasID:
+		for r := 0; r < n; r++ {
+			seg := b.Int(0, r)
+			o.lav[seg] = b.Float(1, r)
+			o.notifyRow(c, b, r, seg, 0.0)
 		}
-		notify(t.Int(1), toll)
+	case lrCountsID:
+		for r := 0; r < n; r++ {
+			seg := b.Int(0, r)
+			o.cnt[seg] = b.Int(1, r)
+			o.notifyRow(c, b, r, seg, 0.0)
+		}
+	case lrDetectID:
+		for r := 0; r < n; r++ {
+			o.accident[b.Int(0, r)] = true
+		}
+	default: // position reports
+		for r := 0; r < n; r++ {
+			o.notifyRow(c, b, r, b.Int(1, r), o.toll(b.Int(5, r)))
+		}
 	}
 	return nil
 }
@@ -422,6 +468,34 @@ func (o *lrAccidentNotify) Process(c engine.Collector, t *tuple.Tuple) error {
 	return nil
 }
 
+// ProcessBatch is the columnar twin of Process: the accident set is
+// usually empty and notifications are rare, so the common case is one
+// map-length check (detect batches) or a tight scan over the segment
+// column that emits nothing.
+func (o *lrAccidentNotify) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	n := b.Len()
+	if b.Stream == lrDetectID {
+		for r := 0; r < n; r++ {
+			o.accidents[b.Int(0, r)] = true
+		}
+		return nil
+	}
+	if len(o.accidents) == 0 {
+		return nil
+	}
+	for r := 0; r < n; r++ {
+		if seg := b.Int(5, r); o.accidents[seg] {
+			out := c.Borrow()
+			out.Stream = lrNotifyID
+			out.AppendInt(b.Int(1, r))
+			out.AppendInt(seg)
+			b.StampMeta(r, out)
+			c.Send(out)
+		}
+	}
+	return nil
+}
+
 func (o *lrAccidentNotify) Snapshot(enc *checkpoint.Encoder) error {
 	checkpoint.SaveMapOrdered(enc, o.accidents,
 		func(e *checkpoint.Encoder, k int64) { e.Int64(k) },
@@ -462,31 +536,52 @@ func (o *lrAccountBalance) Restore(dec *checkpoint.Decoder) error {
 		(*checkpoint.Decoder).Int64, (*checkpoint.Decoder).Float64)
 }
 
+// lrDispatch routes records by type: position reports (the bulk) on
+// lrPosition, the rare balance/daily queries on their own streams.
+type lrDispatch struct{}
+
+func (lrDispatch) Process(c engine.Collector, t *tuple.Tuple) error {
+	switch t.Int(0) {
+	case lrTypeBalance:
+		forward(c, t, lrBalanceID)
+	case lrTypeDaily:
+		forward(c, t, lrDailyID)
+	default:
+		forward(c, t, lrPositionID)
+	}
+	return nil
+}
+
+// ProcessBatch splits the batch into per-type selection vectors over
+// the record-type column and bulk-forwards each on its stream — the
+// dominant position selection covers (nearly) every row and rides the
+// collector's batch-to-batch fast path; the rare query selections are
+// only scanned for when the first pass saw a non-position row.
+func (lrDispatch) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	n := b.Len()
+	sel := vec.Select(b, b.SelScratch(), func(r int) bool {
+		ty := b.Int(0, r)
+		return ty != lrTypeBalance && ty != lrTypeDaily
+	})
+	vec.ForwardSel(c, b, sel, lrPositionID)
+	if len(sel) == n {
+		return nil
+	}
+	if sel = vec.Select(b, sel[:0], func(r int) bool { return b.Int(0, r) == lrTypeBalance }); len(sel) > 0 {
+		vec.ForwardSel(c, b, sel, lrBalanceID)
+	}
+	if sel = vec.Select(b, sel[:0], func(r int) bool { return b.Int(0, r) == lrTypeDaily }); len(sel) > 0 {
+		vec.ForwardSel(c, b, sel, lrDailyID)
+	}
+	return nil
+}
+
 func lrOperators() map[string]func() engine.Operator {
-	pass := func() engine.Operator {
-		return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-			forward(c, t, tuple.DefaultStreamID)
-			return nil
-		})
-	}
-	sink := func() engine.Operator {
-		return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-	}
+	pass := func() engine.Operator { return passOp{} }
+	sink := func() engine.Operator { return nopSink{} }
 	return map[string]func() engine.Operator{
-		"parser": pass,
-		"dispatcher": func() engine.Operator {
-			return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-				switch t.Int(0) {
-				case lrTypeBalance:
-					forward(c, t, lrBalanceID)
-				case lrTypeDaily:
-					forward(c, t, lrDailyID)
-				default:
-					forward(c, t, lrPositionID)
-				}
-				return nil
-			})
-		},
+		"parser":     pass,
+		"dispatcher": func() engine.Operator { return lrDispatch{} },
 		"avg_speed": func() engine.Operator {
 			// Per-segment average speed over the trailing lrStatSpan,
 			// refreshed every lrStatSlide — LR's five-minute speed
@@ -503,6 +598,16 @@ func lrOperators() map[string]func() engine.Operator {
 				Add: func(a *segStat, t *tuple.Tuple) {
 					a.sum += t.Int(2)
 					a.count++
+				},
+				// Vectorized pre-accumulation over the speed column;
+				// sum/count are order-insensitive.
+				AddRow: func(a *segStat, b *tuple.Batch, r int) {
+					a.sum += b.Int(2, r)
+					a.count++
+				},
+				Merge: func(a *segStat, p *segStat) {
+					a.sum += p.sum
+					a.count += p.count
 				},
 				Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *segStat) {
 					out := c.Borrow()
@@ -547,6 +652,15 @@ func lrOperators() map[string]func() engine.Operator {
 					}
 				},
 				Add: func(a *distinct, t *tuple.Tuple) { a.seen[t.Int(1)] = true },
+				// Vectorized distinct count: the per-batch partial set
+				// unions into the window's set, equivalent to per-row
+				// inserts.
+				AddRow: func(a *distinct, b *tuple.Batch, r int) { a.seen[b.Int(1, r)] = true },
+				Merge: func(a *distinct, p *distinct) {
+					for v := range p.seen {
+						a.seen[v] = true
+					}
+				},
 				Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *distinct) {
 					out := c.Borrow()
 					out.Stream = lrCountsID

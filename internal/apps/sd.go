@@ -94,6 +94,34 @@ func (s *sdSpout) SeekTo(offset int64) error {
 	return nil
 }
 
+// sdSpikeDetect emits a signal per closed window whether or not a spike
+// triggered; the batch path reads the peak/avg columns in place.
+type sdSpikeDetect struct{}
+
+func (sdSpikeDetect) Process(c engine.Collector, t *tuple.Tuple) error {
+	peak, avg := t.Float(1), t.Float(2)
+	out := c.Borrow()
+	out.AppendSym(t.Sym(0))
+	out.AppendFloat(peak)
+	out.AppendBool(peak > sdThreshold*avg)
+	c.Send(out)
+	return nil
+}
+
+func (sdSpikeDetect) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	n := b.Len()
+	for r := 0; r < n; r++ {
+		peak, avg := b.Float(1, r), b.Float(2, r)
+		out := c.Borrow()
+		out.AppendSym(b.Sym(0, r))
+		out.AppendFloat(peak)
+		out.AppendBool(peak > sdThreshold*avg)
+		b.StampMeta(r, out)
+		c.Send(out)
+	}
+	return nil
+}
+
 // SpikeDetection builds the SD application of Figure 18b: Spout emits
 // sensor readings (device id, value) with event timestamps; Parser
 // validates; MovingAverage aggregates per-device sliding event-time
@@ -122,15 +150,7 @@ func SpikeDetection() *App {
 			"spout": func() engine.Spout { return newSDSpout(3000 + sdSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
-			"parser": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if t.Len() < 2 {
-						return nil
-					}
-					forward(c, t, tuple.DefaultStreamID)
-					return nil
-				})
-			},
+			"parser": func() engine.Operator { return arityParser{min: 2} },
 			"moving_avg": func() engine.Operator {
 				type stats struct {
 					sum  float64
@@ -148,6 +168,26 @@ func SpikeDetection() *App {
 						a.n++
 						if v > a.peak {
 							a.peak = v
+						}
+					},
+					// Vectorized pre-accumulation: sum/count/peak fold per
+					// batch (reading the value column in place), one merge
+					// per touched window. All three are order-insensitive,
+					// so the partials are exactly equivalent to per-row
+					// Adds.
+					AddRow: func(a *stats, b *tuple.Batch, r int) {
+						v := b.Float(1, r)
+						a.sum += v
+						a.n++
+						if v > a.peak {
+							a.peak = v
+						}
+					},
+					Merge: func(a *stats, p *stats) {
+						a.sum += p.sum
+						a.n += p.n
+						if p.peak > a.peak {
+							a.peak = p.peak
 						}
 					},
 					Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *stats) {
@@ -171,22 +211,8 @@ func SpikeDetection() *App {
 					},
 				})
 			},
-			"spike_detect": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					peak, avg := t.Float(1), t.Float(2)
-					// Signal emitted per window whether or not a spike
-					// triggered.
-					out := c.Borrow()
-					out.AppendSym(t.Sym(0))
-					out.AppendFloat(peak)
-					out.AppendBool(peak > sdThreshold*avg)
-					c.Send(out)
-					return nil
-				})
-			},
-			"sink": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-			},
+			"spike_detect": func() engine.Operator { return sdSpikeDetect{} },
+			"sink":         func() engine.Operator { return nopSink{} },
 		},
 		Schemas: map[string]map[string]*tuple.Schema{
 			"spout":        {"default": tuple.NewSchema(tuple.SymField("device"), tuple.FloatField("value"))},

@@ -246,9 +246,7 @@ func TrendingWords() *App {
 					},
 				})
 			},
-			"sink": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-			},
+			"sink": func() engine.Operator { return nopSink{} },
 		},
 		Schemas: map[string]map[string]*tuple.Schema{
 			"spout": {"default": tuple.NewSchema(tuple.SymField("word"))},

@@ -10,6 +10,7 @@ import (
 	"briskstream/internal/graph"
 	"briskstream/internal/profile"
 	"briskstream/internal/tuple"
+	"briskstream/internal/vec"
 	"briskstream/internal/window"
 )
 
@@ -107,6 +108,78 @@ func (s *wcSpout) SeekTo(offset int64) error {
 	return nil
 }
 
+// wcParser drops invalid (empty) sentences, selectivity 1 on this
+// workload. The batch path runs a selection-vector filter: one pass
+// marks the surviving rows, one pass forwards them — dropped rows are
+// never materialized.
+type wcParser struct{}
+
+func (wcParser) Process(c engine.Collector, t *tuple.Tuple) error {
+	if len(t.Str(0)) == 0 {
+		return nil // drop invalid tuples
+	}
+	forward(c, t, tuple.DefaultStreamID)
+	return nil
+}
+
+func (wcParser) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	sel := vec.SelectStrNonEmpty(b, 0, b.SelScratch())
+	vec.ForwardSel(c, b, sel, tuple.DefaultStreamID)
+	return nil
+}
+
+// wcSplitter tokenizes each sentence in place and emits every word as
+// an interned symbol: no strings.Fields slice, no per-word boxing — the
+// whole split path is allocation-free. The batch path reads the
+// sentence column straight out of the shared arena (one contiguous
+// byte run per batch) and stamps each word with its source row's
+// metadata.
+type wcSplitter struct{}
+
+func (wcSplitter) Process(c engine.Collector, t *tuple.Tuple) error {
+	sentence := t.Str(0)
+	for i := 0; i < len(sentence); {
+		for i < len(sentence) && sentence[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(sentence) && sentence[i] != ' ' {
+			i++
+		}
+		if i == start {
+			continue
+		}
+		out := c.Borrow()
+		out.AppendSym(tuple.InternSym(sentence[start:i]))
+		c.Send(out)
+	}
+	return nil
+}
+
+func (wcSplitter) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	n := b.Len()
+	for r := 0; r < n; r++ {
+		sentence := b.Str(0, r)
+		for i := 0; i < len(sentence); {
+			for i < len(sentence) && sentence[i] == ' ' {
+				i++
+			}
+			start := i
+			for i < len(sentence) && sentence[i] != ' ' {
+				i++
+			}
+			if i == start {
+				continue
+			}
+			out := c.Borrow()
+			out.AppendSym(tuple.InternSym(sentence[start:i]))
+			b.StampMeta(r, out)
+			c.Send(out)
+		}
+	}
+	return nil
+}
+
 // WordCount builds the WC application of Figure 2: Spout emits sentences
 // of ten random words (stamped with a synthetic event time and
 // punctuated with watermarks); Parser drops invalid tuples (selectivity
@@ -139,40 +212,8 @@ func WordCount() *App {
 			"spout": func() engine.Spout { return newWCSpout(1000 + wcSpoutSeq.Add(1)) },
 		},
 		Operators: map[string]func() engine.Operator{
-			"parser": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					if len(t.Str(0)) == 0 {
-						return nil // drop invalid tuples
-					}
-					forward(c, t, tuple.DefaultStreamID)
-					return nil
-				})
-			},
-			"splitter": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error {
-					// Tokenize the sentence view in place and emit each word
-					// as an interned symbol: no strings.Fields slice, no
-					// per-word boxing — the whole split path is
-					// allocation-free.
-					sentence := t.Str(0)
-					for i := 0; i < len(sentence); {
-						for i < len(sentence) && sentence[i] == ' ' {
-							i++
-						}
-						start := i
-						for i < len(sentence) && sentence[i] != ' ' {
-							i++
-						}
-						if i == start {
-							continue
-						}
-						out := c.Borrow()
-						out.AppendSym(tuple.InternSym(sentence[start:i]))
-						c.Send(out)
-					}
-					return nil
-				})
-			},
+			"parser":   func() engine.Operator { return wcParser{} },
+			"splitter": func() engine.Operator { return wcSplitter{} },
 			"counter": func() engine.Operator {
 				type count struct{ n int64 }
 				return window.New(window.Op[count]{
@@ -180,6 +221,8 @@ func WordCount() *App {
 					Size:     wcWindow,
 					Init:     func(a *count) { a.n = 0 },
 					Add:      func(a *count, t *tuple.Tuple) { a.n++ },
+					AddRow:   func(a *count, b *tuple.Batch, r int) { a.n++ },
+					Merge:    func(a *count, p *count) { a.n += p.n },
 					Emit: func(c engine.Collector, key tuple.Key, w window.Span, a *count) {
 						out := c.Borrow()
 						out.AppendKey(key)
@@ -191,9 +234,7 @@ func WordCount() *App {
 					Load: func(dec *checkpoint.Decoder, a *count) error { a.n = dec.Int64(); return nil },
 				})
 			},
-			"sink": func() engine.Operator {
-				return engine.OperatorFunc(func(c engine.Collector, t *tuple.Tuple) error { return nil })
-			},
+			"sink": func() engine.Operator { return nopSink{} },
 		},
 		Schemas: map[string]map[string]*tuple.Schema{
 			"spout":    {"default": tuple.NewSchema(tuple.StrField("sentence"))},

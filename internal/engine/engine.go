@@ -104,6 +104,41 @@ type OperatorFunc func(c Collector, t *tuple.Tuple) error
 // Process implements Operator.
 func (f OperatorFunc) Process(c Collector, t *tuple.Tuple) error { return f(c, t) }
 
+// BatchOperator is the vectorized processing interface: an operator
+// that also implements ProcessBatch receives whole columnar batches
+// (see tuple.Batch) on edges the engine wires columnar, and iterates
+// the batch's column vectors in tight per-kind loops instead of being
+// invoked once per tuple. The contract mirrors Process:
+//
+//   - The batch is valid only during the call (it is recycled after);
+//     string views read from it die with it.
+//   - Outputs go through the collector as usual (Borrow/Send), but the
+//     engine does NOT stamp ambient per-invocation metadata during
+//     ProcessBatch — emit per-row context explicitly with
+//     Batch.StampMeta(row, out) before Send.
+//   - Watermarks, barriers and traces never appear inside a batch;
+//     punctuations ride between batches exactly as between scalar
+//     jumbos, so event-time and checkpoint semantics are unchanged.
+//
+// Process remains required: it serves the scalar configurations
+// (BRISK_BATCH=0, Storm-like modes) and rows the engine must deliver
+// individually (traced batches, replays through the row adapter).
+type BatchOperator interface {
+	Operator
+	ProcessBatch(c Collector, b *tuple.Batch) error
+}
+
+// BatchGater lets a BatchOperator opt out of columnar delivery at
+// wiring time: when WantsBatches reports false the engine keeps the
+// operator's input edges scalar (pointer-passing), which is the right
+// call when the operator would only run the copying row fallback —
+// e.g. a window without vectorized AddRow/Merge hooks. Operators
+// without this method get batches whenever they implement
+// BatchOperator.
+type BatchGater interface {
+	WantsBatches() bool
+}
+
 // Spout produces input tuples. Next is called in a loop; it emits zero or
 // more tuples per call and returns io.EOF when the stream is exhausted.
 type Spout interface {
@@ -141,6 +176,22 @@ type Config struct {
 	// JumboTuples enables batched single-insertion transfers (Section
 	// 5.2). Disabling it emulates per-tuple queue insertions.
 	JumboTuples bool
+	// Columnar carries jumbo batches as columnar tuple.Batch vectors on
+	// edges whose consumer implements BatchOperator (and wants them):
+	// the producer's dispatch appends emitted tuples into kind-tagged
+	// column lanes and the consumer processes the whole batch in one
+	// vectorized invocation. Edges with scalar consumers keep
+	// pointer-passing. Requires the BriskStream path (PassByReference
+	// without Serialize, JumboTuples on); silently inert otherwise.
+	// DefaultConfig turns it on unless the BRISK_BATCH environment
+	// variable is "0" (how `make race` covers both paths).
+	Columnar bool
+	// ColumnarAll forces every edge columnar, including edges whose
+	// consumer is scalar — those are fed through the engine's
+	// row-at-a-time adapter. A debug/test mode: it exercises the
+	// adapter and the columnar punctuation ordering on every topology,
+	// but pays a copy per row where pointer-passing would do.
+	ColumnarAll bool
 	// PassByReference passes tuple pointers between tasks. Disabling it
 	// clones every tuple at every hop, emulating the defensive copies
 	// and duplicate object creation of distributed DSPSs (Section 5.1).
@@ -238,6 +289,12 @@ var pinEnv = sync.OnceValue(func() bool {
 	return os.Getenv("BRISK_PIN") != ""
 })
 
+// batchEnv reads the suite-wide columnar-batch switch once: on by
+// default, BRISK_BATCH=0 falls back to scalar jumbos everywhere.
+var batchEnv = sync.OnceValue(func() bool {
+	return os.Getenv("BRISK_BATCH") != "0"
+})
+
 // DefaultConfig returns the BriskStream-mode configuration.
 func DefaultConfig() Config {
 	return Config{
@@ -247,6 +304,7 @@ func DefaultConfig() Config {
 		Linger:             5 * time.Millisecond,
 		JumboTuples:        true,
 		PassByReference:    true,
+		Columnar:           batchEnv(),
 		ValidateEvery:      validateEveryEnv(),
 		Pin:                pinEnv(),
 	}
@@ -432,6 +490,15 @@ type outEdge struct {
 	// full is recognized as stale and skipped.
 	idx int
 	seq uint32
+	// columnar marks an edge that carries tuple.Batch payloads: data
+	// tuples are appended into batch (the open columnar batch) instead
+	// of jumbo; punctuations flush it and ride a scalar jumbo behind
+	// it. colFree is the edge's reverse free ring — the consumer parks
+	// drained batches, the producer reuses them — so batch memory
+	// recycles producer-ward like tuples do.
+	columnar bool
+	batch    *tuple.Batch
+	colFree  *queue.FreeRing[*tuple.Batch]
 }
 
 type route struct {
@@ -499,8 +566,11 @@ type Engine struct {
 
 	// ptrSend is true when dispatch enqueues the emitted tuple pointer
 	// itself (the BriskStream path); cloning/serializing modes always
-	// hand consumers a separate object.
-	ptrSend bool
+	// hand consumers a separate object. columnar is the resolved
+	// Config.Columnar — true only on the pointer-passing jumbo path,
+	// where per-edge batches can be built without defensive copies.
+	ptrSend  bool
+	columnar bool
 
 	// jumboPools recycle jumbo tuples (header + batch slice with cap =
 	// BatchSize) between the producer that fills one and the consumer
@@ -559,6 +629,7 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, topo: topo, byOp: map[string][]*task{}, lat: metrics.NewHistogram(0)}
 	e.ptrSend = cfg.PassByReference && !cfg.Serialize
+	e.columnar = cfg.Columnar && e.ptrSend && cfg.JumboTuples
 	e.coord = cfg.Checkpoint
 	if e.coord != nil {
 		// Checkpoint ids must keep ascending across engine lifetimes: the
@@ -701,6 +772,24 @@ func New(topo Topology, cfg Config) (*Engine, error) {
 					}
 					if pt.out[ct.id] == nil {
 						oe := &outEdge{consumer: ct, ring: ct.in.Bind(), idx: len(pt.outList)}
+						if e.columnar {
+							// An edge goes columnar when its consumer
+							// processes batches vectorized (and has not
+							// opted out via BatchGater); ColumnarAll
+							// forces it, feeding scalar consumers through
+							// the row adapter.
+							want := false
+							if bop, ok := ct.operator.(BatchOperator); ok {
+								want = true
+								if g, ok := bop.(BatchGater); ok {
+									want = g.WantsBatches()
+								}
+							}
+							if want || cfg.ColumnarAll {
+								oe.columnar = true
+								oe.colFree = queue.NewFreeRing[*tuple.Batch](max(8, cfg.QueueCapacity))
+							}
+						}
 						pt.out[ct.id] = oe
 						pt.outList = append(pt.outList, oe)
 						if revCap > 0 {
@@ -771,7 +860,12 @@ type collector struct {
 	// being processed, so derived output tuples stay on the trace.
 	curTrace  uint64
 	curOrigin int64
-	fail      error
+	// inBatch is true while the task is inside a vectorized
+	// ProcessBatch invocation: ambient per-invocation stamping is
+	// suspended (there is no single "current input"), and the operator
+	// stamps per-row context itself via Batch.StampMeta.
+	inBatch bool
+	fail    error
 
 	// lastName/lastID memoize the EmitTo compat path's stream-name
 	// resolution: operators overwhelmingly emit on one stream, so the
@@ -852,16 +946,127 @@ func (c *collector) Send(out *tuple.Tuple) {
 		// input→output unless the operator assigned its own (windows
 		// stamp aggregates with the window end, for example); the trace
 		// context always propagates (operators never stamp their own).
-		out.Ts = c.curTs
-		if out.Event == 0 {
-			out.Event = c.curEvent
+		// During a vectorized ProcessBatch there is no single current
+		// input — batch operators stamp per-row context themselves via
+		// Batch.StampMeta, and the ambient stamp would smear one row's
+		// context over the whole batch's outputs.
+		if !c.inBatch {
+			out.Ts = c.curTs
+			if out.Event == 0 {
+				out.Event = c.curEvent
+			}
+			out.TraceID = c.curTrace
+			out.TraceOrigin = c.curOrigin
 		}
-		out.TraceID = c.curTrace
-		out.TraceOrigin = c.curOrigin
 	}
 	if err := c.e.dispatch(c.t, out); err != nil {
 		c.fail = err
 	}
+}
+
+// ForwardRows re-emits rows of an input batch on the given stream: a
+// nil sel forwards every row, otherwise the selected rows in selection
+// order. Each row routes exactly as if its materialized tuple had been
+// Sent — same partitioning (hashes read straight from the batch
+// column), same per-row metadata — but when every route on the stream
+// has settled schema validation and feeds only columnar edges, rows
+// land via a direct column-to-column copy into the open downstream
+// batches, skipping the Borrow/CopyRowTo/Send/Append round trip that
+// would otherwise rebuild each pass-through row from lanes into a
+// pooled tuple and straight back into lanes. Anything that needs a
+// real tuple (scalar or still-validating routes, serialize mode, spout
+// tasks) falls back to per-row materialization with identical
+// semantics.
+func (c *collector) ForwardRows(b *tuple.Batch, sel []int32, stream tuple.StreamID) {
+	if c.fail != nil || b == nil {
+		return
+	}
+	n := b.Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	if n == 0 {
+		return
+	}
+	t, e := c.t, c.e
+	fast := t.spout == nil && !e.cfg.Serialize
+	if fast {
+	scan:
+		for ri := range t.routes {
+			r := &t.routes[ri]
+			if r.stream != stream {
+				continue
+			}
+			if r.schema != nil && (!r.checked || e.cfg.ValidateEvery) {
+				fast = false
+				break
+			}
+			for _, cons := range r.consumers {
+				if !t.out[cons.id].columnar {
+					fast = false
+					break scan
+				}
+			}
+		}
+	}
+	if !fast {
+		// Materialize per row; Send handles routing, counters, and (on
+		// the first tuples of a declared route) schema validation —
+		// which flips the route to checked, re-opening the fast path.
+		for i := 0; i < n; i++ {
+			r := i
+			if sel != nil {
+				r = int(sel[i])
+			}
+			out := c.Borrow()
+			b.CopyRowTo(r, out)
+			out.Stream = stream
+			c.Send(out)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		row := i
+		if sel != nil {
+			row = int(sel[i])
+		}
+		for ri := range t.routes {
+			rt := &t.routes[ri]
+			if rt.stream != stream {
+				continue
+			}
+			var dst *task
+			switch rt.part {
+			case graph.Broadcast:
+				for _, cons := range rt.consumers {
+					if err := e.forwardRowColumnar(t, t.out[cons.id], b, row, stream); err != nil {
+						c.fail = err
+						return
+					}
+				}
+				continue
+			case graph.Global:
+				dst = rt.consumers[0]
+			case graph.Fields:
+				if rt.keyField < 0 || rt.keyField >= b.Cols() {
+					c.fail = &RouteError{Task: t.label, Stream: rt.stream.String(), KeyField: rt.keyField, Width: b.Cols()}
+					return
+				}
+				dst = rt.consumers[int(b.Hash(rt.keyField, row)%uint64(len(rt.consumers)))]
+			default: // Shuffle
+				idx := rt.rr
+				if rt.rr++; rt.rr == len(rt.consumers) {
+					rt.rr = 0
+				}
+				dst = rt.consumers[idx]
+			}
+			if err := e.forwardRowColumnar(t, t.out[dst.id], b, row, stream); err != nil {
+				c.fail = err
+				return
+			}
+		}
+	}
+	atomic.AddUint64(&t.emitted, uint64(n))
 }
 
 // EmitWatermark implements Collector: it broadcasts a punctuation to
@@ -1043,6 +1248,21 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 		msg = decoded
 	}
 	oe := t.out[consumer.id]
+	if oe.columnar {
+		if msg.Stream != punctStreamID && msg.Stream != barrierStreamID {
+			return e.bufferColumnar(t, oe, msg)
+		}
+		// Punctuation on a columnar edge: it must stay ordered behind
+		// the data it follows, so flush the open batch first; the
+		// punctuation itself rides a scalar jumbo (batches never carry
+		// watermarks or barriers).
+		if oe.batch != nil && oe.batch.Len() > 0 {
+			if err := e.flushBatch(t, oe); err != nil {
+				msg.Release()
+				return err
+			}
+		}
+	}
 	if oe.jumbo == nil {
 		oe.jumbo = e.getJumbo(t)
 		oe.seq++
@@ -1062,6 +1282,77 @@ func (e *Engine) buffer(t *task, consumer *task, out *tuple.Tuple, copyForFanout
 	return nil
 }
 
+// bufferColumnar appends one data tuple into the edge's open columnar
+// batch, starting (and linger-arming) a fresh batch as needed and
+// flushing at BatchSize or on a layout change. The payload is copied
+// into the batch's column lanes and the tuple's reference ends here —
+// on the producer's own goroutine, so the release hits the same-core
+// pool fast path instead of crossing sockets.
+func (e *Engine) bufferColumnar(t *task, oe *outEdge, msg *tuple.Tuple) error {
+	if oe.batch != nil && !oe.batch.Fits(msg) {
+		if err := e.flushBatch(t, oe); err != nil {
+			msg.ReleaseLocal()
+			return err
+		}
+	}
+	if oe.batch == nil {
+		oe.batch = e.getBatch(oe)
+		oe.seq++
+		if e.cfg.Linger > 0 {
+			t.tm.registerLinger(oe.idx, oe.seq, time.Now().Add(e.cfg.Linger))
+		}
+	}
+	oe.batch.Append(msg)
+	msg.ReleaseLocal()
+	if oe.batch.Len() >= e.cfg.BatchSize {
+		return e.flushBatch(t, oe)
+	}
+	return nil
+}
+
+// forwardRowColumnar lands one forwarded batch row on a columnar edge
+// — the column-to-column twin of bufferColumnar: flush on a layout
+// change, open (and linger-arm) a fresh batch as needed, copy the
+// row's lanes across, flush at BatchSize.
+func (e *Engine) forwardRowColumnar(t *task, oe *outEdge, src *tuple.Batch, r int, stream tuple.StreamID) error {
+	if oe.batch != nil && !oe.batch.FitsRowFrom(src, stream) {
+		if err := e.flushBatch(t, oe); err != nil {
+			return err
+		}
+	}
+	if oe.batch == nil {
+		oe.batch = e.getBatch(oe)
+		oe.seq++
+		if e.cfg.Linger > 0 {
+			t.tm.registerLinger(oe.idx, oe.seq, time.Now().Add(e.cfg.Linger))
+		}
+	}
+	oe.batch.AppendRowFrom(src, r, stream)
+	if oe.batch.Len() >= e.cfg.BatchSize {
+		return e.flushBatch(t, oe)
+	}
+	return nil
+}
+
+// getBatch takes a recycled batch from the edge's reverse free ring,
+// allocating a fresh one only while the ring warms up.
+func (e *Engine) getBatch(oe *outEdge) *tuple.Batch {
+	if b, ok := oe.colFree.TryGet(); ok {
+		return b
+	}
+	return tuple.NewBatch(e.cfg.BatchSize)
+}
+
+// flushBatch wraps the edge's open columnar batch in a jumbo header
+// and enqueues it.
+func (e *Engine) flushBatch(t *task, oe *outEdge) error {
+	b := oe.batch
+	oe.batch = nil
+	j := e.getJumbo(t)
+	j.Batch = b
+	return e.send(t, oe, j)
+}
+
 func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 	j.Producer, j.Consumer = t.id, oe.consumer.id
 	// Queue-wait attribution: stamp the batch once at enqueue; the
@@ -1073,6 +1364,8 @@ func (e *Engine) send(t *task, oe *outEdge, j *tuple.Jumbo) error {
 		// nobody downstream will ever see these tuples, so their
 		// references end here — a killed run must not strand pooled
 		// tuples (the leak-accounting property tests balance on this).
+		// A columnar payload carries copies, not references; dropping
+		// it to the GC strands nothing.
 		for _, in := range j.Tuples {
 			in.Release()
 		}
@@ -1210,6 +1503,9 @@ func (e *Engine) fireProcTimers(t *task, c *collector) error {
 				oe.jumbo = nil
 				return e.send(t, oe, j)
 			}
+			if oe.seq == en.seq && oe.batch != nil && oe.batch.Len() > 0 {
+				return e.flushBatch(t, oe)
+			}
 			return nil
 		}
 		if en.edge == alignTimeoutEdge {
@@ -1236,6 +1532,7 @@ func (e *Engine) getJumbo(t *task) *tuple.Jumbo {
 // pool. Slots are cleared first so the pool does not pin consumed
 // tuples.
 func (e *Engine) recycleJumbo(t *task, j *tuple.Jumbo) {
+	j.Batch = nil // a columnar payload is recycled separately (or GC'd)
 	if cap(j.Tuples) != e.cfg.BatchSize {
 		return // foreign or resized batch; let the GC take it
 	}
@@ -1247,6 +1544,9 @@ func (e *Engine) recycleJumbo(t *task, j *tuple.Jumbo) {
 // flushAll flushes all pending buffers of a task.
 func (e *Engine) flushAll(t *task) {
 	for _, oe := range t.outList {
+		if oe.batch != nil && oe.batch.Len() > 0 {
+			_ = e.flushBatch(t, oe)
+		}
 		if oe.jumbo == nil || len(oe.jumbo.Tuples) == 0 {
 			continue
 		}
@@ -1573,20 +1873,30 @@ func (e *Engine) runTask(t *task) {
 func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 	e.chargeRMA(t, j)
 	// Queue-wait attribution: diff the producer's enqueue stamp once per
-	// batch. Every tuple's queueing is covered (not just traced ones) at
-	// zero per-tuple cost; a batch replayed after barrier parking counts
-	// its park time too — it really did wait that long.
+	// batch, then charge it once per carried tuple — a 64-tuple jumbo
+	// that waited 1ms represents 64 tuples that each waited 1ms, so the
+	// cumulative counters weight by batch length (keeping the
+	// ns-per-tuple ratio comparable across batch sizes and between the
+	// scalar and columnar paths). Every tuple's queueing is covered (not
+	// just traced ones) at zero per-tuple cost; a batch replayed after
+	// barrier parking counts its park time too — it really did wait that
+	// long. The rolling window still observes the raw per-batch wait.
 	var qwait int64
 	if j.EnqNs != 0 {
 		qwait = time.Now().UnixNano() - j.EnqNs
 		if qwait < 0 {
 			qwait = 0
 		}
-		atomic.AddUint64(&t.qwaitNs, uint64(qwait))
-		atomic.AddUint64(&t.qwaitBatches, 1)
+		if n := uint64(j.Len()); n > 0 {
+			atomic.AddUint64(&t.qwaitNs, uint64(qwait)*n)
+			atomic.AddUint64(&t.qwaitBatches, n)
+		}
 		if t.qwaitWin != nil {
 			t.qwaitWin.Observe(float64(qwait))
 		}
+	}
+	if j.Batch != nil {
+		return e.consumeBatch(t, c, j, qwait)
 	}
 	// rev is this edge's reverse recycling ring: releases on this (the
 	// consuming) goroutine flow back to the producer's pool through it,
@@ -1652,56 +1962,8 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 			}
 		}
 		if t.operator != nil {
-			// Profile sampling: time every k-th invocation and record the
-			// input tuple's size, so a running engine yields the Te/N the
-			// performance model consumes without instrumenting every tuple.
-			var started time.Time
-			sampled := false
-			if e.cfg.ProfileSampleEvery > 0 {
-				if c.pseq++; c.pseq%uint64(e.cfg.ProfileSampleEvery) == 0 {
-					sampled = true
-					atomic.AddUint64(&t.inBytes, uint64(in.Size()))
-					started = time.Now()
-				}
-			}
-			// A traced input tuple gets its invocation timed too, and a
-			// span recorded after Process: this hop's queue wait, service
-			// time and output fan-out. Untraced tuples pay exactly one
-			// predictable branch here.
-			traced := in.TraceID != 0 && t.spans != nil
-			var emit0 uint64
-			if traced {
-				emit0 = atomic.LoadUint64(&t.emitted)
-				if started.IsZero() {
-					started = time.Now()
-				}
-			}
-			if err := t.operator.Process(c, in); err != nil {
-				return fmt.Errorf("engine: operator %s: %w", t.label, err)
-			}
-			if sampled || traced {
-				dur := time.Since(started)
-				if sampled {
-					atomic.AddUint64(&t.serviceNs, uint64(dur))
-					atomic.AddUint64(&t.serviceSamples, 1)
-				}
-				if t.svcWin != nil {
-					t.svcWin.Observe(float64(dur))
-				}
-				if traced {
-					t.spans.Append(obs.Span{
-						TraceID:     in.TraceID,
-						OriginNs:    in.TraceOrigin,
-						AtNs:        started.UnixNano() + int64(dur),
-						QueueWaitNs: qwait,
-						ServiceNs:   int64(dur),
-						Emitted:     atomic.LoadUint64(&t.emitted) - emit0,
-						Kind:        obs.SpanHop,
-					})
-				}
-			}
-			if c.fail != nil {
-				return c.fail
+			if err := e.invokeOperator(t, c, in, qwait); err != nil {
+				return err
 			}
 		}
 		atomic.AddUint64(&t.processed, 1)
@@ -1709,6 +1971,164 @@ func (e *Engine) consumeJumbo(t *task, c *collector, j *tuple.Jumbo) error {
 		// retained it, the tuple returns to its producer's pool —
 		// through the edge's reverse ring when one is wired.
 		in.ReleaseTo(rev)
+	}
+	e.recycleJumbo(t, j)
+	return nil
+}
+
+// invokeOperator runs the operator on one materialized input tuple —
+// shared by the scalar consume loop and the columnar row adapter.
+//
+// Profile sampling: time every k-th invocation and record the input
+// tuple's size, so a running engine yields the Te/N the performance
+// model consumes without instrumenting every tuple. A traced input
+// tuple gets its invocation timed too, and a span recorded after
+// Process: this hop's queue wait, service time and output fan-out.
+// Untraced tuples pay exactly one predictable branch here.
+func (e *Engine) invokeOperator(t *task, c *collector, in *tuple.Tuple, qwait int64) error {
+	var started time.Time
+	sampled := false
+	if e.cfg.ProfileSampleEvery > 0 {
+		if c.pseq++; c.pseq%uint64(e.cfg.ProfileSampleEvery) == 0 {
+			sampled = true
+			atomic.AddUint64(&t.inBytes, uint64(in.Size()))
+			started = time.Now()
+		}
+	}
+	traced := in.TraceID != 0 && t.spans != nil
+	var emit0 uint64
+	if traced {
+		emit0 = atomic.LoadUint64(&t.emitted)
+		if started.IsZero() {
+			started = time.Now()
+		}
+	}
+	if err := t.operator.Process(c, in); err != nil {
+		return fmt.Errorf("engine: operator %s: %w", t.label, err)
+	}
+	if sampled || traced {
+		dur := time.Since(started)
+		if sampled {
+			atomic.AddUint64(&t.serviceNs, uint64(dur))
+			atomic.AddUint64(&t.serviceSamples, 1)
+		}
+		if t.svcWin != nil {
+			t.svcWin.Observe(float64(dur))
+		}
+		if traced {
+			t.spans.Append(obs.Span{
+				TraceID:     in.TraceID,
+				OriginNs:    in.TraceOrigin,
+				AtNs:        started.UnixNano() + int64(dur),
+				QueueWaitNs: qwait,
+				ServiceNs:   int64(dur),
+				Emitted:     atomic.LoadUint64(&t.emitted) - emit0,
+				Kind:        obs.SpanHop,
+			})
+		}
+	}
+	return c.fail
+}
+
+// consumeBatch processes one received columnar batch. Batches carry
+// only data (punctuations ride scalar jumbos), so there is no per-row
+// stream check. A BatchOperator gets the whole batch in one
+// ProcessBatch call — the vectorized path — unless the batch carries
+// traced rows and tracing is armed, in which case the row adapter runs
+// so per-tuple span semantics stay exact. Scalar operators get each row
+// materialized into a pooled scratch tuple (the adapter), preserving
+// Process semantics bit-for-bit. The drained batch is parked on the
+// producer edge's reverse free ring for reuse.
+func (e *Engine) consumeBatch(t *task, c *collector, j *tuple.Jumbo, qwait int64) error {
+	b := j.Batch
+	n := b.Len()
+	if e.cfg.ExtraWorkNs > 0 {
+		for r := 0; r < n; r++ {
+			spin(e.cfg.ExtraWorkNs)
+		}
+	}
+	if t.isSink {
+		for r := 0; r < n; r++ {
+			e.sink.Inc()
+			if ts := b.Ts(r); !ts.IsZero() {
+				ns := float64(time.Since(ts).Nanoseconds())
+				e.lat.Observe(ns)
+				if e.obsLat != nil {
+					e.obsLat.Observe(ns)
+					e.obsLatHist.Observe(ns)
+				}
+			}
+		}
+	}
+	if t.operator == nil {
+		atomic.AddUint64(&t.processed, uint64(n))
+	} else if bop, ok := t.operator.(BatchOperator); ok && !(b.HasTrace() && t.spans != nil) {
+		// Vectorized path. Profile sampling covers the whole batch when
+		// the k-th-invocation counter crosses a period boundary inside
+		// it; serviceSamples advances by the row count so the
+		// ns-per-tuple averages stay comparable with the scalar path.
+		var started time.Time
+		sampled := false
+		if e.cfg.ProfileSampleEvery > 0 {
+			k := uint64(e.cfg.ProfileSampleEvery)
+			if (c.pseq+uint64(n))/k != c.pseq/k {
+				sampled = true
+				atomic.AddUint64(&t.inBytes, uint64(b.Size()))
+				started = time.Now()
+			}
+			c.pseq += uint64(n)
+		}
+		// inBatch suspends the collector's ambient meta stamping: one
+		// batch spans many source rows, so a single curTs/curEvent would
+		// smear the first row's context over every output. Batch
+		// operators stamp per row via Batch.StampMeta.
+		c.inBatch = true
+		err := bop.ProcessBatch(c, b)
+		c.inBatch = false
+		if err != nil {
+			return fmt.Errorf("engine: operator %s: %w", t.label, err)
+		}
+		if sampled {
+			dur := time.Since(started)
+			atomic.AddUint64(&t.serviceNs, uint64(dur))
+			atomic.AddUint64(&t.serviceSamples, uint64(n))
+			if t.svcWin != nil {
+				t.svcWin.Observe(float64(dur) / float64(max(n, 1)))
+			}
+		}
+		if c.fail != nil {
+			return c.fail
+		}
+		atomic.AddUint64(&t.processed, uint64(n))
+	} else {
+		// Row adapter: materialize into a pooled scratch tuple. The
+		// scratch comes from (and returns to) this task's own pool, so
+		// the copy stays socket-local.
+		for r := 0; r < n; r++ {
+			in := t.pool.Get()
+			b.CopyRowTo(r, in)
+			c.curTs, c.curEvent = in.Ts, in.Event
+			c.curTrace, c.curOrigin = in.TraceID, in.TraceOrigin
+			err := e.invokeOperator(t, c, in, qwait)
+			in.Release()
+			if err != nil {
+				return err
+			}
+			atomic.AddUint64(&t.processed, 1)
+		}
+	}
+	// Recycle: park the drained batch on the producer edge's reverse
+	// free ring (consumer puts, producer gets — the FreeRing's SPSC
+	// discipline). A full or missing ring drops the batch to the GC.
+	j.Batch = nil
+	b.Reset()
+	if j.Producer >= 0 && j.Producer < len(e.tasks) {
+		pt := e.tasks[j.Producer]
+		if t.id < len(pt.out) {
+			if pe := pt.out[t.id]; pe != nil && pe.colFree != nil {
+				pe.colFree.TryPut(b)
+			}
+		}
 	}
 	e.recycleJumbo(t, j)
 	return nil
@@ -1737,8 +2157,17 @@ func (e *Engine) chargeRMA(t *task, j *tuple.Jumbo) {
 		return
 	}
 	var total float64
-	for _, in := range j.Tuples {
-		total += e.cfg.Machine.FetchCost(in.Size(), prod.socket, t.socket)
+	if b := j.Batch; b != nil {
+		// Columnar payload: charge the mean per-row footprint once per
+		// row, matching what the scalar loop would charge for the same
+		// tuples within rounding.
+		if n := b.Len(); n > 0 {
+			total = e.cfg.Machine.FetchCost(b.Size()/n, prod.socket, t.socket) * float64(n)
+		}
+	} else {
+		for _, in := range j.Tuples {
+			total += e.cfg.Machine.FetchCost(in.Size(), prod.socket, t.socket)
+		}
 	}
 	spin(int(total * e.cfg.RMAScale))
 }

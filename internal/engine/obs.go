@@ -81,10 +81,10 @@ func (e *Engine) RegisterObs(g *obs.Group, jr *obs.Journal) {
 		g.Counter("brisk_task_service_samples_total", "Sampled operator invocations per task (profiling).", tl, func() uint64 {
 			return atomic.LoadUint64(&t.serviceSamples)
 		})
-		g.Counter("brisk_task_queue_wait_ns_total", "Cumulative queue wait of the task's input batches this run (ns).", tl, func() uint64 {
+		g.Counter("brisk_task_queue_wait_ns_total", "Cumulative queue wait of the task's input, weighted per tuple (each input batch's wait counted once per tuple it carries, ns), so the ratio to the batches counter is a per-tuple mean comparable across batch sizes.", tl, func() uint64 {
 			return atomic.LoadUint64(&t.qwaitNs)
 		})
-		g.Counter("brisk_task_queue_wait_batches_total", "Input batches covered by the queue-wait accounting this run.", tl, func() uint64 {
+		g.Counter("brisk_task_queue_wait_batches_total", "Tuples covered by the queue-wait accounting this run (per-tuple weighted, matching the ns counter).", tl, func() uint64 {
 			return atomic.LoadUint64(&t.qwaitBatches)
 		})
 		if t.in != nil {

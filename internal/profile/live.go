@@ -36,10 +36,12 @@ type TaskSnapshot struct {
 	InBytes uint64
 	// QueueDepth is the task inbox's live depth (0 for spouts).
 	QueueDepth int
-	// QueueWaitNs is the cumulative time (ns) the task's input batches
-	// spent waiting in its communication queue, across QueueWaitBatch
-	// dequeued batches — the queueing half of the latency decomposition,
-	// measured per jumbo rather than per tuple.
+	// QueueWaitNs is the cumulative time (ns) the task's input spent
+	// waiting in its communication queue, weighted per tuple (each
+	// dequeued jumbo's wait counted once per tuple it carries) across
+	// QueueWaitBatch covered tuples — the queueing half of the latency
+	// decomposition, comparable across batch sizes and between the
+	// row-wise and columnar paths.
 	QueueWaitNs    uint64
 	QueueWaitBatch uint64
 }

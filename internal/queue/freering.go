@@ -78,6 +78,40 @@ func (q *FreeRing[T]) TryGet() (T, bool) {
 	return v, true
 }
 
+// DrainInto removes up to max elements (bounded also by len(dst)) into
+// dst from the getter side and returns how many were moved. Unlike a
+// TryGet loop it publishes one head advance for the whole chunk — one
+// atomic store and one cache-line handoff per refill instead of one
+// per element — which is what makes bulk pool refills from reverse
+// rings cheap. Same single-getter discipline as TryGet.
+func (q *FreeRing[T]) DrainInto(dst []T, max int) int {
+	if max > len(dst) {
+		max = len(dst)
+	}
+	if max <= 0 {
+		return 0
+	}
+	var zero T
+	head := q.head.Load()
+	if q.cachedTail == head {
+		q.cachedTail = q.tail.Load()
+		if q.cachedTail == head {
+			return 0
+		}
+	}
+	n := int(q.cachedTail - head)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		idx := (head + uint64(i)) & q.mask
+		dst[i] = q.buf[idx]
+		q.buf[idx] = zero
+	}
+	q.head.Store(head + uint64(n))
+	return n
+}
+
 // Drain empties the ring from the getter side, calling fn per element.
 // It must only be called while no putter is active (the engine drains
 // between runs, before any task starts).

@@ -1,0 +1,577 @@
+// Columnar jumbo batches. A Batch is the column-oriented counterpart
+// of Jumbo.Tuples: instead of a slice of per-tuple pointers it stores
+// the batch's payload as kind-tagged column vectors — one uint64 slot
+// lane per field with a fixed stride, a shared byte arena holding every
+// string field's bytes as (offset<<32 | length) ranges, and per-row
+// metadata lanes (latency timestamp, event time, trace context) that
+// replace the per-tuple header fields. Operators that implement the
+// engine's BatchOperator interface receive whole batches and iterate
+// columns in tight per-kind loops; everything else still sees tuples,
+// materialized one row at a time.
+//
+// A batch's layout (stream, arity, field kinds) is adopted from the
+// first tuple appended and stays fixed until Reset; Fits reports
+// whether another tuple shares it. Batches are pooled and recycled
+// through per-edge free rings exactly like tuples, so the steady-state
+// columnar path allocates nothing: Append is a slot store per numeric
+// field plus a byte copy per string field into the recycled arena.
+//
+// Ownership is simpler than for tuples: a batch carries copies, not
+// references, so recycling needs no refcount — the consumer resets and
+// returns it when done. String values read from a batch (Str, Key with
+// a string key) are views into the batch arena, valid only while the
+// consumer holds the batch; symbol fields are exempt as always.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+	"unsafe"
+)
+
+// Batch is one columnar jumbo batch flowing along a (producer,
+// consumer) edge.
+type Batch struct {
+	// Stream is the interned stream id shared by every row (a batch
+	// never mixes streams — the engine flushes on a stream change).
+	Stream StreamID
+
+	cols  int
+	kinds [MaxFields]Kind
+	n     int // filled rows
+	rows  int // row capacity; also the column stride in slots
+
+	// slots holds MaxFields column lanes of rows entries each; column c
+	// row r lives at slots[c*rows+r]. Allocating all MaxFields lanes up
+	// front lets one pooled batch be reused across layouts of any
+	// arity without reallocation.
+	slots []uint64
+	// arena backs every string field of every row, recycled with the
+	// batch (capacity kept across Reset).
+	arena []byte
+
+	// Per-row metadata lanes, replacing the Tuple header fields.
+	ts          []time.Time
+	event       []int64
+	traceID     []uint64
+	traceOrigin []int64
+	// hasTrace is set when any appended row carries a trace id, so the
+	// engine's per-batch trace check is one boolean load.
+	hasTrace bool
+
+	// sel is the reusable selection-vector scratch handed out by
+	// SelScratch (owned by whoever holds the batch; kernels fill it
+	// with the row indices that survive a filter).
+	sel []int32
+}
+
+// NewBatch creates an empty batch with capacity for rows rows.
+func NewBatch(rows int) *Batch {
+	if rows <= 0 {
+		rows = 1
+	}
+	return &Batch{
+		rows:        rows,
+		slots:       make([]uint64, MaxFields*rows),
+		ts:          make([]time.Time, rows),
+		event:       make([]int64, rows),
+		traceID:     make([]uint64, rows),
+		traceOrigin: make([]int64, rows),
+	}
+}
+
+// Len returns the number of filled rows.
+func (b *Batch) Len() int { return b.n }
+
+// Cap returns the row capacity.
+func (b *Batch) Cap() int { return b.rows }
+
+// Cols returns the number of columns (0 until the first Append).
+func (b *Batch) Cols() int { return b.cols }
+
+// Kind returns the kind of column c.
+func (b *Batch) Kind(c int) Kind { return b.kinds[c] }
+
+// Full reports whether the batch is at row capacity.
+func (b *Batch) Full() bool { return b.n >= b.rows }
+
+// HasTrace reports whether any row carries a trace id.
+func (b *Batch) HasTrace() bool { return b.hasTrace }
+
+// Reset clears the batch for reuse, keeping slot, arena and metadata
+// capacity. The next Append adopts a fresh layout.
+func (b *Batch) Reset() {
+	b.n = 0
+	b.cols = 0
+	b.Stream = DefaultStreamID
+	b.arena = b.arena[:0]
+	b.hasTrace = false
+}
+
+// Fits reports whether t shares the batch's layout (stream, arity and
+// field kinds). An empty batch fits anything — Append adopts.
+func (b *Batch) Fits(t *Tuple) bool {
+	if b.n == 0 {
+		return true
+	}
+	if t.Stream != b.Stream || int(t.n) != b.cols {
+		return false
+	}
+	for c := 0; c < b.cols; c++ {
+		if t.kinds[c] != b.kinds[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Append copies one tuple's payload and header metadata into the next
+// row. The first append adopts the tuple's layout; callers check Fits
+// (and flush on mismatch) before appending to a non-empty batch. The
+// batch must not be full.
+func (b *Batch) Append(t *Tuple) {
+	if b.n == 0 {
+		b.Stream = t.Stream
+		b.cols = int(t.n)
+		b.kinds = t.kinds
+	}
+	r := b.n
+	idx := r
+	for c := 0; c < b.cols; c++ {
+		if b.kinds[c] == KindStr {
+			s := t.strAt(c)
+			off := len(b.arena)
+			b.arena = append(b.arena, s...)
+			b.slots[idx] = uint64(off)<<32 | uint64(len(s))
+		} else {
+			b.slots[idx] = t.slots[c]
+		}
+		idx += b.rows
+	}
+	b.ts[r] = t.Ts
+	b.event[r] = t.Event
+	b.traceID[r] = t.TraceID
+	b.traceOrigin[r] = t.TraceOrigin
+	if t.TraceID != 0 {
+		b.hasTrace = true
+	}
+	b.n = r + 1
+}
+
+// FitsRowFrom reports whether rows of src, re-stamped onto the given
+// stream, share the batch's layout — the batch-to-batch analogue of
+// Fits. An empty batch fits anything — AppendRowFrom adopts.
+func (b *Batch) FitsRowFrom(src *Batch, stream StreamID) bool {
+	if b.n == 0 {
+		return true
+	}
+	if stream != b.Stream || src.cols != b.cols {
+		return false
+	}
+	for c := 0; c < b.cols; c++ {
+		if src.kinds[c] != b.kinds[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendRowFrom copies row r of src (payload and per-row metadata)
+// into the next row, re-stamped onto the given stream — a forwarded
+// row lands column-to-column without ever materializing a tuple. The
+// first append adopts src's layout; callers check FitsRowFrom (and
+// flush on mismatch) before appending to a non-empty batch. The batch
+// must not be full, and src must not alias b.
+func (b *Batch) AppendRowFrom(src *Batch, r int, stream StreamID) {
+	if b.n == 0 {
+		b.Stream = stream
+		b.cols = src.cols
+		b.kinds = src.kinds
+	}
+	row := b.n
+	dst, from := row, r
+	for c := 0; c < b.cols; c++ {
+		if b.kinds[c] == KindStr {
+			s := src.strAt(c, r)
+			off := len(b.arena)
+			b.arena = append(b.arena, s...)
+			b.slots[dst] = uint64(off)<<32 | uint64(len(s))
+		} else {
+			b.slots[dst] = src.slots[from]
+		}
+		dst += b.rows
+		from += src.rows
+	}
+	b.ts[row] = src.ts[r]
+	b.event[row] = src.event[r]
+	b.traceID[row] = src.traceID[r]
+	b.traceOrigin[row] = src.traceOrigin[r]
+	if src.traceID[r] != 0 {
+		b.hasTrace = true
+	}
+	b.n = row + 1
+}
+
+// Col returns column c's raw slot lane (length Len). Kernels that have
+// checked the kind once can iterate it directly: integer bits, float
+// bits, 0/1 booleans, symbol ids, or arena ranges.
+func (b *Batch) Col(c int) []uint64 {
+	return b.slots[c*b.rows : c*b.rows+b.n]
+}
+
+// Int returns column c, row r as an int64.
+func (b *Batch) Int(c, r int) int64 {
+	if b.kinds[c] != KindInt {
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not int64", c, b.kinds[c]))
+	}
+	return int64(b.slots[c*b.rows+r])
+}
+
+// Float returns column c, row r as a float64 (integer columns convert).
+func (b *Batch) Float(c, r int) float64 {
+	switch b.kinds[c] {
+	case KindFloat:
+		return math.Float64frombits(b.slots[c*b.rows+r])
+	case KindInt:
+		return float64(int64(b.slots[c*b.rows+r]))
+	default:
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not float64", c, b.kinds[c]))
+	}
+}
+
+// Bool returns column c, row r as a bool.
+func (b *Batch) Bool(c, r int) bool {
+	if b.kinds[c] != KindBool {
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not bool", c, b.kinds[c]))
+	}
+	return b.slots[c*b.rows+r] != 0
+}
+
+// Sym returns column c, row r as an interned symbol.
+func (b *Batch) Sym(c, r int) Sym {
+	if b.kinds[c] != KindSym {
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not symbol", c, b.kinds[c]))
+	}
+	return Sym(b.slots[c*b.rows+r])
+}
+
+// Str returns column c, row r as a string. For a string column the
+// result is a view into the batch arena, valid only while the caller
+// holds the batch; for a symbol column it is the stable interned name.
+func (b *Batch) Str(c, r int) string {
+	switch b.kinds[c] {
+	case KindStr:
+		return b.strAt(c, r)
+	case KindSym:
+		return Sym(b.slots[c*b.rows+r]).Name()
+	default:
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not string", c, b.kinds[c]))
+	}
+}
+
+// StrLen returns the byte length of string column c, row r without
+// materializing a string header (the filter kernels' fast path).
+func (b *Batch) StrLen(c, r int) int {
+	if b.kinds[c] != KindStr {
+		panic(fmt.Sprintf("tuple: batch column %d is %v, not string", c, b.kinds[c]))
+	}
+	return int(b.slots[c*b.rows+r] & 0xffffffff)
+}
+
+func (b *Batch) strAt(c, r int) string {
+	slot := b.slots[c*b.rows+r]
+	off := int(slot >> 32)
+	ln := int(slot & 0xffffffff)
+	if ln == 0 {
+		return ""
+	}
+	return unsafe.String(&b.arena[off], ln)
+}
+
+// Key returns column c, row r as a grouping key. A string column's key
+// borrows the arena view — Canon before storing it past the batch.
+func (b *Batch) Key(c, r int) Key {
+	k := Key{kind: b.kinds[c], num: b.slots[c*b.rows+r]}
+	if k.kind == KindStr {
+		k.num = 0
+		k.str = b.strAt(c, r)
+	}
+	return k
+}
+
+// Hash hashes column c, row r exactly like Tuple.Hash, so a key routes
+// identically whether it travels row-wise or columnar.
+func (b *Batch) Hash(c, r int) uint64 {
+	switch b.kinds[c] {
+	case KindInt, KindFloat:
+		return hashUint64(b.slots[c*b.rows+r])
+	case KindBool:
+		h := fnvOffset64
+		if b.slots[c*b.rows+r] != 0 {
+			h ^= 1
+		}
+		return h * fnvPrime64
+	case KindStr:
+		return hashString(b.strAt(c, r))
+	case KindSym:
+		return hashString(Sym(b.slots[c*b.rows+r]).Name())
+	default:
+		return fnvOffset64
+	}
+}
+
+// Ts returns row r's latency timestamp.
+func (b *Batch) Ts(r int) time.Time { return b.ts[r] }
+
+// Event returns row r's event timestamp.
+func (b *Batch) Event(r int) int64 { return b.event[r] }
+
+// TraceID returns row r's trace id (0: untraced).
+func (b *Batch) TraceID(r int) uint64 { return b.traceID[r] }
+
+// TraceOrigin returns row r's trace origin timestamp.
+func (b *Batch) TraceOrigin(r int) int64 { return b.traceOrigin[r] }
+
+// StampMeta propagates row r's header metadata onto an output tuple
+// the way the engine propagates a scalar input's: the latency
+// timestamp and trace context always, the event time only when the
+// operator left it unset. Batch operators call it per emitted tuple
+// (the ambient collector stamping is bypassed during ProcessBatch —
+// it would smear one row's context over the whole batch's outputs).
+func (b *Batch) StampMeta(r int, out *Tuple) {
+	out.Ts = b.ts[r]
+	if out.Event == 0 {
+		out.Event = b.event[r]
+	}
+	out.TraceID = b.traceID[r]
+	out.TraceOrigin = b.traceOrigin[r]
+}
+
+// CopyRowTo materializes row r into dst: payload (arena strings
+// copied), stream and all header metadata. The engine's row adapter
+// uses it to feed scalar operators from a columnar edge.
+func (b *Batch) CopyRowTo(r int, dst *Tuple) {
+	dst.n = uint8(b.cols)
+	dst.kinds = b.kinds
+	dst.arena = dst.arena[:0]
+	for c := 0; c < b.cols; c++ {
+		if b.kinds[c] == KindStr {
+			s := b.strAt(c, r)
+			off := len(dst.arena)
+			dst.arena = append(dst.arena, s...)
+			dst.slots[c] = uint64(off)<<32 | uint64(len(s))
+		} else {
+			dst.slots[c] = b.slots[c*b.rows+r]
+		}
+	}
+	dst.Stream = b.Stream
+	dst.Ts = b.ts[r]
+	dst.Event = b.event[r]
+	dst.TraceID = b.traceID[r]
+	dst.TraceOrigin = b.traceOrigin[r]
+}
+
+// AppendFieldTo appends field (c, r) onto dst with its kind preserved
+// (arena copy for strings) — the projection kernels' building block.
+func (b *Batch) AppendFieldTo(c, r int, dst *Tuple) {
+	switch b.kinds[c] {
+	case KindInt:
+		dst.AppendInt(int64(b.slots[c*b.rows+r]))
+	case KindFloat:
+		i := dst.grow()
+		dst.kinds[i] = KindFloat
+		dst.slots[i] = b.slots[c*b.rows+r]
+	case KindBool:
+		dst.AppendBool(b.slots[c*b.rows+r] != 0)
+	case KindStr:
+		dst.AppendStr(b.strAt(c, r))
+	case KindSym:
+		dst.AppendSym(Sym(b.slots[c*b.rows+r]))
+	default:
+		panic(fmt.Sprintf("tuple: cannot append %v batch field", b.kinds[c]))
+	}
+}
+
+// SelScratch returns the batch's reusable selection vector, emptied,
+// with capacity for every row. Filter kernels append surviving row
+// indices to it; it is owned by whoever holds the batch.
+func (b *Batch) SelScratch() []int32 {
+	if cap(b.sel) < b.rows {
+		b.sel = make([]int32, 0, b.rows)
+	}
+	return b.sel[:0]
+}
+
+// Size estimates the batch's in-memory payload footprint in bytes,
+// the columnar counterpart of Tuple.Size summed over rows.
+func (b *Batch) Size() int {
+	const header = 48
+	return header*b.n + 16*b.cols*b.n + len(b.arena)
+}
+
+// MarshalBatch serializes the batch into a compact column-major binary
+// frame: stream name, row count, per-column kind tags, the metadata
+// lanes, then each column's values contiguously. Like Marshal it is
+// deterministic and exists for the serialization-emulation and
+// diagnostic paths, not the shared-memory hot path.
+func MarshalBatch(b *Batch, buf []byte) []byte {
+	buf = appendString(buf, b.Stream.String())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(b.n))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(b.cols))
+	for c := 0; c < b.cols; c++ {
+		buf = append(buf, byte(b.kinds[c]))
+	}
+	for r := 0; r < b.n; r++ {
+		var ts uint64
+		if !b.ts[r].IsZero() {
+			ts = uint64(b.ts[r].UnixNano())
+		}
+		buf = binary.BigEndian.AppendUint64(buf, ts)
+	}
+	for r := 0; r < b.n; r++ {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.event[r]))
+	}
+	for r := 0; r < b.n; r++ {
+		buf = binary.BigEndian.AppendUint64(buf, b.traceID[r])
+	}
+	for r := 0; r < b.n; r++ {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.traceOrigin[r]))
+	}
+	for c := 0; c < b.cols; c++ {
+		lane := b.slots[c*b.rows : c*b.rows+b.n]
+		switch b.kinds[c] {
+		case KindInt, KindFloat:
+			for _, v := range lane {
+				buf = binary.BigEndian.AppendUint64(buf, v)
+			}
+		case KindBool:
+			for _, v := range lane {
+				if v != 0 {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+		case KindStr:
+			for r := range lane {
+				buf = appendString(buf, b.strAt(c, r))
+			}
+		case KindSym:
+			for _, v := range lane {
+				buf = appendString(buf, Sym(v).Name())
+			}
+		default:
+			panic(fmt.Sprintf("tuple: cannot marshal %v batch column", b.kinds[c]))
+		}
+	}
+	return buf
+}
+
+// UnmarshalBatch decodes a frame produced by MarshalBatch into a fresh
+// batch, returning it with the bytes consumed. Symbol columns are
+// re-interned; the decoded batch's row capacity equals its row count.
+func UnmarshalBatch(buf []byte) (*Batch, int, error) {
+	stream, off, err := readString(buf, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+6 > len(buf) {
+		return nil, 0, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	cols := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if cols > MaxFields || n < 0 || n > 1<<24 {
+		return nil, 0, ErrCorrupt
+	}
+	if off+cols > len(buf) {
+		return nil, 0, ErrCorrupt
+	}
+	b := NewBatch(max(n, 1))
+	b.Stream = Intern(stream)
+	b.cols = cols
+	b.n = n
+	for c := 0; c < cols; c++ {
+		k := Kind(buf[off])
+		off++
+		switch k {
+		case KindInt, KindFloat, KindBool, KindStr, KindSym:
+			b.kinds[c] = k
+		default:
+			return nil, 0, ErrCorrupt
+		}
+	}
+	if off+32*n > len(buf) {
+		return nil, 0, ErrCorrupt
+	}
+	for r := 0; r < n; r++ {
+		if ts := int64(binary.BigEndian.Uint64(buf[off:])); ts != 0 {
+			b.ts[r] = time.Unix(0, ts)
+		}
+		off += 8
+	}
+	for r := 0; r < n; r++ {
+		b.event[r] = int64(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for r := 0; r < n; r++ {
+		b.traceID[r] = binary.BigEndian.Uint64(buf[off:])
+		if b.traceID[r] != 0 {
+			b.hasTrace = true
+		}
+		off += 8
+	}
+	for r := 0; r < n; r++ {
+		b.traceOrigin[r] = int64(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for c := 0; c < cols; c++ {
+		lane := b.slots[c*b.rows : c*b.rows+n]
+		switch b.kinds[c] {
+		case KindInt, KindFloat:
+			if off+8*n > len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			for r := range lane {
+				lane[r] = binary.BigEndian.Uint64(buf[off:])
+				off += 8
+			}
+		case KindBool:
+			if off+n > len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			for r := range lane {
+				if buf[off] == 1 {
+					lane[r] = 1
+				} else {
+					lane[r] = 0
+				}
+				off++
+			}
+		case KindStr:
+			for r := range lane {
+				s, o, err := readString(buf, off)
+				if err != nil {
+					return nil, 0, err
+				}
+				aoff := len(b.arena)
+				b.arena = append(b.arena, s...)
+				lane[r] = uint64(aoff)<<32 | uint64(len(s))
+				off = o
+			}
+		case KindSym:
+			for r := range lane {
+				s, o, err := readString(buf, off)
+				if err != nil {
+					return nil, 0, err
+				}
+				lane[r] = uint64(InternSym(s))
+				off = o
+			}
+		}
+	}
+	return b, off, nil
+}

@@ -1,0 +1,352 @@
+package tuple
+
+// Columnar batch coverage: Append/Fits layout adoption, per-row
+// accessor and metadata parity with the source tuples, CopyRowTo
+// materialization (the engine's row adapter), Key/Hash parity with the
+// row-wise path (a key must route identically whether it travels as a
+// tuple or a batch row), and the columnar wire codec — random batches
+// round-trip through MarshalBatch/UnmarshalBatch deterministically and
+// the decoder survives arbitrary bytes.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mkRow builds a tuple with the batch tests' canonical mixed layout:
+// (sym, str, int, float, bool).
+func mkRow(i int) *Tuple {
+	t := &Tuple{}
+	t.AppendSym(InternSym([]string{"alpha", "beta", "gamma"}[i%3]))
+	t.AppendStr([]string{"", "one word", "the quick brown fox"}[i%3])
+	t.AppendInt(int64(i) - 1)
+	t.AppendFloat(float64(i) * 1.5)
+	t.AppendBool(i%2 == 0)
+	t.Ts = time.Unix(0, int64(1000+i))
+	t.Event = int64(100 + i)
+	return t
+}
+
+func TestBatchAppendAccessors(t *testing.T) {
+	b := NewBatch(8)
+	rows := make([]*Tuple, 5)
+	for i := range rows {
+		rows[i] = mkRow(i)
+		if !b.Fits(rows[i]) {
+			t.Fatalf("row %d does not fit a same-layout batch", i)
+		}
+		b.Append(rows[i])
+	}
+	if b.Len() != 5 || b.Cols() != 5 || b.Full() {
+		t.Fatalf("Len=%d Cols=%d Full=%v, want 5, 5, false", b.Len(), b.Cols(), b.Full())
+	}
+	for i, tp := range rows {
+		if b.Sym(0, i) != tp.Sym(0) || b.Str(1, i) != tp.Str(1) ||
+			b.Int(2, i) != tp.Int(2) || b.Float(3, i) != tp.Float(3) ||
+			b.Bool(4, i) != tp.Bool(4) {
+			t.Errorf("row %d payload mismatch", i)
+		}
+		if b.StrLen(1, i) != len(tp.Str(1)) {
+			t.Errorf("row %d StrLen = %d, want %d", i, b.StrLen(1, i), len(tp.Str(1)))
+		}
+		if !b.Ts(i).Equal(tp.Ts) || b.Event(i) != tp.Event {
+			t.Errorf("row %d metadata mismatch", i)
+		}
+	}
+	if b.HasTrace() {
+		t.Error("HasTrace true with no traced rows")
+	}
+	traced := mkRow(5)
+	traced.TraceID, traced.TraceOrigin = 42, 7
+	b.Append(traced)
+	if !b.HasTrace() || b.TraceID(5) != 42 || b.TraceOrigin(5) != 7 {
+		t.Error("trace lane lost the traced row's context")
+	}
+}
+
+func TestBatchFitsAndReset(t *testing.T) {
+	b := NewBatch(4)
+	other := &Tuple{}
+	other.AppendInt(1)
+	if !b.Fits(other) {
+		t.Fatal("empty batch must fit any layout")
+	}
+	b.Append(mkRow(0))
+	if b.Fits(other) {
+		t.Error("arity mismatch reported as fitting")
+	}
+	kindSwap := mkRow(1)
+	kindSwap.slots[2], kindSwap.kinds[2] = math.Float64bits(1), KindFloat
+	if b.Fits(kindSwap) {
+		t.Error("kind mismatch reported as fitting")
+	}
+	streamSwap := mkRow(1)
+	streamSwap.Stream = Intern("batch-other-stream")
+	if b.Fits(streamSwap) {
+		t.Error("stream mismatch reported as fitting")
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Cols() != 0 || !b.Fits(other) {
+		t.Error("Reset did not clear layout for re-adoption")
+	}
+	b.Append(other)
+	if b.Cols() != 1 || b.Int(0, 0) != 1 {
+		t.Error("post-Reset append did not adopt the new layout")
+	}
+}
+
+// TestBatchCopyRowToParity pins the row adapter: a materialized row must
+// be bit-identical to the appended source tuple.
+func TestBatchCopyRowToParity(t *testing.T) {
+	b := NewBatch(8)
+	rows := make([]*Tuple, 6)
+	for i := range rows {
+		rows[i] = mkRow(i)
+		if i%2 == 0 {
+			rows[i].TraceID = uint64(i + 1)
+			rows[i].TraceOrigin = int64(i)
+		}
+		b.Append(rows[i])
+	}
+	dst := &Tuple{}
+	for i, want := range rows {
+		b.CopyRowTo(i, dst)
+		if !bitsEqual(dst, want) {
+			t.Errorf("row %d: CopyRowTo changed %v -> %v", i, want, dst)
+		}
+	}
+}
+
+// TestBatchAppendRowFromParity pins the batch-to-batch forwarding copy:
+// a row carried across by AppendRowFrom must materialize bit-identically
+// to a row carried across by Append of its materialized tuple — same
+// payload, same metadata lanes, same hasTrace bookkeeping — with the
+// destination stream re-stamped, and FitsRowFrom must gate layout
+// mismatches exactly like Fits does for tuples.
+func TestBatchAppendRowFromParity(t *testing.T) {
+	src := NewBatch(8)
+	rows := make([]*Tuple, 6)
+	for i := range rows {
+		rows[i] = mkRow(i)
+		if i == 3 {
+			rows[i].TraceID = 42
+			rows[i].TraceOrigin = 7
+		}
+		src.Append(rows[i])
+	}
+	fwd := Intern("forwarded")
+
+	// Reference path: materialize each row, re-stamp, append.
+	want := NewBatch(8)
+	scratch := &Tuple{}
+	for i := range rows {
+		src.CopyRowTo(i, scratch)
+		scratch.Stream = fwd
+		want.Append(scratch)
+	}
+
+	got := NewBatch(8)
+	for i := range rows {
+		if !got.FitsRowFrom(src, fwd) {
+			t.Fatalf("row %d: same-layout source reported as not fitting", i)
+		}
+		got.AppendRowFrom(src, i, fwd)
+	}
+	if !batchesEqual(got, want) {
+		t.Fatal("AppendRowFrom diverged from materialize+Append")
+	}
+	if !got.HasTrace() {
+		t.Error("hasTrace lost across AppendRowFrom")
+	}
+
+	// Layout gates: a different stream or different kinds must not fit a
+	// non-empty batch, and an empty batch must adopt anything.
+	if got.FitsRowFrom(src, Intern("other-stream")) {
+		t.Error("FitsRowFrom accepted a stream change")
+	}
+	narrow := NewBatch(4)
+	other := &Tuple{}
+	other.AppendInt(1)
+	other.Stream = fwd
+	narrow.Append(other)
+	if narrow.FitsRowFrom(src, fwd) {
+		t.Error("FitsRowFrom accepted an arity/kind change")
+	}
+	empty := NewBatch(4)
+	if !empty.FitsRowFrom(src, fwd) {
+		t.Error("empty batch must adopt any source layout")
+	}
+}
+
+// TestBatchKeyHashParity pins routing equivalence: every column of every
+// row must group and hash exactly like the tuple field it came from.
+func TestBatchKeyHashParity(t *testing.T) {
+	b := NewBatch(8)
+	rows := make([]*Tuple, 6)
+	for i := range rows {
+		rows[i] = mkRow(i)
+		b.Append(rows[i])
+	}
+	for i, tp := range rows {
+		for c := 0; c < tp.Len(); c++ {
+			if b.Hash(c, i) != tp.Hash(c) {
+				t.Errorf("row %d col %d: batch hash %x, tuple hash %x", i, c, b.Hash(c, i), tp.Hash(c))
+			}
+			if b.Key(c, i).Canon() != tp.Key(c).Canon() {
+				t.Errorf("row %d col %d: key mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestBatchStampMeta(t *testing.T) {
+	b := NewBatch(2)
+	src := mkRow(0)
+	src.TraceID, src.TraceOrigin = 9, 3
+	b.Append(src)
+	out := &Tuple{}
+	b.StampMeta(0, out)
+	if !out.Ts.Equal(src.Ts) || out.Event != src.Event || out.TraceID != 9 || out.TraceOrigin != 3 {
+		t.Errorf("StampMeta dropped metadata: %+v", out)
+	}
+	// An operator-set event time survives stamping.
+	out2 := &Tuple{Event: 777}
+	b.StampMeta(0, out2)
+	if out2.Event != 777 {
+		t.Errorf("StampMeta overwrote operator-set event %d", out2.Event)
+	}
+}
+
+func TestBatchAppendFieldTo(t *testing.T) {
+	b := NewBatch(2)
+	src := mkRow(2)
+	b.Append(src)
+	dst := &Tuple{}
+	for c := 0; c < src.Len(); c++ {
+		b.AppendFieldTo(c, 0, dst)
+	}
+	dst.Stream, dst.Ts, dst.Event = src.Stream, src.Ts, src.Event
+	if !bitsEqual(dst, src) {
+		t.Errorf("AppendFieldTo projection changed %v -> %v", src, dst)
+	}
+}
+
+// batchesEqual compares two batches at the bit level, the columnar
+// analogue of bitsEqual.
+func batchesEqual(a, b *Batch) bool {
+	if a.Stream != b.Stream || a.Len() != b.Len() || a.Cols() != b.Cols() {
+		return false
+	}
+	for c := 0; c < a.Cols(); c++ {
+		if a.Kind(c) != b.Kind(c) {
+			return false
+		}
+	}
+	for r := 0; r < a.Len(); r++ {
+		for c := 0; c < a.Cols(); c++ {
+			switch a.Kind(c) {
+			case KindStr:
+				if a.Str(c, r) != b.Str(c, r) {
+					return false
+				}
+			case KindSym:
+				if a.Sym(c, r) != b.Sym(c, r) {
+					return false
+				}
+			default:
+				if a.Col(c)[r] != b.Col(c)[r] {
+					return false
+				}
+			}
+		}
+		if !a.Ts(r).Equal(b.Ts(r)) || a.Event(r) != b.Event(r) ||
+			a.TraceID(r) != b.TraceID(r) || a.TraceOrigin(r) != b.TraceOrigin(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func batchRoundTrip(t *testing.T, orig *Batch) {
+	t.Helper()
+	buf := MarshalBatch(orig, nil)
+	got, n, err := UnmarshalBatch(buf)
+	if err != nil {
+		t.Fatalf("UnmarshalBatch: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !batchesEqual(orig, got) {
+		t.Fatal("round trip changed the batch")
+	}
+	again := MarshalBatch(got, nil)
+	if !bytes.Equal(buf, again) {
+		t.Fatalf("re-encoding not byte-identical:\n %x\n %x", buf, again)
+	}
+}
+
+func TestBatchRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		rows := 1 + r.Intn(64)
+		b := NewBatch(rows)
+		proto := &Tuple{}
+		for n := r.Intn(MaxFields + 1); n > 0; n-- {
+			edgeValues[r.Intn(len(edgeValues))](proto)
+		}
+		if r.Intn(2) == 0 {
+			proto.Stream = Intern("batch-rt-stream")
+		}
+		fill := 1 + r.Intn(rows)
+		for i := 0; i < fill; i++ {
+			proto.Event = r.Int63() - r.Int63()
+			proto.Ts = time.Time{}
+			if r.Intn(3) == 0 {
+				proto.Ts = time.Unix(0, 1+r.Int63n(1<<50))
+			}
+			proto.TraceID, proto.TraceOrigin = 0, 0
+			if r.Intn(4) == 0 {
+				proto.TraceID = r.Uint64()
+				proto.TraceOrigin = r.Int63()
+			}
+			b.Append(proto)
+		}
+		batchRoundTrip(t, b)
+	}
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	batchRoundTrip(t, NewBatch(4))
+}
+
+// FuzzBatchRoundTrip feeds arbitrary bytes to the columnar decoder: it
+// must never panic, and any accepted frame must re-encode to a frame
+// that decodes to the same batch (decode∘encode idempotent).
+func FuzzBatchRoundTrip(f *testing.F) {
+	seed := NewBatch(4)
+	for i := 0; i < 3; i++ {
+		seed.Append(mkRow(i))
+	}
+	f.Add(MarshalBatch(seed, nil))
+	f.Add(MarshalBatch(NewBatch(1), nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, _, err := UnmarshalBatch(data)
+		if err != nil {
+			return
+		}
+		buf := MarshalBatch(b, nil)
+		again, _, err := UnmarshalBatch(buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !batchesEqual(b, again) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}

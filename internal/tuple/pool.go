@@ -37,10 +37,14 @@ type Pool struct {
 	p sync.Pool
 
 	// rings are the attached reverse recycling rings; cursor remembers
-	// which ring satisfied the last Get so a hot edge is drained without
-	// re-scanning cold ones. Both are owner-goroutine state.
+	// which ring satisfied the last refill so a hot edge is drained
+	// without re-scanning cold ones; free is the local stash a chunked
+	// DrainInto refills — Gets pop from it until it runs dry, so the
+	// ring's atomic cursors are touched once per chunk, not once per
+	// tuple. All owner-goroutine state.
 	rings  []*RecycleRing
 	cursor int
+	free   []*Tuple
 
 	// stats gates the get/put accounting the leak/double-free property
 	// tests assert on; off (the default) the hot path pays one
@@ -75,6 +79,12 @@ func (p *Pool) Stats() (gets, puts uint64) {
 // recycling ring (non-zero only with EnableStats and attached rings).
 func (p *Pool) RingHits() uint64 { return p.ringHits.Load() }
 
+// refillChunk bounds how many tuples one reverse-ring drain moves into
+// the local stash: large enough to amortize the ring's cursor handoff
+// across a jumbo batch worth of Gets, small enough that a burst does
+// not strand tuples in a cold pool's stash.
+const refillChunk = 32
+
 // Get returns an empty tuple on the default stream holding one
 // reference. The tuple's string arena keeps the capacity of its
 // previous life, so appending similar payloads allocates nothing.
@@ -82,27 +92,44 @@ func (p *Pool) Get() *Tuple {
 	if p.stats {
 		p.gets.Add(1)
 	}
-	if n := len(p.rings); n > 0 {
-		idx := p.cursor
-		for k := 0; k < n; k++ {
-			if t, ok := p.rings[idx].ring.TryGet(); ok {
-				if p.stats {
-					p.ringHits.Add(1)
-				}
-				p.cursor = idx
-				t.pool = p
-				atomic.StoreInt32(&t.refs, 1)
-				return t
-			}
-			if idx++; idx == n {
-				idx = 0
-			}
+	if len(p.free) == 0 && len(p.rings) > 0 {
+		p.refill()
+	}
+	if k := len(p.free) - 1; k >= 0 {
+		t := p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+		if p.stats {
+			p.ringHits.Add(1)
 		}
+		t.pool = p
+		atomic.StoreInt32(&t.refs, 1)
+		return t
 	}
 	t := p.p.Get().(*Tuple)
 	t.pool = p
 	atomic.StoreInt32(&t.refs, 1)
 	return t
+}
+
+// refill drains one attached reverse ring in a chunk into the local
+// stash, scanning from the last hot ring. One DrainInto covers up to
+// refillChunk subsequent Gets with a single ring-cursor handoff.
+func (p *Pool) refill() {
+	if cap(p.free) < refillChunk {
+		p.free = make([]*Tuple, 0, refillChunk)
+	}
+	idx := p.cursor
+	for k := 0; k < len(p.rings); k++ {
+		if got := p.rings[idx].ring.DrainInto(p.free[:refillChunk], refillChunk); got > 0 {
+			p.cursor = idx
+			p.free = p.free[:got]
+			return
+		}
+		if idx++; idx == len(p.rings) {
+			idx = 0
+		}
+	}
 }
 
 // Retain adds a reference to a pooled tuple, keeping it alive past the
@@ -143,6 +170,40 @@ func (t *Tuple) Release() {
 	if atomic.AddInt32(&t.refs, -1) == 0 {
 		t.recycle()
 	}
+}
+
+// ReleaseLocal drops one reference like Release, but a tuple reaching
+// zero references goes back onto the pool's owner-goroutine stash
+// instead of the shared fallback pool — the caller must be on the pool
+// owner's goroutine. The engine's columnar batch builders use it: they
+// copy each tuple into column lanes and release it right there on the
+// producing task, so the Borrow→fill→append→release cycle of a fully
+// columnar edge spins on one hot stash slot with no cross-thread
+// machinery (the reverse rings never see these tuples, so without this
+// the stash would run dry and every cycle would round-trip sync.Pool).
+func (t *Tuple) ReleaseLocal() {
+	p := t.pool
+	if p == nil {
+		return
+	}
+	if refs := atomic.LoadInt32(&t.refs); refs == 1 {
+		atomic.StoreInt32(&t.refs, 0)
+	} else if atomic.AddInt32(&t.refs, -1) != 0 {
+		return
+	}
+	t.resetForPool()
+	t.pool = nil
+	if p.stats {
+		p.puts.Add(1)
+	}
+	if cap(p.free) == 0 {
+		p.free = make([]*Tuple, 0, refillChunk)
+	}
+	if len(p.free) < cap(p.free) {
+		p.free = append(p.free, t)
+		return
+	}
+	p.p.Put(t)
 }
 
 // recycle resets the tuple and returns it to its pool. The slot array

@@ -526,12 +526,21 @@ type Jumbo struct {
 	// which attributes queue-wait to every batch — and therefore every
 	// task/edge — at one clock read per jumbo, not per tuple.
 	EnqNs int64
-	// Tuples is the batch payload, passed by reference.
+	// Tuples is the row-oriented batch payload, passed by reference.
+	// Exactly one of Tuples and Batch is populated.
 	Tuples []*Tuple
+	// Batch is the columnar payload carried on edges whose consumer
+	// processes batches vectorized (see Batch); nil on scalar edges.
+	Batch *Batch
 }
 
-// Len returns the number of tuples in the batch.
-func (j *Jumbo) Len() int { return len(j.Tuples) }
+// Len returns the number of tuples in the batch (either representation).
+func (j *Jumbo) Len() int {
+	if j.Batch != nil {
+		return j.Batch.Len()
+	}
+	return len(j.Tuples)
+}
 
 // Wire kind tags. They survive from the boxed era (int=1, float=2,
 // string=3, bool=4) so old traces stay readable; symbols are a new tag

@@ -1,0 +1,133 @@
+package window
+
+// Vectorized-path equivalence: the same event stream must produce
+// identical emissions whether it is fed per tuple (Process), per batch
+// through the grouped pre-accumulation path, or per batch through the
+// direct accumulation path the feedback heuristic switches to on
+// high-cardinality keys — and the heuristic itself must actually flip
+// between the modes on the distributions built to trigger it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"briskstream/internal/engine"
+	"briskstream/internal/tuple"
+)
+
+func countOpBatch(size, slide, lateness int64, out *[]emission) engine.Operator {
+	return New(Op[countAcc]{
+		KeyField: 0,
+		Size:     size,
+		Slide:    slide,
+		Lateness: lateness,
+		Init:     func(a *countAcc) { *a = countAcc{} },
+		Add: func(a *countAcc, t *tuple.Tuple) {
+			a.count++
+			a.sum += t.Int(1)
+		},
+		AddRow: func(a *countAcc, b *tuple.Batch, r int) {
+			a.count++
+			a.sum += b.Int(1, r)
+		},
+		Merge: func(a *countAcc, p *countAcc) {
+			a.count += p.count
+			a.sum += p.sum
+		},
+		Emit: func(c engine.Collector, key tuple.Key, w Span, a *countAcc) {
+			*out = append(*out, emission{key: key, w: w, count: a.count, sum: a.sum})
+		},
+	})
+}
+
+// feedBatches drives events through ProcessBatch in batches of
+// batchRows, advancing the watermark between batches like feed does
+// between wmEvery events, then flushes with the final watermark.
+func feedBatches(t *testing.T, op engine.Operator, events []event, batchRows int, lag int64) {
+	t.Helper()
+	tm := engine.NewTimers()
+	op.(engine.TimerAware).SetTimers(tm)
+	bop := op.(engine.BatchOperator)
+	th := op.(engine.TimerHandler)
+	fire := func(at int64) error { return th.OnTimer(nil, engine.EventTimer, at) }
+	maxEt := int64(-1 << 62)
+	b := tuple.NewBatch(batchRows)
+	in := &tuple.Tuple{}
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		if err := bop.ProcessBatch(nil, b); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+		if err := tm.AdvanceWatermark(maxEt-lag, fire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range events {
+		in.Reset()
+		in.AppendStr(ev.key)
+		in.AppendInt(1)
+		in.Event = ev.et
+		b.Append(in)
+		if ev.et > maxEt {
+			maxEt = ev.et
+		}
+		if b.Full() {
+			flush()
+		}
+	}
+	flush()
+	if err := tm.AdvanceWatermark(engine.WatermarkMax, fire); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchPathsMatchScalar(t *testing.T) {
+	cases := []struct {
+		name         string
+		keys         int
+		size, slide  int64
+		wantDirect   bool // heuristic's expected steady-state mode
+		forcedDirect bool // additionally pin direct from batch one
+	}{
+		// Few keys over many rows: grouping folds heavily and must stay.
+		{name: "grouped-tumbling", keys: 4, size: 64, slide: 0},
+		{name: "grouped-sliding", keys: 4, size: 64, slide: 16},
+		// Keys outnumber batch rows: grouping folds nothing, the
+		// feedback must switch to direct accumulation.
+		{name: "direct-tumbling", keys: 500, size: 64, slide: 0, wantDirect: true},
+		{name: "direct-sliding", keys: 500, size: 64, slide: 16, wantDirect: true},
+		// Direct mode pinned from the first batch, so every row takes
+		// the direct branch regardless of where the heuristic lands.
+		{name: "forced-direct", keys: 4, size: 64, slide: 16, forcedDirect: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(77))
+			keys := make([]string, tc.keys)
+			for i := range keys {
+				keys[i] = "k" + string(rune('0'+i%10)) + string(rune('a'+i/10%26)) + string(rune('a'+i/260))
+			}
+			events := make([]event, 4000)
+			for i := range events {
+				events[i] = event{key: keys[r.Intn(len(keys))], et: int64(i) + r.Int63n(8)}
+			}
+
+			var scalar, batched []emission
+			feed(t, countOp(tc.size, tc.slide, 8, &scalar), events, 32, 16)
+			bop := countOpBatch(tc.size, tc.slide, 8, &batched)
+			wop := bop.(*windowOp[countAcc])
+			if tc.forcedDirect {
+				wop.direct, wop.probeLeft = true, 1<<30
+			}
+			feedBatches(t, bop, events, 32, 16)
+
+			assertSameEmissions(t, scalar, batched)
+			if !tc.forcedDirect && wop.direct != tc.wantDirect {
+				t.Errorf("heuristic landed direct=%v, want %v", wop.direct, tc.wantDirect)
+			}
+		})
+	}
+}

@@ -82,6 +82,21 @@ type Op[A any] struct {
 	// aggregates identically.
 	Save func(enc *checkpoint.Encoder, acc *A)
 	Load func(dec *checkpoint.Decoder, acc *A) error
+
+	// AddRow and Merge enable the vectorized (columnar batch) path;
+	// both optional, but required together — with only one set the
+	// operator reports WantsBatches false and the engine keeps the edge
+	// scalar. AddRow folds row r of a batch into an accumulator —
+	// either a per-batch partial (an Init-reset A, later Merge-folded
+	// into the window's live accumulator) or, when the runtime's
+	// feedback heuristic finds grouping unprofitable, the live
+	// accumulator directly. The pair must be equivalent to calling Add
+	// once per row: for any rows and any split into partials,
+	// Merge(acc, fold-with-AddRow(rows)) must leave acc exactly as the
+	// Add calls would — the batch/scalar equivalence property tests
+	// hold operators to this.
+	AddRow func(acc *A, b *tuple.Batch, row int)
+	Merge  func(acc *A, part *A)
 }
 
 // winKey identifies one (key, window start) accumulator.
@@ -101,6 +116,29 @@ type windowOp[A any] struct {
 	byFire *state.Map[int64, bucket]
 	spans  []Span // per-tuple scratch
 	late   uint64
+
+	// Per-batch vectorization scratch, reused across ProcessBatch calls
+	// so the steady state allocates nothing: groups indexes the batch's
+	// distinct (key, window) pairs into parts (the partial
+	// accumulators), pkeys remembers them in first-seen order. Keys in
+	// groups may borrow the batch's arena — the map is cleared before
+	// the next batch, never read after ProcessBatch returns.
+	groups map[winKey]int
+	pkeys  []winKey
+	parts  []A
+	rowBuf tuple.Tuple // scalar-fallback scratch for forced-columnar edges
+
+	// Grouping-amortization feedback. Pre-accumulating a batch into
+	// partials pays only when several rows fold into the same (key,
+	// window) — otherwise the scratch map is a second probe per row-span
+	// on top of the live-pane probe it was meant to save. Each grouped
+	// batch measures its fold ratio; a streak of unprofitable batches
+	// flips ProcessBatch to direct accumulation (AddRow straight into
+	// the live panes), and a periodic re-probe batch flips back when the
+	// key distribution has narrowed.
+	direct    bool
+	dirStreak int
+	probeLeft int
 }
 
 // New builds the operator. It panics on an invalid configuration —
@@ -194,6 +232,158 @@ func (op *windowOp[A]) Process(c engine.Collector, t *tuple.Tuple) error {
 	}
 	if !accepted {
 		op.late++ // every assigned window had fired: the tuple is dropped
+	}
+	return nil
+}
+
+// WantsBatches implements engine.BatchGater: without the AddRow/Merge
+// hooks the vectorized path would only re-run the scalar fallback with
+// an extra materialization copy, so the operator asks the engine to
+// keep its input edges scalar.
+func (op *windowOp[A]) WantsBatches() bool {
+	return op.cfg.AddRow != nil && op.cfg.Merge != nil
+}
+
+// pane returns the live accumulator for wk, creating it on first touch:
+// the possibly arena-borrowed key is canonicalized before it outlives
+// its tuple or batch, the accumulator Init-reset, and the window's fire
+// timer registered — exactly the scalar Process's new-window protocol.
+func (op *windowOp[A]) pane(wk winKey) *A {
+	acc := op.wins.Get(wk)
+	if acc != nil {
+		return acc
+	}
+	wk.key = wk.key.Canon()
+	acc, _ = op.wins.GetOrCreate(wk)
+	op.cfg.Init(acc)
+	fireAt := wk.start + op.cfg.Size + op.cfg.Lateness
+	bkt, fresh := op.byFire.GetOrCreate(fireAt)
+	if fresh {
+		bkt.keys = bkt.keys[:0] // recycled bucket: drop its old life
+		if op.tm != nil {
+			op.tm.RegisterEvent(fireAt)
+		}
+	}
+	bkt.keys = append(bkt.keys, wk)
+	return acc
+}
+
+// Grouping-feedback thresholds: a grouped batch is profitable when its
+// row-span entries outnumber its distinct groups by at least 3:2
+// (below that the scratch map costs more probes than it saves);
+// groupLoseStreak consecutive unprofitable batches switch to direct
+// accumulation, re-probed every groupReprobeEvery direct batches so a
+// narrowing key distribution can switch back.
+const (
+	groupLoseStreak   = 4
+	groupReprobeEvery = 256
+)
+
+// ProcessBatch implements engine.BatchOperator. The default mode groups
+// the batch's rows by (key, window) into per-batch partial accumulators
+// (AddRow), then merges each partial into its live window once (Merge):
+// one scratch-map probe and one Merge per distinct (key, window)
+// replace one state.Map probe per row-span, which is where the
+// vectorized win comes from on skewed or low-cardinality keys. When the
+// measured fold ratio says rows rarely share a pane (high-cardinality
+// keys — the scratch map then only doubles the probes), the feedback
+// heuristic switches to direct mode: AddRow straight into the live
+// panes, no intermediate partials. Both modes read the watermark once —
+// it only advances between batches, never inside one — and pane
+// placement, late-drop counting and timer registration match the scalar
+// Process exactly.
+func (op *windowOp[A]) ProcessBatch(c engine.Collector, b *tuple.Batch) error {
+	if op.cfg.AddRow == nil || op.cfg.Merge == nil {
+		// Forced-columnar edge (Config.ColumnarAll) without the hooks:
+		// run the scalar path row by row off an operator-owned scratch.
+		for r := 0; r < b.Len(); r++ {
+			b.CopyRowTo(r, &op.rowBuf)
+			if err := op.Process(c, &op.rowBuf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if op.cfg.KeyField >= 0 && op.cfg.KeyField >= b.Cols() {
+		return fmt.Errorf("window: key field %d but batch has %d columns", op.cfg.KeyField, b.Cols())
+	}
+	wm := op.watermark()
+	n := b.Len()
+
+	if op.direct {
+		if op.probeLeft--; op.probeLeft <= 0 {
+			op.direct, op.dirStreak = false, 0 // re-probe grouped next batch
+		}
+		for r := 0; r < n; r++ {
+			et := b.Event(r)
+			var key tuple.Key
+			if op.cfg.KeyField >= 0 {
+				key = b.Key(op.cfg.KeyField, r)
+			}
+			accepted := false
+			for start := floorDiv(et, op.cfg.Slide) * op.cfg.Slide; start > et-op.cfg.Size; start -= op.cfg.Slide {
+				if start+op.cfg.Size+op.cfg.Lateness <= wm {
+					continue // this window already fired; skip the pane
+				}
+				accepted = true
+				op.cfg.AddRow(op.pane(winKey{key: key, start: start}), b, r)
+			}
+			if !accepted {
+				op.late++ // every assigned window had fired: the row is dropped
+			}
+		}
+		return nil
+	}
+
+	if op.groups == nil {
+		op.groups = make(map[winKey]int)
+	}
+	clear(op.groups)
+	op.pkeys = op.pkeys[:0]
+	entries := 0
+	for r := 0; r < n; r++ {
+		et := b.Event(r)
+		var key tuple.Key
+		if op.cfg.KeyField >= 0 {
+			key = b.Key(op.cfg.KeyField, r)
+		}
+		accepted := false
+		for start := floorDiv(et, op.cfg.Slide) * op.cfg.Slide; start > et-op.cfg.Size; start -= op.cfg.Slide {
+			if start+op.cfg.Size+op.cfg.Lateness <= wm {
+				continue // this window already fired; skip the pane
+			}
+			accepted = true
+			entries++
+			wk := winKey{key: key, start: start}
+			gi, ok := op.groups[wk]
+			if !ok {
+				gi = len(op.pkeys)
+				op.groups[wk] = gi
+				op.pkeys = append(op.pkeys, wk)
+				if gi == len(op.parts) {
+					op.parts = append(op.parts, *new(A))
+				}
+				op.cfg.Init(&op.parts[gi])
+			}
+			op.cfg.AddRow(&op.parts[gi], b, r)
+		}
+		if !accepted {
+			op.late++ // every assigned window had fired: the row is dropped
+		}
+	}
+	for gi, wk := range op.pkeys {
+		op.cfg.Merge(op.pane(wk), &op.parts[gi])
+	}
+	// Feedback: a near-full batch whose entries barely outnumber its
+	// groups folded almost nothing (tiny batches are too noisy to judge).
+	if entries >= 16 {
+		if 2*entries < 3*len(op.pkeys) {
+			if op.dirStreak++; op.dirStreak >= groupLoseStreak {
+				op.direct, op.probeLeft = true, groupReprobeEvery
+			}
+		} else {
+			op.dirStreak = 0
+		}
 	}
 	return nil
 }
